@@ -1,0 +1,327 @@
+//! A bin-hierarchy controller in the spirit of Afek–Awerbuch–Plotkin–Saks.
+//!
+//! The AAPS controller pre-positions permits in *bins*. Each bin's level and
+//! size are determined by the exact depth of its node: a node at depth `d`
+//! hosts a bin of level `i` exactly when `2^i` divides `d` (the root hosts a
+//! bin of every level). A request draws a permit from the closest level-0 bin
+//! on its path to the root; an empty bin refills from its *supervisor* — the
+//! level-`(i+1)` bin at the nearest ancestor whose depth is a multiple of
+//! `2^{i+1}` — and supervisors refill recursively, ultimately from the root's
+//! storage.
+//!
+//! Because bin levels are tied to exact depths, the structure only survives
+//! topological changes that do not alter any existing node's depth: leaf
+//! insertions (and non-topological events). That is precisely the restriction
+//! of the AAPS dynamic model which the paper's controller lifts; requests for
+//! deletions or internal insertions are refused with
+//! [`ControllerError::Sim`]-free, explicit errors so experiment T4 can report
+//! them.
+
+use dcn_controller::{ControllerError, Outcome, RequestKind};
+use dcn_tree::{DynamicTree, NodeId};
+use std::collections::HashMap;
+
+/// Key of a bin: the node hosting it and its level.
+type BinKey = (NodeId, u32);
+
+/// A bin-hierarchy (M, W)-Controller supporting only the grow-only dynamic
+/// model (leaf insertions and non-topological events).
+///
+/// ```
+/// use dcn_baseline::AapsController;
+/// use dcn_controller::RequestKind;
+/// use dcn_tree::DynamicTree;
+///
+/// let tree = DynamicTree::with_initial_path(8);
+/// let mut ctrl = AapsController::new(tree, 16, 8, 64).unwrap();
+/// let leaf = ctrl.tree().nodes().last().unwrap();
+/// assert!(ctrl.submit(leaf, RequestKind::AddLeaf).unwrap().is_granted());
+/// ```
+#[derive(Debug)]
+pub struct AapsController {
+    tree: DynamicTree,
+    /// Permit granularity (same definition as the paper's φ so the comparison
+    /// is apples-to-apples).
+    phi: u64,
+    /// Number of bin levels.
+    levels: u32,
+    /// Current contents of each bin.
+    bins: HashMap<BinKey, u64>,
+    /// Permits still in the root's storage.
+    storage: u64,
+    m: u64,
+    w: u64,
+    granted: u64,
+    rejected: u64,
+    messages: u64,
+    moves: u64,
+}
+
+impl AapsController {
+    /// Creates a bin-hierarchy controller with budget `m`, waste bound `w` and
+    /// node bound `u_bound` over `tree`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::WasteExceedsBudget`] if `w > m`;
+    /// * [`ControllerError::BoundTooSmall`] if `u_bound` is below the current
+    ///   node count.
+    pub fn new(
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+    ) -> Result<Self, ControllerError> {
+        if w > m {
+            return Err(ControllerError::WasteExceedsBudget { m, w });
+        }
+        if u_bound < tree.node_count() {
+            return Err(ControllerError::BoundTooSmall {
+                u: u_bound,
+                nodes: tree.node_count(),
+            });
+        }
+        let u = u_bound as u64;
+        let phi = (w / (2 * u)).max(1);
+        let levels = 64 - u.leading_zeros() + 1;
+        Ok(AapsController {
+            tree,
+            phi,
+            levels,
+            bins: HashMap::new(),
+            storage: m,
+            m,
+            w,
+            granted: 0,
+            rejected: 0,
+            messages: 0,
+            moves: 0,
+        })
+    }
+
+    /// The spanning tree as currently maintained by the controller.
+    pub fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    /// Permits granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Messages sent so far (request walks plus permit-package moves).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Move complexity so far (permit-package moves only).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The permit budget `M`.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// The waste bound `W`.
+    pub fn waste(&self) -> u64 {
+        self.w
+    }
+
+    /// Capacity of a level-`i` bin.
+    fn capacity(&self, level: u32) -> u64 {
+        self.phi.saturating_mul(1u64 << level.min(63))
+    }
+
+    /// Returns `true` if a node at depth `depth` hosts a bin of `level`.
+    fn hosts_bin(depth: usize, level: u32) -> bool {
+        if level >= 63 {
+            return depth == 0;
+        }
+        depth % (1usize << level) == 0
+    }
+
+    /// The nearest ancestor of `node` (possibly itself) hosting a bin of
+    /// `level`, together with its hop distance.
+    fn nearest_bin_host(&self, node: NodeId, level: u32) -> (NodeId, u64) {
+        let mut dist = 0u64;
+        for anc in self.tree.ancestors(node) {
+            if Self::hosts_bin(self.tree.depth(anc), level) {
+                return (anc, dist);
+            }
+            dist += 1;
+        }
+        (self.tree.root(), dist)
+    }
+
+    /// Ensures the given bin holds at least one permit, refilling it (and its
+    /// supervisors) recursively from the root's storage. Returns `false` when
+    /// even the root is out of permits.
+    fn refill(&mut self, host: NodeId, level: u32) -> bool {
+        let key = (host, level);
+        if self.bins.get(&key).copied().unwrap_or(0) > 0 {
+            return true;
+        }
+        let want = self.capacity(level);
+        // The supervisor is the nearest ancestor (strictly closer to the root
+        // unless `host` itself qualifies) hosting a level-(i+1) bin; the root's
+        // storage backs the top level.
+        if level + 1 >= self.levels || host == self.tree.root() {
+            let take = want.min(self.storage);
+            if take == 0 {
+                return false;
+            }
+            self.storage -= take;
+            let dist = self.tree.depth(host) as u64;
+            self.moves += dist;
+            self.messages += dist;
+            *self.bins.entry(key).or_insert(0) += take;
+            return true;
+        }
+        let (sup_host, sup_dist) = self.nearest_bin_host(host, level + 1);
+        if !self.refill(sup_host, level + 1) {
+            return false;
+        }
+        let sup_key = (sup_host, level + 1);
+        let available = self.bins.get(&sup_key).copied().unwrap_or(0);
+        let take = want.min(available);
+        if take == 0 {
+            return false;
+        }
+        *self.bins.get_mut(&sup_key).expect("supervisor bin exists") -= take;
+        *self.bins.entry(key).or_insert(0) += take;
+        self.moves += sup_dist;
+        self.messages += sup_dist;
+        true
+    }
+
+    /// Submits a request arriving at `at` and applies the granted event.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::UnknownNode`] for a request at a missing node;
+    /// * [`ControllerError::Tree`] wrapping the refusal when the request asks
+    ///   for a change outside the grow-only model (deletion or internal
+    ///   insertion).
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<Outcome, ControllerError> {
+        if !self.tree.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::AddLeaf | RequestKind::NonTopological => {}
+            RequestKind::RemoveSelf | RequestKind::AddInternalAbove(_) => {
+                // Outside the AAPS dynamic model.
+                return Err(ControllerError::Sim(format!(
+                    "the AAPS baseline supports only leaf insertions, not {kind:?}"
+                )));
+            }
+        }
+        // The request walks to the nearest level-0 bin.
+        let (host, dist) = self.nearest_bin_host(at, 0);
+        self.messages += dist;
+        if !self.refill(host, 0) {
+            self.rejected += 1;
+            // Reject answer walks back to the requester.
+            self.messages += dist;
+            return Ok(Outcome::Rejected);
+        }
+        let bin = self.bins.get_mut(&(host, 0)).expect("bin was refilled");
+        *bin -= 1;
+        self.granted += 1;
+        // The permit travels from the bin to the requester.
+        self.moves += dist;
+        self.messages += dist;
+        let new_node = match kind {
+            RequestKind::AddLeaf => Some(self.tree.add_leaf(at)?),
+            _ => None,
+        };
+        Ok(Outcome::Granted {
+            serial: None,
+            new_node,
+        })
+    }
+
+    /// Number of permits that are not yet granted (storage plus bins).
+    pub fn uncommitted_permits(&self) -> u64 {
+        self.storage + self.bins.values().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_within_budget_and_conserves_permits() {
+        let tree = DynamicTree::with_initial_path(32);
+        let m = 40;
+        let mut ctrl = AapsController::new(tree, m, 20, 256).unwrap();
+        for i in 0..(m as usize + 10) {
+            let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+            let at = nodes[(i * 7) % nodes.len()];
+            let _ = ctrl.submit(at, RequestKind::AddLeaf).unwrap();
+            assert_eq!(ctrl.granted() + ctrl.uncommitted_permits(), m);
+        }
+        assert!(ctrl.granted() <= m);
+        assert!(ctrl.rejected() > 0);
+        assert!(ctrl.tree().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn refuses_deletions_and_internal_insertions() {
+        let tree = DynamicTree::with_initial_path(4);
+        let mut ctrl = AapsController::new(tree, 10, 5, 32).unwrap();
+        let leaf = NodeId::from_index(4);
+        assert!(ctrl.submit(leaf, RequestKind::RemoveSelf).is_err());
+        assert!(ctrl
+            .submit(leaf, RequestKind::AddInternalAbove(NodeId::from_index(3)))
+            .is_err());
+    }
+
+    #[test]
+    fn bin_hosting_follows_depth_divisibility() {
+        assert!(AapsController::hosts_bin(0, 5));
+        assert!(AapsController::hosts_bin(8, 3));
+        assert!(!AapsController::hosts_bin(6, 2));
+        assert!(AapsController::hosts_bin(6, 1));
+    }
+
+    #[test]
+    fn requests_near_prepositioned_bins_become_cheap() {
+        // After the first (expensive) request fills the bins along a path,
+        // subsequent requests at the same node are much cheaper.
+        let tree = DynamicTree::with_initial_path(64);
+        let deep = NodeId::from_index(64);
+        let mut ctrl = AapsController::new(tree, 1000, 500, 256).unwrap();
+        ctrl.submit(deep, RequestKind::NonTopological).unwrap();
+        let first = ctrl.messages();
+        ctrl.submit(deep, RequestKind::NonTopological).unwrap();
+        let second = ctrl.messages() - first;
+        assert!(second < first, "second request ({second}) should be cheaper than the first ({first})");
+    }
+
+    #[test]
+    fn rejects_only_after_nearly_exhausting_the_budget() {
+        let tree = DynamicTree::with_initial_star(8);
+        let (m, w) = (20, 10);
+        let mut ctrl = AapsController::new(tree, m, w, 64).unwrap();
+        let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+        let mut granted = 0;
+        let mut rejected = 0;
+        for i in 0..60 {
+            match ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological).unwrap() {
+                Outcome::Granted { .. } => granted += 1,
+                Outcome::Rejected => rejected += 1,
+            }
+        }
+        assert!(granted <= m);
+        assert!(rejected > 0);
+        assert!(granted >= m - w, "liveness-like guarantee of the baseline");
+    }
+}

@@ -1,0 +1,180 @@
+//! The trivial root-walk controller.
+
+use dcn_controller::{ControllerError, Outcome, RequestKind};
+use dcn_tree::{DynamicTree, NodeId};
+
+/// The naive (M, W)-Controller: every request sends a message up to the root
+/// and the root sends a permit (or a reject) back down the same path.
+///
+/// Its answer quality is perfect (`W = 0`: exactly `M` permits are granted
+/// before the first reject), but each request costs `2·depth(u)` messages, so
+/// the total message complexity is `Ω(n)` per request — the lower bound the
+/// paper quotes for the strawman approach. It supports the full dynamic model
+/// (the root always knows how many permits are left).
+#[derive(Debug)]
+pub struct TrivialController {
+    tree: DynamicTree,
+    remaining: u64,
+    m: u64,
+    granted: u64,
+    rejected: u64,
+    messages: u64,
+    moves: u64,
+}
+
+impl TrivialController {
+    /// Creates a trivial controller with budget `m` over `tree`.
+    pub fn new(tree: DynamicTree, m: u64) -> Self {
+        TrivialController {
+            tree,
+            remaining: m,
+            m,
+            granted: 0,
+            rejected: 0,
+            messages: 0,
+            moves: 0,
+        }
+    }
+
+    /// The spanning tree as currently maintained by the controller.
+    pub fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    /// The permit budget `M`.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// Permits granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Messages sent so far (`2·depth(u)` per request: the request walks up,
+    /// the answer walks down).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Move complexity so far (each granted permit travels `depth(u)` hops).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Submits a request arriving at `at` and applies the granted event.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::UnknownNode`] for a request at a missing node;
+    /// * [`ControllerError::CannotRemoveRoot`] /
+    ///   [`ControllerError::NotParentOf`] for malformed topological requests.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<Outcome, ControllerError> {
+        if !self.tree.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::RemoveSelf if at == self.tree.root() => {
+                return Err(ControllerError::CannotRemoveRoot)
+            }
+            RequestKind::AddInternalAbove(child) if self.tree.parent(child) != Some(at) => {
+                return Err(ControllerError::NotParentOf { at, child })
+            }
+            _ => {}
+        }
+        let depth = self.tree.depth(at) as u64;
+        self.messages += 2 * depth;
+        if self.remaining == 0 {
+            self.rejected += 1;
+            return Ok(Outcome::Rejected);
+        }
+        self.remaining -= 1;
+        self.granted += 1;
+        self.moves += depth;
+        let new_node = match kind {
+            RequestKind::NonTopological => None,
+            RequestKind::AddLeaf => Some(self.tree.add_leaf(at)?),
+            RequestKind::AddInternalAbove(child) => Some(self.tree.add_internal_above(child)?),
+            RequestKind::RemoveSelf => {
+                self.tree.remove(at)?;
+                None
+            }
+        };
+        Ok(Outcome::Granted {
+            serial: Some(self.m - self.remaining),
+            new_node,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_exactly_m_then_rejects() {
+        let tree = DynamicTree::with_initial_star(10);
+        let mut ctrl = TrivialController::new(tree, 5);
+        let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+        let mut granted = 0;
+        for i in 0..12 {
+            if ctrl
+                .submit(nodes[i % nodes.len()], RequestKind::NonTopological)
+                .unwrap()
+                .is_granted()
+            {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 5);
+        assert_eq!(ctrl.rejected(), 7);
+    }
+
+    #[test]
+    fn messages_scale_with_depth() {
+        let tree = DynamicTree::with_initial_path(100);
+        let deep = NodeId::from_index(100);
+        let mut ctrl = TrivialController::new(tree, 10);
+        ctrl.submit(deep, RequestKind::NonTopological).unwrap();
+        assert_eq!(ctrl.messages(), 200);
+        assert_eq!(ctrl.moves(), 100);
+    }
+
+    #[test]
+    fn supports_the_full_dynamic_model() {
+        let tree = DynamicTree::with_initial_path(4);
+        let mut ctrl = TrivialController::new(tree, 10);
+        let leaf = NodeId::from_index(4);
+        let out = ctrl.submit(leaf, RequestKind::AddLeaf).unwrap();
+        let new = match out {
+            Outcome::Granted { new_node, .. } => new_node.unwrap(),
+            Outcome::Rejected => panic!("should grant"),
+        };
+        ctrl.submit(leaf, RequestKind::AddInternalAbove(new)).unwrap();
+        // `leaf` is now an internal node; the trivial controller can still
+        // remove it (it supports the full dynamic model).
+        ctrl.submit(leaf, RequestKind::RemoveSelf).unwrap();
+        assert!(!ctrl.tree().contains(leaf));
+        assert!(ctrl.tree().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn validation_mirrors_the_real_controller() {
+        let tree = DynamicTree::with_initial_star(3);
+        let mut ctrl = TrivialController::new(tree, 10);
+        let root = ctrl.tree().root();
+        assert!(matches!(
+            ctrl.submit(root, RequestKind::RemoveSelf),
+            Err(ControllerError::CannotRemoveRoot)
+        ));
+        assert!(matches!(
+            ctrl.submit(NodeId::from_index(77), RequestKind::NonTopological),
+            Err(ControllerError::UnknownNode(_))
+        ));
+    }
+}

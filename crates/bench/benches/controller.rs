@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks: one group per experiment family, on reduced
+//! workloads (the full sweeps live in the `exp_*` harness binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_bench::{op_to_request, run_distributed};
+use dcn_controller::centralized::{CentralizedController, IteratedController};
+use dcn_controller::RequestKind;
+use dcn_estimator::{HeavyChildDecomposition, NameAssigner, SizeEstimator};
+use dcn_simnet::SimConfig;
+use dcn_tree::NodeId;
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use std::hint::black_box;
+
+/// T1: centralized controller, mixed churn, per network size.
+fn bench_centralized_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_centralized");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 1 });
+                let m = n as u64;
+                let mut ctrl =
+                    IteratedController::new(tree, m, (m / 4).max(1), 4 * n).expect("params");
+                let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 1);
+                let mut submitted = 0;
+                while submitted < n {
+                    let Some(op) = gen.next_op(ctrl.tree()) else { continue };
+                    let (at, kind) = op_to_request(&op);
+                    if ctrl.submit(at, kind).is_ok() {
+                        submitted += 1;
+                    }
+                }
+                black_box(ctrl.moves())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// T3: distributed controller end-to-end, per network size.
+fn bench_distributed_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_distributed");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let stats = run_distributed(
+                    2,
+                    TreeShape::RandomRecursive { nodes: n - 1, seed: 2 },
+                    ChurnModel::default_mixed(),
+                    n,
+                    16,
+                    n as u64,
+                    (n as u64 / 4).max(1),
+                );
+                black_box(stats.messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F1: the size-estimation protocol under churn.
+fn bench_size_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_size_estimation");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 3 });
+                let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0).expect("params");
+                let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 3);
+                for _ in 0..6 {
+                    let ops: Vec<_> =
+                        gen.batch(est.tree(), 10).iter().map(op_to_request).collect();
+                    est.run_batch(&ops).expect("batch");
+                }
+                black_box(est.messages())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F2: the name-assignment protocol under churn.
+fn bench_name_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_name_assignment");
+    group.sample_size(10);
+    group.bench_function("n=128", |b| {
+        b.iter(|| {
+            let tree = build_tree(TreeShape::RandomRecursive { nodes: 127, seed: 4 });
+            let mut names = NameAssigner::new(SimConfig::new(4), tree).expect("params");
+            let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 4);
+            for _ in 0..5 {
+                let ops: Vec<_> = gen
+                    .batch(names.tree(), 8)
+                    .iter()
+                    .map(op_to_request)
+                    .collect();
+                names.run_batch(&ops).expect("batch");
+            }
+            black_box(names.messages())
+        });
+    });
+    group.finish();
+}
+
+/// F3: heavy-child decomposition maintenance.
+fn bench_heavy_child(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_heavy_child");
+    group.sample_size(10);
+    group.bench_function("n=64_growth", |b| {
+        b.iter(|| {
+            let tree = build_tree(TreeShape::Star { nodes: 63 });
+            let mut decomposition =
+                HeavyChildDecomposition::new(SimConfig::new(5), tree).expect("params");
+            let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 5);
+            for _ in 0..5 {
+                let ops: Vec<_> = gen
+                    .batch(decomposition.tree(), 10)
+                    .iter()
+                    .map(op_to_request)
+                    .collect();
+                decomposition.run_batch(&ops).expect("batch");
+            }
+            black_box(decomposition.max_light_ancestors())
+        });
+    });
+    group.finish();
+}
+
+/// F4/F5 micro: pure grant path of the base centralized controller.
+fn bench_single_grant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_grant_path");
+    group.sample_size(20);
+    group.bench_function("deep_request_path_n=512", |b| {
+        b.iter(|| {
+            let tree = build_tree(TreeShape::Path { nodes: 511 });
+            let mut ctrl = CentralizedController::new(tree, 64, 32, 1024).expect("params");
+            let deep = NodeId::from_index(511);
+            black_box(ctrl.submit(deep, RequestKind::NonTopological).expect("grant"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_centralized_moves,
+    bench_distributed_messages,
+    bench_size_estimation,
+    bench_name_assignment,
+    bench_heavy_child,
+    bench_single_grant
+);
+criterion_main!(benches);

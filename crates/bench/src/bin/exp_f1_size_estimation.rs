@@ -1,0 +1,60 @@
+//! Experiment F1 (Theorem 5.1): the size-estimation protocol.
+//!
+//! Long mixed-churn traces for several approximation factors β; each row
+//! reports the amortized messages per topological change (compared against
+//! the `log²n` shape) and counts the β-invariant violations observed after
+//! every batch (the paper's guarantee is that there are none).
+
+use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_estimator::SizeEstimator;
+use dcn_simnet::SimConfig;
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+
+fn main() {
+    let sizes = sweep_sizes(&[64, 256, 1024], &[64, 256]);
+    let betas = [1.5f64, 2.0, 3.0];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for &beta in &betas {
+            let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 11 });
+            let mut est = SizeEstimator::new(SimConfig::new(11), tree, beta).expect("params");
+            let mut gen = ChurnGenerator::new(
+                ChurnModel::FullChurn {
+                    add_leaf: 40,
+                    add_internal: 15,
+                    remove: 45,
+                },
+                n as u64,
+            );
+            let batches = if dcn_bench::quick_mode() { 10 } else { 30 };
+            let mut violations = 0u64;
+            for _ in 0..batches {
+                let ops: Vec<_> = gen
+                    .batch(est.tree(), 12)
+                    .iter()
+                    .map(op_to_request)
+                    .collect();
+                est.run_batch(&ops).expect("batch");
+                if !est.estimate_is_valid() {
+                    violations += 1;
+                }
+            }
+            let n_now = est.tree().node_count().max(2) as f64;
+            let bound = n_now.log2().powi(2);
+            rows.push(Row::new(
+                "F1",
+                format!(
+                    "n0={n} beta={beta} iterations={} changes={} violations={violations}",
+                    est.iterations(),
+                    est.changes()
+                ),
+                est.amortized_messages_per_change(),
+                bound,
+            ));
+        }
+    }
+    print_table(
+        "F1 — size estimation: amortized messages per change vs log²n (violations must be 0)",
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Experiment F2 (Theorem 5.2): the name-assignment protocol.
+//!
+//! Mixed churn traces; each row reports the largest identity relative to the
+//! current network size (the paper guarantees ≤ 4n), the number of uniqueness
+//! violations (must be 0) and the total message count compared with the
+//! `(n₀log²n₀ + Σ log²n_j)` shape.
+
+use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_estimator::NameAssigner;
+use dcn_simnet::SimConfig;
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+
+fn main() {
+    let sizes = sweep_sizes(&[64, 256, 512], &[64, 256]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 13 });
+        let mut names = NameAssigner::new(SimConfig::new(13), tree).expect("params");
+        let mut gen = ChurnGenerator::new(
+            ChurnModel::FullChurn {
+                add_leaf: 45,
+                add_internal: 15,
+                remove: 35,
+            },
+            n as u64,
+        );
+        let batches = if dcn_bench::quick_mode() { 10 } else { 30 };
+        let mut violations = 0u64;
+        let mut worst_id_ratio = 0.0f64;
+        for _ in 0..batches {
+            let ops: Vec<_> = gen
+                .batch(names.tree(), 10)
+                .iter()
+                .map(op_to_request)
+                .collect();
+            names.run_batch(&ops).expect("batch");
+            if names.check_invariants().is_err() {
+                violations += 1;
+            }
+            let n_now = names.tree().node_count().max(1) as f64;
+            let max_id = names.ids().map(|(_, id)| id).max().unwrap_or(0) as f64;
+            worst_id_ratio = worst_id_ratio.max(max_id / n_now);
+        }
+        let log = names.tree().change_log();
+        let n0f = n as f64;
+        let bound = n0f * n0f.log2().powi(2) + log.sum_log2_squared();
+        rows.push(Row::new(
+            "F2",
+            format!(
+                "n0={n} renamings={} worst max_id/n={worst_id_ratio:.2} violations={violations}",
+                names.iterations()
+            ),
+            names.messages() as f64,
+            bound,
+        ));
+    }
+    print_table(
+        "F2 — name assignment: messages vs n0log²n0 + Σlog²n_j (ids must stay ≤ 4n, unique)",
+        &rows,
+    );
+}

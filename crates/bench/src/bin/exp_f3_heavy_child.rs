@@ -1,0 +1,57 @@
+//! Experiment F3 (Lemma 5.3 / Theorem 5.4): subtree estimation and the
+//! heavy-child decomposition.
+//!
+//! Growth-heavy traces; each row reports the maximum number of light ancestors
+//! over all nodes (the quantity the theorem bounds by `O(log n)`) against
+//! `log2 n`.
+
+use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_estimator::HeavyChildDecomposition;
+use dcn_simnet::SimConfig;
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+
+fn main() {
+    let sizes = sweep_sizes(&[32, 128, 512], &[32, 128]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for (shape_name, shape) in [
+            ("star", TreeShape::Star { nodes: n - 1 }),
+            ("path", TreeShape::Path { nodes: n - 1 }),
+        ] {
+            let tree = build_tree(shape);
+            let mut decomposition =
+                HeavyChildDecomposition::new(SimConfig::new(17), tree).expect("params");
+            let mut gen = ChurnGenerator::new(
+                ChurnModel::FullChurn {
+                    add_leaf: 70,
+                    add_internal: 10,
+                    remove: 10,
+                },
+                n as u64,
+            );
+            let batches = if dcn_bench::quick_mode() { 8 } else { 20 };
+            for _ in 0..batches {
+                let ops: Vec<_> = gen
+                    .batch(decomposition.tree(), 10)
+                    .iter()
+                    .map(op_to_request)
+                    .collect();
+                decomposition.run_batch(&ops).expect("batch");
+                decomposition
+                    .check_light_depth()
+                    .expect("light-ancestor bound must hold");
+            }
+            let n_now = decomposition.tree().node_count().max(2) as f64;
+            rows.push(Row::new(
+                "F3",
+                format!("shape={shape_name} n0={n} final_n={} msgs={}", n_now, decomposition.messages()),
+                decomposition.max_light_ancestors() as f64,
+                n_now.log2(),
+            ));
+        }
+    }
+    print_table(
+        "F3 — heavy-child decomposition: max light ancestors vs log2 n",
+        &rows,
+    );
+}

@@ -1,0 +1,66 @@
+//! Experiment F5 (ablation): the iteration trick of Observation 3.4.
+//!
+//! For a fixed network and a small waste bound, the single-shot controller
+//! pays a factor `M/W` in its move complexity while the iterated controller
+//! only pays `log(M/(W+1))`. Sweeping `M` with `W = 1` makes the difference
+//! visible: the ratio column (single-shot / iterated) should grow roughly
+//! linearly with `M`.
+
+use dcn_bench::{print_table, sweep_sizes, Row};
+use dcn_controller::centralized::{CentralizedController, IteratedController};
+use dcn_controller::RequestKind;
+use dcn_tree::NodeId;
+use dcn_workload::{build_tree, TreeShape};
+
+fn main() {
+    let budgets = sweep_sizes(&[200, 500, 1000, 2000, 4000], &[200, 1000]);
+    let n = 64usize;
+    let mut rows = Vec::new();
+    for &m_usize in &budgets {
+        let m = m_usize as u64;
+        let w = 1u64;
+        let u_bound = 4 * n;
+        let targets: Vec<usize> = (0..m as usize).map(|i| (i * 13) % n).collect();
+
+        let mut single =
+            CentralizedController::new(build_tree(TreeShape::Path { nodes: n - 1 }), m, w, u_bound)
+                .expect("params");
+        for &d in &targets {
+            let at = single
+                .tree()
+                .nodes()
+                .find(|&x| single.tree().depth(x) == d)
+                .unwrap_or_else(|| single.tree().root());
+            let _ = single.submit(at, RequestKind::NonTopological).expect("submit");
+        }
+
+        let mut iterated =
+            IteratedController::new(build_tree(TreeShape::Path { nodes: n - 1 }), m, w, u_bound)
+                .expect("params");
+        for &d in &targets {
+            let at = iterated
+                .tree()
+                .nodes()
+                .find(|&x| iterated.tree().depth(x) == d)
+                .unwrap_or_else(|| iterated.tree().root());
+            let _ = iterated
+                .submit(at, RequestKind::NonTopological)
+                .expect("submit");
+        }
+
+        rows.push(Row::new(
+            "F5",
+            format!(
+                "n={n} W=1 M={m}: single-shot moves vs iterated moves (rounds={})",
+                iterated.iterations()
+            ),
+            single.moves() as f64,
+            iterated.moves() as f64,
+        ));
+        let _ = NodeId::from_index(0);
+    }
+    print_table(
+        "F5 — ablation: single-shot (measured) vs iterated (bound column) centralized controller",
+        &rows,
+    );
+}

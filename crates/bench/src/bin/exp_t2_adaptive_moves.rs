@@ -1,0 +1,60 @@
+//! Experiment T2 (Theorem 3.5): move complexity of the adaptive centralized
+//! controller when no bound on the number of nodes is known in advance.
+//!
+//! The network starts tiny and grows by an order of magnitude through granted
+//! insertions; the measured moves are compared against the per-change bound
+//! `(n₀·log²n₀ + Σ_j log²n_j) · log(M/(W+1))` evaluated on the actual change
+//! log, for both refresh policies of the theorem.
+
+use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_controller::centralized::{AdaptiveController, RefreshPolicy};
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+
+fn main() {
+    let growth_targets = sweep_sizes(&[200, 500, 1000, 2000], &[200, 500]);
+    let mut rows = Vec::new();
+    for &target in &growth_targets {
+        for (policy_name, policy) in [
+            ("changes-U/4", RefreshPolicy::ChangesQuarterU),
+            ("size-doubling", RefreshPolicy::SizeDoubling),
+        ] {
+            let n0 = 4usize;
+            let m = (2 * target) as u64;
+            let w = (target as u64 / 4).max(1);
+            let tree = build_tree(TreeShape::Star { nodes: n0 - 1 });
+            let mut ctrl = AdaptiveController::new(tree, m, w, policy).expect("valid params");
+            let mut gen = ChurnGenerator::new(
+                ChurnModel::FullChurn {
+                    add_leaf: 60,
+                    add_internal: 15,
+                    remove: 10,
+                },
+                target as u64,
+            );
+            while ctrl.tree().node_count() < target && !ctrl.is_exhausted() {
+                let Some(op) = gen.next_op(ctrl.tree()) else { continue };
+                let (at, kind) = op_to_request(&op);
+                let _ = ctrl.submit(at, kind);
+            }
+            let log = ctrl.tree().change_log();
+            let n0f = (n0.max(2)) as f64;
+            let ratio_term = ((m as f64) / (w as f64 + 1.0)).max(2.0).log2();
+            let bound = (n0f.log2().powi(2) * n0f + log.sum_log2_squared()) * ratio_term;
+            rows.push(Row::new(
+                "T2",
+                format!(
+                    "policy={policy_name} n0={n0} -> n={} changes={} epochs={}",
+                    ctrl.tree().node_count(),
+                    log.tree_change_count(),
+                    ctrl.epochs()
+                ),
+                ctrl.moves() as f64,
+                bound,
+            ));
+        }
+    }
+    print_table(
+        "T2 — adaptive (unknown U) move complexity vs (n0log²n0 + Σlog²n_j)·log(M/(W+1))",
+        &rows,
+    );
+}

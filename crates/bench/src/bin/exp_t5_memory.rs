@@ -1,0 +1,70 @@
+//! Experiment T5 (Claim 4.8): per-node memory of the distributed controller.
+//!
+//! After a demanding workload, the largest whiteboard (under the compressed
+//! per-level representation) is measured in bits and compared against the
+//! claim `O(deg(v)·log N + log³N + log²U)`.
+
+use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_controller::distributed::DistributedController;
+use dcn_simnet::SimConfig;
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+
+fn main() {
+    let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for (shape_name, shape) in [
+            ("path", TreeShape::Path { nodes: n - 1 }),
+            ("star", TreeShape::Star { nodes: n - 1 }),
+            ("caterpillar", TreeShape::Caterpillar { spine: n / 4, legs: 3 }),
+        ] {
+            let requests = n;
+            let m = n as u64;
+            let w = (n as u64 / 2).max(1);
+            let tree = build_tree(shape);
+            let u_bound = tree.node_count() + requests + 1;
+            let mut ctrl = DistributedController::new(SimConfig::new(9), tree, m, w, u_bound)
+                .expect("valid params");
+            let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 9);
+            let mut submitted = 0;
+            while submitted < requests {
+                let ops = gen.batch(ctrl.tree(), 16.min(requests - submitted));
+                for op in &ops {
+                    let (at, kind) = op_to_request(op);
+                    if ctrl.submit(at, kind).is_ok() {
+                        submitted += 1;
+                    }
+                }
+                ctrl.run().expect("quiescence");
+            }
+            let params = *ctrl.params();
+            let n_now = ctrl.tree().node_count() as f64;
+            let log_n = n_now.max(2.0).log2();
+            let log_u = (u_bound as f64).log2();
+            let mut worst_measured = 0.0f64;
+            let mut worst_bound = 1.0f64;
+            for node in ctrl.tree().nodes().collect::<Vec<_>>() {
+                let deg = ctrl.tree().child_degree(node).unwrap_or(0) as f64;
+                let bits = ctrl
+                    .whiteboard(node)
+                    .map(|wb| wb.store.memory_bits(&params) as f64)
+                    .unwrap_or(0.0);
+                let bound = deg * log_n + log_n.powi(3) + log_u.powi(2);
+                if bits / bound > worst_measured / worst_bound {
+                    worst_measured = bits;
+                    worst_bound = bound;
+                }
+            }
+            rows.push(Row::new(
+                "T5",
+                format!("shape={shape_name} n0={n} worst whiteboard"),
+                worst_measured,
+                worst_bound,
+            ));
+        }
+    }
+    print_table(
+        "T5 — per-node memory (bits) vs O(deg·logN + log³N + log²U)",
+        &rows,
+    );
+}

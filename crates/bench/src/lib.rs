@@ -1,0 +1,237 @@
+//! # dcn-bench — experiment harness
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems bounding
+//! the move/message complexity of the controller and of the protocols built on
+//! it. This crate reproduces every one of those claims as a measurable
+//! experiment (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for recorded results):
+//!
+//! | id | claim | harness binary |
+//! |----|-------|----------------|
+//! | T1 | Lemma 3.3 / Obs. 3.4 — centralized move complexity | `exp_t1_centralized_moves` |
+//! | T2 | Theorem 3.5 — adaptive (unknown-U) move complexity | `exp_t2_adaptive_moves` |
+//! | T3 | Theorems 4.7/4.9 — distributed message complexity | `exp_t3_distributed_messages` |
+//! | T4 | §1.4 — never worse than AAPS, far better than trivial | `exp_t4_vs_baselines` |
+//! | T5 | Claim 4.8 — memory per node | `exp_t5_memory` |
+//! | F1 | Theorem 5.1 — size estimation | `exp_f1_size_estimation` |
+//! | F2 | Theorem 5.2 — name assignment | `exp_f2_name_assignment` |
+//! | F3 | Theorem 5.4 — heavy-child decomposition | `exp_f3_heavy_child` |
+//! | F4 | §2.2 — safety/liveness across the (M, W) space | `exp_f4_safety_liveness` |
+//! | F5 | ablation — iteration trick of Obs. 3.4 | `exp_f5_ablation_iterations` |
+//!
+//! Every binary prints a table of rows (`experiment, parameters, measured,
+//! bound, ratio`) and, when the `DCN_JSON` environment variable is set, the
+//! same rows as JSON lines so results can be archived. Set `DCN_QUICK=1` to
+//! run reduced sweeps (used by CI and `cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcn_controller::distributed::DistributedController;
+use dcn_controller::{Outcome, RequestKind};
+use dcn_simnet::{DelayModel, SimConfig};
+use dcn_tree::{DynamicTree, NodeId};
+use dcn_workload::{ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
+use serde::Serialize;
+
+/// One output row of an experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Experiment identifier (e.g. `"T3"`).
+    pub experiment: String,
+    /// Human-readable parameter description for this row.
+    pub params: String,
+    /// The measured quantity (messages, moves, ratio, …).
+    pub measured: f64,
+    /// The theoretical bound / reference value this row is compared against.
+    pub bound: f64,
+    /// `measured / bound` — the "constant factor"; the *shape* claim of the
+    /// paper holds when this stays roughly flat across the sweep.
+    pub ratio: f64,
+}
+
+impl Row {
+    /// Builds a row, computing the ratio.
+    pub fn new(experiment: &str, params: String, measured: f64, bound: f64) -> Self {
+        Row {
+            experiment: experiment.to_string(),
+            params,
+            measured,
+            bound,
+            ratio: if bound > 0.0 { measured / bound } else { f64::NAN },
+        }
+    }
+}
+
+/// Prints rows as an aligned text table, plus JSON lines when `DCN_JSON` is
+/// set.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("== {title} ==");
+    println!(
+        "{:<6} {:<52} {:>14} {:>14} {:>8}",
+        "exp", "params", "measured", "bound", "ratio"
+    );
+    for row in rows {
+        println!(
+            "{:<6} {:<52} {:>14.1} {:>14.1} {:>8.3}",
+            row.experiment, row.params, row.measured, row.bound, row.ratio
+        );
+    }
+    if std::env::var("DCN_JSON").is_ok() {
+        for row in rows {
+            println!("{}", serde_json::to_string(row).expect("row serialises"));
+        }
+    }
+    println!();
+}
+
+/// Returns `true` when reduced sweeps were requested (`DCN_QUICK=1`), which is
+/// also the default under `cargo bench` wrappers.
+pub fn quick_mode() -> bool {
+    std::env::var("DCN_QUICK").map_or(false, |v| v != "0")
+}
+
+/// Picks the sweep sizes for experiments: full by default, reduced in quick
+/// mode.
+pub fn sweep_sizes(full: &[usize], quick: &[usize]) -> Vec<usize> {
+    if quick_mode() {
+        quick.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Converts a workload [`ChurnOp`] into a controller request.
+pub fn op_to_request(op: &ChurnOp) -> (NodeId, RequestKind) {
+    match *op {
+        ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
+        ChurnOp::AddInternal { below, parent } => (parent, RequestKind::AddInternalAbove(below)),
+        ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
+        ChurnOp::Event { at } => (at, RequestKind::NonTopological),
+    }
+}
+
+/// Summary of one distributed-controller run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Total messages (agent hops + auxiliary waves).
+    pub messages: u64,
+    /// Permits granted.
+    pub granted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Final network size.
+    pub final_nodes: usize,
+    /// Topological changes applied.
+    pub changes: u64,
+}
+
+/// Runs the fixed-bound distributed controller over a generated workload,
+/// submitting requests in batches so that topological changes take effect
+/// between batches (the controlled dynamic model).
+pub fn run_distributed(
+    seed: u64,
+    shape: TreeShape,
+    model: ChurnModel,
+    total_requests: usize,
+    batch: usize,
+    m: u64,
+    w: u64,
+) -> RunStats {
+    let tree = dcn_workload::build_tree(shape);
+    let u_bound = tree.node_count() + total_requests + 1;
+    let config = SimConfig::new(seed).with_delay(DelayModel::Uniform { min: 1, max: 8 });
+    let mut ctrl =
+        DistributedController::new(config, tree, m, w, u_bound).expect("valid parameters");
+    let mut gen = ChurnGenerator::new(model, seed.wrapping_add(17));
+    let mut submitted = 0usize;
+    while submitted < total_requests {
+        let want = batch.min(total_requests - submitted);
+        let ops = gen.batch(ctrl.tree(), want);
+        if ops.is_empty() {
+            break;
+        }
+        for op in &ops {
+            let (at, kind) = op_to_request(op);
+            if ctrl.submit(at, kind).is_ok() {
+                submitted += 1;
+            }
+        }
+        ctrl.run().expect("run to quiescence");
+    }
+    let records = ctrl.records();
+    let changes = records
+        .iter()
+        .filter(|r| r.outcome.is_granted() && r.kind.is_topological())
+        .count() as u64;
+    RunStats {
+        messages: ctrl.messages(),
+        granted: ctrl.granted(),
+        rejected: records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected))
+            .count() as u64,
+        final_nodes: ctrl.tree().node_count(),
+        changes,
+    }
+}
+
+/// The theoretical distributed/centralized bound shape
+/// `U · log²U · log(M/(W+1))` used as the comparison column for T1–T3.
+pub fn iterated_bound(u: usize, m: u64, w: u64) -> f64 {
+    let uf = u.max(2) as f64;
+    let log2u = uf.log2();
+    let ratio = ((m as f64) / (w as f64 + 1.0)).max(2.0);
+    uf * log2u * log2u * ratio.log2()
+}
+
+/// Builds a tree and a request list for the centralized controllers from a
+/// churn model (the centralized API is synchronous, so the ops are generated
+/// against the evolving tree inside the controller loop by the callers).
+pub fn initial_tree(shape: TreeShape) -> DynamicTree {
+    dcn_workload::build_tree(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_compute_ratios() {
+        let r = Row::new("T1", "n=8".into(), 50.0, 100.0);
+        assert!((r.ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_distributed_smoke() {
+        let stats = run_distributed(
+            1,
+            TreeShape::Star { nodes: 15 },
+            ChurnModel::GrowOnly,
+            20,
+            10,
+            30,
+            10,
+        );
+        assert!(stats.granted > 0);
+        assert!(stats.messages > 0);
+        assert!(stats.final_nodes > 16);
+    }
+
+    #[test]
+    fn bound_is_monotone() {
+        assert!(iterated_bound(1000, 100, 10) > iterated_bound(100, 100, 10));
+    }
+
+    #[test]
+    fn op_conversion_matches_arrival_conventions() {
+        let op = ChurnOp::AddLeaf {
+            parent: NodeId::from_index(4),
+        };
+        assert_eq!(op_to_request(&op).0, NodeId::from_index(4));
+        let op = ChurnOp::Remove {
+            node: NodeId::from_index(2),
+        };
+        assert_eq!(op_to_request(&op), (NodeId::from_index(2), RequestKind::RemoveSelf));
+    }
+}

@@ -1,0 +1,501 @@
+//! The fixed-bound centralized (M, W)-Controller (§3.1).
+
+use crate::domain::DomainAuditor;
+use crate::package::{MobilePackage, PackageStore, PermitInterval};
+use crate::params::Params;
+use crate::request::{Outcome, RequestKind};
+use crate::ControllerError;
+use dcn_tree::{DynamicTree, NodeId};
+use std::collections::HashMap;
+
+/// Result of attempting to serve one request without issuing rejects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attempt {
+    /// The request was granted a permit.
+    Granted {
+        /// Serial number of the consumed permit (interval mode only).
+        serial: Option<u64>,
+        /// Newly created node for topological insertions.
+        new_node: Option<NodeId>,
+    },
+    /// The controller cannot serve the request: the root's storage holds too
+    /// few permits to create the package the request needs. A plain
+    /// controller would now reject; the iterated / terminating wrappers
+    /// recycle instead.
+    Exhausted,
+    /// The node already holds a reject package (a reject wave has been
+    /// broadcast), so the request is rejected locally without any moves.
+    LocallyRejected,
+}
+
+/// The centralized (M, W)-Controller for a known bound `U` on the number of
+/// nodes ever to exist (§3.1).
+///
+/// The controller owns the spanning tree: granted topological requests are
+/// applied to it immediately (the centralized setting is sequential), which is
+/// exactly the paper's controlled dynamic model.
+///
+/// ```
+/// use dcn_controller::centralized::CentralizedController;
+/// use dcn_controller::RequestKind;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_path(10);
+/// let mut ctrl = CentralizedController::new(tree, 20, 4, 64)?;
+/// let deep = ctrl.tree().nodes().last().unwrap();
+/// let outcome = ctrl.submit(deep, RequestKind::AddLeaf)?;
+/// assert!(outcome.is_granted());
+/// assert!(ctrl.moves() > 0); // permits travelled from the root
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CentralizedController {
+    params: Params,
+    tree: DynamicTree,
+    stores: HashMap<NodeId, PackageStore>,
+    storage: u64,
+    storage_interval: Option<PermitInterval>,
+    granted: u64,
+    rejected: u64,
+    moves: u64,
+    next_package_id: u64,
+    reject_wave_done: bool,
+    auditor: Option<DomainAuditor>,
+}
+
+impl CentralizedController {
+    /// Creates a controller over `tree` with permit budget `m`, waste bound
+    /// `w ≥ 1` and an upper bound `u_bound` on the number of nodes ever to
+    /// exist (current nodes plus all future insertions).
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::ZeroWasteUnsupported`] for `w = 0` (use
+    ///   [`IteratedController`](crate::centralized::IteratedController));
+    /// * [`ControllerError::WasteExceedsBudget`] for `w > m`;
+    /// * [`ControllerError::BoundTooSmall`] if `u_bound` is smaller than the
+    ///   current number of nodes.
+    pub fn new(
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+    ) -> Result<Self, ControllerError> {
+        if u_bound < tree.node_count() {
+            return Err(ControllerError::BoundTooSmall {
+                u: u_bound,
+                nodes: tree.node_count(),
+            });
+        }
+        let params = Params::new(m, w, u_bound as u64)?;
+        Ok(CentralizedController {
+            params,
+            tree,
+            stores: HashMap::new(),
+            storage: m,
+            storage_interval: None,
+            granted: 0,
+            rejected: 0,
+            moves: 0,
+            next_package_id: 0,
+            reject_wave_done: false,
+            auditor: None,
+        })
+    }
+
+    /// Enables the domain auditor (§3.2 invariants); intended for tests and
+    /// debugging, it does not change the controller's behaviour.
+    pub fn with_auditor(mut self) -> Self {
+        self.auditor = Some(DomainAuditor::new());
+        self
+    }
+
+    /// Puts the controller in *interval mode*: the root's permits become the
+    /// serial numbers `[interval.lo, interval.hi]` (the interval length must
+    /// equal the remaining budget) and every grant reports the serial it
+    /// consumed. Used by the name-assignment protocol (§5.2).
+    pub fn set_storage_interval(&mut self, interval: PermitInterval) {
+        assert_eq!(
+            interval.len(),
+            self.storage,
+            "interval length must equal the number of permits in storage"
+        );
+        self.storage_interval = Some(interval);
+    }
+
+    /// The controller parameters (including the derived `φ` and `ψ`).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The spanning tree as currently maintained by the controller.
+    pub fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    /// Consumes the controller and returns the tree (used by the adaptive
+    /// wrapper at iteration boundaries).
+    pub fn into_tree(self) -> DynamicTree {
+        self.tree
+    }
+
+    /// Number of permits granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Number of requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Move complexity accumulated so far (the paper's cost measure for the
+    /// centralized setting).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of permits that are not yet granted: the root's storage plus
+    /// everything currently sitting in packages.
+    pub fn uncommitted_permits(&self) -> u64 {
+        self.storage
+            + self
+                .stores
+                .values()
+                .map(|s| s.total_permits(&self.params))
+                .sum::<u64>()
+    }
+
+    /// Number of permits sitting in packages (excluding the root's storage):
+    /// the quantity the liveness analysis bounds by `W`.
+    pub fn permits_in_packages(&self) -> u64 {
+        self.stores
+            .values()
+            .map(|s| s.total_permits(&self.params))
+            .sum()
+    }
+
+    /// The domain auditor, when enabled with [`CentralizedController::with_auditor`].
+    pub fn auditor(&self) -> Option<&DomainAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Checks the domain invariants of §3.2 (requires the auditor).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant, or an error if the
+    /// auditor is not enabled.
+    pub fn check_domain_invariants(&self) -> Result<(), String> {
+        let Some(aud) = &self.auditor else {
+            return Err("domain auditor not enabled".to_string());
+        };
+        let host_of = |pkg: u64| -> Option<NodeId> {
+            self.stores
+                .iter()
+                .find(|(_, s)| s.mobiles().iter().any(|p| p.id == pkg))
+                .map(|(n, _)| *n)
+        };
+        aud.check_invariants(&self.tree, &self.params, host_of)
+    }
+
+    /// Restarts the controller with a fresh budget `m` and waste bound `w`,
+    /// clearing every package (iteration boundary of Observation 3.4 /
+    /// Theorem 3.5). The tree, the grant counters and the move counter are
+    /// kept. Returns the number of moves charged for the reset (one per node,
+    /// accounting for the clearing wave).
+    ///
+    /// # Errors
+    ///
+    /// Same parameter validation as [`CentralizedController::new`].
+    pub fn restart(&mut self, m: u64, w: u64) -> Result<u64, ControllerError> {
+        self.params = Params::new(m, w, self.params.u)?;
+        for store in self.stores.values_mut() {
+            store.clear(&self.params);
+        }
+        if let Some(aud) = &mut self.auditor {
+            aud.clear();
+        }
+        self.storage = m;
+        self.storage_interval = None;
+        self.reject_wave_done = false;
+        let cost = self.tree.node_count() as u64;
+        self.moves += cost;
+        Ok(cost)
+    }
+
+    /// Submits a request at node `at`. Rejected requests trigger the
+    /// reject-wave (a reject package is delivered to every node, counted in
+    /// the move complexity), after which every subsequent request is rejected
+    /// locally.
+    ///
+    /// # Errors
+    ///
+    /// See [`CentralizedController::try_submit`].
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<Outcome, ControllerError> {
+        match self.try_submit(at, kind)? {
+            Attempt::Granted { serial, new_node } => Ok(Outcome::Granted { serial, new_node }),
+            Attempt::Exhausted => {
+                self.broadcast_reject_wave();
+                self.rejected += 1;
+                Ok(Outcome::Rejected)
+            }
+            Attempt::LocallyRejected => Ok(Outcome::Rejected),
+        }
+    }
+
+    /// Attempts to serve a request without ever issuing a reject; returns
+    /// [`Attempt::Exhausted`] when the root's storage cannot supply the
+    /// package the request needs (the hook used by the iterated, terminating
+    /// and adaptive wrappers).
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::UnknownNode`] if `at` does not exist;
+    /// * [`ControllerError::NotParentOf`] for a malformed
+    ///   [`RequestKind::AddInternalAbove`];
+    /// * [`ControllerError::CannotRemoveRoot`] for a
+    ///   [`RequestKind::RemoveSelf`] at the root.
+    pub fn try_submit(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<Attempt, ControllerError> {
+        self.validate(at, kind)?;
+        // Item 1: a reject package at the node answers the request at once.
+        if self
+            .stores
+            .get(&at)
+            .map_or(false, PackageStore::has_reject)
+        {
+            self.rejected += 1;
+            return Ok(Attempt::LocallyRejected);
+        }
+        // Item 2: a static package at the node grants immediately.
+        if let Some(serial) = self.store_mut(at).grant_static() {
+            let new_node = self.apply_granted_event(at, kind)?;
+            self.granted += 1;
+            return Ok(Attempt::Granted { serial, new_node });
+        }
+        // Item 3: look for the closest filler node on the way to the root.
+        let found = self.find_filler(at);
+        let (package, host, host_dist) = match found {
+            Some((host, host_dist, level)) => {
+                let pkg = self
+                    .store_mut(host)
+                    .take_mobile(level)
+                    .expect("filler level was just observed");
+                if let Some(aud) = &mut self.auditor {
+                    aud.package_consumed(pkg.id);
+                }
+                (pkg, host, host_dist)
+            }
+            None => {
+                // Item 3b: no filler up to the root; create a package there if
+                // the storage suffices.
+                let root = self.tree.root();
+                let dist = self.tree.depth(at) as u64;
+                let level = self.params.root_level_for_distance(dist);
+                let size = self.params.mobile_size(level);
+                if self.storage < size {
+                    return Ok(Attempt::Exhausted);
+                }
+                self.storage -= size;
+                let interval = self.carve_interval(size);
+                let pkg = MobilePackage {
+                    id: self.fresh_package_id(),
+                    level,
+                    interval,
+                };
+                (pkg, root, dist)
+            }
+        };
+        // Item 4: distribute the package contents along the path towards `at`.
+        let serial = self.distribute(package, host, host_dist, at);
+        let new_node = self.apply_granted_event(at, kind)?;
+        self.granted += 1;
+        Ok(Attempt::Granted { serial, new_node })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn validate(&self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        if !self.tree.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::AddInternalAbove(child) => {
+                if self.tree.parent(child) != Some(at) {
+                    return Err(ControllerError::NotParentOf { at, child });
+                }
+                Ok(())
+            }
+            RequestKind::RemoveSelf => {
+                if at == self.tree.root() {
+                    return Err(ControllerError::CannotRemoveRoot);
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn store_mut(&mut self, node: NodeId) -> &mut PackageStore {
+        self.stores.entry(node).or_default()
+    }
+
+    fn fresh_package_id(&mut self) -> u64 {
+        let id = self.next_package_id;
+        self.next_package_id += 1;
+        id
+    }
+
+    fn carve_interval(&mut self, size: u64) -> Option<PermitInterval> {
+        let storage_iv = self.storage_interval?;
+        let (taken, rest) = storage_iv.split_off(size);
+        self.storage_interval = rest;
+        Some(taken)
+    }
+
+    /// Finds the closest ancestor of `at` (possibly `at` itself) that is a
+    /// filler node with respect to `at`; returns `(host, distance, level)`.
+    fn find_filler(&self, at: NodeId) -> Option<(NodeId, u64, u32)> {
+        for (dist, node) in self.tree.ancestors(at).enumerate() {
+            if let Some(store) = self.stores.get(&node) {
+                if let Some(level) = store.filler_level(dist as u64, &self.params) {
+                    return Some((node, dist as u64, level));
+                }
+            }
+        }
+        None
+    }
+
+    /// The recursive distribution `Proc` (§3.1, item 4): carries `package`
+    /// from `host` (an ancestor of `at` at distance `host_dist`) down towards
+    /// `at`, depositing a package of level `k − 1` at the ancestor `u_{k−1}`
+    /// (distance `3·2^{k−2}ψ` from `at`) for every level on the way, until a
+    /// level-0 package reaches `at`, becomes static, and grants one permit.
+    fn distribute(
+        &mut self,
+        package: MobilePackage,
+        _host: NodeId,
+        host_dist: u64,
+        at: NodeId,
+    ) -> Option<u64> {
+        let mut current = package;
+        let mut current_dist = host_dist;
+        loop {
+            if current.level == 0 {
+                // Move to `at` and become static, then grant one permit.
+                self.moves += current_dist;
+                let size = self.params.mobile_size(0);
+                self.store_mut(at).add_static(size, current.interval);
+                let serial = self
+                    .store_mut(at)
+                    .grant_static()
+                    .expect("the freshly converted static package holds at least one permit");
+                return serial;
+            }
+            let k = current.level;
+            let target_dist = self.params.deposit_distance(k - 1);
+            debug_assert!(target_dist < current_dist);
+            let target = self
+                .tree
+                .ancestor_at_distance(at, target_dist as usize)
+                .expect("deposit point lies on the path between the request and the host");
+            self.moves += current_dist - target_dist;
+            let (stay, carry) = current.split(self.fresh_package_id(), self.fresh_package_id());
+            if let Some(aud) = &mut self.auditor {
+                let path = self
+                    .tree
+                    .path_between(at, target)
+                    .expect("target is an ancestor of the requesting node");
+                aud.package_deposited(stay.id, stay.level, target, &path, &self.params);
+            }
+            self.store_mut(target).add_mobile(stay);
+            current = carry;
+            current_dist = target_dist;
+        }
+    }
+
+    /// Applies the event a granted request asked for (the controlled dynamic
+    /// model: the change happens only once the permit is delivered).
+    fn apply_granted_event(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<Option<NodeId>, ControllerError> {
+        match kind {
+            RequestKind::NonTopological => Ok(None),
+            RequestKind::AddLeaf => {
+                let new = self.tree.add_leaf(at)?;
+                Ok(Some(new))
+            }
+            RequestKind::AddInternalAbove(child) => {
+                let new = self.tree.add_internal_above(child)?;
+                if let Some(aud) = &mut self.auditor {
+                    aud.on_add_internal(new, child, &self.tree);
+                }
+                Ok(Some(new))
+            }
+            RequestKind::RemoveSelf => {
+                // Packages stored at the removed node move to its parent.
+                let parent = self
+                    .tree
+                    .parent(at)
+                    .expect("validate() rejected root removal");
+                if let Some(removed_store) = self.stores.remove(&at) {
+                    if !removed_store.is_empty() {
+                        self.moves += 1;
+                        if let Some(aud) = &mut self.auditor {
+                            for pkg in removed_store.mobiles() {
+                                aud.package_rehosted(pkg.id, parent);
+                            }
+                        }
+                        self.store_mut(parent).merge(removed_store);
+                    }
+                }
+                self.tree.remove(at)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Grants one permit directly from the root's storage to a request at
+    /// `at`, moving it along the whole root-to-`at` path (the trivial
+    /// `(1, 0)`-controller used for the very last permit when `W = 0`).
+    pub(crate) fn grant_directly_from_root(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<Attempt, ControllerError> {
+        self.validate(at, kind)?;
+        if self.storage == 0 {
+            return Ok(Attempt::Exhausted);
+        }
+        self.storage -= 1;
+        let serial = self.carve_interval(1).map(|iv| iv.lo);
+        self.moves += self.tree.depth(at) as u64;
+        let new_node = self.apply_granted_event(at, kind)?;
+        self.granted += 1;
+        Ok(Attempt::Granted { serial, new_node })
+    }
+
+    /// Places a reject package at every node (simulated centrally, counted as
+    /// one move per delivered package, i.e. `n − 1` moves).
+    pub(crate) fn broadcast_reject_wave(&mut self) {
+        if self.reject_wave_done {
+            return;
+        }
+        self.reject_wave_done = true;
+        let nodes: Vec<NodeId> = self.tree.nodes().collect();
+        self.moves += nodes.len().saturating_sub(1) as u64;
+        for node in nodes {
+            self.store_mut(node).place_reject();
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The centralized (sequential) controllers of §3.
+//!
+//! The centralized setting is the stepping stone towards the distributed
+//! implementation: requests are handled one at a time, and the cost measure is
+//! the **move complexity** — the total number of moves of sets of permits or
+//! rejects between neighbouring nodes. This module contains:
+//!
+//! * [`CentralizedController`] — the fixed-bound base construction
+//!   (`GrantOrReject` + `Proc`, §3.1), whose move complexity is
+//!   `O(U · (M/W) · log² U)` (Lemma 3.3);
+//! * [`IteratedController`] — the iteration trick of Observation 3.4 that
+//!   improves the factor `M/W` to `log(M/(W+1))` and also handles `W = 0`;
+//! * [`TerminatingController`] — the terminating variant of Observation 2.1;
+//! * [`AdaptiveController`] — the unknown-`U` controllers of Theorem 3.5
+//!   (both the change-counting and the size-doubling refresh policies).
+
+mod adaptive;
+mod base;
+mod iterated;
+mod terminating;
+
+pub use adaptive::{AdaptiveController, RefreshPolicy};
+pub use base::{Attempt, CentralizedController};
+pub use iterated::IteratedController;
+pub use terminating::{TerminatingController, TerminatingOutcome};

@@ -1,0 +1,171 @@
+//! The terminating controller of Observation 2.1.
+//!
+//! A *terminating* (M, W)-Controller never issues rejects. Instead, when the
+//! underlying controller would reject, the protocol terminates: from that
+//! moment on no permit is granted, and at termination time the number of
+//! granted permits `m` satisfies `M − W ≤ m ≤ M` and every permitted event has
+//! already taken place. In the distributed setting termination is detected by
+//! a broadcast-and-upcast wave; in the centralized setting granted events take
+//! effect immediately, so the wave is pure accounting (charged as `n` moves).
+
+use super::base::Attempt;
+use super::iterated::IteratedController;
+use crate::request::RequestKind;
+use crate::ControllerError;
+use dcn_tree::{DynamicTree, NodeId};
+
+/// The answer of a terminating controller to a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminatingOutcome {
+    /// The request received a permit.
+    Granted {
+        /// Serial number of the consumed permit (interval mode only).
+        serial: Option<u64>,
+        /// Newly created node for topological insertions.
+        new_node: Option<NodeId>,
+    },
+    /// The controller has terminated; the request is not granted (and never
+    /// will be).
+    Terminated,
+}
+
+impl TerminatingOutcome {
+    /// Returns `true` for granted outcomes.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, TerminatingOutcome::Granted { .. })
+    }
+}
+
+/// A terminating centralized (M, W)-Controller built on top of the iterated
+/// controller (Observation 2.1 applied to Observation 3.4).
+///
+/// ```
+/// use dcn_controller::centralized::{TerminatingController, TerminatingOutcome};
+/// use dcn_controller::RequestKind;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_star(7);
+/// let mut ctrl = TerminatingController::new(tree, 4, 2, 32)?;
+/// let root = ctrl.tree().root();
+/// let mut granted = 0;
+/// for _ in 0..10 {
+///     if ctrl.submit(root, RequestKind::NonTopological)?.is_granted() {
+///         granted += 1;
+///     }
+/// }
+/// assert!(ctrl.has_terminated());
+/// assert!(granted >= 2 && granted <= 4); // M − W ≤ granted ≤ M
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TerminatingController {
+    inner: IteratedController,
+    m: u64,
+    w: u64,
+    terminated: bool,
+    termination_moves: u64,
+}
+
+impl TerminatingController {
+    /// Creates a terminating (m, w)-controller over `tree` with node bound
+    /// `u_bound`. `w = 0` is allowed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IteratedController::new`].
+    pub fn new(
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+    ) -> Result<Self, ControllerError> {
+        let inner = IteratedController::new(tree, m, w, u_bound)?;
+        Ok(TerminatingController {
+            inner,
+            m,
+            w,
+            terminated: false,
+            termination_moves: 0,
+        })
+    }
+
+    /// The spanning tree as currently maintained by the controller.
+    pub fn tree(&self) -> &DynamicTree {
+        self.inner.tree()
+    }
+
+    /// Consumes the controller and returns the tree.
+    pub fn into_tree(self) -> DynamicTree {
+        self.inner.into_tree()
+    }
+
+    /// The permit budget `M` of this instance.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// The waste bound `W` of this instance.
+    pub fn waste(&self) -> u64 {
+        self.w
+    }
+
+    /// Number of permits granted so far.
+    pub fn granted(&self) -> u64 {
+        self.inner.granted()
+    }
+
+    /// Move complexity accumulated so far, including the termination wave.
+    pub fn moves(&self) -> u64 {
+        self.inner.moves() + self.termination_moves
+    }
+
+    /// Returns `true` once the controller has terminated.
+    pub fn has_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Number of permits not yet granted.
+    pub fn uncommitted_permits(&self) -> u64 {
+        self.inner.uncommitted_permits()
+    }
+
+    /// Submits a request. Once the controller has terminated every request
+    /// receives [`TerminatingOutcome::Terminated`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IteratedController::try_submit`].
+    pub fn submit(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<TerminatingOutcome, ControllerError> {
+        if self.terminated {
+            return Ok(TerminatingOutcome::Terminated);
+        }
+        match self.inner.try_submit(at, kind)? {
+            Attempt::Granted { serial, new_node } => {
+                Ok(TerminatingOutcome::Granted { serial, new_node })
+            }
+            Attempt::Exhausted | Attempt::LocallyRejected => {
+                self.terminate();
+                Ok(TerminatingOutcome::Terminated)
+            }
+        }
+    }
+
+    /// Forces termination (used by wrappers that end an iteration early, e.g.
+    /// the adaptive controller when enough topological changes have
+    /// accumulated). Charges the broadcast-and-upcast wave.
+    pub fn terminate(&mut self) {
+        if self.terminated {
+            return;
+        }
+        self.terminated = true;
+        // Broadcast + upcast over the current tree: 2(n − 1) moves, charged as
+        // 2n for simplicity (the asymptotics are unchanged).
+        self.termination_moves += 2 * self.inner.tree().node_count() as u64;
+    }
+}

@@ -1,0 +1,259 @@
+//! Driver for the fixed-bound distributed controller: request submission,
+//! execution and answer collection.
+
+use super::agent::{CtrlAgent, RequestAgent};
+use super::protocol::ControllerProtocol;
+use crate::package::PermitInterval;
+use crate::params::Params;
+use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
+use crate::verify::ExecutionSummary;
+use crate::ControllerError;
+use dcn_simnet::{DynamicTree, Metrics, NodeId, SimConfig, Simulator};
+use std::collections::HashMap;
+
+/// The distributed (M, W)-Controller over a simulated asynchronous network,
+/// for a known bound `U` on the number of nodes ever to exist (§4.3).
+///
+/// Requests are submitted with [`DistributedController::submit`] (each request
+/// creates a mobile agent at its origin) and executed concurrently by
+/// [`DistributedController::run`]; answers are available afterwards through
+/// [`DistributedController::records`] / [`DistributedController::outcome`].
+///
+/// ```
+/// use dcn_controller::distributed::DistributedController;
+/// use dcn_controller::RequestKind;
+/// use dcn_simnet::SimConfig;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_star(15);
+/// let mut ctrl = DistributedController::new(SimConfig::new(7), tree, 8, 4, 64)?;
+/// let leaves: Vec<_> = ctrl.tree().nodes().skip(1).take(4).collect();
+/// for leaf in leaves {
+///     ctrl.submit(leaf, RequestKind::AddLeaf)?;
+/// }
+/// ctrl.run()?;
+/// assert_eq!(ctrl.granted(), 4);
+/// assert!(ctrl.messages() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DistributedController {
+    sim: Simulator<ControllerProtocol>,
+    next_request: u64,
+    records: Vec<RequestRecord>,
+    index: HashMap<RequestId, usize>,
+    submitted: u64,
+    m: u64,
+    w: u64,
+}
+
+impl DistributedController {
+    /// Creates a distributed (m, w)-controller over `tree` with node bound
+    /// `u_bound`, running on a network with the given simulator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same parameter validation as
+    /// [`CentralizedController::new`](crate::centralized::CentralizedController::new).
+    pub fn new(
+        config: SimConfig,
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+    ) -> Result<Self, ControllerError> {
+        Self::with_interval(config, tree, m, w, u_bound, None)
+    }
+
+    /// Like [`DistributedController::new`], but the root's permits carry the
+    /// serial numbers of `interval` (whose length must be `m`); every grant
+    /// then reports which serial it consumed. Used by the name-assignment
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistributedController::new`].
+    pub fn with_interval(
+        config: SimConfig,
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+        interval: Option<PermitInterval>,
+    ) -> Result<Self, ControllerError> {
+        if u_bound < tree.node_count() {
+            return Err(ControllerError::BoundTooSmall {
+                u: u_bound,
+                nodes: tree.node_count(),
+            });
+        }
+        if let Some(iv) = interval {
+            assert_eq!(iv.len(), m, "interval length must equal the budget M");
+        }
+        let params = Params::new(m, w, u_bound as u64)?;
+        let protocol = ControllerProtocol::new(params, interval);
+        let sim = Simulator::with_tree(config, protocol, tree);
+        Ok(DistributedController {
+            sim,
+            next_request: 0,
+            records: Vec::new(),
+            index: HashMap::new(),
+            submitted: 0,
+            m,
+            w,
+        })
+    }
+
+    /// The controller parameters.
+    pub fn params(&self) -> &Params {
+        self.sim.protocol().params()
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.sim.tree()
+    }
+
+    /// Consumes the controller and returns the tree in its final state.
+    pub fn into_tree(self) -> DynamicTree {
+        self.sim.into_tree()
+    }
+
+    /// Simulator cost counters (messages are
+    /// [`Metrics::total_messages`]).
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Total number of messages sent so far (agent hops plus auxiliary
+    /// service messages).
+    pub fn messages(&self) -> u64 {
+        self.sim.metrics().total_messages()
+    }
+
+    /// Number of permits granted so far.
+    pub fn granted(&self) -> u64 {
+        self.sim.protocol().granted()
+    }
+
+    /// Number of requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.sim.protocol().rejected()
+    }
+
+    /// Number of requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Number of permits not yet granted (root storage plus packages).
+    pub fn uncommitted_permits(&self) -> u64 {
+        let params = *self.params();
+        self.sim
+            .whiteboards()
+            .map(|(_, wb)| wb.storage + wb.store.total_permits(&params))
+            .sum()
+    }
+
+    /// Access to one node's whiteboard (used by the estimator applications).
+    pub fn whiteboard(&self, node: NodeId) -> Option<&super::protocol::CtrlWhiteboard> {
+        self.sim.whiteboard(node)
+    }
+
+    /// The underlying simulator (read-only), for tests that inspect locks,
+    /// ports or per-node state.
+    pub fn sim(&self) -> &Simulator<ControllerProtocol> {
+        &self.sim
+    }
+
+    /// Submits a request arriving at node `at`; the request is handled when
+    /// [`DistributedController::run`] is called.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControllerError::UnknownNode`] if `at` does not exist;
+    /// * [`ControllerError::NotParentOf`] / [`ControllerError::CannotRemoveRoot`]
+    ///   for malformed topological requests.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.submit_after(at, kind, 0)
+    }
+
+    /// Like [`DistributedController::submit`], but the request arrives `delay`
+    /// simulated time units in the future (used to spread workloads in time).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistributedController::submit`].
+    pub fn submit_after(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+        delay: u64,
+    ) -> Result<RequestId, ControllerError> {
+        let tree = self.sim.tree();
+        if !tree.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::AddInternalAbove(child) if tree.parent(child) != Some(at) => {
+                return Err(ControllerError::NotParentOf { at, child });
+            }
+            RequestKind::RemoveSelf if at == tree.root() => {
+                return Err(ControllerError::CannotRemoveRoot);
+            }
+            _ => {}
+        }
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.submitted += 1;
+        let agent = CtrlAgent::Request(RequestAgent::new(id, kind));
+        self.sim.create_agent_delayed(at, agent, delay)?;
+        Ok(id)
+    }
+
+    /// Runs the network until it is quiescent: every submitted request has
+    /// been answered and every granted topological change has been applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (event budget exceeded, protocol
+    /// violations).
+    pub fn run(&mut self) -> Result<(), ControllerError> {
+        self.sim.run_until_quiescent()?;
+        for record in self.sim.drain_outputs() {
+            self.index.insert(record.id, self.records.len());
+            self.records.push(record);
+        }
+        Ok(())
+    }
+
+    /// All answers collected so far, in the order they were produced.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Removes and returns the collected answers (used by iteration drivers).
+    pub fn take_records(&mut self) -> Vec<RequestRecord> {
+        self.index.clear();
+        std::mem::take(&mut self.records)
+    }
+
+    /// The outcome of a specific request, if it has been answered.
+    pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.index.get(&id).map(|&i| self.records[i].outcome)
+    }
+
+    /// A correctness summary of the execution so far (see
+    /// [`crate::verify::ExecutionSummary`]).
+    pub fn summary(&self) -> ExecutionSummary {
+        ExecutionSummary {
+            m: self.m,
+            w: self.w,
+            granted: self.granted(),
+            rejected: self.rejected(),
+            unanswered: self.submitted - self.granted() - self.rejected(),
+        }
+    }
+}

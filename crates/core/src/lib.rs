@@ -1,0 +1,68 @@
+//! # dcn-controller — the (M, W)-Controller for dynamic networks
+//!
+//! This crate implements the main contribution of Korman & Kutten,
+//! *"Controller and Estimator for Dynamic Networks"*: an **(M, W)-Controller**
+//! for networks spanned by a tree that may undergo insertions and deletions of
+//! both leaves and internal nodes (the *controlled dynamic model*).
+//!
+//! An (M, W)-Controller answers online requests arriving at arbitrary nodes
+//! with either a *permit* or a *reject*, subject to:
+//!
+//! * **Safety** — at most `M` permits are ever granted;
+//! * **Liveness** — every request is eventually answered, and if any request
+//!   is rejected, at least `M − W` permits are eventually granted.
+//!
+//! Following the paper, the crate provides the construction in layers:
+//!
+//! * [`centralized`] — the sequential controller of §3: permits travel in
+//!   *packages* over the tree, requests pull packages from the nearest
+//!   *filler node*, and the recursive `Proc` distribution leaves a trail of
+//!   geometrically sized packages behind. Includes the iterated controller of
+//!   Observation 3.4, the terminating controller of Observation 2.1 and the
+//!   adaptive (unknown-`U`) controllers of Theorem 3.5.
+//! * [`distributed`] — the mobile-agent implementation of §4 running on the
+//!   [`dcn_simnet`] asynchronous network simulator, with path locking, FIFO
+//!   waiting queues and reject waves, plus the iterated / adaptive drivers of
+//!   §4.5 and Appendix A.
+//! * [`domain`] — the *package domain* bookkeeping used by the paper's
+//!   analysis (§3.2), implemented as an auditor so tests can check the domain
+//!   invariants on real executions.
+//! * [`verify`] — safety / liveness / waste checkers shared by tests, property
+//!   tests and the experiment harness.
+//!
+//! ```
+//! use dcn_controller::centralized::CentralizedController;
+//! use dcn_controller::{Outcome, RequestKind};
+//! use dcn_tree::DynamicTree;
+//!
+//! # fn main() -> Result<(), dcn_controller::ControllerError> {
+//! // A controller over a fresh 64-node star that may grant at most 10 permits
+//! // and may "waste" at most 5 of them.
+//! let tree = DynamicTree::with_initial_star(63);
+//! let mut ctrl = CentralizedController::new(tree, 10, 5, 200)?;
+//! let leaf = ctrl.tree().nodes().last().unwrap();
+//! let outcome = ctrl.submit(leaf, RequestKind::AddLeaf)?;
+//! assert!(matches!(outcome, Outcome::Granted { .. }));
+//! assert_eq!(ctrl.granted(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod distributed;
+pub mod domain;
+mod error;
+mod package;
+mod params;
+mod request;
+pub mod verify;
+
+pub use error::ControllerError;
+pub use package::{MobilePackage, PackageStore, PermitInterval};
+pub use params::Params;
+pub use request::{Outcome, RequestId, RequestKind, RequestRecord};
+
+pub use dcn_tree::{DynamicTree, NodeId};

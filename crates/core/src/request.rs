@@ -1,0 +1,114 @@
+//! Requests, request identifiers and outcomes.
+
+use dcn_tree::NodeId;
+use std::fmt;
+
+/// Identifier of a request submitted to a controller.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The kind of event a request asks permission for.
+///
+/// Topological requests follow the paper's conventions on where they arrive
+/// (§2.1.2): a request to add a node arrives at the parent-to-be, a request to
+/// delete a node arrives at that node itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Add a new leaf as a child of the node the request arrives at.
+    AddLeaf,
+    /// Split the edge between the given child and the node the request
+    /// arrives at (which must be the child's parent) with a new internal node.
+    AddInternalAbove(NodeId),
+    /// Remove the node the request arrives at (leaf or internal; never the
+    /// root).
+    RemoveSelf,
+    /// A non-topological event (e.g. a resource allocation) at the node the
+    /// request arrives at.
+    NonTopological,
+}
+
+impl RequestKind {
+    /// Returns `true` if granting this request changes the tree topology.
+    pub fn is_topological(&self) -> bool {
+        !matches!(self, RequestKind::NonTopological)
+    }
+}
+
+/// The answer a controller gives to a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request received a permit; the event may now take place.
+    Granted {
+        /// The serial number of the consumed permit, when the controller runs
+        /// in interval mode (used by the name-assignment protocol).
+        serial: Option<u64>,
+        /// For topological insertions handled synchronously (centralized
+        /// controller), the id of the newly created node.
+        new_node: Option<NodeId>,
+    },
+    /// The request was rejected.
+    Rejected,
+}
+
+impl Outcome {
+    /// Returns `true` for granted outcomes.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, Outcome::Granted { .. })
+    }
+}
+
+/// A fully resolved request, as reported by the distributed controller driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The request's identifier.
+    pub id: RequestId,
+    /// The node the request arrived at.
+    pub origin: NodeId,
+    /// What the request asked for.
+    pub kind: RequestKind,
+    /// The controller's answer.
+    pub outcome: Outcome,
+    /// Simulated time at which the answer was delivered.
+    pub answered_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_formats_compactly() {
+        assert_eq!(format!("{}", RequestId(4)), "r4");
+        assert_eq!(format!("{:?}", RequestId(4)), "r4");
+    }
+
+    #[test]
+    fn topological_classification() {
+        assert!(RequestKind::AddLeaf.is_topological());
+        assert!(RequestKind::RemoveSelf.is_topological());
+        assert!(RequestKind::AddInternalAbove(NodeId::from_index(1)).is_topological());
+        assert!(!RequestKind::NonTopological.is_topological());
+    }
+
+    #[test]
+    fn outcome_grant_detection() {
+        let g = Outcome::Granted {
+            serial: Some(7),
+            new_node: None,
+        };
+        assert!(g.is_granted());
+        assert!(!Outcome::Rejected.is_granted());
+    }
+}

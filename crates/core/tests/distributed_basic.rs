@@ -1,0 +1,236 @@
+//! Integration tests for the distributed controller (§4) on the asynchronous
+//! network simulator.
+
+use dcn_controller::distributed::{AdaptiveDistributedController, DistributedController};
+use dcn_controller::{Outcome, PermitInterval, RequestKind};
+use dcn_simnet::{DelayModel, SimConfig};
+use dcn_tree::{DynamicTree, NodeId};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::new(seed).with_delay(DelayModel::Uniform { min: 1, max: 9 })
+}
+
+#[test]
+fn single_request_far_from_the_root_is_granted() {
+    let tree = DynamicTree::with_initial_path(40);
+    let deep = NodeId::from_index(40);
+    let mut ctrl = DistributedController::new(cfg(1), tree, 10, 5, 128).unwrap();
+    let id = ctrl.submit(deep, RequestKind::NonTopological).unwrap();
+    ctrl.run().unwrap();
+    assert!(matches!(ctrl.outcome(id), Some(Outcome::Granted { .. })));
+    assert_eq!(ctrl.granted(), 1);
+    // The agent climbed to the root and back twice: at least 4 * depth hops.
+    assert!(ctrl.messages() >= 4 * 40);
+    // All locks are released at quiescence.
+    for node in ctrl.tree().nodes().collect::<Vec<_>>() {
+        assert!(!ctrl.sim().is_locked(node));
+    }
+}
+
+#[test]
+fn concurrent_requests_from_all_leaves_are_all_answered() {
+    let tree = DynamicTree::with_initial_star(40);
+    let mut ctrl = DistributedController::new(cfg(2), tree, 30, 10, 256).unwrap();
+    let leaves: Vec<NodeId> = ctrl
+        .tree()
+        .nodes()
+        .filter(|&n| n != ctrl.tree().root())
+        .collect();
+    for &leaf in &leaves {
+        ctrl.submit(leaf, RequestKind::NonTopological).unwrap();
+    }
+    ctrl.run().unwrap();
+    let summary = ctrl.summary();
+    assert_eq!(summary.unanswered, 0);
+    summary.check().unwrap();
+    assert!(ctrl.granted() >= 30 - 10, "liveness: granted {}", ctrl.granted());
+    assert!(ctrl.granted() <= 30, "safety: granted {}", ctrl.granted());
+    assert!(ctrl.rejected() > 0, "40 requests vs budget 30 must reject some");
+}
+
+#[test]
+fn topological_changes_are_applied_gracefully_during_the_run() {
+    let tree = DynamicTree::with_initial_path(12);
+    let mut ctrl = DistributedController::new(cfg(3), tree, 40, 10, 128).unwrap();
+    let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+    // Grow a few leaves, split an edge, and delete a middle node concurrently.
+    for &n in nodes.iter().take(6) {
+        ctrl.submit(n, RequestKind::AddLeaf).unwrap();
+    }
+    let mid = nodes[6];
+    ctrl.submit(mid, RequestKind::RemoveSelf).unwrap();
+    ctrl.run().unwrap();
+    assert_eq!(ctrl.summary().unanswered, 0);
+    assert!(!ctrl.tree().contains(mid));
+    assert!(ctrl.tree().node_count() >= 12 + 6 - 1);
+    assert!(ctrl.tree().check_invariants().is_ok());
+    assert!(ctrl.metrics().topology_changes_applied >= 7);
+}
+
+#[test]
+fn safety_and_liveness_hold_under_async_schedule_sweep() {
+    for seed in 0..8u64 {
+        let tree = DynamicTree::with_initial_star(25);
+        let (m, w) = (12, 4);
+        let mut ctrl = DistributedController::new(cfg(seed), tree, m, w, 128).unwrap();
+        let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+        for i in 0..30usize {
+            ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological)
+                .unwrap();
+        }
+        ctrl.run().unwrap();
+        let s = ctrl.summary();
+        assert_eq!(s.unanswered, 0, "seed {seed}");
+        s.check().unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        assert!(ctrl.rejected() > 0, "seed {seed}: overload must reject");
+    }
+}
+
+#[test]
+fn distributed_message_complexity_tracks_the_centralized_move_shape() {
+    // The distributed controller's messages should be within a constant factor
+    // of the centralized controller's moves on the same workload (Lemma 4.5
+    // links the two; the agent walks up and down at most four times the
+    // distance the permits travel).
+    let n = 128usize;
+    let make_tree = || DynamicTree::with_initial_path(n - 1);
+    let m = 64;
+    let w = 16;
+
+    let mut central =
+        dcn_controller::centralized::CentralizedController::new(make_tree(), m, w, 4 * n).unwrap();
+    let mut distributed =
+        DistributedController::new(cfg(11), make_tree(), m, w, 4 * n).unwrap();
+
+    let targets: Vec<usize> = (0..m as usize).map(|i| (i * 29) % n).collect();
+    for &d in &targets {
+        let at = central
+            .tree()
+            .nodes()
+            .find(|&x| central.tree().depth(x) == d)
+            .unwrap();
+        central.submit(at, RequestKind::NonTopological).unwrap();
+    }
+    for &d in &targets {
+        let at = distributed
+            .tree()
+            .nodes()
+            .find(|&x| distributed.tree().depth(x) == d)
+            .unwrap();
+        distributed.submit(at, RequestKind::NonTopological).unwrap();
+    }
+    distributed.run().unwrap();
+
+    let moves = central.moves().max(1);
+    let msgs = distributed.messages();
+    assert!(
+        msgs <= 20 * moves + 20 * n as u64,
+        "distributed messages {msgs} are wildly out of line with centralized moves {moves}"
+    );
+}
+
+#[test]
+fn interval_mode_grants_unique_serials() {
+    let tree = DynamicTree::with_initial_star(20);
+    let m = 10;
+    let mut ctrl = DistributedController::with_interval(
+        cfg(5),
+        tree,
+        m,
+        4,
+        64,
+        Some(PermitInterval::new(1, m)),
+    )
+    .unwrap();
+    let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+    for i in 0..m as usize {
+        ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological)
+            .unwrap();
+    }
+    ctrl.run().unwrap();
+    let mut serials: Vec<u64> = ctrl
+        .records()
+        .iter()
+        .filter_map(|r| match r.outcome {
+            Outcome::Granted { serial, .. } => serial,
+            Outcome::Rejected => None,
+        })
+        .collect();
+    let granted = serials.len();
+    serials.sort_unstable();
+    serials.dedup();
+    assert_eq!(serials.len(), granted, "serials must be unique");
+    assert!(serials.iter().all(|&s| (1..=m).contains(&s)));
+}
+
+#[test]
+fn rejected_requests_see_reject_packages_spread_by_the_wave() {
+    let tree = DynamicTree::with_initial_star(10);
+    let mut ctrl = DistributedController::new(cfg(6), tree, 3, 1, 64).unwrap();
+    let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+    for i in 0..20usize {
+        ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological)
+            .unwrap();
+    }
+    ctrl.run().unwrap();
+    assert!(ctrl.rejected() > 0);
+    // After the wave, every node should hold a reject package.
+    let with_reject = ctrl
+        .tree()
+        .nodes()
+        .filter(|&n| ctrl.whiteboard(n).map_or(false, |wb| wb.store.has_reject()))
+        .count();
+    assert_eq!(with_reject, ctrl.tree().node_count());
+    // A later request is rejected locally, costing no extra permits.
+    let id = ctrl.submit(nodes[0], RequestKind::NonTopological).unwrap();
+    ctrl.run().unwrap();
+    assert_eq!(ctrl.outcome(id), Some(Outcome::Rejected));
+}
+
+#[test]
+fn adaptive_distributed_controller_handles_growth_without_a_bound() {
+    let tree = DynamicTree::with_initial_star(4);
+    let mut ctrl = AdaptiveDistributedController::new(cfg(7), tree, 300, 60).unwrap();
+    let mut granted = 0u64;
+    for round in 0..12 {
+        let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+        let batch: Vec<(NodeId, RequestKind)> = (0..20)
+            .map(|i| (nodes[(i * 3 + round) % nodes.len()], RequestKind::AddLeaf))
+            .collect();
+        let records = ctrl.run_batch(&batch).unwrap();
+        granted += records.iter().filter(|r| r.outcome.is_granted()).count() as u64;
+    }
+    assert_eq!(granted, 240, "all requests fit the budget of 300");
+    assert!(ctrl.epochs() > 1, "the network grew, epochs must refresh");
+    assert!(ctrl.tree().node_count() > 200);
+    ctrl.summary().check().unwrap();
+}
+
+#[test]
+fn adaptive_distributed_controller_rejects_only_when_budget_spent() {
+    let tree = DynamicTree::with_initial_star(6);
+    let (m, w) = (50u64, 10u64);
+    let mut ctrl = AdaptiveDistributedController::new(cfg(8), tree, m, w).unwrap();
+    let mut granted = 0u64;
+    let mut rejected = 0u64;
+    for round in 0..10 {
+        let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+        let batch: Vec<(NodeId, RequestKind)> = (0..10)
+            .map(|i| {
+                let at = nodes[(i + round) % nodes.len()];
+                (at, RequestKind::AddLeaf)
+            })
+            .collect();
+        let records = ctrl.run_batch(&batch).unwrap();
+        for r in &records {
+            match r.outcome {
+                Outcome::Granted { .. } => granted += 1,
+                Outcome::Rejected => rejected += 1,
+            }
+        }
+    }
+    assert!(granted <= m);
+    assert!(rejected > 0);
+    assert!(granted >= m - w, "liveness: granted {granted}");
+    ctrl.summary().check().unwrap();
+}

@@ -1,0 +1,196 @@
+//! The heavy-child decomposition (Theorem 5.4).
+
+use crate::subtree::SubtreeEstimator;
+use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_simnet::{NodeId, SimConfig};
+use dcn_tree::DynamicTree;
+use std::collections::HashMap;
+
+/// A dynamically maintained heavy-child decomposition: every internal node `v`
+/// holds a pointer `µ(v)` to one of its children (its *heavy* child); all
+/// other children are *light*. The decomposition guarantees that every node
+/// has `O(log n)` light ancestors at all times.
+///
+/// Following §5.3, the pointers are driven by the subtree estimator with
+/// `β = √3`: each node points at the child with the largest super-weight
+/// estimate, which guarantees that every light child's super-weight is at most
+/// 3/4 of its parent's.
+#[derive(Debug)]
+pub struct HeavyChildDecomposition {
+    subtree: SubtreeEstimator,
+    heavy: HashMap<NodeId, NodeId>,
+    /// Messages spent informing parents about estimate changes and pointer
+    /// flips (charged on top of the estimator's own cost).
+    pointer_messages: u64,
+}
+
+impl HeavyChildDecomposition {
+    /// Creates the decomposition over `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns controller construction errors.
+    pub fn new(config: SimConfig, tree: DynamicTree) -> Result<Self, ControllerError> {
+        let subtree = SubtreeEstimator::new(config, tree, f64::sqrt(3.0))?;
+        let mut decomposition = HeavyChildDecomposition {
+            subtree,
+            heavy: HashMap::new(),
+            pointer_messages: 0,
+        };
+        decomposition.refresh_pointers();
+        Ok(decomposition)
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.subtree.tree()
+    }
+
+    /// The underlying subtree estimator.
+    pub fn subtree_estimator(&self) -> &SubtreeEstimator {
+        &self.subtree
+    }
+
+    /// The heavy child of `node`, if `node` is internal.
+    pub fn heavy_child(&self, node: NodeId) -> Option<NodeId> {
+        self.heavy.get(&node).copied()
+    }
+
+    /// Total messages so far (estimator messages plus pointer maintenance).
+    pub fn messages(&self) -> u64 {
+        self.subtree.messages() + self.pointer_messages
+    }
+
+    /// Number of *light* ancestors of `node` (ancestors `a` such that the
+    /// child of `a` on the path to `node` is not `a`'s heavy child).
+    pub fn light_ancestor_count(&self, node: NodeId) -> usize {
+        let tree = self.tree();
+        let mut count = 0;
+        let mut cur = node;
+        while let Some(parent) = tree.parent(cur) {
+            if self.heavy.get(&parent) != Some(&cur) {
+                count += 1;
+            }
+            cur = parent;
+        }
+        count
+    }
+
+    /// The maximum number of light ancestors over all existing nodes — the
+    /// quantity Theorem 5.4 bounds by `O(log n)`.
+    pub fn max_light_ancestors(&self) -> usize {
+        self.tree()
+            .nodes()
+            .map(|n| self.light_ancestor_count(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks the decomposition quality: every node has at most
+    /// `4·log2(n) + 8` light ancestors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violating node.
+    pub fn check_light_depth(&self) -> Result<(), String> {
+        let n = self.tree().node_count().max(2) as f64;
+        let bound = (4.0 * n.log2() + 8.0) as usize;
+        for node in self.tree().nodes() {
+            let light = self.light_ancestor_count(node);
+            if light > bound {
+                return Err(format!(
+                    "node {node} has {light} light ancestors, above the bound {bound} (n = {n})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes every pointer from the current estimates. A pointer flip (or
+    /// a fresh pointer) corresponds to a message from the child that reported
+    /// a new largest estimate, so flips are charged one message each.
+    fn refresh_pointers(&mut self) {
+        let tree = self.subtree.tree();
+        let mut flips = 0u64;
+        let mut new_heavy = HashMap::new();
+        for node in tree.nodes() {
+            let children = tree.children(node).expect("node exists");
+            if children.is_empty() {
+                continue;
+            }
+            let best = children
+                .iter()
+                .copied()
+                .max_by_key(|&c| (self.subtree.estimate(c), std::cmp::Reverse(c)))
+                .expect("non-empty children");
+            if self.heavy.get(&node) != Some(&best) {
+                flips += 1;
+            }
+            new_heavy.insert(node, best);
+        }
+        self.heavy = new_heavy;
+        self.pointer_messages += flips;
+    }
+
+    /// Submits a batch of requests, runs the network, and refreshes the heavy
+    /// pointers from the updated estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulator errors.
+    pub fn run_batch(
+        &mut self,
+        ops: &[(NodeId, RequestKind)],
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
+        let records = self.subtree.run_batch(ops)?;
+        self.refresh_pointers();
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_decomposition_of_a_path_has_no_light_ancestors() {
+        let tree = DynamicTree::with_initial_path(20);
+        let decomposition = HeavyChildDecomposition::new(SimConfig::new(21), tree).unwrap();
+        assert_eq!(decomposition.max_light_ancestors(), 0);
+    }
+
+    #[test]
+    fn light_ancestors_stay_logarithmic_under_growth() {
+        let tree = DynamicTree::with_initial_star(10);
+        let mut decomposition = HeavyChildDecomposition::new(SimConfig::new(22), tree).unwrap();
+        for round in 0..12usize {
+            let nodes: Vec<NodeId> = decomposition.tree().nodes().collect();
+            let batch: Vec<(NodeId, RequestKind)> = nodes
+                .iter()
+                .skip(round % 2)
+                .step_by(3)
+                .take(6)
+                .map(|&n| (n, RequestKind::AddLeaf))
+                .collect();
+            decomposition.run_batch(&batch).unwrap();
+            decomposition.check_light_depth().unwrap();
+        }
+        assert!(decomposition.tree().node_count() > 50);
+    }
+
+    #[test]
+    fn heavy_pointer_follows_the_bulkier_subtree() {
+        // Root with two children: one child grows a long chain, the other
+        // stays a leaf; the root's heavy pointer must select the big subtree.
+        let mut tree = DynamicTree::new();
+        let big = tree.add_leaf(tree.root()).unwrap();
+        let _small = tree.add_leaf(tree.root()).unwrap();
+        let mut cur = big;
+        for _ in 0..20 {
+            cur = tree.add_leaf(cur).unwrap();
+        }
+        tree.clear_change_log();
+        let decomposition = HeavyChildDecomposition::new(SimConfig::new(23), tree).unwrap();
+        assert_eq!(decomposition.heavy_child(decomposition.tree().root()), Some(big));
+    }
+}

@@ -1,0 +1,304 @@
+//! The name-assignment protocol (Theorem 5.2).
+
+use dcn_controller::distributed::DistributedController;
+use dcn_controller::{ControllerError, Outcome, PermitInterval, RequestKind, RequestRecord};
+use dcn_simnet::{NodeId, SimConfig};
+use dcn_tree::DynamicTree;
+use std::collections::HashMap;
+
+/// The name-assignment protocol: every node holds a short unique identity —
+/// an integer in `[1, 4n]` where `n` is the *current* number of nodes — under
+/// insertions and deletions of both leaves and internal nodes.
+///
+/// Iteration `i` starts with a DFS re-numbering that gives the current `N_i`
+/// nodes the identities `1..N_i` (two traversals in the paper, so that the
+/// temporary and final ranges never collide; charged `O(n)` messages). New
+/// nodes joining during the iteration receive identities from the interval
+/// `[N_i + 1, 3N_i/2]`: the controller runs in interval mode, so the permit a
+/// join request consumes *is* the new node's identity.
+///
+/// ```
+/// use dcn_estimator::NameAssigner;
+/// use dcn_controller::RequestKind;
+/// use dcn_simnet::SimConfig;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_star(9);
+/// let mut names = NameAssigner::new(SimConfig::new(1), tree)?;
+/// let root = names.tree().root();
+/// names.run_batch(&[(root, RequestKind::AddLeaf); 4])?;
+/// names.check_invariants().unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NameAssigner {
+    config: SimConfig,
+    inner: Option<DistributedController>,
+    ids: HashMap<NodeId, u64>,
+    iterations: u32,
+    aux_messages: u64,
+    finished_messages: u64,
+    seed_counter: u64,
+}
+
+impl NameAssigner {
+    /// Creates the name assigner over `tree`. Initial identities are assigned
+    /// by a DFS numbering (`1..=n0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns controller construction errors.
+    pub fn new(config: SimConfig, tree: DynamicTree) -> Result<Self, ControllerError> {
+        let mut assigner = NameAssigner {
+            config,
+            inner: None,
+            ids: HashMap::new(),
+            iterations: 0,
+            aux_messages: 0,
+            finished_messages: 0,
+            seed_counter: config.seed,
+        };
+        assigner.start_iteration(tree)?;
+        Ok(assigner)
+    }
+
+    fn start_iteration(&mut self, tree: DynamicTree) -> Result<(), ControllerError> {
+        let n = tree.node_count() as u64;
+        self.iterations += 1;
+        // Two DFS traversals re-assign ids 1..=N_i (the paper's two-phase
+        // renaming keeps ids unique throughout; we charge both traversals).
+        self.ids.clear();
+        for (i, node) in tree.dfs(tree.root()).enumerate() {
+            self.ids.insert(node, i as u64 + 1);
+        }
+        self.aux_messages += 4 * n;
+        // New nodes draw identities from (N_i, 3N_i/2].
+        let budget = (n / 2).max(1);
+        let waste = (n / 4).max(1).min(budget);
+        let interval = PermitInterval::new(n + 1, n + budget);
+        let u_bound = tree.node_count() + budget as usize + 1;
+        let mut cfg = self.config;
+        cfg.seed = self.seed_counter;
+        self.seed_counter = self.seed_counter.wrapping_add(1);
+        let inner = DistributedController::with_interval(
+            cfg,
+            tree,
+            budget,
+            waste,
+            u_bound,
+            Some(interval),
+        )?;
+        self.inner = Some(inner);
+        Ok(())
+    }
+
+    fn rotate_iteration(&mut self) -> Result<(), ControllerError> {
+        let inner = self.inner.take().expect("inner controller present");
+        self.finished_messages += inner.messages();
+        let tree = inner.into_tree();
+        self.aux_messages += 2 * tree.node_count() as u64;
+        self.start_iteration(tree)
+    }
+
+    fn inner(&self) -> &DistributedController {
+        self.inner.as_ref().expect("inner controller present")
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.inner().tree()
+    }
+
+    /// The identity currently assigned to `node`, if it exists.
+    pub fn id_of(&self, node: NodeId) -> Option<u64> {
+        self.ids.get(&node).copied()
+    }
+
+    /// All current `(node, identity)` assignments.
+    pub fn ids(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.ids.iter().map(|(&n, &i)| (n, i))
+    }
+
+    /// Number of iterations (full renamings) performed so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Total messages so far (controller messages plus renaming traversals).
+    pub fn messages(&self) -> u64 {
+        self.finished_messages + self.inner().messages() + self.aux_messages
+    }
+
+    /// Checks the protocol invariants: every existing node has an identity,
+    /// identities are pairwise distinct, and every identity is at most `4n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let tree = self.tree();
+        let n = tree.node_count() as u64;
+        let mut seen = HashMap::new();
+        for node in tree.nodes() {
+            let Some(id) = self.ids.get(&node) else {
+                return Err(format!("node {node} has no identity"));
+            };
+            if *id == 0 || *id > 4 * n {
+                return Err(format!("node {node} has identity {id} outside [1, 4n] (n = {n})"));
+            }
+            if let Some(other) = seen.insert(*id, node) {
+                return Err(format!("identity {id} assigned to both {other} and {node}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Submits a batch of requests, runs the network, and maintains the
+    /// identity assignment: granted insertions give their permit's serial
+    /// number to the new node, deletions retire the deleted node's identity,
+    /// and budget exhaustion triggers a renaming iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulator errors.
+    pub fn run_batch(
+        &mut self,
+        ops: &[(NodeId, RequestKind)],
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
+        let mut pending: Vec<(NodeId, RequestKind)> = ops.to_vec();
+        let mut answered = Vec::new();
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            if rounds > 64 {
+                break;
+            }
+            let known_before: Vec<NodeId> = self.ids.keys().copied().collect();
+            let inner = self.inner.as_mut().expect("inner controller present");
+            for &(at, kind) in &pending {
+                if !inner.tree().contains(at) {
+                    continue;
+                }
+                if matches!(kind, RequestKind::AddInternalAbove(c) if inner.tree().parent(c) != Some(at))
+                {
+                    continue;
+                }
+                if matches!(kind, RequestKind::RemoveSelf) && at == inner.tree().root() {
+                    continue;
+                }
+                inner.submit(at, kind)?;
+            }
+            inner.run()?;
+            let records = inner.take_records();
+
+            // Collect the serial numbers of granted insertions, in answer
+            // order; hand them to the new nodes (in discovery order).
+            let mut serials: Vec<u64> = Vec::new();
+            let mut need_new_iteration = false;
+            let mut next_pending = Vec::new();
+            for rec in &records {
+                match rec.outcome {
+                    Outcome::Granted { serial, .. } => {
+                        if matches!(
+                            rec.kind,
+                            RequestKind::AddLeaf | RequestKind::AddInternalAbove(_)
+                        ) {
+                            if let Some(s) = serial {
+                                serials.push(s);
+                            }
+                        }
+                        answered.push(*rec);
+                    }
+                    Outcome::Rejected => {
+                        need_new_iteration = true;
+                        next_pending.push((rec.origin, rec.kind));
+                    }
+                }
+            }
+            let (new_nodes, existing): (Vec<NodeId>, Vec<NodeId>) = {
+                let tree = self.inner().tree();
+                (
+                    tree.nodes().filter(|n| !known_before.contains(n)).collect(),
+                    tree.nodes().collect(),
+                )
+            };
+            for (node, serial) in new_nodes.iter().zip(serials.iter()) {
+                self.ids.insert(*node, *serial);
+            }
+            // Retire identities of deleted nodes.
+            self.ids.retain(|node, _| existing.contains(node));
+
+            pending = next_pending;
+            if need_new_iteration {
+                self.rotate_iteration()?;
+            }
+        }
+        Ok(answered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_stay_unique_and_short_under_mixed_churn() {
+        let tree = DynamicTree::with_initial_star(15);
+        let mut names = NameAssigner::new(SimConfig::new(5), tree).unwrap();
+        for round in 0..15usize {
+            let nodes: Vec<NodeId> = names.tree().nodes().collect();
+            let mut batch: Vec<(NodeId, RequestKind)> = Vec::new();
+            for (i, &n) in nodes.iter().enumerate().take(6) {
+                if round % 3 == 2 && i % 2 == 0 && n != names.tree().root() {
+                    batch.push((n, RequestKind::RemoveSelf));
+                } else {
+                    batch.push((n, RequestKind::AddLeaf));
+                }
+            }
+            names.run_batch(&batch).unwrap();
+            names.check_invariants().unwrap();
+        }
+        assert!(names.iterations() >= 2, "churn must trigger renamings");
+    }
+
+    #[test]
+    fn new_nodes_receive_serials_from_the_iteration_interval() {
+        let tree = DynamicTree::with_initial_star(19);
+        let n0 = 20u64;
+        let mut names = NameAssigner::new(SimConfig::new(6), tree).unwrap();
+        let root = names.tree().root();
+        let records = names
+            .run_batch(&[(root, RequestKind::AddLeaf), (root, RequestKind::AddLeaf)])
+            .unwrap();
+        assert_eq!(records.len(), 2);
+        // Both new nodes exist and carry ids from (N_1, 3N_1/2].
+        let new_ids: Vec<u64> = names
+            .tree()
+            .nodes()
+            .filter(|&n| names.tree().parent(n) == Some(root) && n.index() >= n0 as usize)
+            .filter_map(|n| names.id_of(n))
+            .collect();
+        assert_eq!(new_ids.len(), 2);
+        for id in new_ids {
+            assert!(id > n0 && id <= n0 + n0 / 2, "id {id} outside the interval");
+        }
+        names.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deleted_nodes_lose_their_identities() {
+        let tree = DynamicTree::with_initial_star(10);
+        let mut names = NameAssigner::new(SimConfig::new(7), tree).unwrap();
+        let victim = names
+            .tree()
+            .nodes()
+            .find(|&n| n != names.tree().root())
+            .unwrap();
+        names.run_batch(&[(victim, RequestKind::RemoveSelf)]).unwrap();
+        assert!(!names.tree().contains(victim));
+        assert!(names.id_of(victim).is_none());
+        names.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! The size-estimation protocol (Theorem 5.1).
+
+use dcn_controller::distributed::DistributedController;
+use dcn_controller::{ControllerError, Outcome, RequestKind, RequestRecord};
+use dcn_simnet::{NodeId, SimConfig};
+use dcn_tree::DynamicTree;
+
+/// The β-size-estimation protocol: all nodes maintain an estimate `ñ` with
+/// `n/β ≤ ñ ≤ β·n` at all times, where `n` is the current number of nodes.
+///
+/// The protocol runs in iterations. Iteration `i` starts by announcing
+/// `N_i`, the exact number of nodes at that moment, to every node (a
+/// broadcast, charged `O(n)` messages); during the iteration every topological
+/// change must obtain a permit from a terminating
+/// `(α·N_i, α·N_i/2)`-controller with `α = 1 − 1/β`, which caps the drift of
+/// `n` away from `N_i`; when that controller is exhausted a new iteration
+/// starts.
+///
+/// ```
+/// use dcn_estimator::SizeEstimator;
+/// use dcn_controller::RequestKind;
+/// use dcn_simnet::SimConfig;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_star(15);
+/// let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0)?;
+/// let root = est.tree().root();
+/// est.run_batch(&[(root, RequestKind::AddLeaf); 8])?;
+/// assert!(est.estimate_is_valid());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SizeEstimator {
+    config: SimConfig,
+    beta: f64,
+    inner: Option<DistributedController>,
+    /// The estimate `ñ = N_i` currently held by every node.
+    estimate: u64,
+    iterations: u32,
+    aux_messages: u64,
+    finished_messages: u64,
+    changes_total: u64,
+    seed_counter: u64,
+}
+
+impl SizeEstimator {
+    /// Creates the estimator over `tree` with approximation factor `beta > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns controller construction errors (the first iteration's
+    /// controller is built immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 1`.
+    pub fn new(config: SimConfig, tree: DynamicTree, beta: f64) -> Result<Self, ControllerError> {
+        assert!(beta > 1.0, "the approximation factor must exceed 1");
+        let estimate = tree.node_count() as u64;
+        let mut est = SizeEstimator {
+            config,
+            beta,
+            inner: None,
+            estimate,
+            iterations: 0,
+            aux_messages: 0,
+            finished_messages: 0,
+            changes_total: 0,
+            seed_counter: config.seed,
+        };
+        est.start_iteration(tree)?;
+        Ok(est)
+    }
+
+    fn alpha(&self) -> f64 {
+        1.0 - 1.0 / self.beta
+    }
+
+    fn start_iteration(&mut self, tree: DynamicTree) -> Result<(), ControllerError> {
+        let n = tree.node_count() as u64;
+        self.estimate = n;
+        self.iterations += 1;
+        // Announcing N_i to all nodes: one broadcast.
+        self.aux_messages += n;
+        let budget = ((self.alpha() * n as f64).floor() as u64).max(1);
+        let waste = (budget / 2).max(1).min(budget);
+        let u_bound = tree.node_count() + budget as usize + 1;
+        let mut cfg = self.config;
+        cfg.seed = self.seed_counter;
+        self.seed_counter = self.seed_counter.wrapping_add(1);
+        let inner = DistributedController::new(cfg, tree, budget, waste, u_bound)?;
+        self.inner = Some(inner);
+        Ok(())
+    }
+
+    fn rotate_iteration(&mut self) -> Result<(), ControllerError> {
+        let inner = self.inner.take().expect("inner controller present");
+        self.finished_messages += inner.messages();
+        let tree = inner.into_tree();
+        // Counting the exact size at the iteration boundary: broadcast+upcast.
+        self.aux_messages += 2 * tree.node_count() as u64;
+        self.start_iteration(tree)
+    }
+
+    /// The inner controller of the current iteration (exposed for the
+    /// subtree-estimation and heavy-child layers built on top).
+    pub(crate) fn inner(&self) -> &DistributedController {
+        self.inner.as_ref().expect("inner controller present")
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.inner().tree()
+    }
+
+    /// The estimate `ñ` currently held by every node.
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+
+    /// The approximation factor β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of iterations started so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Total messages sent so far (controller messages plus the charged
+    /// iteration-boundary waves).
+    pub fn messages(&self) -> u64 {
+        self.finished_messages + self.inner().messages() + self.aux_messages
+    }
+
+    /// Number of topological changes granted so far.
+    pub fn changes(&self) -> u64 {
+        self.changes_total
+    }
+
+    /// Amortized messages per topological change (the quantity Theorem 5.1
+    /// bounds by `O(log² n)` when the number of changes is not too small).
+    pub fn amortized_messages_per_change(&self) -> f64 {
+        self.messages() as f64 / self.changes_total.max(1) as f64
+    }
+
+    /// Checks the β-approximation invariant `n/β ≤ ñ ≤ β·n` against the
+    /// current network size.
+    pub fn estimate_is_valid(&self) -> bool {
+        let n = self.tree().node_count() as f64;
+        let e = self.estimate as f64;
+        e >= n / self.beta - 1e-9 && e <= n * self.beta + 1e-9
+    }
+
+    /// The number of permits that have passed down through `node` in the
+    /// current iteration (used by the subtree estimator).
+    pub fn permits_passed_down(&self, node: NodeId) -> u64 {
+        self.inner()
+            .whiteboard(node)
+            .map_or(0, |wb| wb.permits_passed_down)
+    }
+
+    /// Submits a batch of topological-change requests (each arriving at the
+    /// node dictated by the paper's conventions), runs the network to
+    /// quiescence and returns the answers. Requests rejected because the
+    /// current iteration's budget ran out are retried in the next iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulator errors.
+    pub fn run_batch(
+        &mut self,
+        ops: &[(NodeId, RequestKind)],
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
+        let mut pending: Vec<(NodeId, RequestKind)> = ops.to_vec();
+        let mut answered = Vec::new();
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            if rounds > 64 {
+                // Safety valve; in practice a fresh iteration always has
+                // budget for at least one request.
+                break;
+            }
+            let inner = self.inner.as_mut().expect("inner controller present");
+            let mut next_pending = Vec::new();
+            for &(at, kind) in &pending {
+                if !inner.tree().contains(at) {
+                    continue; // the target vanished; the request is moot
+                }
+                if matches!(kind, RequestKind::AddInternalAbove(c) if inner.tree().parent(c) != Some(at))
+                {
+                    continue;
+                }
+                if matches!(kind, RequestKind::RemoveSelf) && at == inner.tree().root() {
+                    continue;
+                }
+                inner.submit(at, kind)?;
+            }
+            inner.run()?;
+            let mut need_new_iteration = false;
+            for rec in inner.take_records() {
+                match rec.outcome {
+                    Outcome::Granted { .. } => {
+                        if rec.kind.is_topological() {
+                            self.changes_total += 1;
+                        }
+                        answered.push(rec);
+                    }
+                    Outcome::Rejected => {
+                        need_new_iteration = true;
+                        next_pending.push((rec.origin, rec.kind));
+                    }
+                }
+            }
+            pending = next_pending;
+            if need_new_iteration {
+                self.rotate_iteration()?;
+            }
+        }
+        Ok(answered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_stays_within_beta_during_heavy_growth() {
+        let tree = DynamicTree::with_initial_star(7);
+        let mut est = SizeEstimator::new(SimConfig::new(1), tree, 2.0).unwrap();
+        for _ in 0..20 {
+            let nodes: Vec<NodeId> = est.tree().nodes().collect();
+            let batch: Vec<(NodeId, RequestKind)> = nodes
+                .iter()
+                .take(6)
+                .map(|&n| (n, RequestKind::AddLeaf))
+                .collect();
+            est.run_batch(&batch).unwrap();
+            assert!(
+                est.estimate_is_valid(),
+                "estimate {} vs n {}",
+                est.estimate(),
+                est.tree().node_count()
+            );
+        }
+        assert!(est.iterations() > 1, "growth must trigger new iterations");
+        assert!(est.tree().node_count() > 50);
+    }
+
+    #[test]
+    fn estimate_stays_within_beta_during_shrinkage() {
+        let tree = DynamicTree::with_initial_star(120);
+        let mut est = SizeEstimator::new(SimConfig::new(2), tree, 2.0).unwrap();
+        for _ in 0..25 {
+            let victims: Vec<(NodeId, RequestKind)> = est
+                .tree()
+                .nodes()
+                .filter(|&n| n != est.tree().root())
+                .take(5)
+                .map(|n| (n, RequestKind::RemoveSelf))
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            est.run_batch(&victims).unwrap();
+            assert!(
+                est.estimate_is_valid(),
+                "estimate {} vs n {}",
+                est.estimate(),
+                est.tree().node_count()
+            );
+        }
+        assert!(est.tree().node_count() < 60);
+    }
+
+    #[test]
+    fn amortized_cost_is_moderate() {
+        let tree = DynamicTree::with_initial_star(31);
+        let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0).unwrap();
+        for _ in 0..30 {
+            let nodes: Vec<NodeId> = est.tree().nodes().collect();
+            let batch: Vec<(NodeId, RequestKind)> = nodes
+                .iter()
+                .step_by(3)
+                .take(8)
+                .map(|&n| (n, RequestKind::AddLeaf))
+                .collect();
+            est.run_batch(&batch).unwrap();
+        }
+        let n = est.tree().node_count() as f64;
+        let log2n = n.log2();
+        // Theorem 5.1: O(log² n) amortized; allow a generous constant.
+        assert!(
+            est.amortized_messages_per_change() < 60.0 * log2n * log2n,
+            "amortized cost {} too high (n = {})",
+            est.amortized_messages_per_change(),
+            n
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "approximation factor")]
+    fn beta_must_exceed_one() {
+        let _ = SizeEstimator::new(SimConfig::new(0), DynamicTree::new(), 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The subtree (super-weight) estimator of Lemma 5.3.
+
+use crate::size::SizeEstimator;
+use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_simnet::{NodeId, SimConfig};
+use dcn_tree::{DynamicTree, TopologyEvent};
+use std::collections::HashMap;
+
+/// The subtree estimator: every node `v` maintains an estimate `ω̃(v)` that is
+/// a β-approximation of its *super-weight* — the number of descendants of `v`
+/// (including `v`) that existed at any point since the beginning of the
+/// current size-estimation iteration.
+///
+/// The estimate is exactly the quantity a node can observe locally:
+/// `ω̃(v) = ω₀(v) + S(v)`, where `ω₀(v)` is `v`'s subtree size at the start of
+/// the iteration (computed by the iteration's broadcast/upcast and charged as
+/// such) and `S(v)` is the number of permits of the size-estimation controller
+/// that travelled down the tree through `v` during the iteration — read off
+/// the controller's whiteboards.
+#[derive(Debug)]
+pub struct SubtreeEstimator {
+    size: SizeEstimator,
+    /// ω₀: subtree sizes at the start of the current iteration.
+    omega0: HashMap<NodeId, u64>,
+    /// True super-weights (reference tracker used for validation and
+    /// experiments; the protocol itself never needs them).
+    super_weight: HashMap<NodeId, u64>,
+    /// The iteration for which `omega0` was computed.
+    iteration_tag: u32,
+    /// Index into the tree change log up to which super-weights are current.
+    log_cursor: usize,
+    aux_messages: u64,
+}
+
+impl SubtreeEstimator {
+    /// Creates the estimator over `tree` with approximation factor `beta`
+    /// (use `β = √3` when feeding the heavy-child decomposition).
+    ///
+    /// # Errors
+    ///
+    /// Returns controller construction errors.
+    pub fn new(config: SimConfig, tree: DynamicTree, beta: f64) -> Result<Self, ControllerError> {
+        let size = SizeEstimator::new(config, tree, beta)?;
+        let mut est = SubtreeEstimator {
+            size,
+            omega0: HashMap::new(),
+            super_weight: HashMap::new(),
+            iteration_tag: 0,
+            log_cursor: 0,
+            aux_messages: 0,
+        };
+        est.log_cursor = est.size.tree().change_log().len();
+        est.refresh_omega0();
+        Ok(est)
+    }
+
+    /// The underlying size estimator (and through it the current tree).
+    pub fn size_estimator(&self) -> &SizeEstimator {
+        &self.size
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.size.tree()
+    }
+
+    /// Total messages so far, including the per-iteration subtree-size
+    /// upcasts.
+    pub fn messages(&self) -> u64 {
+        self.size.messages() + self.aux_messages
+    }
+
+    /// The estimate `ω̃(v) = ω₀(v) + S(v)` held by node `v`.
+    pub fn estimate(&self, node: NodeId) -> u64 {
+        let base = self.omega0.get(&node).copied().unwrap_or(1);
+        base + self.size.permits_passed_down(node)
+    }
+
+    /// The true super-weight of `v` (reference value, for validation).
+    pub fn true_super_weight(&self, node: NodeId) -> u64 {
+        self.super_weight.get(&node).copied().unwrap_or(1)
+    }
+
+    /// Checks the β²-approximation of the estimates against the true
+    /// super-weights for every existing node. (The single-sided guarantees of
+    /// Lemma 5.3 combine into a factor-β² two-sided bound; the heavy-child
+    /// construction only needs the comparison between siblings.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first node whose estimate is out of range.
+    pub fn check_estimates(&self) -> Result<(), String> {
+        let beta = self.size.beta();
+        let tol = beta * beta;
+        for node in self.tree().nodes() {
+            let est = self.estimate(node) as f64;
+            let truth = self.true_super_weight(node) as f64;
+            if est < truth / tol - 1e-9 || est > truth * tol + 1e-9 {
+                return Err(format!(
+                    "estimate {est} for {node} outside [{:.2}, {:.2}] (true super-weight {truth})",
+                    truth / tol,
+                    truth * tol
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes ω₀ (subtree sizes) for the current iteration and resets the
+    /// super-weight reference; charged as one upcast wave.
+    fn refresh_omega0(&mut self) {
+        let tree = self.size.tree();
+        self.omega0.clear();
+        self.super_weight.clear();
+        for node in tree.nodes() {
+            let sz = tree.subtree_size(node).expect("node exists") as u64;
+            self.omega0.insert(node, sz);
+            self.super_weight.insert(node, sz);
+        }
+        self.aux_messages += 2 * tree.node_count() as u64;
+        self.iteration_tag = self.size.iterations();
+        self.log_cursor = tree.change_log().len();
+    }
+
+    /// Replays the tree change log to keep the reference super-weights
+    /// current: every inserted node contributes 1 to all its ancestors (and
+    /// deletions do not subtract).
+    fn update_super_weights(&mut self) {
+        let tree = self.size.tree();
+        let log: Vec<_> = tree.change_log().iter().skip(self.log_cursor).cloned().collect();
+        self.log_cursor = tree.change_log().len();
+        for record in log {
+            match record.event {
+                TopologyEvent::AddLeaf { child, .. } => {
+                    self.super_weight.insert(child, 1);
+                    for anc in tree.ancestors(child).skip(1) {
+                        *self.super_weight.entry(anc).or_insert(1) += 1;
+                    }
+                }
+                TopologyEvent::AddInternal { node, below, .. } => {
+                    // The new internal node inherits the weight below it plus
+                    // itself.
+                    let below_weight = self.super_weight.get(&below).copied().unwrap_or(1);
+                    self.super_weight.insert(node, below_weight + 1);
+                    for anc in tree.ancestors(node).skip(1) {
+                        *self.super_weight.entry(anc).or_insert(1) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Submits a batch of requests through the size-estimation machinery and
+    /// keeps ω₀ / the reference super-weights current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulator errors.
+    pub fn run_batch(
+        &mut self,
+        ops: &[(NodeId, RequestKind)],
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
+        let before_iteration = self.size.iterations();
+        let records = self.size.run_batch(ops)?;
+        if self.size.iterations() != before_iteration {
+            // A new iteration started: ω₀ and the counters were reset.
+            self.refresh_omega0();
+        } else {
+            self.update_super_weights();
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_super_weights_under_growth() {
+        let tree = DynamicTree::with_initial_path(12);
+        let mut est = SubtreeEstimator::new(SimConfig::new(11), tree, f64::sqrt(3.0)).unwrap();
+        for round in 0..10usize {
+            let nodes: Vec<NodeId> = est.tree().nodes().collect();
+            let batch: Vec<(NodeId, RequestKind)> = nodes
+                .iter()
+                .skip(round % 3)
+                .step_by(4)
+                .take(4)
+                .map(|&n| (n, RequestKind::AddLeaf))
+                .collect();
+            est.run_batch(&batch).unwrap();
+            est.check_estimates().unwrap();
+        }
+    }
+
+    #[test]
+    fn root_estimate_is_at_least_the_node_count_contribution() {
+        let tree = DynamicTree::with_initial_star(20);
+        let est = SubtreeEstimator::new(SimConfig::new(12), tree, 2.0).unwrap();
+        let root = est.tree().root();
+        assert_eq!(est.estimate(root), 21);
+        assert_eq!(est.true_super_weight(root), 21);
+    }
+}

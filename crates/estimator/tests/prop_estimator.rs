@@ -1,0 +1,141 @@
+//! Property-based tests for the §5 applications: their invariants must hold
+//! after every batch, for random churn mixes, random seeds and random batch
+//! sizes.
+
+use dcn_estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner, SizeEstimator};
+use dcn_controller::RequestKind;
+use dcn_simnet::SimConfig;
+use dcn_tree::{DynamicTree, NodeId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    AddLeaf(usize),
+    AddInternal(usize),
+    Remove(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..128).prop_map(Op::AddLeaf),
+        1 => (0usize..128).prop_map(Op::AddInternal),
+        2 => (0usize..128).prop_map(Op::Remove),
+    ]
+}
+
+fn concretize(tree: &DynamicTree, op: Op) -> Option<(NodeId, RequestKind)> {
+    let nodes: Vec<NodeId> = tree.nodes().collect();
+    match op {
+        Op::AddLeaf(k) => Some((nodes[k % nodes.len()], RequestKind::AddLeaf)),
+        Op::AddInternal(k) => {
+            let child = nodes[k % nodes.len()];
+            let parent = tree.parent(child)?;
+            Some((parent, RequestKind::AddInternalAbove(child)))
+        }
+        Op::Remove(k) => {
+            let node = nodes[k % nodes.len()];
+            if node == tree.root() {
+                None
+            } else {
+                Some((node, RequestKind::RemoveSelf))
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The size estimate never leaves the β-band, for random churn and seeds.
+    #[test]
+    fn size_estimation_invariant_holds(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        seed in 0u64..1_000,
+        n0 in 4usize..24,
+        beta_pct in 125u32..300,
+    ) {
+        let beta = beta_pct as f64 / 100.0;
+        let tree = DynamicTree::with_initial_star(n0);
+        let mut est = SizeEstimator::new(SimConfig::new(seed), tree, beta).unwrap();
+        for chunk in ops.chunks(6) {
+            let batch: Vec<(NodeId, RequestKind)> = chunk
+                .iter()
+                .filter_map(|&op| concretize(est.tree(), op))
+                .collect();
+            est.run_batch(&batch).unwrap();
+            prop_assert!(
+                est.estimate_is_valid(),
+                "estimate {} out of band for n = {} (beta = {beta})",
+                est.estimate(),
+                est.tree().node_count()
+            );
+            prop_assert!(est.tree().check_invariants().is_ok());
+        }
+    }
+
+    /// Name assignment: identities stay unique and within [1, 4n] after every
+    /// batch of random churn.
+    #[test]
+    fn name_assignment_invariants_hold(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        seed in 0u64..1_000,
+        n0 in 4usize..20,
+    ) {
+        let tree = DynamicTree::with_initial_star(n0);
+        let mut names = NameAssigner::new(SimConfig::new(seed), tree).unwrap();
+        for chunk in ops.chunks(5) {
+            let batch: Vec<(NodeId, RequestKind)> = chunk
+                .iter()
+                .filter_map(|&op| concretize(names.tree(), op))
+                .collect();
+            names.run_batch(&batch).unwrap();
+            names
+                .check_invariants()
+                .map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Heavy-child decomposition: the light-ancestor bound holds after every
+    /// batch.
+    #[test]
+    fn heavy_child_light_depth_holds(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..500,
+        n0 in 4usize..16,
+    ) {
+        let tree = DynamicTree::with_initial_star(n0);
+        let mut heavy = HeavyChildDecomposition::new(SimConfig::new(seed), tree).unwrap();
+        for chunk in ops.chunks(5) {
+            let batch: Vec<(NodeId, RequestKind)> = chunk
+                .iter()
+                .filter_map(|&op| concretize(heavy.tree(), op))
+                .collect();
+            heavy.run_batch(&batch).unwrap();
+            heavy
+                .check_light_depth()
+                .map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Ancestry labeling: labels stay present, correct and short after every
+    /// batch (churn skewed towards deletions, the case the corollary covers).
+    #[test]
+    fn ancestry_labeling_invariants_hold(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..500,
+        n0 in 8usize..32,
+    ) {
+        let tree = DynamicTree::with_initial_star(n0);
+        let mut labels = AncestryLabeling::new(SimConfig::new(seed), tree).unwrap();
+        for chunk in ops.chunks(5) {
+            let batch: Vec<(NodeId, RequestKind)> = chunk
+                .iter()
+                .filter_map(|&op| concretize(labels.tree(), op))
+                .collect();
+            labels.run_batch(&batch).unwrap();
+            labels
+                .check_invariants()
+                .map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The discrete-event core: a time-ordered, deterministic event queue.
+
+use crate::protocol::AgentId;
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in abstract units.
+pub type Time = u64;
+
+/// Identifier of a pending graceful topology change.
+pub type ChangeId = u64;
+
+/// Internal simulator events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// An agent (created, moved or dequeued) becomes active at `at`.
+    Activate { agent: AgentId, at: NodeId },
+    /// The environment attempts to apply a pending graceful topology change.
+    AttemptChange { change: ChangeId },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq) via Reverse in the queue.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered queue; ties broken by insertion order.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `kind` to fire `delay` units after the current time.
+    pub fn schedule(&mut self, delay: Time, kind: EventKind) {
+        let event = Event {
+            time: self.now.saturating_add(delay),
+            seq: self.next_seq,
+            kind,
+        };
+        self.next_seq += 1;
+        self.heap.push(Reverse(event));
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Event> {
+        let Reverse(event) = self.heap.pop()?;
+        debug_assert!(event.time >= self.now, "time must not run backwards");
+        self.now = event.time;
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activate(i: u32) -> EventKind {
+        EventKind::Activate {
+            agent: AgentId(i as u64),
+            at: NodeId::from_index(0),
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, activate(1));
+        q.schedule(5, activate(2));
+        q.schedule(7, activate(3));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(order, vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3, activate(1));
+        q.schedule(3, activate(2));
+        q.schedule(3, activate(3));
+        let order: Vec<EventKind> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(order, vec![activate(1), activate(2), activate(3)]);
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(4, activate(1));
+        q.pop();
+        assert_eq!(q.now(), 4);
+        // Scheduling is relative to the current time.
+        q.schedule(2, activate(2));
+        assert_eq!(q.pop().unwrap().time, 6);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, activate(1));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Adversarial port-number assignment.
+//!
+//! The paper assumes the "relatively wasteful" model in which port numbers at
+//! each vertex are assigned by an adversary and encoded with `O(log N)` bits
+//! (§2.1.2). The controller never interprets port numbers — it only needs the
+//! port leading to the parent — but keeping the assignment around lets tests
+//! confirm the protocol does not accidentally rely on a friendly numbering.
+
+use crate::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Port numbers of a single node: one distinct number per incident tree edge.
+#[derive(Clone, Debug, Default)]
+pub struct PortMap {
+    ports: HashMap<NodeId, u32>,
+}
+
+impl PortMap {
+    /// Creates an empty port map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a fresh adversarial (random, unique at this node) port number
+    /// for the edge towards `neighbor` and returns it.
+    pub fn assign<R: Rng + ?Sized>(&mut self, neighbor: NodeId, rng: &mut R) -> u32 {
+        loop {
+            let candidate: u32 = rng.gen();
+            if !self.ports.values().any(|&p| p == candidate) {
+                self.ports.insert(neighbor, candidate);
+                return candidate;
+            }
+        }
+    }
+
+    /// Port number of the edge towards `neighbor`, if assigned.
+    pub fn port_to(&self, neighbor: NodeId) -> Option<u32> {
+        self.ports.get(&neighbor).copied()
+    }
+
+    /// Removes the port of the edge towards `neighbor` (the edge disappeared).
+    pub fn remove(&mut self, neighbor: NodeId) {
+        self.ports.remove(&neighbor);
+    }
+
+    /// Number of assigned ports.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Returns `true` when no port is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Returns `true` if all port numbers at this node are pairwise distinct
+    /// (an invariant the paper requires at all times).
+    pub fn all_distinct(&self) -> bool {
+        let mut seen: Vec<u32> = self.ports.values().copied().collect();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn assigned_ports_are_distinct_and_retrievable() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut pm = PortMap::new();
+        for i in 0..100 {
+            pm.assign(NodeId::from_index(i), &mut rng);
+        }
+        assert_eq!(pm.len(), 100);
+        assert!(pm.all_distinct());
+        assert!(pm.port_to(NodeId::from_index(42)).is_some());
+        assert!(pm.port_to(NodeId::from_index(1000)).is_none());
+    }
+
+    #[test]
+    fn removing_a_port_frees_the_slot() {
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let mut pm = PortMap::new();
+        pm.assign(NodeId::from_index(1), &mut rng);
+        assert!(!pm.is_empty());
+        pm.remove(NodeId::from_index(1));
+        assert!(pm.is_empty());
+        assert!(pm.port_to(NodeId::from_index(1)).is_none());
+    }
+}

@@ -1,0 +1,661 @@
+//! The discrete-event simulator tying together the tree, the taxi layer, the
+//! graceful-change machinery and the protocol's agent program.
+
+use crate::config::SimConfig;
+use crate::engine::{ChangeId, EventKind, EventQueue, Time};
+use crate::metrics::Metrics;
+use crate::ports::PortMap;
+use crate::protocol::{Action, AgentId, Effect, NodeCtx, Protocol};
+use crate::taxi::{AgentTaxi, NodeTaxi};
+use crate::topology::{PendingChange, TopologyChange, MAX_CHANGE_ATTEMPTS};
+use crate::{DynamicTree, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An operation referenced a node that does not (or no longer) exist.
+    UnknownNode(NodeId),
+    /// The protocol issued an impossible instruction (e.g. `Up` at the root,
+    /// `Down` with no recorded descent pointer).
+    ProtocolViolation(String),
+    /// `run_until_quiescent` exceeded the configured event budget; the
+    /// execution is likely livelocked.
+    EventBudgetExceeded(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(id) => write!(f, "node {id} does not exist in the simulation"),
+            SimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            SimError::EventBudgetExceeded(n) => {
+                write!(f, "event budget of {n} events exceeded before quiescence")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+struct AgentEntry<P: Protocol> {
+    state: P::Agent,
+    taxi: AgentTaxi,
+}
+
+/// The asynchronous-network / mobile-agent simulator.
+///
+/// See the crate-level documentation for the model. Typical usage:
+///
+/// 1. construct with [`Simulator::new`] or [`Simulator::with_tree`];
+/// 2. inject requests by creating agents with [`Simulator::create_agent`];
+/// 3. call [`Simulator::run_until_quiescent`];
+/// 4. drain protocol outputs with [`Simulator::drain_outputs`] and inspect
+///    [`Simulator::metrics`].
+pub struct Simulator<P: Protocol> {
+    config: SimConfig,
+    protocol: P,
+    tree: DynamicTree,
+    rng: ChaCha12Rng,
+    queue: EventQueue,
+    whiteboards: HashMap<NodeId, P::Whiteboard>,
+    node_taxi: HashMap<NodeId, NodeTaxi>,
+    ports: HashMap<NodeId, PortMap>,
+    agents: HashMap<AgentId, AgentEntry<P>>,
+    next_agent: u64,
+    pending_changes: HashMap<ChangeId, PendingChange>,
+    next_change: u64,
+    outputs: Vec<P::Output>,
+    metrics: Metrics,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator whose network initially consists of a single root.
+    pub fn new(config: SimConfig, protocol: P) -> Self {
+        Self::with_tree(config, protocol, DynamicTree::new())
+    }
+
+    /// Creates a simulator over an existing initial tree. Whiteboards are
+    /// created top-down so that every node's whiteboard can be derived from
+    /// its parent's (the paper's parameter hand-off).
+    pub fn with_tree(config: SimConfig, mut protocol: P, tree: DynamicTree) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let mut whiteboards = HashMap::new();
+        let mut node_taxi = HashMap::new();
+        let mut ports: HashMap<NodeId, PortMap> = HashMap::new();
+        let order: Vec<NodeId> = tree.dfs(tree.root()).collect();
+        for &node in &order {
+            let parent = tree.parent(node);
+            let wb = {
+                let parent_wb = parent.and_then(|p| whiteboards.get(&p));
+                protocol.make_whiteboard(node, parent_wb)
+            };
+            whiteboards.insert(node, wb);
+            node_taxi.insert(node, NodeTaxi::new());
+            ports.entry(node).or_default();
+            if let Some(p) = parent {
+                let port_at_parent = ports.entry(p).or_default().assign(node, &mut rng);
+                let port_at_child = ports.entry(node).or_default().assign(p, &mut rng);
+                debug_assert_ne!((port_at_parent, p), (port_at_child, node));
+            }
+        }
+        Simulator {
+            config,
+            protocol,
+            tree,
+            rng,
+            queue: EventQueue::new(),
+            whiteboards,
+            node_taxi,
+            ports,
+            agents: HashMap::new(),
+            next_agent: 0,
+            pending_changes: HashMap::new(),
+            next_change: 0,
+            outputs: Vec::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The protocol instance (e.g. to read aggregated protocol state).
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol instance.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    /// Consumes the simulator and returns the tree in its final state (used
+    /// by iteration drivers that rebuild the protocol state over the same
+    /// network at an epoch boundary).
+    pub fn into_tree(self) -> DynamicTree {
+        self.tree
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Cost counters accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets the cost counters (e.g. at an iteration boundary) and returns
+    /// the previous values.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// The whiteboard of `node`, if the node exists.
+    pub fn whiteboard(&self, node: NodeId) -> Option<&P::Whiteboard> {
+        self.whiteboards.get(&node)
+    }
+
+    /// Mutable whiteboard access (driver-side initialisation only).
+    pub fn whiteboard_mut(&mut self, node: NodeId) -> Option<&mut P::Whiteboard> {
+        self.whiteboards.get_mut(&node)
+    }
+
+    /// Iterates over the whiteboards of all currently existing nodes.
+    pub fn whiteboards(&self) -> impl Iterator<Item = (NodeId, &P::Whiteboard)> {
+        self.whiteboards.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The adversarially assigned port numbers of `node`.
+    pub fn ports(&self, node: NodeId) -> Option<&PortMap> {
+        self.ports.get(&node)
+    }
+
+    /// Returns `true` if `node` is currently locked by some agent.
+    pub fn is_locked(&self, node: NodeId) -> bool {
+        self.node_taxi.get(&node).map_or(false, NodeTaxi::is_locked)
+    }
+
+    /// Number of agents currently alive (travelling, active or queued).
+    pub fn live_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of granted topological changes still awaiting graceful
+    /// application.
+    pub fn pending_change_count(&self) -> usize {
+        self.pending_changes.len()
+    }
+
+    /// Number of events currently scheduled in the engine. Zero means the
+    /// execution is quiescent.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` when no events are scheduled (nothing left to simulate).
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Removes and returns all protocol outputs emitted so far.
+    pub fn drain_outputs(&mut self) -> Vec<P::Output> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Creates an agent at `node`, activated at the current simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if `node` does not exist.
+    pub fn create_agent(&mut self, node: NodeId, state: P::Agent) -> Result<AgentId, SimError> {
+        self.create_agent_delayed(node, state, 0)
+    }
+
+    /// Creates an agent at `node`, activated `delay` time units from now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if `node` does not exist.
+    pub fn create_agent_delayed(
+        &mut self,
+        node: NodeId,
+        state: P::Agent,
+        delay: Time,
+    ) -> Result<AgentId, SimError> {
+        if !self.tree.contains(node) {
+            return Err(SimError::UnknownNode(node));
+        }
+        let id = AgentId(self.next_agent);
+        self.next_agent += 1;
+        self.agents.insert(
+            id,
+            AgentEntry {
+                state,
+                taxi: AgentTaxi::new(node),
+            },
+        );
+        self.metrics.agents_created += 1;
+        self.metrics.max_live_agents = self.metrics.max_live_agents.max(self.agents.len());
+        self.schedule_activation(id, node, delay);
+        Ok(id)
+    }
+
+    /// Schedules a topological change for graceful application (driver-side;
+    /// the protocol schedules changes through
+    /// [`NodeCtx::schedule_change`](crate::NodeCtx::schedule_change)).
+    pub fn schedule_change(&mut self, change: TopologyChange) {
+        let id = self.next_change;
+        self.next_change += 1;
+        self.pending_changes.insert(id, PendingChange::new(change));
+        self.queue
+            .schedule(self.config.change_delay, EventKind::AttemptChange { change: id });
+    }
+
+    /// Processes a single event. Returns `Ok(false)` when the event queue is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol violations; see [`SimError`].
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let Some(event) = self.queue.pop() else {
+            return Ok(false);
+        };
+        self.metrics.events_processed += 1;
+        match event.kind {
+            EventKind::Activate { agent, at } => self.process_activation(agent, at)?,
+            EventKind::AttemptChange { change } => self.process_change_attempt(change),
+        }
+        Ok(true)
+    }
+
+    /// Runs until no events remain (all agents terminated or queued forever
+    /// and no pending changes can make progress).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] if the configured
+    /// [`SimConfig::max_events`] budget is exhausted, or a protocol violation
+    /// if the agent program issues an impossible instruction.
+    pub fn run_until_quiescent(&mut self) -> Result<(), SimError> {
+        let mut processed: u64 = 0;
+        while self.step()? {
+            processed += 1;
+            if processed > self.config.max_events {
+                return Err(SimError::EventBudgetExceeded(self.config.max_events));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule_activation(&mut self, agent: AgentId, at: NodeId, delay: Time) {
+        if let Some(t) = self.node_taxi.get_mut(&at) {
+            t.inbound += 1;
+        }
+        self.queue
+            .schedule(delay, EventKind::Activate { agent, at });
+    }
+
+    fn process_activation(&mut self, agent: AgentId, at: NodeId) -> Result<(), SimError> {
+        if let Some(t) = self.node_taxi.get_mut(&at) {
+            t.inbound = t.inbound.saturating_sub(1);
+        }
+        let Some(mut entry) = self.agents.remove(&agent) else {
+            return Ok(());
+        };
+        if !self.tree.contains(at) {
+            // The target vanished despite the quiescence gate (can only happen
+            // for wave agents heading to a just-removed child); drop the agent.
+            self.metrics.agents_dropped += 1;
+            return Ok(());
+        }
+        self.metrics.activations += 1;
+        entry.taxi.location = at;
+
+        let parent = self.tree.parent(at);
+        let children: Vec<NodeId> = self
+            .tree
+            .children(at)
+            .map(|c| c.to_vec())
+            .unwrap_or_default();
+        let locked_by = self.node_taxi.get(&at).and_then(|t| t.locked_by);
+        let node_count = self.tree.node_count();
+        let total_created = self.tree.total_created();
+        let time = self.queue.now();
+
+        let whiteboard = self
+            .whiteboards
+            .get_mut(&at)
+            .expect("existing node has a whiteboard");
+        let protocol = &mut self.protocol;
+        let mut ctx: NodeCtx<'_, P> = NodeCtx {
+            node: at,
+            parent,
+            children,
+            node_count,
+            total_created,
+            time,
+            agent_id: agent,
+            origin: entry.taxi.origin,
+            dist_from_origin: entry.taxi.dist_from_origin,
+            dist_to_top: entry.taxi.dist_to_top,
+            locked_by,
+            whiteboard,
+            effects: Vec::new(),
+        };
+        let action = protocol.on_activate(&mut ctx, &mut entry.state);
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+
+        self.apply_effects(agent, at, &mut entry, effects);
+        self.apply_action(agent, at, entry, action)
+    }
+
+    fn apply_effects(
+        &mut self,
+        agent: AgentId,
+        at: NodeId,
+        entry: &mut AgentEntry<P>,
+        effects: Vec<Effect<P>>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Lock => {
+                    let arrived_from = entry.taxi.arrived_from;
+                    let is_child = arrived_from
+                        .map(|c| self.tree.parent(c) == Some(at))
+                        .unwrap_or(false);
+                    if let Some(t) = self.node_taxi.get_mut(&at) {
+                        t.locked_by = Some(agent);
+                        if is_child {
+                            t.down_child = arrived_from;
+                        } else if arrived_from.is_none() {
+                            t.down_child = None;
+                        }
+                    }
+                }
+                Effect::Unlock => {
+                    let dequeued = if let Some(t) = self.node_taxi.get_mut(&at) {
+                        t.locked_by = None;
+                        t.queue.pop_front()
+                    } else {
+                        None
+                    };
+                    if let Some(next) = dequeued {
+                        self.schedule_activation(next, at, 0);
+                    }
+                }
+                Effect::MarkTop => entry.taxi.mark_top(),
+                Effect::Spawn(state) => {
+                    let id = AgentId(self.next_agent);
+                    self.next_agent += 1;
+                    self.agents.insert(
+                        id,
+                        AgentEntry {
+                            state,
+                            taxi: AgentTaxi::new(at),
+                        },
+                    );
+                    self.metrics.agents_created += 1;
+                    self.metrics.max_live_agents =
+                        self.metrics.max_live_agents.max(self.agents.len() + 1);
+                    self.schedule_activation(id, at, 0);
+                }
+                Effect::Emit(output) => self.outputs.push(output),
+                Effect::ScheduleChange(change) => self.schedule_change(change),
+                Effect::AuxMessages(k) => self.metrics.aux_messages += k,
+            }
+        }
+    }
+
+    fn apply_action(
+        &mut self,
+        agent: AgentId,
+        at: NodeId,
+        mut entry: AgentEntry<P>,
+        action: Action,
+    ) -> Result<(), SimError> {
+        match action {
+            Action::Up => {
+                let Some(target) = self.tree.parent(at) else {
+                    return Err(SimError::ProtocolViolation(format!(
+                        "agent {agent} issued Up at the root"
+                    )));
+                };
+                entry.taxi.hop_up(at, target);
+                self.dispatch_move(agent, entry, target);
+                Ok(())
+            }
+            Action::Down => {
+                let target = self.node_taxi.get(&at).and_then(|t| t.down_child);
+                let Some(target) = target else {
+                    return Err(SimError::ProtocolViolation(format!(
+                        "agent {agent} issued Down at {at} with no descent pointer"
+                    )));
+                };
+                if !self.tree.contains(target) {
+                    return Err(SimError::ProtocolViolation(format!(
+                        "descent pointer of {at} references removed node {target}"
+                    )));
+                }
+                entry.taxi.hop_down(at, target);
+                self.dispatch_move(agent, entry, target);
+                Ok(())
+            }
+            Action::MoveToChild(child) => {
+                if !self.tree.contains(child) || self.tree.parent(child) != Some(at) {
+                    // The child disappeared between the decision and the move;
+                    // wave agents are simply dropped (see crate docs).
+                    self.metrics.agents_dropped += 1;
+                    return Ok(());
+                }
+                entry.taxi.hop_to_child(at, child);
+                self.dispatch_move(agent, entry, child);
+                Ok(())
+            }
+            Action::WaitForUnlock => {
+                if let Some(t) = self.node_taxi.get_mut(&at) {
+                    t.queue.push_back(agent);
+                    self.metrics.waits += 1;
+                    self.metrics.max_queue_len = self.metrics.max_queue_len.max(t.queue.len());
+                }
+                self.agents.insert(agent, entry);
+                Ok(())
+            }
+            Action::Again => {
+                self.schedule_activation(agent, at, 0);
+                self.agents.insert(agent, entry);
+                Ok(())
+            }
+            Action::Terminate => Ok(()),
+        }
+    }
+
+    fn dispatch_move(&mut self, agent: AgentId, entry: AgentEntry<P>, target: NodeId) {
+        self.metrics.agent_hops += 1;
+        let delay = self.config.delay.sample(&mut self.rng);
+        self.agents.insert(agent, entry);
+        self.schedule_activation(agent, target, delay);
+    }
+
+    fn process_change_attempt(&mut self, change_id: ChangeId) {
+        let Some(mut pending) = self.pending_changes.remove(&change_id) else {
+            return;
+        };
+        match self.try_apply_change(pending.change) {
+            ChangeOutcome::Applied => {
+                self.metrics.topology_changes_applied += 1;
+            }
+            ChangeOutcome::Dropped => {
+                self.metrics.topology_changes_dropped += 1;
+            }
+            ChangeOutcome::Busy => {
+                pending.attempts += 1;
+                self.metrics.change_retries += 1;
+                if pending.attempts >= MAX_CHANGE_ATTEMPTS {
+                    self.metrics.topology_changes_dropped += 1;
+                } else {
+                    self.pending_changes.insert(change_id, pending);
+                    self.queue.schedule(
+                        self.config.change_retry_delay,
+                        EventKind::AttemptChange { change: change_id },
+                    );
+                }
+            }
+        }
+    }
+
+    fn try_apply_change(&mut self, change: TopologyChange) -> ChangeOutcome {
+        match change {
+            TopologyChange::AddLeaf { parent } => {
+                if !self.tree.contains(parent) {
+                    return ChangeOutcome::Dropped;
+                }
+                let child = self.tree.add_leaf(parent).expect("parent exists");
+                self.init_new_node(child, parent);
+                ChangeOutcome::Applied
+            }
+            TopologyChange::AddInternalAbove { below } => {
+                if !self.tree.contains(below) {
+                    return ChangeOutcome::Dropped;
+                }
+                let Some(parent) = self.tree.parent(below) else {
+                    return ChangeOutcome::Dropped;
+                };
+                // Do not split an edge that an agent's locked descent path
+                // currently crosses, and never split the parent edge of a
+                // locked node: a waiting agent may have locked `below` and
+                // will later record it as its parent's descent target, so the
+                // edge must stay intact until that agent releases it.
+                let below_locked = self
+                    .node_taxi
+                    .get(&below)
+                    .map(NodeTaxi::is_locked)
+                    .unwrap_or(false);
+                let crossing = self
+                    .node_taxi
+                    .get(&parent)
+                    .map(|t| t.is_locked() && t.down_child == Some(below))
+                    .unwrap_or(false);
+                if crossing || below_locked {
+                    return ChangeOutcome::Busy;
+                }
+                let node = self
+                    .tree
+                    .add_internal_above(below)
+                    .expect("below exists and is not the root");
+                self.init_new_node(node, parent);
+                // Re-wire adversarial ports for the changed incident edges.
+                if let Some(pm) = self.ports.get_mut(&parent) {
+                    pm.remove(below);
+                }
+                if let Some(pm) = self.ports.get_mut(&below) {
+                    pm.remove(parent);
+                }
+                let pp = self.ports.entry(parent).or_default().assign(node, &mut self.rng);
+                let _ = pp;
+                self.ports.entry(node).or_default().assign(below, &mut self.rng);
+                self.ports.entry(below).or_default().assign(node, &mut self.rng);
+                ChangeOutcome::Applied
+            }
+            TopologyChange::Remove { node } => {
+                if !self.tree.contains(node) {
+                    return ChangeOutcome::Dropped;
+                }
+                if node == self.tree.root() {
+                    return ChangeOutcome::Dropped;
+                }
+                let busy = self
+                    .node_taxi
+                    .get(&node)
+                    .map(|t| t.is_locked() || !t.queue.is_empty() || t.inbound > 0)
+                    .unwrap_or(false);
+                if busy {
+                    return ChangeOutcome::Busy;
+                }
+                let parent = self.tree.parent(node).expect("non-root node has a parent");
+                let children: Vec<NodeId> = self
+                    .tree
+                    .children(node)
+                    .map(|c| c.to_vec())
+                    .unwrap_or_default();
+                // Hand the whiteboard contents to the parent ("graceful" rule).
+                if let Some(removed_wb) = self.whiteboards.remove(&node) {
+                    let parent_wb = self
+                        .whiteboards
+                        .get_mut(&parent)
+                        .expect("parent has a whiteboard");
+                    let aux = self.protocol.merge_whiteboard(removed_wb, parent_wb);
+                    self.metrics.aux_messages += aux;
+                }
+                self.node_taxi.remove(&node);
+                self.ports.remove(&node);
+                if let Some(pm) = self.ports.get_mut(&parent) {
+                    pm.remove(node);
+                }
+                for &c in &children {
+                    if let Some(pm) = self.ports.get_mut(&c) {
+                        pm.remove(node);
+                    }
+                    self.ports.entry(c).or_default().assign(parent, &mut self.rng);
+                    self.ports.entry(parent).or_default().assign(c, &mut self.rng);
+                }
+                self.tree.remove(node).expect("checked above");
+                ChangeOutcome::Applied
+            }
+            TopologyChange::AddNonTreeEdge { a, b } => match self.tree.add_non_tree_edge(a, b) {
+                Ok(()) => ChangeOutcome::Applied,
+                Err(_) => ChangeOutcome::Dropped,
+            },
+            TopologyChange::RemoveNonTreeEdge { a, b } => {
+                match self.tree.remove_non_tree_edge(a, b) {
+                    Ok(()) => ChangeOutcome::Applied,
+                    Err(_) => ChangeOutcome::Dropped,
+                }
+            }
+        }
+    }
+
+    fn init_new_node(&mut self, node: NodeId, parent: NodeId) {
+        let wb = {
+            let parent_wb = self.whiteboards.get(&parent);
+            self.protocol.make_whiteboard(node, parent_wb)
+        };
+        self.whiteboards.insert(node, wb);
+        self.node_taxi.insert(node, NodeTaxi::new());
+        self.ports.entry(parent).or_default().assign(node, &mut self.rng);
+        self.ports.entry(node).or_default().assign(parent, &mut self.rng);
+    }
+}
+
+enum ChangeOutcome {
+    Applied,
+    Dropped,
+    Busy,
+}
+
+impl<P: Protocol> fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.queue.now())
+            .field("nodes", &self.tree.node_count())
+            .field("live_agents", &self.agents.len())
+            .field("pending_changes", &self.pending_changes.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}

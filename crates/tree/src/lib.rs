@@ -1,0 +1,58 @@
+//! # dcn-tree — dynamic rooted tree substrate
+//!
+//! The controller of Korman & Kutten ("Controller and Estimator for Dynamic
+//! Networks") operates on a network spanned by a rooted tree `T` that may
+//! undergo four kinds of topological changes (paper §2.1.2):
+//!
+//! * **add-leaf** — a new degree-one vertex is attached as a child of an
+//!   existing vertex;
+//! * **remove-leaf** — a non-root leaf is deleted;
+//! * **add-internal** — an edge `(v, w)` is split by a new vertex `u`
+//!   (so `u` becomes a child of `v` and the parent of `w`);
+//! * **remove-internal** — a non-root internal vertex is deleted and its
+//!   children are adopted by its parent.
+//!
+//! This crate provides [`DynamicTree`], an arena-backed implementation of that
+//! model, together with ancestry / depth / path queries, DFS traversal, a
+//! change log that records the network size at every change (needed to check
+//! the paper's `Σ_j log² n_j` bounds), and a small set of *non-tree* edges
+//! (which the paper treats as non-topological because the controller never
+//! sends messages over them).
+//!
+//! Node identifiers are **never reused**: the total number of identifiers ever
+//! allocated corresponds to the paper's quantity `U`, the number of nodes ever
+//! to exist in the network.
+//!
+//! ```
+//! use dcn_tree::DynamicTree;
+//!
+//! # fn main() -> Result<(), dcn_tree::TreeError> {
+//! let mut tree = DynamicTree::new();
+//! let root = tree.root();
+//! let a = tree.add_leaf(root)?;
+//! let b = tree.add_leaf(a)?;
+//! // Split the edge (a, b) with a new internal node.
+//! let mid = tree.add_internal_above(b)?;
+//! assert_eq!(tree.parent(b), Some(mid));
+//! assert_eq!(tree.depth(b), 3);
+//! // Remove the internal node again; `b` is re-adopted by `a`.
+//! tree.remove_internal(mid)?;
+//! assert_eq!(tree.parent(b), Some(a));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod id;
+mod traversal;
+mod tree;
+
+pub use error::TreeError;
+pub use event::{ChangeLog, ChangeRecord, TopologyEvent};
+pub use id::NodeId;
+pub use traversal::{Ancestors, DfsIter};
+pub use tree::DynamicTree;

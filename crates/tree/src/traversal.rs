@@ -1,0 +1,140 @@
+//! Tree traversal iterators.
+
+use crate::{DynamicTree, NodeId};
+
+/// Iterator over a node and its ancestors up to the root, produced by
+/// [`DynamicTree::ancestors`].
+///
+/// ```
+/// use dcn_tree::DynamicTree;
+/// let mut t = DynamicTree::new();
+/// let a = t.add_leaf(t.root()).unwrap();
+/// let b = t.add_leaf(a).unwrap();
+/// let chain: Vec<_> = t.ancestors(b).collect();
+/// assert_eq!(chain, vec![b, a, t.root()]);
+/// ```
+#[derive(Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a DynamicTree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(tree: &'a DynamicTree, start: NodeId) -> Self {
+        let next = if tree.contains(start) {
+            Some(start)
+        } else {
+            None
+        };
+        Ancestors { tree, next }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Depth-first pre-order iterator over a subtree, produced by
+/// [`DynamicTree::dfs`]. Children are visited in insertion order.
+///
+/// ```
+/// use dcn_tree::DynamicTree;
+/// let mut t = DynamicTree::new();
+/// let a = t.add_leaf(t.root()).unwrap();
+/// let b = t.add_leaf(a).unwrap();
+/// let c = t.add_leaf(t.root()).unwrap();
+/// let order: Vec<_> = t.dfs(t.root()).collect();
+/// assert_eq!(order, vec![t.root(), a, b, c]);
+/// ```
+#[derive(Debug)]
+pub struct DfsIter<'a> {
+    tree: &'a DynamicTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> DfsIter<'a> {
+    pub(crate) fn new(tree: &'a DynamicTree, start: NodeId) -> Self {
+        let stack = if tree.contains(start) {
+            vec![start]
+        } else {
+            Vec::new()
+        };
+        DfsIter { tree, stack }
+    }
+}
+
+impl Iterator for DfsIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        if let Ok(children) = self.tree.children(cur) {
+            // Push in reverse so the first child is visited first.
+            for &c in children.iter().rev() {
+                self.stack.push(c);
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> (DynamicTree, Vec<NodeId>) {
+        // root -> a -> (b, c), root -> d
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        let c = t.add_leaf(a).unwrap();
+        let d = t.add_leaf(t.root()).unwrap();
+        (t, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn dfs_preorder_visits_children_in_insertion_order() {
+        let (t, ids) = sample_tree();
+        let order: Vec<_> = t.dfs(t.root()).collect();
+        assert_eq!(order, vec![t.root(), ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn dfs_of_subtree_only_visits_descendants() {
+        let (t, ids) = sample_tree();
+        let order: Vec<_> = t.dfs(ids[0]).collect();
+        assert_eq!(order, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn dfs_of_unknown_node_is_empty() {
+        let (t, _) = sample_tree();
+        assert_eq!(t.dfs(NodeId::from_index(99)).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_include_self_and_root() {
+        let (t, ids) = sample_tree();
+        let chain: Vec<_> = t.ancestors(ids[1]).collect();
+        assert_eq!(chain, vec![ids[1], ids[0], t.root()]);
+    }
+
+    #[test]
+    fn ancestors_of_root_is_just_root() {
+        let (t, _) = sample_tree();
+        let chain: Vec<_> = t.ancestors(t.root()).collect();
+        assert_eq!(chain, vec![t.root()]);
+    }
+
+    #[test]
+    fn ancestors_of_unknown_node_is_empty() {
+        let (t, _) = sample_tree();
+        assert_eq!(t.ancestors(NodeId::from_index(42)).count(), 0);
+    }
+}

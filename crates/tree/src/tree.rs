@@ -1,0 +1,799 @@
+//! The [`DynamicTree`] arena.
+
+use crate::event::{ChangeLog, TopologyEvent};
+use crate::traversal::{Ancestors, DfsIter};
+use crate::{NodeId, TreeError};
+use std::collections::BTreeSet;
+
+/// Per-node payload stored in the arena.
+#[derive(Clone, Debug)]
+struct NodeData {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Non-tree neighbors (the paper allows non-tree edges; the controller
+    /// ignores them, but they are part of the network graph).
+    non_tree: BTreeSet<NodeId>,
+}
+
+/// A dynamic rooted tree supporting the four topological changes of the paper
+/// (add/remove leaf, add/remove internal node) plus non-tree edges.
+///
+/// The tree always contains a root that can never be deleted (paper §2.1.2:
+/// "whose root r is never deleted"). Node ids are never reused; the number of
+/// ids ever allocated is exposed as [`DynamicTree::total_created`] and plays
+/// the role of the paper's quantity `U`.
+///
+/// ```
+/// use dcn_tree::DynamicTree;
+/// # fn main() -> Result<(), dcn_tree::TreeError> {
+/// let mut t = DynamicTree::new();
+/// let a = t.add_leaf(t.root())?;
+/// let b = t.add_leaf(a)?;
+/// assert_eq!(t.node_count(), 3);
+/// assert!(t.is_ancestor(a, b));
+/// assert_eq!(t.path_between(b, t.root())?.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynamicTree {
+    slots: Vec<Option<NodeData>>,
+    root: NodeId,
+    node_count: usize,
+    log: ChangeLog,
+}
+
+impl Default for DynamicTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicTree {
+    /// Creates a tree containing only the root node.
+    pub fn new() -> Self {
+        let root_data = NodeData {
+            parent: None,
+            children: Vec::new(),
+            non_tree: BTreeSet::new(),
+        };
+        DynamicTree {
+            slots: vec![Some(root_data)],
+            root: NodeId(0),
+            node_count: 1,
+            log: ChangeLog::new(),
+        }
+    }
+
+    /// Creates a tree with `extra` leaves hanging directly off the root, for a
+    /// total of `extra + 1` nodes. The construction events are *not* recorded
+    /// in the change log (they model the initial network `n0`).
+    pub fn with_initial_star(extra: usize) -> Self {
+        let mut t = Self::new();
+        for _ in 0..extra {
+            t.add_leaf_unlogged(t.root).expect("root exists");
+        }
+        t
+    }
+
+    /// Creates a tree that is a path of `len + 1` nodes starting at the root.
+    /// The construction events are not recorded in the change log.
+    pub fn with_initial_path(len: usize) -> Self {
+        let mut t = Self::new();
+        let mut cur = t.root;
+        for _ in 0..len {
+            cur = t.add_leaf_unlogged(cur).expect("node exists");
+        }
+        t
+    }
+
+    /// The root of the tree. The root always exists and is never deleted.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes currently in the tree (the paper's `n`).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total number of node ids ever allocated, including deleted nodes (the
+    /// paper's `U`).
+    pub fn total_created(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if `id` currently exists in the tree.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.slots.get(id.index()).map_or(false, Option::is_some)
+    }
+
+    /// The change log recording every topological event applied through the
+    /// logged mutation methods.
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// Clears the change log (e.g. at an iteration boundary of the adaptive
+    /// controller).
+    pub fn clear_change_log(&mut self) {
+        self.log.clear();
+    }
+
+    fn data(&self, id: NodeId) -> Result<&NodeData, TreeError> {
+        self.slots
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(TreeError::UnknownNode(id))
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> Result<&mut NodeData, TreeError> {
+        self.slots
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(TreeError::UnknownNode(id))
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.slots.len() as u32);
+        self.slots.push(Some(data));
+        self.node_count += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Parent of `id`, or `None` for the root.
+    ///
+    /// Returns `None` also for unknown nodes; use [`DynamicTree::contains`]
+    /// to distinguish.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).ok().and_then(|d| d.parent)
+    }
+
+    /// Children of `id` in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
+    pub fn children(&self, id: NodeId) -> Result<&[NodeId], TreeError> {
+        Ok(&self.data(id)?.children)
+    }
+
+    /// Number of children of `id` (the paper's child-degree `deg(v)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
+    pub fn child_degree(&self, id: NodeId) -> Result<usize, TreeError> {
+        Ok(self.data(id)?.children.len())
+    }
+
+    /// Returns `true` if `id` is a leaf (no children). The root with no
+    /// children counts as a leaf for degree purposes but can never be removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
+    pub fn is_leaf(&self, id: NodeId) -> Result<bool, TreeError> {
+        Ok(self.data(id)?.children.is_empty())
+    }
+
+    /// Hop distance from `id` to the root (the paper's *depth*). The root has
+    /// depth 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist; use [`DynamicTree::contains`] first when
+    /// the id may be stale.
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0usize;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        assert!(
+            self.contains(id),
+            "depth() called on unknown node {id}"
+        );
+        d
+    }
+
+    /// Returns `true` if `anc` is an ancestor of `desc` (a node is its own
+    /// ancestor, matching the paper's convention).
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        if !self.contains(anc) || !self.contains(desc) {
+            return false;
+        }
+        let mut cur = Some(desc);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Iterator over `id` and its ancestors up to and including the root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors::new(self, id)
+    }
+
+    /// The path from `from` up to its ancestor `to`, inclusive of both ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if either node does not exist or if
+    /// `to` is not an ancestor of `from`.
+    pub fn path_between(&self, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        if !self.contains(from) {
+            return Err(TreeError::UnknownNode(from));
+        }
+        if !self.contains(to) {
+            return Err(TreeError::UnknownNode(to));
+        }
+        let mut path = Vec::new();
+        let mut cur = Some(from);
+        while let Some(c) = cur {
+            path.push(c);
+            if c == to {
+                return Ok(path);
+            }
+            cur = self.parent(c);
+        }
+        Err(TreeError::UnknownNode(to))
+    }
+
+    /// Hop distance between `desc` and its ancestor `anc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `anc` is not an ancestor of
+    /// `desc` or if either node does not exist.
+    pub fn distance_to_ancestor(&self, desc: NodeId, anc: NodeId) -> Result<usize, TreeError> {
+        Ok(self.path_between(desc, anc)?.len() - 1)
+    }
+
+    /// The ancestor of `id` exactly `hops` edges above it, if it exists.
+    pub fn ancestor_at_distance(&self, id: NodeId, hops: usize) -> Option<NodeId> {
+        let mut cur = id;
+        if !self.contains(id) {
+            return None;
+        }
+        for _ in 0..hops {
+            cur = self.parent(cur)?;
+        }
+        Some(cur)
+    }
+
+    /// Iterator over all currently existing nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            if s.is_some() {
+                Some(NodeId(i as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Depth-first (pre-order) traversal starting at `start`.
+    pub fn dfs(&self, start: NodeId) -> DfsIter<'_> {
+        DfsIter::new(self, start)
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
+    pub fn subtree_size(&self, id: NodeId) -> Result<usize, TreeError> {
+        self.data(id)?;
+        Ok(self.dfs(id).count())
+    }
+
+    /// Non-tree neighbors of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
+    pub fn non_tree_neighbors(&self, id: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        Ok(self.data(id)?.non_tree.iter().copied().collect())
+    }
+
+    /// Checks internal structural invariants; used by tests and debug builds.
+    ///
+    /// Verified invariants: parent/child pointers are mutually consistent,
+    /// every existing non-root node has an existing parent, the root has no
+    /// parent, every node is reachable from the root, and the node count
+    /// matches the number of occupied slots.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(data) = slot else { continue };
+            seen += 1;
+            let id = NodeId(i as u32);
+            match data.parent {
+                None => {
+                    if id != self.root {
+                        return Err(format!("non-root node {id} has no parent"));
+                    }
+                }
+                Some(p) => {
+                    let pd = self
+                        .data(p)
+                        .map_err(|_| format!("parent {p} of {id} does not exist"))?;
+                    if !pd.children.contains(&id) {
+                        return Err(format!("{p} does not list {id} as a child"));
+                    }
+                }
+            }
+            for &c in &data.children {
+                let cd = self
+                    .data(c)
+                    .map_err(|_| format!("child {c} of {id} does not exist"))?;
+                if cd.parent != Some(id) {
+                    return Err(format!("child {c} of {id} has parent {:?}", cd.parent));
+                }
+            }
+        }
+        if seen != self.node_count {
+            return Err(format!(
+                "node_count {} != occupied slots {}",
+                self.node_count, seen
+            ));
+        }
+        let reachable = self.dfs(self.root).count();
+        if reachable != self.node_count {
+            return Err(format!(
+                "only {reachable} of {} nodes reachable from root",
+                self.node_count
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    fn add_leaf_unlogged(&mut self, parent: NodeId) -> Result<NodeId, TreeError> {
+        self.data(parent)?;
+        let child = self.alloc(NodeData {
+            parent: Some(parent),
+            children: Vec::new(),
+            non_tree: BTreeSet::new(),
+        });
+        self.data_mut(parent)
+            .expect("parent checked above")
+            .children
+            .push(child);
+        Ok(child)
+    }
+
+    /// **add-leaf**: attaches a new leaf under `parent` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `parent` does not exist.
+    pub fn add_leaf(&mut self, parent: NodeId) -> Result<NodeId, TreeError> {
+        let before = self.node_count;
+        let child = self.add_leaf_unlogged(parent)?;
+        self.log.push(
+            TopologyEvent::AddLeaf { parent, child },
+            before,
+            self.node_count,
+        );
+        Ok(child)
+    }
+
+    /// **remove-leaf**: removes the non-root leaf `node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::RootImmutable`] if `node` is the root;
+    /// * [`TreeError::NotALeaf`] if `node` has children;
+    /// * [`TreeError::UnknownNode`] if `node` does not exist.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<(), TreeError> {
+        if node == self.root {
+            return Err(TreeError::RootImmutable);
+        }
+        let data = self.data(node)?;
+        if !data.children.is_empty() {
+            return Err(TreeError::NotALeaf(node));
+        }
+        let parent = data.parent.expect("non-root node has a parent");
+        let before = self.node_count;
+        self.detach_non_tree_edges(node);
+        let pd = self.data_mut(parent).expect("parent exists");
+        pd.children.retain(|&c| c != node);
+        self.slots[node.index()] = None;
+        self.node_count -= 1;
+        self.log.push(
+            TopologyEvent::RemoveLeaf { parent, node },
+            before,
+            self.node_count,
+        );
+        Ok(())
+    }
+
+    /// **add-internal**: splits the edge between `below` and its parent with a
+    /// new node, which becomes the parent of `below`. Returns the new node.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::NoParentEdge`] if `below` is the root;
+    /// * [`TreeError::UnknownNode`] if `below` does not exist.
+    pub fn add_internal_above(&mut self, below: NodeId) -> Result<NodeId, TreeError> {
+        let parent = match self.data(below)?.parent {
+            Some(p) => p,
+            None => return Err(TreeError::NoParentEdge(below)),
+        };
+        let before = self.node_count;
+        let node = self.alloc(NodeData {
+            parent: Some(parent),
+            children: vec![below],
+            non_tree: BTreeSet::new(),
+        });
+        {
+            let pd = self.data_mut(parent).expect("parent exists");
+            let pos = pd
+                .children
+                .iter()
+                .position(|&c| c == below)
+                .expect("below is a child of parent");
+            pd.children[pos] = node;
+        }
+        self.data_mut(below).expect("below exists").parent = Some(node);
+        self.log.push(
+            TopologyEvent::AddInternal {
+                parent,
+                node,
+                below,
+            },
+            before,
+            self.node_count,
+        );
+        Ok(node)
+    }
+
+    /// **remove-internal**: removes the non-root node `node`; its children are
+    /// adopted by `node`'s parent (in place of `node`, preserving order).
+    ///
+    /// The paper restricts this operation to nodes of tree-degree larger than
+    /// one (i.e. with at least one child); removing a childless node should go
+    /// through [`DynamicTree::remove_leaf`].
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::RootImmutable`] if `node` is the root;
+    /// * [`TreeError::NotInternal`] if `node` is a leaf;
+    /// * [`TreeError::UnknownNode`] if `node` does not exist.
+    pub fn remove_internal(&mut self, node: NodeId) -> Result<(), TreeError> {
+        if node == self.root {
+            return Err(TreeError::RootImmutable);
+        }
+        let data = self.data(node)?;
+        if data.children.is_empty() {
+            return Err(TreeError::NotInternal(node));
+        }
+        let parent = data.parent.expect("non-root node has a parent");
+        let children = data.children.clone();
+        let before = self.node_count;
+        self.detach_non_tree_edges(node);
+        {
+            let pd = self.data_mut(parent).expect("parent exists");
+            let pos = pd
+                .children
+                .iter()
+                .position(|&c| c == node)
+                .expect("node is a child of its parent");
+            pd.children.splice(pos..=pos, children.iter().copied());
+        }
+        for &c in &children {
+            self.data_mut(c).expect("child exists").parent = Some(parent);
+        }
+        self.slots[node.index()] = None;
+        self.node_count -= 1;
+        self.log.push(
+            TopologyEvent::RemoveInternal { parent, node },
+            before,
+            self.node_count,
+        );
+        Ok(())
+    }
+
+    /// Removes `node` using whichever of remove-leaf / remove-internal applies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicTree::remove_leaf`] / [`DynamicTree::remove_internal`].
+    pub fn remove(&mut self, node: NodeId) -> Result<(), TreeError> {
+        if self.is_leaf(node)? {
+            self.remove_leaf(node)
+        } else {
+            self.remove_internal(node)
+        }
+    }
+
+    fn detach_non_tree_edges(&mut self, node: NodeId) {
+        let neighbors: Vec<NodeId> = self
+            .data(node)
+            .map(|d| d.non_tree.iter().copied().collect())
+            .unwrap_or_default();
+        for nb in neighbors {
+            if let Ok(d) = self.data_mut(nb) {
+                d.non_tree.remove(&node);
+            }
+            if let Ok(d) = self.data_mut(node) {
+                d.non_tree.remove(&nb);
+            }
+            let before = self.node_count;
+            self.log.push(
+                TopologyEvent::RemoveNonTreeEdge { a: node, b: nb },
+                before,
+                before,
+            );
+        }
+    }
+
+    /// Adds a non-tree edge between `a` and `b` (a non-topological event for
+    /// the controller).
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownNode`] if either endpoint does not exist;
+    /// * [`TreeError::InvalidEdge`] if `a == b`, the edge already exists, or
+    ///   it would duplicate a tree edge.
+    pub fn add_non_tree_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), TreeError> {
+        self.data(a)?;
+        self.data(b)?;
+        if a == b {
+            return Err(TreeError::InvalidEdge(a, b));
+        }
+        if self.parent(a) == Some(b) || self.parent(b) == Some(a) {
+            return Err(TreeError::InvalidEdge(a, b));
+        }
+        if self.data(a)?.non_tree.contains(&b) {
+            return Err(TreeError::InvalidEdge(a, b));
+        }
+        self.data_mut(a)?.non_tree.insert(b);
+        self.data_mut(b)?.non_tree.insert(a);
+        let n = self.node_count;
+        self.log.push(TopologyEvent::AddNonTreeEdge { a, b }, n, n);
+        Ok(())
+    }
+
+    /// Removes the non-tree edge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownNode`] if either endpoint does not exist;
+    /// * [`TreeError::UnknownEdge`] if the edge does not exist.
+    pub fn remove_non_tree_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), TreeError> {
+        self.data(a)?;
+        self.data(b)?;
+        if !self.data(a)?.non_tree.contains(&b) {
+            return Err(TreeError::UnknownEdge(a, b));
+        }
+        self.data_mut(a)?.non_tree.remove(&b);
+        self.data_mut(b)?.non_tree.remove(&a);
+        let n = self.node_count;
+        self.log
+            .push(TopologyEvent::RemoveNonTreeEdge { a, b }, n, n);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tree_has_only_root() {
+        let t = DynamicTree::new();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.total_created(), 1);
+        assert_eq!(t.depth(t.root()), 0);
+        assert!(t.is_leaf(t.root()).unwrap());
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn add_leaf_builds_depths() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        let c = t.add_leaf(b).unwrap();
+        assert_eq!(t.depth(a), 1);
+        assert_eq!(t.depth(b), 2);
+        assert_eq!(t.depth(c), 3);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.children(a).unwrap(), &[b]);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn remove_leaf_rejects_root_and_internal() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let _b = t.add_leaf(a).unwrap();
+        assert_eq!(t.remove_leaf(t.root()), Err(TreeError::RootImmutable));
+        assert_eq!(t.remove_leaf(a), Err(TreeError::NotALeaf(a)));
+    }
+
+    #[test]
+    fn remove_leaf_then_id_is_gone_and_not_reused() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        t.remove_leaf(a).unwrap();
+        assert!(!t.contains(a));
+        assert_eq!(t.node_count(), 1);
+        let b = t.add_leaf(t.root()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.total_created(), 3);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn add_internal_splits_an_edge() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        let mid = t.add_internal_above(b).unwrap();
+        assert_eq!(t.parent(mid), Some(a));
+        assert_eq!(t.parent(b), Some(mid));
+        assert_eq!(t.children(a).unwrap(), &[mid]);
+        assert_eq!(t.children(mid).unwrap(), &[b]);
+        assert_eq!(t.depth(b), 3);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn add_internal_above_root_is_rejected() {
+        let mut t = DynamicTree::new();
+        assert_eq!(
+            t.add_internal_above(t.root()),
+            Err(TreeError::NoParentEdge(t.root()))
+        );
+    }
+
+    #[test]
+    fn remove_internal_reattaches_children_in_place() {
+        let mut t = DynamicTree::new();
+        let r = t.root();
+        let x = t.add_leaf(r).unwrap();
+        let a = t.add_leaf(r).unwrap();
+        let c1 = t.add_leaf(a).unwrap();
+        let c2 = t.add_leaf(a).unwrap();
+        let y = t.add_leaf(r).unwrap();
+        assert_eq!(t.children(r).unwrap(), &[x, a, y]);
+        t.remove_internal(a).unwrap();
+        assert_eq!(t.children(r).unwrap(), &[x, c1, c2, y]);
+        assert_eq!(t.parent(c1), Some(r));
+        assert_eq!(t.parent(c2), Some(r));
+        assert!(!t.contains(a));
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn remove_internal_rejects_leaves_and_root() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        assert_eq!(t.remove_internal(a), Err(TreeError::NotInternal(a)));
+        assert_eq!(t.remove_internal(t.root()), Err(TreeError::RootImmutable));
+    }
+
+    #[test]
+    fn remove_dispatches_on_degree() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        t.remove(a).unwrap(); // internal
+        assert_eq!(t.parent(b), Some(t.root()));
+        t.remove(b).unwrap(); // leaf
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn ancestry_and_paths() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        let c = t.add_leaf(b).unwrap();
+        let other = t.add_leaf(t.root()).unwrap();
+        assert!(t.is_ancestor(t.root(), c));
+        assert!(t.is_ancestor(c, c));
+        assert!(!t.is_ancestor(other, c));
+        assert_eq!(t.path_between(c, a).unwrap(), vec![c, b, a]);
+        assert_eq!(t.distance_to_ancestor(c, t.root()).unwrap(), 3);
+        assert!(t.path_between(c, other).is_err());
+        assert_eq!(t.ancestor_at_distance(c, 2), Some(a));
+        assert_eq!(t.ancestor_at_distance(c, 9), None);
+    }
+
+    #[test]
+    fn subtree_size_counts_descendants() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let _b = t.add_leaf(a).unwrap();
+        let _c = t.add_leaf(a).unwrap();
+        let _d = t.add_leaf(t.root()).unwrap();
+        assert_eq!(t.subtree_size(t.root()).unwrap(), 5);
+        assert_eq!(t.subtree_size(a).unwrap(), 3);
+    }
+
+    #[test]
+    fn initial_constructions_do_not_pollute_the_log() {
+        let star = DynamicTree::with_initial_star(10);
+        assert_eq!(star.node_count(), 11);
+        assert!(star.change_log().is_empty());
+        let path = DynamicTree::with_initial_path(4);
+        assert_eq!(path.node_count(), 5);
+        assert_eq!(path.depth(NodeId::from_index(4)), 4);
+        assert!(path.change_log().is_empty());
+    }
+
+    #[test]
+    fn change_log_records_sizes() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(a).unwrap();
+        t.remove_leaf(b).unwrap();
+        let sizes = t.change_log().sizes_at_changes();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(t.change_log().tree_change_count(), 3);
+    }
+
+    #[test]
+    fn non_tree_edges_are_symmetric_and_validated() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(t.root()).unwrap();
+        t.add_non_tree_edge(a, b).unwrap();
+        assert_eq!(t.non_tree_neighbors(a).unwrap(), vec![b]);
+        assert_eq!(t.non_tree_neighbors(b).unwrap(), vec![a]);
+        assert_eq!(
+            t.add_non_tree_edge(a, b),
+            Err(TreeError::InvalidEdge(a, b))
+        );
+        assert_eq!(
+            t.add_non_tree_edge(a, a),
+            Err(TreeError::InvalidEdge(a, a))
+        );
+        assert_eq!(
+            t.add_non_tree_edge(a, t.root()),
+            Err(TreeError::InvalidEdge(a, t.root()))
+        );
+        t.remove_non_tree_edge(b, a).unwrap();
+        assert!(t.non_tree_neighbors(a).unwrap().is_empty());
+        assert_eq!(
+            t.remove_non_tree_edge(a, b),
+            Err(TreeError::UnknownEdge(a, b))
+        );
+    }
+
+    #[test]
+    fn deleting_a_node_detaches_its_non_tree_edges() {
+        let mut t = DynamicTree::new();
+        let a = t.add_leaf(t.root()).unwrap();
+        let b = t.add_leaf(t.root()).unwrap();
+        t.add_non_tree_edge(a, b).unwrap();
+        t.remove_leaf(a).unwrap();
+        assert!(t.non_tree_neighbors(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_nodes_are_reported() {
+        let mut t = DynamicTree::new();
+        let ghost = NodeId::from_index(99);
+        assert_eq!(t.add_leaf(ghost), Err(TreeError::UnknownNode(ghost)));
+        assert_eq!(t.children(ghost), Err(TreeError::UnknownNode(ghost)));
+        assert_eq!(t.remove_leaf(ghost), Err(TreeError::UnknownNode(ghost)));
+        assert!(!t.is_ancestor(ghost, t.root()));
+    }
+}

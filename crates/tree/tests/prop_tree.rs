@@ -1,0 +1,165 @@
+//! Property-based tests for the dynamic tree substrate.
+//!
+//! A random sequence of topological operations (interpreted against whatever
+//! nodes currently exist) must always leave the tree structurally consistent,
+//! with depths, ancestry and the change log agreeing with a straightforward
+//! reference interpretation.
+
+use dcn_tree::{DynamicTree, NodeId, TreeError};
+use proptest::prelude::*;
+
+/// An abstract operation; indices are interpreted modulo the current node set
+/// so every generated sequence is applicable to every intermediate tree.
+#[derive(Clone, Debug)]
+enum Op {
+    AddLeaf(usize),
+    RemoveLeaf(usize),
+    AddInternal(usize),
+    RemoveInternal(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..64).prop_map(Op::AddLeaf),
+        1 => (0usize..64).prop_map(Op::RemoveLeaf),
+        2 => (0usize..64).prop_map(Op::AddInternal),
+        1 => (0usize..64).prop_map(Op::RemoveInternal),
+    ]
+}
+
+fn nth_node(tree: &DynamicTree, k: usize) -> NodeId {
+    let nodes: Vec<NodeId> = tree.nodes().collect();
+    nodes[k % nodes.len()]
+}
+
+fn apply(tree: &mut DynamicTree, op: &Op) -> Result<(), TreeError> {
+    match op {
+        Op::AddLeaf(k) => tree.add_leaf(nth_node(tree, *k)).map(|_| ()),
+        Op::RemoveLeaf(k) => tree.remove_leaf(nth_node(tree, *k)),
+        Op::AddInternal(k) => tree.add_internal_above(nth_node(tree, *k)).map(|_| ()),
+        Op::RemoveInternal(k) => tree.remove_internal(nth_node(tree, *k)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any sequence of operations the structural invariants hold.
+    #[test]
+    fn invariants_hold_after_random_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = DynamicTree::new();
+        for op in &ops {
+            // Errors (e.g. removing the root or a leaf via remove_internal)
+            // are fine; the tree must simply stay consistent.
+            let _ = apply(&mut tree, op);
+            prop_assert!(tree.check_invariants().is_ok(), "invariants violated after {:?}", op);
+        }
+        prop_assert!(tree.node_count() >= 1);
+        prop_assert!(tree.contains(tree.root()));
+    }
+
+    /// The number of successful insertions minus deletions tracks node_count,
+    /// and total_created only ever grows.
+    #[test]
+    fn node_count_matches_successful_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = DynamicTree::new();
+        let mut expected = 1i64;
+        for op in &ops {
+            let before_created = tree.total_created();
+            if apply(&mut tree, op).is_ok() {
+                match op {
+                    Op::AddLeaf(_) | Op::AddInternal(_) => expected += 1,
+                    Op::RemoveLeaf(_) | Op::RemoveInternal(_) => expected -= 1,
+                }
+            }
+            prop_assert!(tree.total_created() >= before_created);
+            prop_assert_eq!(tree.node_count() as i64, expected);
+        }
+    }
+
+    /// Every existing node's depth equals the length of its ancestor chain
+    /// minus one, and every node is a descendant of the root.
+    #[test]
+    fn depth_agrees_with_ancestor_chain(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut tree = DynamicTree::new();
+        for op in &ops {
+            let _ = apply(&mut tree, op);
+        }
+        for v in tree.nodes().collect::<Vec<_>>() {
+            let chain: Vec<_> = tree.ancestors(v).collect();
+            prop_assert_eq!(tree.depth(v), chain.len() - 1);
+            prop_assert_eq!(*chain.last().unwrap(), tree.root());
+            prop_assert!(tree.is_ancestor(tree.root(), v));
+            // path_between to the root agrees with the ancestor iterator.
+            let path = tree.path_between(v, tree.root()).unwrap();
+            prop_assert_eq!(path, chain);
+        }
+    }
+
+    /// DFS from the root visits every existing node exactly once.
+    #[test]
+    fn dfs_is_a_bijection_on_nodes(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut tree = DynamicTree::new();
+        for op in &ops {
+            let _ = apply(&mut tree, op);
+        }
+        let mut visited: Vec<_> = tree.dfs(tree.root()).collect();
+        visited.sort();
+        visited.dedup();
+        prop_assert_eq!(visited.len(), tree.node_count());
+        let mut all: Vec<_> = tree.nodes().collect();
+        all.sort();
+        prop_assert_eq!(visited, all);
+    }
+
+    /// The change log's recorded sizes are consistent: sizes change by exactly
+    /// one per tree change and match the running count.
+    #[test]
+    fn change_log_sizes_are_consistent(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut tree = DynamicTree::new();
+        for op in &ops {
+            let _ = apply(&mut tree, op);
+        }
+        let mut prev_after: Option<usize> = None;
+        for rec in tree.change_log() {
+            if rec.event.is_tree_change() {
+                let delta = rec.nodes_after as i64 - rec.nodes_before as i64;
+                prop_assert!(delta == 1 || delta == -1);
+                if rec.event.is_insertion() {
+                    prop_assert_eq!(delta, 1);
+                } else {
+                    prop_assert_eq!(delta, -1);
+                }
+            } else {
+                prop_assert_eq!(rec.nodes_after, rec.nodes_before);
+            }
+            if let Some(p) = prev_after {
+                prop_assert_eq!(rec.nodes_before, p);
+            }
+            prev_after = Some(rec.nodes_after);
+        }
+        if let Some(p) = prev_after {
+            prop_assert_eq!(p, tree.node_count());
+        }
+    }
+
+    /// subtree_size of the root equals node_count and is monotone along edges.
+    #[test]
+    fn subtree_sizes_are_consistent(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = DynamicTree::new();
+        for op in &ops {
+            let _ = apply(&mut tree, op);
+        }
+        prop_assert_eq!(tree.subtree_size(tree.root()).unwrap(), tree.node_count());
+        for v in tree.nodes().collect::<Vec<_>>() {
+            let sz = tree.subtree_size(v).unwrap();
+            let child_sum: usize = tree
+                .children(v)
+                .unwrap()
+                .iter()
+                .map(|&c| tree.subtree_size(c).unwrap())
+                .sum();
+            prop_assert_eq!(sz, child_sum + 1);
+        }
+    }
+}

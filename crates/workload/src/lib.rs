@@ -1,0 +1,32 @@
+//! # dcn-workload — workload, churn and topology generators
+//!
+//! The evaluation of the dynamic-network controller needs three ingredients
+//! that the paper assumes but does not specify concretely:
+//!
+//! * **initial topologies** — the spanning tree the network starts from
+//!   ([`TreeShape`] / [`build_tree`]);
+//! * **churn models** — which topological changes are requested over time
+//!   ([`ChurnModel`] / [`ChurnGenerator`]);
+//! * **request placement** — where non-topological requests arrive
+//!   ([`Placement`]).
+//!
+//! All generators are seeded and deterministic, produce *abstract* operations
+//! ([`ChurnOp`]) that reference concrete nodes of the current tree, and are
+//! consumed by the controller drivers and the benchmark harness. A complete
+//! parameter set is captured by [`Scenario`], which is (de)serialisable so
+//! experiments can be recorded and replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod placement;
+mod scenario;
+mod shape;
+
+pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
+pub use placement::Placement;
+pub use scenario::Scenario;
+pub use shape::{build_tree, TreeShape};
+
+pub use dcn_tree::{DynamicTree, NodeId};

@@ -1,0 +1,86 @@
+//! Serialisable experiment scenarios.
+
+use crate::churn::ChurnModel;
+use crate::placement::Placement;
+use crate::shape::TreeShape;
+use serde::{Deserialize, Serialize};
+
+/// A complete, reproducible description of one experiment run: the initial
+/// topology, the churn model, the request placement, the controller
+/// parameters and the random seed.
+///
+/// Scenarios serialise to JSON so that the benchmark harness can record
+/// exactly what was measured (see EXPERIMENTS.md).
+///
+/// ```
+/// use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+///
+/// let scenario = Scenario {
+///     name: "quarter-churn".to_string(),
+///     shape: TreeShape::Balanced { nodes: 255, arity: 2 },
+///     churn: ChurnModel::default_mixed(),
+///     placement: Placement::Uniform,
+///     requests: 1_000,
+///     m: 1_000,
+///     w: 100,
+///     seed: 7,
+/// };
+/// let json = serde_json::to_string(&scenario).unwrap();
+/// let back: Scenario = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back, scenario);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (used in experiment output rows).
+    pub name: String,
+    /// Initial tree shape.
+    pub shape: TreeShape,
+    /// Churn model for topological requests.
+    pub churn: ChurnModel,
+    /// Placement of non-topological requests.
+    pub placement: Placement,
+    /// Total number of requests to submit.
+    pub requests: usize,
+    /// Permit budget `M`.
+    pub m: u64,
+    /// Waste bound `W`.
+    pub w: u64,
+    /// Random seed (workload and network delays).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A small smoke-test scenario, handy as a starting point.
+    pub fn smoke() -> Self {
+        Scenario {
+            name: "smoke".to_string(),
+            shape: TreeShape::Star { nodes: 31 },
+            churn: ChurnModel::default_mixed(),
+            placement: Placement::Uniform,
+            requests: 64,
+            m: 64,
+            w: 16,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        let s = Scenario::smoke();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn smoke_scenario_is_consistent() {
+        let s = Scenario::smoke();
+        assert!(s.w <= s.m);
+        assert!(s.requests > 0);
+    }
+}

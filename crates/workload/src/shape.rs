@@ -1,0 +1,186 @@
+//! Initial tree shapes.
+
+use dcn_tree::{DynamicTree, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The shape of the initial spanning tree.
+///
+/// The controller's cost depends heavily on node depths (permits travel along
+/// root-to-node paths), so experiments sweep over shapes with very different
+/// depth profiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeShape {
+    /// A single path of the given depth hanging off the root: the worst case
+    /// for permit travel distance.
+    Path {
+        /// Number of non-root nodes.
+        nodes: usize,
+    },
+    /// All nodes attached directly to the root: the best case.
+    Star {
+        /// Number of non-root nodes.
+        nodes: usize,
+    },
+    /// A complete `arity`-ary tree truncated to the given node count.
+    Balanced {
+        /// Number of non-root nodes.
+        nodes: usize,
+        /// Children per node.
+        arity: usize,
+    },
+    /// A random recursive tree: each new node picks a uniformly random parent
+    /// among the existing nodes (expected depth `O(log n)`).
+    RandomRecursive {
+        /// Number of non-root nodes.
+        nodes: usize,
+        /// Seed for the parent choices.
+        seed: u64,
+    },
+    /// A "caterpillar": a path spine with `legs` leaves attached to each spine
+    /// node — deep and wide at the same time.
+    Caterpillar {
+        /// Number of spine (path) nodes.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+}
+
+impl TreeShape {
+    /// Number of non-root nodes this shape will create.
+    pub fn node_budget(&self) -> usize {
+        match *self {
+            TreeShape::Path { nodes }
+            | TreeShape::Star { nodes }
+            | TreeShape::Balanced { nodes, .. }
+            | TreeShape::RandomRecursive { nodes, .. } => nodes,
+            TreeShape::Caterpillar { spine, legs } => spine * (legs + 1),
+        }
+    }
+}
+
+/// Builds the initial tree for a shape. The construction is not recorded in
+/// the change log (it models the pre-existing network `n0`).
+pub fn build_tree(shape: TreeShape) -> DynamicTree {
+    match shape {
+        TreeShape::Path { nodes } => DynamicTree::with_initial_path(nodes),
+        TreeShape::Star { nodes } => DynamicTree::with_initial_star(nodes),
+        TreeShape::Balanced { nodes, arity } => {
+            let arity = arity.max(1);
+            let mut tree = DynamicTree::new();
+            let mut frontier = vec![tree.root()];
+            let mut next_frontier = Vec::new();
+            let mut created = 0;
+            'outer: loop {
+                for &parent in &frontier {
+                    for _ in 0..arity {
+                        if created == nodes {
+                            break 'outer;
+                        }
+                        let child = tree.add_leaf(parent).expect("parent exists");
+                        next_frontier.push(child);
+                        created += 1;
+                    }
+                }
+                frontier = std::mem::take(&mut next_frontier);
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            tree.clear_change_log();
+            tree
+        }
+        TreeShape::RandomRecursive { nodes, seed } => {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut tree = DynamicTree::new();
+            let mut existing: Vec<NodeId> = vec![tree.root()];
+            for _ in 0..nodes {
+                let parent = *existing.choose(&mut rng).expect("non-empty");
+                let child = tree.add_leaf(parent).expect("parent exists");
+                existing.push(child);
+            }
+            tree.clear_change_log();
+            tree
+        }
+        TreeShape::Caterpillar { spine, legs } => {
+            let mut tree = DynamicTree::new();
+            let mut cur = tree.root();
+            for _ in 0..spine {
+                cur = tree.add_leaf(cur).expect("node exists");
+                for _ in 0..legs {
+                    tree.add_leaf(cur).expect("node exists");
+                }
+            }
+            tree.clear_change_log();
+            tree
+        }
+    }
+}
+
+/// Picks a random existing node, optionally excluding the root.
+pub(crate) fn random_node<R: Rng + ?Sized>(
+    tree: &DynamicTree,
+    rng: &mut R,
+    exclude_root: bool,
+) -> Option<NodeId> {
+    let nodes: Vec<NodeId> = tree
+        .nodes()
+        .filter(|&n| !(exclude_root && n == tree.root()))
+        .collect();
+    nodes.choose(rng).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_build_consistent_trees_of_the_declared_size() {
+        let shapes = [
+            TreeShape::Path { nodes: 17 },
+            TreeShape::Star { nodes: 17 },
+            TreeShape::Balanced { nodes: 17, arity: 3 },
+            TreeShape::RandomRecursive { nodes: 17, seed: 5 },
+            TreeShape::Caterpillar { spine: 4, legs: 3 },
+        ];
+        for shape in shapes {
+            let tree = build_tree(shape);
+            assert_eq!(tree.node_count(), shape.node_budget() + 1, "{shape:?}");
+            assert!(tree.check_invariants().is_ok(), "{shape:?}");
+            assert!(tree.change_log().is_empty(), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn path_is_deep_and_star_is_flat() {
+        let path = build_tree(TreeShape::Path { nodes: 50 });
+        let star = build_tree(TreeShape::Star { nodes: 50 });
+        let max_depth = |t: &DynamicTree| t.nodes().map(|n| t.depth(n)).max().unwrap();
+        assert_eq!(max_depth(&path), 50);
+        assert_eq!(max_depth(&star), 1);
+    }
+
+    #[test]
+    fn balanced_tree_has_logarithmic_depth() {
+        let tree = build_tree(TreeShape::Balanced { nodes: 100, arity: 2 });
+        let max_depth = tree.nodes().map(|n| tree.depth(n)).max().unwrap();
+        assert!(max_depth <= 8, "depth {max_depth} too large for a binary tree of 101 nodes");
+    }
+
+    #[test]
+    fn random_recursive_trees_are_reproducible_per_seed() {
+        let a = build_tree(TreeShape::RandomRecursive { nodes: 40, seed: 9 });
+        let b = build_tree(TreeShape::RandomRecursive { nodes: 40, seed: 9 });
+        let parents = |t: &DynamicTree| t.nodes().map(|n| t.parent(n)).collect::<Vec<_>>();
+        assert_eq!(parents(&a), parents(&b));
+    }
+
+    #[test]
+    fn caterpillar_budget_matches() {
+        assert_eq!(TreeShape::Caterpillar { spine: 4, legs: 3 }.node_budget(), 16);
+    }
+}

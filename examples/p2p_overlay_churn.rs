@@ -1,0 +1,74 @@
+//! A peer-to-peer overlay under churn — the paper's motivating scenario
+//! (§1.1): peers join and leave a topic-based overlay *gracefully*, each
+//! change first obtaining a permit from the controller, so the layer above
+//! always works with an orderly network of known (bounded) size.
+//!
+//! ```text
+//! cargo run --example p2p_overlay_churn
+//! ```
+//!
+//! The overlay starts with 8 peers and goes through 25 churn waves of joins,
+//! internal relay insertions and departures. No bound on the final size is
+//! known in advance, so the adaptive controller re-estimates its parameters
+//! epoch by epoch.
+
+use dcn::controller::distributed::AdaptiveDistributedController;
+use dcn::controller::RequestKind;
+use dcn::simnet::{DelayModel, SimConfig};
+use dcn::workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = build_tree(TreeShape::Star { nodes: 7 });
+    let config = SimConfig::new(7).with_delay(DelayModel::Uniform { min: 1, max: 10 });
+    // The overlay operator allows up to 600 granted changes, with at most 60
+    // of them potentially "wasted" once the budget runs out.
+    let mut controller = AdaptiveDistributedController::new(config, tree, 600, 60)?;
+
+    // Churn: mostly joins, some relay (internal node) insertions, some leaves.
+    let mut churn = ChurnGenerator::new(
+        ChurnModel::FullChurn {
+            add_leaf: 55,
+            add_internal: 15,
+            remove: 25,
+        },
+        99,
+    );
+
+    println!("--- p2p overlay churn ---");
+    for wave in 0..25 {
+        let ops = churn.batch(controller.tree(), 12);
+        let batch: Vec<_> = ops
+            .iter()
+            .map(|op| match *op {
+                ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
+                ChurnOp::AddInternal { below, parent } => {
+                    (parent, RequestKind::AddInternalAbove(below))
+                }
+                ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
+                ChurnOp::Event { at } => (at, RequestKind::NonTopological),
+            })
+            .collect();
+        let records = controller.run_batch(&batch)?;
+        let granted = records.iter().filter(|r| r.outcome.is_granted()).count();
+        println!(
+            "wave {wave:>2}: {granted:>2}/{:>2} changes granted   peers = {:>4}   epochs = {}   messages = {}",
+            records.len(),
+            controller.tree().node_count(),
+            controller.epochs(),
+            controller.messages(),
+        );
+        if controller.is_exhausted() {
+            println!("         (budget spent — the overlay operator must provision a new controller)");
+            break;
+        }
+    }
+    controller.summary().check().expect("safety & liveness hold");
+    println!(
+        "final overlay: {} peers, {} messages, {} epochs, {} recycling rounds",
+        controller.tree().node_count(),
+        controller.messages(),
+        controller.epochs(),
+        controller.recycles()
+    );
+    Ok(())
+}
