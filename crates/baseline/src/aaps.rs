@@ -17,7 +17,7 @@
 //! [`ControllerError::Sim`]-free, explicit errors so experiment T4 can report
 //! them.
 
-use dcn_controller::{ControllerError, Outcome, RequestKind};
+use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
 use dcn_tree::{DynamicTree, NodeId};
 use std::collections::HashMap;
 
@@ -66,12 +66,7 @@ impl AapsController {
     /// * [`ControllerError::WasteExceedsBudget`] if `w > m`;
     /// * [`ControllerError::BoundTooSmall`] if `u_bound` is below the current
     ///   node count.
-    pub fn new(
-        tree: DynamicTree,
-        m: u64,
-        w: u64,
-        u_bound: usize,
-    ) -> Result<Self, ControllerError> {
+    pub fn new(tree: DynamicTree, m: u64, w: u64, u_bound: usize) -> Result<Self, ControllerError> {
         if w > m {
             return Err(ControllerError::WasteExceedsBudget { m, w });
         }
@@ -251,6 +246,74 @@ impl AapsController {
     pub fn uncommitted_permits(&self) -> u64 {
         self.storage + self.bins.values().sum::<u64>()
     }
+
+    /// The largest per-node bin footprint in bits: one `O(log M)` counter per
+    /// non-empty bin level hosted at the node (plus the root's storage
+    /// counter).
+    pub fn peak_node_memory_bits(&self) -> u64 {
+        let log_m = 64 - self.m.max(1).leading_zeros() as u64;
+        let mut per_node: HashMap<NodeId, u64> = HashMap::new();
+        for (&(node, _level), &count) in &self.bins {
+            if count > 0 {
+                *per_node.entry(node).or_insert(0) += log_m;
+            }
+        }
+        let storage_bits = 64 - self.storage.max(1).leading_zeros() as u64;
+        per_node
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(storage_bits)
+    }
+}
+
+impl Controller for AapsController {
+    fn name(&self) -> &'static str {
+        "aaps"
+    }
+
+    fn budget(&self) -> u64 {
+        self.m
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.w
+    }
+
+    fn supports(&self, kind: RequestKind) -> bool {
+        // The AAPS dynamic model: leaf insertions and non-topological events
+        // only — exactly the restriction the paper's controller lifts.
+        matches!(kind, RequestKind::AddLeaf | RequestKind::NonTopological)
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        AapsController::submit(self, at, kind).map(|_| ())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        Ok(())
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        ControllerMetrics {
+            moves: self.moves,
+            messages: self.messages,
+            peak_node_memory_bits: self.peak_node_memory_bits(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +366,10 @@ mod tests {
         let first = ctrl.messages();
         ctrl.submit(deep, RequestKind::NonTopological).unwrap();
         let second = ctrl.messages() - first;
-        assert!(second < first, "second request ({second}) should be cheaper than the first ({first})");
+        assert!(
+            second < first,
+            "second request ({second}) should be cheaper than the first ({first})"
+        );
     }
 
     #[test]
@@ -315,7 +381,10 @@ mod tests {
         let mut granted = 0;
         let mut rejected = 0;
         for i in 0..60 {
-            match ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological).unwrap() {
+            match ctrl
+                .submit(nodes[i % nodes.len()], RequestKind::NonTopological)
+                .unwrap()
+            {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
             }

@@ -37,7 +37,7 @@ mod trivial;
 pub use aaps::AapsController;
 pub use trivial::TrivialController;
 
-pub use dcn_controller::{ControllerError, Outcome, RequestKind};
+pub use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
 pub use dcn_tree::{DynamicTree, NodeId};
 
 /// Error returned when a baseline is asked to perform an operation outside

@@ -1,6 +1,6 @@
 //! The trivial root-walk controller.
 
-use dcn_controller::{ControllerError, Outcome, RequestKind};
+use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
 use dcn_tree::{DynamicTree, NodeId};
 
 /// The naive (M, W)-Controller: every request sends a message up to the root
@@ -112,6 +112,52 @@ impl TrivialController {
     }
 }
 
+impl Controller for TrivialController {
+    fn name(&self) -> &'static str {
+        "trivial"
+    }
+
+    fn budget(&self) -> u64 {
+        self.m
+    }
+
+    fn waste_bound(&self) -> u64 {
+        // The root always knows the exact remaining budget, so nothing is
+        // ever wasted.
+        0
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        TrivialController::submit(self, at, kind).map(|_| ())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        Ok(())
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        &self.tree
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        ControllerMetrics {
+            moves: self.moves,
+            messages: self.messages,
+            // The root stores the remaining-budget counter; other nodes are
+            // stateless.
+            peak_node_memory_bits: 64 - self.m.max(1).leading_zeros() as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +201,8 @@ mod tests {
             Outcome::Granted { new_node, .. } => new_node.unwrap(),
             Outcome::Rejected => panic!("should grant"),
         };
-        ctrl.submit(leaf, RequestKind::AddInternalAbove(new)).unwrap();
+        ctrl.submit(leaf, RequestKind::AddInternalAbove(new))
+            .unwrap();
         // `leaf` is now an internal node; the trivial controller can still
         // remove it (it supports the full dynamic model).
         ctrl.submit(leaf, RequestKind::RemoveSelf).unwrap();

@@ -1,157 +1,181 @@
-//! Criterion micro-benchmarks: one group per experiment family, on reduced
-//! workloads (the full sweeps live in the `exp_*` harness binaries).
+//! Micro-benchmarks: one group per experiment family, on reduced workloads
+//! (the full sweeps live in the `exp_*` harness binaries).
+//!
+//! The build environment has no criterion, so this is a `harness = false`
+//! bench with a small hand-rolled timing loop: each workload is warmed up
+//! once and then timed over a fixed number of iterations, reporting the mean
+//! and min wall-clock time per iteration. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dcn_bench::{op_to_request, run_distributed};
-use dcn_controller::centralized::{CentralizedController, IteratedController};
+use dcn_bench::{run_family, Family};
+use dcn_controller::centralized::CentralizedController;
 use dcn_controller::RequestKind;
 use dcn_estimator::{HeavyChildDecomposition, NameAssigner, SizeEstimator};
 use dcn_simnet::SimConfig;
 use dcn_tree::NodeId;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_workload::{
+    build_tree, ChurnGenerator, ChurnModel, ChurnOp, Placement, Scenario, TreeShape,
+};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after one warm-up) and prints a row.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut total = std::time::Duration::ZERO;
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    let mean = total / iters;
+    println!("{name:<44} {iters:>4} iters   mean {mean:>12.2?}   min {best:>12.2?}");
+}
+
+fn scenario(
+    shape: TreeShape,
+    churn: ChurnModel,
+    requests: usize,
+    m: u64,
+    w: u64,
+    seed: u64,
+) -> Scenario {
+    Scenario {
+        name: "bench".to_string(),
+        shape,
+        churn,
+        placement: Placement::Uniform,
+        requests,
+        m,
+        w,
+        seed,
+    }
+}
 
 /// T1: centralized controller, mixed churn, per network size.
-fn bench_centralized_moves(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t1_centralized");
-    group.sample_size(10);
+fn bench_centralized_moves() {
     for &n in &[64usize, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 1 });
-                let m = n as u64;
-                let mut ctrl =
-                    IteratedController::new(tree, m, (m / 4).max(1), 4 * n).expect("params");
-                let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 1);
-                let mut submitted = 0;
-                while submitted < n {
-                    let Some(op) = gen.next_op(ctrl.tree()) else { continue };
-                    let (at, kind) = op_to_request(&op);
-                    if ctrl.submit(at, kind).is_ok() {
-                        submitted += 1;
-                    }
-                }
-                black_box(ctrl.moves())
-            });
+        let s = scenario(
+            TreeShape::RandomRecursive {
+                nodes: n - 1,
+                seed: 1,
+            },
+            ChurnModel::default_mixed(),
+            n,
+            n as u64,
+            (n as u64 / 4).max(1),
+            1,
+        );
+        bench(&format!("t1_centralized/{n}"), 10, || {
+            black_box(run_family(Family::Iterated, &s).moves);
         });
     }
-    group.finish();
 }
 
 /// T3: distributed controller end-to-end, per network size.
-fn bench_distributed_messages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t3_distributed");
-    group.sample_size(10);
+fn bench_distributed_messages() {
     for &n in &[32usize, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let stats = run_distributed(
-                    2,
-                    TreeShape::RandomRecursive { nodes: n - 1, seed: 2 },
-                    ChurnModel::default_mixed(),
-                    n,
-                    16,
-                    n as u64,
-                    (n as u64 / 4).max(1),
-                );
-                black_box(stats.messages)
-            });
+        let s = scenario(
+            TreeShape::RandomRecursive {
+                nodes: n - 1,
+                seed: 2,
+            },
+            ChurnModel::default_mixed(),
+            n,
+            n as u64,
+            (n as u64 / 4).max(1),
+            2,
+        );
+        bench(&format!("t3_distributed/{n}"), 10, || {
+            black_box(run_family(Family::Distributed, &s).messages);
         });
     }
-    group.finish();
 }
 
 /// F1: the size-estimation protocol under churn.
-fn bench_size_estimation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f1_size_estimation");
-    group.sample_size(10);
+fn bench_size_estimation() {
     for &n in &[64usize, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 3 });
-                let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0).expect("params");
-                let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 3);
-                for _ in 0..6 {
-                    let ops: Vec<_> =
-                        gen.batch(est.tree(), 10).iter().map(op_to_request).collect();
-                    est.run_batch(&ops).expect("batch");
-                }
-                black_box(est.messages())
+        bench(&format!("f1_size_estimation/{n}"), 10, || {
+            let tree = build_tree(TreeShape::RandomRecursive {
+                nodes: n - 1,
+                seed: 3,
             });
+            let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0).expect("params");
+            let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 3);
+            for _ in 0..6 {
+                let ops: Vec<_> = gen
+                    .batch(est.tree(), 10)
+                    .iter()
+                    .map(ChurnOp::to_request)
+                    .collect();
+                est.run_batch(&ops).expect("batch");
+            }
+            black_box(est.messages());
         });
     }
-    group.finish();
 }
 
 /// F2: the name-assignment protocol under churn.
-fn bench_name_assignment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f2_name_assignment");
-    group.sample_size(10);
-    group.bench_function("n=128", |b| {
-        b.iter(|| {
-            let tree = build_tree(TreeShape::RandomRecursive { nodes: 127, seed: 4 });
-            let mut names = NameAssigner::new(SimConfig::new(4), tree).expect("params");
-            let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 4);
-            for _ in 0..5 {
-                let ops: Vec<_> = gen
-                    .batch(names.tree(), 8)
-                    .iter()
-                    .map(op_to_request)
-                    .collect();
-                names.run_batch(&ops).expect("batch");
-            }
-            black_box(names.messages())
+fn bench_name_assignment() {
+    bench("f2_name_assignment/n=128", 10, || {
+        let tree = build_tree(TreeShape::RandomRecursive {
+            nodes: 127,
+            seed: 4,
         });
+        let mut names = NameAssigner::new(SimConfig::new(4), tree).expect("params");
+        let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 4);
+        for _ in 0..5 {
+            let ops: Vec<_> = gen
+                .batch(names.tree(), 8)
+                .iter()
+                .map(ChurnOp::to_request)
+                .collect();
+            names.run_batch(&ops).expect("batch");
+        }
+        black_box(names.messages());
     });
-    group.finish();
 }
 
 /// F3: heavy-child decomposition maintenance.
-fn bench_heavy_child(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f3_heavy_child");
-    group.sample_size(10);
-    group.bench_function("n=64_growth", |b| {
-        b.iter(|| {
-            let tree = build_tree(TreeShape::Star { nodes: 63 });
-            let mut decomposition =
-                HeavyChildDecomposition::new(SimConfig::new(5), tree).expect("params");
-            let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 5);
-            for _ in 0..5 {
-                let ops: Vec<_> = gen
-                    .batch(decomposition.tree(), 10)
-                    .iter()
-                    .map(op_to_request)
-                    .collect();
-                decomposition.run_batch(&ops).expect("batch");
-            }
-            black_box(decomposition.max_light_ancestors())
-        });
+fn bench_heavy_child() {
+    bench("f3_heavy_child/n=64_growth", 10, || {
+        let tree = build_tree(TreeShape::Star { nodes: 63 });
+        let mut decomposition =
+            HeavyChildDecomposition::new(SimConfig::new(5), tree).expect("params");
+        let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 5);
+        for _ in 0..5 {
+            let ops: Vec<_> = gen
+                .batch(decomposition.tree(), 10)
+                .iter()
+                .map(ChurnOp::to_request)
+                .collect();
+            decomposition.run_batch(&ops).expect("batch");
+        }
+        black_box(decomposition.max_light_ancestors());
     });
-    group.finish();
 }
 
 /// F4/F5 micro: pure grant path of the base centralized controller.
-fn bench_single_grant(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f5_grant_path");
-    group.sample_size(20);
-    group.bench_function("deep_request_path_n=512", |b| {
-        b.iter(|| {
-            let tree = build_tree(TreeShape::Path { nodes: 511 });
-            let mut ctrl = CentralizedController::new(tree, 64, 32, 1024).expect("params");
-            let deep = NodeId::from_index(511);
-            black_box(ctrl.submit(deep, RequestKind::NonTopological).expect("grant"))
-        });
+fn bench_single_grant() {
+    bench("f5_grant_path/deep_request_path_n=512", 20, || {
+        let tree = build_tree(TreeShape::Path { nodes: 511 });
+        let mut ctrl = CentralizedController::new(tree, 64, 32, 1024).expect("params");
+        let deep = NodeId::from_index(511);
+        black_box(
+            ctrl.submit(deep, RequestKind::NonTopological)
+                .expect("grant"),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_centralized_moves,
-    bench_distributed_messages,
-    bench_size_estimation,
-    bench_name_assignment,
-    bench_heavy_child,
-    bench_single_grant
-);
-criterion_main!(benches);
+fn main() {
+    println!("dcn micro-benchmarks (hand-rolled harness; no criterion in this environment)");
+    bench_centralized_moves();
+    bench_distributed_messages();
+    bench_size_estimation();
+    bench_name_assignment();
+    bench_heavy_child();
+    bench_single_grant();
+}

@@ -5,10 +5,10 @@
 //! the `log²n` shape) and counts the β-invariant violations observed after
 //! every batch (the paper's guarantee is that there are none).
 
-use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_bench::{print_table, sweep_sizes, Row};
 use dcn_estimator::SizeEstimator;
 use dcn_simnet::SimConfig;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 256, 1024], &[64, 256]);
@@ -16,7 +16,10 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &sizes {
         for &beta in &betas {
-            let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 11 });
+            let tree = build_tree(TreeShape::RandomRecursive {
+                nodes: n - 1,
+                seed: 11,
+            });
             let mut est = SizeEstimator::new(SimConfig::new(11), tree, beta).expect("params");
             let mut gen = ChurnGenerator::new(
                 ChurnModel::FullChurn {
@@ -32,7 +35,7 @@ fn main() {
                 let ops: Vec<_> = gen
                     .batch(est.tree(), 12)
                     .iter()
-                    .map(op_to_request)
+                    .map(ChurnOp::to_request)
                     .collect();
                 est.run_batch(&ops).expect("batch");
                 if !est.estimate_is_valid() {

@@ -5,16 +5,19 @@
 //! violations (must be 0) and the total message count compared with the
 //! `(n₀log²n₀ + Σ log²n_j)` shape.
 
-use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_bench::{print_table, sweep_sizes, Row};
 use dcn_estimator::NameAssigner;
 use dcn_simnet::SimConfig;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 256, 512], &[64, 256]);
     let mut rows = Vec::new();
     for &n in &sizes {
-        let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 13 });
+        let tree = build_tree(TreeShape::RandomRecursive {
+            nodes: n - 1,
+            seed: 13,
+        });
         let mut names = NameAssigner::new(SimConfig::new(13), tree).expect("params");
         let mut gen = ChurnGenerator::new(
             ChurnModel::FullChurn {
@@ -31,7 +34,7 @@ fn main() {
             let ops: Vec<_> = gen
                 .batch(names.tree(), 10)
                 .iter()
-                .map(op_to_request)
+                .map(ChurnOp::to_request)
                 .collect();
             names.run_batch(&ops).expect("batch");
             if names.check_invariants().is_err() {

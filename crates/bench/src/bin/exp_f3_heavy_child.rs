@@ -5,10 +5,10 @@
 //! over all nodes (the quantity the theorem bounds by `O(log n)`) against
 //! `log2 n`.
 
-use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_bench::{print_table, sweep_sizes, Row};
 use dcn_estimator::HeavyChildDecomposition;
 use dcn_simnet::SimConfig;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[32, 128, 512], &[32, 128]);
@@ -34,7 +34,7 @@ fn main() {
                 let ops: Vec<_> = gen
                     .batch(decomposition.tree(), 10)
                     .iter()
-                    .map(op_to_request)
+                    .map(ChurnOp::to_request)
                     .collect();
                 decomposition.run_batch(&ops).expect("batch");
                 decomposition
@@ -44,7 +44,11 @@ fn main() {
             let n_now = decomposition.tree().node_count().max(2) as f64;
             rows.push(Row::new(
                 "F3",
-                format!("shape={shape_name} n0={n} final_n={} msgs={}", n_now, decomposition.messages()),
+                format!(
+                    "shape={shape_name} n0={n} final_n={} msgs={}",
+                    n_now,
+                    decomposition.messages()
+                ),
                 decomposition.max_light_ancestors() as f64,
                 n_now.log2(),
             ));

@@ -2,18 +2,14 @@
 //!
 //! The network is overloaded with more requests than the budget `M` for a
 //! sweep of waste bounds `W` (including `W = 0` and `W = M`), on both the
-//! centralized and the distributed controllers. Each row reports the number
-//! of granted permits against the liveness floor `M − W` (the measured value
-//! must lie in `[M − W, M]`; the `violations` field counts runs where it did
-//! not — it must stay 0).
+//! centralized and the distributed controllers — every run driven by the
+//! shared `ScenarioRunner`. Each row reports the number of granted permits
+//! against the liveness floor `M − W` (the measured value must lie in
+//! `[M − W, M]`; the `violations` field counts runs where it did not — it
+//! must stay 0).
 
-use dcn_bench::{print_table, sweep_sizes, Row};
-use dcn_controller::centralized::IteratedController;
-use dcn_controller::distributed::DistributedController;
-use dcn_controller::{Outcome, RequestKind};
-use dcn_simnet::SimConfig;
-use dcn_tree::NodeId;
-use dcn_workload::{build_tree, TreeShape};
+use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 256], &[64]);
@@ -22,45 +18,44 @@ fn main() {
         let m = (n / 2) as u64;
         let waste_sweep = [0u64, 1, m / 4, m / 2, m];
         for &w in &waste_sweep {
-            // Centralized (iterated handles W = 0).
-            let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 19 });
-            let mut ctrl = IteratedController::new(tree, m, w, 4 * n).expect("params");
-            let mut granted = 0u64;
-            let mut rejected = 0u64;
-            for i in 0..(2 * m as usize) {
-                let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
-                let at = nodes[(i * 7) % nodes.len()];
-                match ctrl.submit(at, RequestKind::NonTopological).expect("submit") {
-                    Outcome::Granted { .. } => granted += 1,
-                    Outcome::Rejected => rejected += 1,
-                }
-            }
-            let ok = granted <= m && (rejected == 0 || granted >= m - w);
+            let scenario = Scenario {
+                name: format!("f4-n{n}-w{w}"),
+                shape: TreeShape::RandomRecursive {
+                    nodes: n - 1,
+                    seed: 19,
+                },
+                churn: ChurnModel::EventsOnly,
+                placement: Placement::Uniform,
+                requests: 2 * m as usize,
+                m,
+                w,
+                seed: 19,
+            };
+
+            // Centralized (the iterated family handles W = 0).
+            let report = run_family(Family::Iterated, &scenario);
+            let ok = report.check().is_ok();
             rows.push(Row::new(
                 "F4",
-                format!("centralized n={n} M={m} W={w} violations={}", u32::from(!ok)),
-                granted as f64,
+                format!(
+                    "centralized n={n} M={m} W={w} violations={}",
+                    u32::from(!ok)
+                ),
+                report.granted as f64,
                 (m - w) as f64,
             ));
 
             // Distributed (base controller requires W >= 1).
             if w >= 1 {
-                let tree = build_tree(TreeShape::RandomRecursive { nodes: n - 1, seed: 19 });
-                let mut ctrl =
-                    DistributedController::new(SimConfig::new(19), tree, m, w, 4 * n)
-                        .expect("params");
-                let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
-                for i in 0..(2 * m as usize) {
-                    ctrl.submit(nodes[(i * 5) % nodes.len()], RequestKind::NonTopological)
-                        .expect("submit");
-                }
-                ctrl.run().expect("quiescence");
-                let granted = ctrl.granted();
-                let ok = ctrl.summary().check().is_ok();
+                let report = run_family(Family::Distributed, &scenario);
+                let ok = report.check().is_ok();
                 rows.push(Row::new(
                     "F4",
-                    format!("distributed n={n} M={m} W={w} violations={}", u32::from(!ok)),
-                    granted as f64,
+                    format!(
+                        "distributed n={n} M={m} W={w} violations={}",
+                        u32::from(!ok)
+                    ),
+                    report.granted as f64,
                     (m - w) as f64,
                 ));
             }

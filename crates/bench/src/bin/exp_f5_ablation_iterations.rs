@@ -4,60 +4,42 @@
 //! pays a factor `M/W` in its move complexity while the iterated controller
 //! only pays `log(M/(W+1))`. Sweeping `M` with `W = 1` makes the difference
 //! visible: the ratio column (single-shot / iterated) should grow roughly
-//! linearly with `M`.
+//! linearly with `M`. Both families run the *same* seeded scenario through
+//! the shared `ScenarioRunner`.
 
-use dcn_bench::{print_table, sweep_sizes, Row};
-use dcn_controller::centralized::{CentralizedController, IteratedController};
-use dcn_controller::RequestKind;
-use dcn_tree::NodeId;
-use dcn_workload::{build_tree, TreeShape};
+use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let budgets = sweep_sizes(&[200, 500, 1000, 2000, 4000], &[200, 1000]);
-    let n = 64usize;
+    // Deep path: the distance scale psi must be well below the depth for
+    // the package hierarchy (and thus the iteration trick) to engage at all;
+    // at shallow depths both families degenerate to direct root-to-node
+    // moves and measure identically.
+    let n = 2048usize;
     let mut rows = Vec::new();
     for &m_usize in &budgets {
         let m = m_usize as u64;
-        let w = 1u64;
-        let u_bound = 4 * n;
-        let targets: Vec<usize> = (0..m as usize).map(|i| (i * 13) % n).collect();
+        let scenario = Scenario {
+            name: format!("f5-m{m}"),
+            shape: TreeShape::Path { nodes: n - 1 },
+            churn: ChurnModel::EventsOnly,
+            placement: Placement::Uniform,
+            requests: m as usize,
+            m,
+            w: 1,
+            seed: 13,
+        };
 
-        let mut single =
-            CentralizedController::new(build_tree(TreeShape::Path { nodes: n - 1 }), m, w, u_bound)
-                .expect("params");
-        for &d in &targets {
-            let at = single
-                .tree()
-                .nodes()
-                .find(|&x| single.tree().depth(x) == d)
-                .unwrap_or_else(|| single.tree().root());
-            let _ = single.submit(at, RequestKind::NonTopological).expect("submit");
-        }
-
-        let mut iterated =
-            IteratedController::new(build_tree(TreeShape::Path { nodes: n - 1 }), m, w, u_bound)
-                .expect("params");
-        for &d in &targets {
-            let at = iterated
-                .tree()
-                .nodes()
-                .find(|&x| iterated.tree().depth(x) == d)
-                .unwrap_or_else(|| iterated.tree().root());
-            let _ = iterated
-                .submit(at, RequestKind::NonTopological)
-                .expect("submit");
-        }
+        let single = run_family(Family::Centralized, &scenario);
+        let iterated = run_family(Family::Iterated, &scenario);
 
         rows.push(Row::new(
             "F5",
-            format!(
-                "n={n} W=1 M={m}: single-shot moves vs iterated moves (rounds={})",
-                iterated.iterations()
-            ),
-            single.moves() as f64,
-            iterated.moves() as f64,
+            format!("n={n} W=1 M={m}: single-shot moves vs iterated moves"),
+            single.moves as f64,
+            iterated.moves as f64,
         ));
-        let _ = NodeId::from_index(0);
     }
     print_table(
         "F5 — ablation: single-shot (measured) vs iterated (bound column) centralized controller",

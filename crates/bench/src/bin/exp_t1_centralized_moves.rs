@@ -2,14 +2,14 @@
 //! centralized controller as the network size grows.
 //!
 //! For each initial size `n`, a mixed-churn workload of `2n` requests is run
-//! through the iterated centralized controller with `M = 2n`, `W = n/2`.
-//! The measured moves are compared against the theoretical shape
-//! `U · log²U · log(M/(W+1))`; the paper's claim holds when the ratio column
-//! stays roughly flat (no super-logarithmic blow-up with `n`).
+//! through the iterated centralized controller (via the shared
+//! `ScenarioRunner`) with `M = 2n`, `W = n/2`. The measured moves are
+//! compared against the theoretical shape `U · log²U · log(M/(W+1))`; the
+//! paper's claim holds when the ratio column stays roughly flat (no
+//! super-logarithmic blow-up with `n`).
 
-use dcn_bench::{iterated_bound, op_to_request, print_table, sweep_sizes, Row};
-use dcn_controller::centralized::IteratedController;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_bench::{iterated_bound, print_table, run_family, sweep_sizes, Family, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512, 1024, 2048], &[64, 256]);
@@ -17,28 +17,34 @@ fn main() {
     for &n in &sizes {
         for (shape_name, shape) in [
             ("path", TreeShape::Path { nodes: n - 1 }),
-            ("random", TreeShape::RandomRecursive { nodes: n - 1, seed: 7 }),
+            (
+                "random",
+                TreeShape::RandomRecursive {
+                    nodes: n - 1,
+                    seed: 7,
+                },
+            ),
         ] {
             let requests = 2 * n;
             let m = (2 * n) as u64;
             let w = (n as u64 / 2).max(1);
+            let scenario = Scenario {
+                name: format!("t1-{shape_name}-n{n}"),
+                shape,
+                churn: ChurnModel::default_mixed(),
+                placement: Placement::Uniform,
+                requests,
+                m,
+                w,
+                seed: n as u64,
+            };
+            let report = run_family(Family::Iterated, &scenario);
             let u_bound = n + requests + 1;
-            let tree = build_tree(shape);
-            let mut ctrl = IteratedController::new(tree, m, w, u_bound).expect("valid params");
-            let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), n as u64);
-            let mut submitted = 0;
-            while submitted < requests {
-                let Some(op) = gen.next_op(ctrl.tree()) else { continue };
-                let (at, kind) = op_to_request(&op);
-                if ctrl.submit(at, kind).is_ok() {
-                    submitted += 1;
-                }
-            }
             let bound = iterated_bound(u_bound, m, w);
             rows.push(Row::new(
                 "T1",
                 format!("shape={shape_name} n0={n} M={m} W={w} reqs={requests}"),
-                ctrl.moves() as f64,
+                report.moves as f64,
                 bound,
             ));
         }

@@ -6,7 +6,7 @@
 //! `(n₀·log²n₀ + Σ_j log²n_j) · log(M/(W+1))` evaluated on the actual change
 //! log, for both refresh policies of the theorem.
 
-use dcn_bench::{op_to_request, print_table, sweep_sizes, Row};
+use dcn_bench::{print_table, sweep_sizes, Row};
 use dcn_controller::centralized::{AdaptiveController, RefreshPolicy};
 use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
 
@@ -32,8 +32,10 @@ fn main() {
                 target as u64,
             );
             while ctrl.tree().node_count() < target && !ctrl.is_exhausted() {
-                let Some(op) = gen.next_op(ctrl.tree()) else { continue };
-                let (at, kind) = op_to_request(&op);
+                let Some(op) = gen.next_op(ctrl.tree()) else {
+                    continue;
+                };
+                let (at, kind) = op.to_request();
                 let _ = ctrl.submit(at, kind);
             }
             let log = ctrl.tree().change_log();

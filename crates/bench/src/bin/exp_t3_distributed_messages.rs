@@ -4,38 +4,44 @@
 //! Sweeps the network size and the asynchronous delay schedule (seed); the
 //! measured message count is compared against the same
 //! `U·log²U·log(M/(W+1))` shape as the centralized bound (Lemma 4.5 ties the
-//! two together), and against the centralized controller's own moves on the
-//! matching workload size.
+//! two together). Each run is one seeded scenario through the shared
+//! `ScenarioRunner`.
 
-use dcn_bench::{iterated_bound, print_table, run_distributed, sweep_sizes, Row};
-use dcn_workload::{ChurnModel, TreeShape};
+use dcn_bench::{iterated_bound, print_table, run_family, sweep_sizes, Family, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[32, 64, 128, 256, 512], &[32, 128]);
-    let seeds: &[u64] = if dcn_bench::quick_mode() { &[1] } else { &[1, 2, 3] };
+    let seeds: &[u64] = if dcn_bench::quick_mode() {
+        &[1]
+    } else {
+        &[1, 2, 3]
+    };
     let mut rows = Vec::new();
     for &n in &sizes {
         for &seed in seeds {
             let requests = n;
             let m = n as u64;
             let w = (n as u64 / 4).max(1);
-            let u_bound = n + requests + 1;
-            let stats = run_distributed(
-                seed,
-                TreeShape::RandomRecursive { nodes: n - 1, seed },
-                ChurnModel::default_mixed(),
+            let scenario = Scenario {
+                name: format!("t3-n{n}-s{seed}"),
+                shape: TreeShape::RandomRecursive { nodes: n - 1, seed },
+                churn: ChurnModel::default_mixed(),
+                placement: Placement::Uniform,
                 requests,
-                16,
                 m,
                 w,
-            );
+                seed,
+            };
+            let report = run_family(Family::Distributed, &scenario);
+            let u_bound = n + requests + 1;
             rows.push(Row::new(
                 "T3",
                 format!(
                     "n0={n} seed={seed} granted={} rejected={} final_n={}",
-                    stats.granted, stats.rejected, stats.final_nodes
+                    report.granted, report.rejected, report.final_nodes
                 ),
-                stats.messages as f64,
+                report.messages as f64,
                 iterated_bound(u_bound, m, w),
             ));
         }

@@ -4,80 +4,70 @@
 //! On grow-only workloads (the only model AAPS supports) the new controller
 //! should use no more messages than AAPS (up to constants), and both should
 //! beat the trivial controller by a widening margin as the tree deepens. On
-//! mixed churn the AAPS column is reported as unsupported — that is the
+//! mixed churn the AAPS column is reported as refusals — that is the
 //! qualitative point of the paper.
+//!
+//! Every family is driven by the shared `ScenarioRunner` over the *same*
+//! seeded scenario, so the rows compare identical request streams.
 
-use dcn_baseline::{AapsController, TrivialController};
-use dcn_bench::{op_to_request, print_table, run_distributed, sweep_sizes, Row};
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, TreeShape};
+use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
     let mut rows = Vec::new();
     for &n in &sizes {
-        let requests = n;
-        let m = n as u64;
-        let w = (n as u64 / 2).max(1);
-        let u_bound = n + requests + 1;
-        let shape = TreeShape::RandomRecursive { nodes: n - 1, seed: 3 };
+        let base = Scenario {
+            name: format!("t4-grow-n{n}"),
+            shape: TreeShape::RandomRecursive {
+                nodes: n - 1,
+                seed: 3,
+            },
+            churn: ChurnModel::GrowOnly,
+            placement: Placement::Uniform,
+            requests: n,
+            m: n as u64,
+            w: (n as u64 / 2).max(1),
+            seed: 5,
+        };
 
-        // Ours (distributed, grow-only workload).
-        let ours = run_distributed(5, shape, ChurnModel::GrowOnly, requests, 16, m, w);
-
-        // AAPS baseline on the identical workload model.
-        let mut aaps = AapsController::new(build_tree(shape), m, w, u_bound).expect("params");
-        let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 5u64.wrapping_add(17));
-        let mut submitted = 0;
-        while submitted < requests {
-            let Some(op) = gen.next_op(aaps.tree()) else { continue };
-            let (at, kind) = op_to_request(&op);
-            if aaps.submit(at, kind).is_ok() {
-                submitted += 1;
-            }
-        }
-
-        // Trivial baseline on the identical workload model.
-        let mut trivial = TrivialController::new(build_tree(shape), m);
-        let mut gen = ChurnGenerator::new(ChurnModel::GrowOnly, 5u64.wrapping_add(17));
-        let mut submitted = 0;
-        while submitted < requests {
-            let Some(op) = gen.next_op(trivial.tree()) else { continue };
-            let (at, kind) = op_to_request(&op);
-            if trivial.submit(at, kind).is_ok() {
-                submitted += 1;
-            }
-        }
+        // The same grow-only scenario through all four controller families.
+        let ours = run_family(Family::Distributed, &base);
+        let aaps = run_family(Family::Aaps, &base);
+        let trivial = run_family(Family::Trivial, &base);
+        ours.check()
+            .expect("safety/liveness of the distributed run");
+        aaps.check().expect("safety/liveness of the AAPS run");
+        trivial.check().expect("safety/liveness of the trivial run");
 
         rows.push(Row::new(
             "T4",
             format!("grow-only n0={n} ours={} msgs", ours.messages),
             ours.messages as f64,
-            aaps.messages() as f64,
+            aaps.messages as f64,
         ));
         rows.push(Row::new(
             "T4",
             format!("grow-only n0={n} trivial vs ours"),
-            trivial.messages() as f64,
+            trivial.messages as f64,
             ours.messages as f64,
         ));
 
         // Mixed churn: ours works, AAPS refuses deletions / internal inserts.
-        let ours_mixed =
-            run_distributed(6, shape, ChurnModel::default_mixed(), requests, 16, m, w);
-        let mut aaps_mixed = AapsController::new(build_tree(shape), m, w, u_bound).expect("params");
-        let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 6);
-        let mut refused = 0u64;
-        for _ in 0..requests {
-            let Some(op) = gen.next_op(aaps_mixed.tree()) else { continue };
-            let (at, kind) = op_to_request(&op);
-            if aaps_mixed.submit(at, kind).is_err() {
-                refused += 1;
-            }
-        }
+        let mixed = Scenario {
+            name: format!("t4-mixed-n{n}"),
+            churn: ChurnModel::default_mixed(),
+            seed: 6,
+            ..base
+        };
+        let ours_mixed = run_family(Family::Distributed, &mixed);
+        let aaps_mixed = run_family(Family::Aaps, &mixed);
         rows.push(Row::new(
             "T4",
             format!(
-                "mixed-churn n0={n}: ours handles all, AAPS refuses {refused}/{requests} requests"
+                "mixed-churn n0={n}: ours handles all, AAPS refuses {}/{} requests",
+                aaps_mixed.refused,
+                aaps_mixed.refused + aaps_mixed.submitted,
             ),
             ours_mixed.messages as f64,
             f64::NAN,

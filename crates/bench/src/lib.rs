@@ -19,6 +19,13 @@
 //! | F4 | §2.2 — safety/liveness across the (M, W) space | `exp_f4_safety_liveness` |
 //! | F5 | ablation — iteration trick of Obs. 3.4 | `exp_f5_ablation_iterations` |
 //!
+//! Controller experiments are expressed as [`Scenario`]s and executed through
+//! the shared [`ScenarioRunner`] — one driver loop for every
+//! [`Controller`] family ([`Family`] enumerates them, [`run_family`] builds
+//! and drives one). Only the §5 application experiments (F1–F3) and the
+//! growth-to-target adaptive experiment (T2) keep bespoke loops, because they
+//! drive the estimator protocols' batch APIs rather than a `dyn Controller`.
+//!
 //! Every binary prints a table of rows (`experiment, parameters, measured,
 //! bound, ratio`) and, when the `DCN_JSON` environment variable is set, the
 //! same rows as JSON lines so results can be archived. Set `DCN_QUICK=1` to
@@ -27,15 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dcn_baseline::{AapsController, TrivialController};
+use dcn_controller::centralized::{CentralizedController, IteratedController};
 use dcn_controller::distributed::DistributedController;
-use dcn_controller::{Outcome, RequestKind};
-use dcn_simnet::{DelayModel, SimConfig};
-use dcn_tree::{DynamicTree, NodeId};
-use dcn_workload::{ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
-use serde::Serialize;
+use dcn_controller::{Controller, ControllerError};
+use dcn_simnet::SimConfig;
+use dcn_workload::{RunReport, Scenario, ScenarioRunner};
 
 /// One output row of an experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Experiment identifier (e.g. `"T3"`).
     pub experiment: String,
@@ -58,8 +65,35 @@ impl Row {
             params,
             measured,
             bound,
-            ratio: if bound > 0.0 { measured / bound } else { f64::NAN },
+            ratio: if bound > 0.0 {
+                measured / bound
+            } else {
+                f64::NAN
+            },
         }
+    }
+
+    /// The row as one JSON line (hand-rolled; the build environment has no
+    /// serde). String escaping is shared with the scenario serialiser
+    /// ([`dcn_workload::json_quote`]).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            r#"{{"experiment": {}, "params": {}, "measured": {}, "bound": {}, "ratio": {}}}"#,
+            dcn_workload::json_quote(&self.experiment),
+            dcn_workload::json_quote(&self.params),
+            json_num(self.measured),
+            json_num(self.bound),
+            json_num(self.ratio),
+        )
+    }
+}
+
+/// Formats a float as a JSON value (`NaN`/infinities become `null`).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -79,7 +113,7 @@ pub fn print_table(title: &str, rows: &[Row]) {
     }
     if std::env::var("DCN_JSON").is_ok() {
         for row in rows {
-            println!("{}", serde_json::to_string(row).expect("row serialises"));
+            println!("{}", row.to_json_line());
         }
     }
     println!();
@@ -88,7 +122,7 @@ pub fn print_table(title: &str, rows: &[Row]) {
 /// Returns `true` when reduced sweeps were requested (`DCN_QUICK=1`), which is
 /// also the default under `cargo bench` wrappers.
 pub fn quick_mode() -> bool {
-    std::env::var("DCN_QUICK").map_or(false, |v| v != "0")
+    std::env::var("DCN_QUICK").is_ok_and(|v| v != "0")
 }
 
 /// Picks the sweep sizes for experiments: full by default, reduced in quick
@@ -101,79 +135,91 @@ pub fn sweep_sizes(full: &[usize], quick: &[usize]) -> Vec<usize> {
     }
 }
 
-/// Converts a workload [`ChurnOp`] into a controller request.
-pub fn op_to_request(op: &ChurnOp) -> (NodeId, RequestKind) {
-    match *op {
-        ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
-        ChurnOp::AddInternal { below, parent } => (parent, RequestKind::AddInternalAbove(below)),
-        ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
-        ChurnOp::Event { at } => (at, RequestKind::NonTopological),
+/// The controller families the harness can build and compare. All of them
+/// implement the shared [`Controller`] trait, so every experiment drives them
+/// through the same [`ScenarioRunner`] code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// The fixed-bound centralized controller of §3.1 (requires `W ≥ 1`).
+    Centralized,
+    /// The iterated centralized controller of Observation 3.4 (`W = 0` ok).
+    Iterated,
+    /// The distributed mobile-agent controller of §4 on the simulator.
+    Distributed,
+    /// The trivial every-request-walks-to-the-root strawman.
+    Trivial,
+    /// The AAPS-style bin-hierarchy baseline (grow-only dynamic model).
+    Aaps,
+}
+
+impl Family {
+    /// All families, in comparison order.
+    pub const ALL: [Family; 5] = [
+        Family::Centralized,
+        Family::Iterated,
+        Family::Distributed,
+        Family::Trivial,
+        Family::Aaps,
+    ];
+
+    /// The family's display name (matches [`Controller::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Centralized => "centralized",
+            Family::Iterated => "iterated",
+            Family::Distributed => "distributed",
+            Family::Trivial => "trivial",
+            Family::Aaps => "aaps",
+        }
     }
 }
 
-/// Summary of one distributed-controller run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RunStats {
-    /// Total messages (agent hops + auxiliary waves).
-    pub messages: u64,
-    /// Permits granted.
-    pub granted: u64,
-    /// Requests rejected.
-    pub rejected: u64,
-    /// Final network size.
-    pub final_nodes: usize,
-    /// Topological changes applied.
-    pub changes: u64,
+/// Builds a fresh controller of `family` over the scenario's initial tree,
+/// sized for the scenario's budget and request count.
+///
+/// # Errors
+///
+/// Propagates parameter validation errors (e.g. `W = 0` for families that
+/// require `W ≥ 1`).
+pub fn build_controller(
+    family: Family,
+    scenario: &Scenario,
+) -> Result<Box<dyn Controller>, ControllerError> {
+    let runner = ScenarioRunner::new(scenario.clone());
+    let tree = runner.initial_tree();
+    let u_bound = runner.suggested_u_bound();
+    Ok(match family {
+        Family::Centralized => Box::new(CentralizedController::new(
+            tree, scenario.m, scenario.w, u_bound,
+        )?),
+        Family::Iterated => Box::new(IteratedController::new(
+            tree, scenario.m, scenario.w, u_bound,
+        )?),
+        Family::Distributed => Box::new(DistributedController::new(
+            SimConfig::new(scenario.seed),
+            tree,
+            scenario.m,
+            scenario.w,
+            u_bound,
+        )?),
+        Family::Trivial => Box::new(TrivialController::new(tree, scenario.m)),
+        Family::Aaps => Box::new(AapsController::new(tree, scenario.m, scenario.w, u_bound)?),
+    })
 }
 
-/// Runs the fixed-bound distributed controller over a generated workload,
-/// submitting requests in batches so that topological changes take effect
-/// between batches (the controlled dynamic model).
-pub fn run_distributed(
-    seed: u64,
-    shape: TreeShape,
-    model: ChurnModel,
-    total_requests: usize,
-    batch: usize,
-    m: u64,
-    w: u64,
-) -> RunStats {
-    let tree = dcn_workload::build_tree(shape);
-    let u_bound = tree.node_count() + total_requests + 1;
-    let config = SimConfig::new(seed).with_delay(DelayModel::Uniform { min: 1, max: 8 });
-    let mut ctrl =
-        DistributedController::new(config, tree, m, w, u_bound).expect("valid parameters");
-    let mut gen = ChurnGenerator::new(model, seed.wrapping_add(17));
-    let mut submitted = 0usize;
-    while submitted < total_requests {
-        let want = batch.min(total_requests - submitted);
-        let ops = gen.batch(ctrl.tree(), want);
-        if ops.is_empty() {
-            break;
-        }
-        for op in &ops {
-            let (at, kind) = op_to_request(op);
-            if ctrl.submit(at, kind).is_ok() {
-                submitted += 1;
-            }
-        }
-        ctrl.run().expect("run to quiescence");
-    }
-    let records = ctrl.records();
-    let changes = records
-        .iter()
-        .filter(|r| r.outcome.is_granted() && r.kind.is_topological())
-        .count() as u64;
-    RunStats {
-        messages: ctrl.messages(),
-        granted: ctrl.granted(),
-        rejected: records
-            .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Rejected))
-            .count() as u64,
-        final_nodes: ctrl.tree().node_count(),
-        changes,
-    }
+/// Builds a controller of `family` and drives it through `scenario` with the
+/// shared [`ScenarioRunner`].
+///
+/// # Panics
+///
+/// Panics on invalid scenario parameters or simulator errors (experiment
+/// harness context, where that is a bug in the sweep definition).
+pub fn run_family(family: Family, scenario: &Scenario) -> RunReport {
+    let mut ctrl = build_controller(family, scenario)
+        .unwrap_or_else(|e| panic!("{}: invalid parameters: {e}", family.name()));
+    ScenarioRunner::new(scenario.clone())
+        .run(ctrl.as_mut())
+        .unwrap_or_else(|e| panic!("{}: run failed: {e}", family.name()))
 }
 
 /// The theoretical distributed/centralized bound shape
@@ -185,16 +231,23 @@ pub fn iterated_bound(u: usize, m: u64, w: u64) -> f64 {
     uf * log2u * log2u * ratio.log2()
 }
 
-/// Builds a tree and a request list for the centralized controllers from a
-/// churn model (the centralized API is synchronous, so the ops are generated
-/// against the evolving tree inside the controller loop by the callers).
-pub fn initial_tree(shape: TreeShape) -> DynamicTree {
-    dcn_workload::build_tree(shape)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_workload::{ChurnModel, Placement, TreeShape};
+
+    fn small_scenario() -> Scenario {
+        Scenario {
+            name: "bench-test".to_string(),
+            shape: TreeShape::Star { nodes: 15 },
+            churn: ChurnModel::GrowOnly,
+            placement: Placement::Uniform,
+            requests: 20,
+            m: 30,
+            w: 10,
+            seed: 1,
+        }
+    }
 
     #[test]
     fn rows_compute_ratios() {
@@ -203,35 +256,35 @@ mod tests {
     }
 
     #[test]
-    fn run_distributed_smoke() {
-        let stats = run_distributed(
-            1,
-            TreeShape::Star { nodes: 15 },
-            ChurnModel::GrowOnly,
-            20,
-            10,
-            30,
-            10,
-        );
-        assert!(stats.granted > 0);
-        assert!(stats.messages > 0);
-        assert!(stats.final_nodes > 16);
+    fn rows_serialise_to_json_lines() {
+        let r = Row::new("T1", "n=\"8\"".into(), 50.0, 0.0);
+        let line = r.to_json_line();
+        assert!(line.contains(r#""experiment": "T1""#));
+        assert!(line.contains("\\\"8\\\""));
+        assert!(line.contains(r#""ratio": null"#));
+    }
+
+    #[test]
+    fn every_family_runs_the_same_scenario() {
+        let scenario = small_scenario();
+        for family in Family::ALL {
+            let report = run_family(family, &scenario);
+            assert_eq!(report.controller, family.name());
+            assert!(report.granted > 0, "{}", family.name());
+            assert!(report.granted <= report.m, "{}", family.name());
+            report.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn distributed_runs_grow_the_tree() {
+        let report = run_family(Family::Distributed, &small_scenario());
+        assert!(report.messages > 0);
+        assert!(report.final_nodes > 16);
     }
 
     #[test]
     fn bound_is_monotone() {
         assert!(iterated_bound(1000, 100, 10) > iterated_bound(100, 100, 10));
-    }
-
-    #[test]
-    fn op_conversion_matches_arrival_conventions() {
-        let op = ChurnOp::AddLeaf {
-            parent: NodeId::from_index(4),
-        };
-        assert_eq!(op_to_request(&op).0, NodeId::from_index(4));
-        let op = ChurnOp::Remove {
-            node: NodeId::from_index(2),
-        };
-        assert_eq!(op_to_request(&op), (NodeId::from_index(2), RequestKind::RemoveSelf));
     }
 }

@@ -1,0 +1,298 @@
+//! The shared [`Controller`] runtime abstraction.
+//!
+//! The workspace grows several controller families — the paper's centralized
+//! and distributed (M, W)-Controllers plus the comparison baselines — and they
+//! all answer the same kind of question: *may this event take place?* This
+//! module is the architectural seam between those implementations and every
+//! driver that wants to exercise one of them (the scenario runner in
+//! `dcn-workload`, the experiment binaries in `dcn-bench`, the examples and
+//! the end-to-end tests): a driver programs against `dyn Controller` and never
+//! needs to know which family it is driving.
+//!
+//! The lifecycle is submit-then-drain: [`Controller::submit`] hands a request
+//! to the controller (synchronous families answer it on the spot, the
+//! distributed family only enqueues an agent), and
+//! [`Controller::run_to_quiescence`] drives the execution until every
+//! submitted request has been answered and every granted topological change
+//! has been applied. Cost counters are exposed uniformly through
+//! [`ControllerMetrics`].
+
+use crate::request::RequestKind;
+use crate::ControllerError;
+use dcn_tree::DynamicTree;
+use dcn_tree::NodeId;
+
+/// A uniform snapshot of a controller's cost counters.
+///
+/// Each family reports in its own cost model — the centralized controllers
+/// count permit *moves* (§3), the distributed controller counts *messages*
+/// (§4) — so both columns are present and a family fills in what it measures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerMetrics {
+    /// Permit/package movement cost (the centralized move complexity; agent
+    /// hops for the distributed controller).
+    pub moves: u64,
+    /// Total messages sent (agent hops plus auxiliary waves for the
+    /// distributed family; request travel plus permit travel for baselines;
+    /// equal to `moves` for the purely centralized families, whose model does
+    /// not charge request travel).
+    pub messages: u64,
+    /// The largest per-node state footprint, in bits, under the compressed
+    /// representation of Claim 4.8, as sampled at quiescence (plus round
+    /// boundaries for the iterated family). This is a lower bound on the
+    /// true mid-run peak — per-submission sampling would be quadratic — and
+    /// 0 when the family does not track memory at all.
+    pub peak_node_memory_bits: u64,
+}
+
+/// The shared behaviour of every (M, W)-controller in the workspace.
+///
+/// Implemented by [`CentralizedController`](crate::centralized::CentralizedController),
+/// [`IteratedController`](crate::centralized::IteratedController),
+/// [`DistributedController`](crate::distributed::DistributedController) and by
+/// the `TrivialController` / `AapsController` baselines in `dcn-baseline`.
+///
+/// Drivers must call [`Controller::run_to_quiescence`] after a batch of
+/// submissions before reading answers: synchronous families answer inside
+/// `submit` and treat the call as a no-op, while the distributed family
+/// executes all in-flight agents there.
+pub trait Controller {
+    /// A short human-readable family name (used in experiment rows).
+    fn name(&self) -> &'static str;
+
+    /// The permit budget `M`.
+    fn budget(&self) -> u64;
+
+    /// The waste bound `W`.
+    fn waste_bound(&self) -> u64;
+
+    /// Returns `true` if this controller's dynamic model covers `kind`.
+    ///
+    /// The AAPS baseline only supports the grow-only model; drivers check
+    /// this before submitting so that unsupported operations are counted as
+    /// *refusals* instead of surfacing as errors.
+    fn supports(&self, kind: RequestKind) -> bool {
+        let _ = kind;
+        true
+    }
+
+    /// Submits a request arriving at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors (unknown node, malformed topological
+    /// request); the answer itself is *not* part of the return value — it is
+    /// reflected in [`Controller::granted`] / [`Controller::rejected`] once
+    /// the execution is quiescent.
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError>;
+
+    /// Runs until every submitted request is answered and every granted
+    /// topological change has been applied. A no-op for synchronous families.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (event budget exceeded, protocol
+    /// violations).
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError>;
+
+    /// Number of permits granted so far.
+    fn granted(&self) -> u64;
+
+    /// Number of requests rejected so far.
+    fn rejected(&self) -> u64;
+
+    /// The spanning tree as currently maintained by the controller.
+    fn tree(&self) -> &DynamicTree;
+
+    /// A snapshot of the cost counters.
+    fn metrics(&self) -> ControllerMetrics;
+}
+
+impl Controller for crate::centralized::CentralizedController {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn budget(&self) -> u64 {
+        self.params().m
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.params().w
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        self.submit(at, kind).map(|_| ())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        Ok(())
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted()
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected()
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        self.tree()
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        ControllerMetrics {
+            moves: self.moves(),
+            messages: self.moves(),
+            peak_node_memory_bits: self.peak_node_memory_bits(),
+        }
+    }
+}
+
+impl Controller for crate::centralized::IteratedController {
+    fn name(&self) -> &'static str {
+        "iterated"
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget()
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.waste()
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        self.submit(at, kind).map(|_| ())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        Ok(())
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted()
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected()
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        self.tree()
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        ControllerMetrics {
+            moves: self.moves(),
+            messages: self.moves(),
+            peak_node_memory_bits: self.peak_node_memory_bits(),
+        }
+    }
+}
+
+impl Controller for crate::distributed::DistributedController {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget()
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.waste()
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        self.submit(at, kind).map(|_| ())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.run()
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted()
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected()
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        self.tree()
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        ControllerMetrics {
+            moves: self.metrics().agent_hops,
+            messages: self.messages(),
+            peak_node_memory_bits: self.peak_node_memory_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::{CentralizedController, IteratedController};
+    use crate::distributed::DistributedController;
+    use dcn_simnet::SimConfig;
+
+    fn drive(ctrl: &mut dyn Controller, requests: usize) {
+        for i in 0..requests {
+            let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+            let at = nodes[(i * 7) % nodes.len()];
+            ctrl.submit(at, RequestKind::NonTopological).unwrap();
+        }
+        ctrl.run_to_quiescence().unwrap();
+    }
+
+    #[test]
+    fn all_core_families_drive_uniformly_through_dyn_controller() {
+        let mut controllers: Vec<Box<dyn Controller>> = vec![
+            Box::new(
+                CentralizedController::new(DynamicTree::with_initial_star(15), 8, 4, 64).unwrap(),
+            ),
+            Box::new(
+                IteratedController::new(DynamicTree::with_initial_star(15), 8, 0, 64).unwrap(),
+            ),
+            Box::new(
+                DistributedController::new(
+                    SimConfig::new(3),
+                    DynamicTree::with_initial_star(15),
+                    8,
+                    4,
+                    64,
+                )
+                .unwrap(),
+            ),
+        ];
+        for ctrl in &mut controllers {
+            drive(ctrl.as_mut(), 20);
+            assert!(ctrl.granted() <= ctrl.budget(), "{}", ctrl.name());
+            assert!(ctrl.granted() + ctrl.rejected() == 20, "{}", ctrl.name());
+            assert!(ctrl.granted() >= ctrl.budget() - ctrl.waste_bound());
+            assert!(ctrl.metrics().messages > 0 || ctrl.metrics().moves > 0);
+            assert!(ctrl.supports(RequestKind::RemoveSelf));
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_memory_for_the_distributed_family() {
+        let mut ctrl = DistributedController::new(
+            SimConfig::new(5),
+            DynamicTree::with_initial_path(40),
+            16,
+            8,
+            128,
+        )
+        .unwrap();
+        let deep = ctrl.tree().nodes().last().unwrap();
+        Controller::submit(&mut ctrl, deep, RequestKind::NonTopological).unwrap();
+        ctrl.run().unwrap();
+        assert!(ctrl.peak_node_memory_bits() > 0);
+    }
+}

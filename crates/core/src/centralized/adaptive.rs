@@ -108,11 +108,15 @@ impl AdaptiveController {
     }
 
     fn inner(&self) -> &IteratedController {
-        self.inner.as_ref().expect("inner controller always present")
+        self.inner
+            .as_ref()
+            .expect("inner controller always present")
     }
 
     fn inner_mut(&mut self) -> &mut IteratedController {
-        self.inner.as_mut().expect("inner controller always present")
+        self.inner
+            .as_mut()
+            .expect("inner controller always present")
     }
 
     /// The spanning tree as currently maintained by the controller.
@@ -199,9 +203,7 @@ impl AdaptiveController {
         let inner = self.inner.take().expect("inner controller present");
         let granted_this_epoch = inner.granted();
         let moves_this_epoch = inner.moves();
-        let m_next = self.m_total
-            - self.granted_previous_epochs
-            - granted_this_epoch;
+        let m_next = self.m_total - self.granted_previous_epochs - granted_this_epoch;
         self.granted_previous_epochs += granted_this_epoch;
         self.moves_previous_epochs += moves_this_epoch;
         let tree = inner.into_tree();

@@ -77,12 +77,7 @@ impl CentralizedController {
     /// * [`ControllerError::WasteExceedsBudget`] for `w > m`;
     /// * [`ControllerError::BoundTooSmall`] if `u_bound` is smaller than the
     ///   current number of nodes.
-    pub fn new(
-        tree: DynamicTree,
-        m: u64,
-        w: u64,
-        u_bound: usize,
-    ) -> Result<Self, ControllerError> {
+    pub fn new(tree: DynamicTree, m: u64, w: u64, u_bound: usize) -> Result<Self, ControllerError> {
         if u_bound < tree.node_count() {
             return Err(ControllerError::BoundTooSmall {
                 u: u_bound,
@@ -177,6 +172,19 @@ impl CentralizedController {
             .sum()
     }
 
+    /// The largest per-node package-store footprint, in bits, under the
+    /// compressed representation of Claim 4.8 (the root's storage counter is
+    /// included as `O(log M)` bits).
+    pub fn peak_node_memory_bits(&self) -> u64 {
+        let storage_bits = 64 - self.storage.max(1).leading_zeros() as u64;
+        self.stores
+            .values()
+            .map(|s| s.memory_bits(&self.params))
+            .max()
+            .unwrap_or(0)
+            .max(storage_bits)
+    }
+
     /// The domain auditor, when enabled with [`CentralizedController::with_auditor`].
     pub fn auditor(&self) -> Option<&DomainAuditor> {
         self.auditor.as_ref()
@@ -265,11 +273,7 @@ impl CentralizedController {
     ) -> Result<Attempt, ControllerError> {
         self.validate(at, kind)?;
         // Item 1: a reject package at the node answers the request at once.
-        if self
-            .stores
-            .get(&at)
-            .map_or(false, PackageStore::has_reject)
-        {
+        if self.stores.get(&at).is_some_and(PackageStore::has_reject) {
             self.rejected += 1;
             return Ok(Attempt::LocallyRejected);
         }

@@ -51,11 +51,16 @@ enum Stage {
 #[derive(Debug)]
 pub struct IteratedController {
     inner: CentralizedController,
+    m: u64,
     w_target: u64,
     stage: Stage,
     iterations: u32,
     rejected: u64,
     reject_wave_charged: bool,
+    /// Largest per-node footprint observed at round boundaries (the restart
+    /// clears every store, so the end-of-run snapshot alone would miss
+    /// earlier rounds' peaks).
+    peak_memory_bits: u64,
 }
 
 impl IteratedController {
@@ -65,12 +70,7 @@ impl IteratedController {
     /// # Errors
     ///
     /// Same as [`CentralizedController::new`] except that `w = 0` is accepted.
-    pub fn new(
-        tree: DynamicTree,
-        m: u64,
-        w: u64,
-        u_bound: usize,
-    ) -> Result<Self, ControllerError> {
+    pub fn new(tree: DynamicTree, m: u64, w: u64, u_bound: usize) -> Result<Self, ControllerError> {
         if w > m {
             return Err(ControllerError::WasteExceedsBudget { m, w });
         }
@@ -80,11 +80,17 @@ impl IteratedController {
         let inner = CentralizedController::new(tree, m.max(1), w0.min(m.max(1)), u_bound)?;
         Ok(IteratedController {
             inner,
+            m,
             w_target: w,
-            stage: if m == 0 { Stage::Rejecting } else { Stage::Halving },
+            stage: if m == 0 {
+                Stage::Rejecting
+            } else {
+                Stage::Halving
+            },
             iterations: 1,
             rejected: 0,
             reject_wave_charged: false,
+            peak_memory_bits: 0,
         })
     }
 
@@ -96,6 +102,24 @@ impl IteratedController {
     /// Consumes the controller and returns the tree.
     pub fn into_tree(self) -> DynamicTree {
         self.inner.into_tree()
+    }
+
+    /// The permit budget `M` of the whole iterated schedule.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// The waste bound `W` the schedule converges to.
+    pub fn waste(&self) -> u64 {
+        self.w_target
+    }
+
+    /// The largest per-node package-store footprint in bits observed at any
+    /// round boundary or at the current instant (see
+    /// [`CentralizedController::peak_node_memory_bits`]).
+    pub fn peak_node_memory_bits(&self) -> u64 {
+        self.peak_memory_bits
+            .max(self.inner.peak_node_memory_bits())
     }
 
     /// Total number of permits granted so far (across all rounds).
@@ -197,6 +221,11 @@ impl IteratedController {
     /// Moves from the current halving round to the next stage, recycling the
     /// uncommitted permits.
     fn advance_round(&mut self) -> Result<(), ControllerError> {
+        // The restart below clears every package store; sample the memory
+        // footprint first so the reported peak covers earlier rounds.
+        self.peak_memory_bits = self
+            .peak_memory_bits
+            .max(self.inner.peak_node_memory_bits());
         let remaining = self.inner.uncommitted_permits();
         if remaining == 0 {
             self.stage = Stage::Rejecting;
@@ -204,7 +233,8 @@ impl IteratedController {
         }
         if self.w_target >= 1 && remaining <= 2 * self.w_target {
             // Final round: an (L, min(W, L))-controller.
-            self.inner.restart(remaining, self.w_target.min(remaining))?;
+            self.inner
+                .restart(remaining, self.w_target.min(remaining))?;
             self.iterations += 1;
             self.stage = Stage::Final;
             return Ok(());

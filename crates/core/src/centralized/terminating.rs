@@ -75,12 +75,7 @@ impl TerminatingController {
     /// # Errors
     ///
     /// Same as [`IteratedController::new`].
-    pub fn new(
-        tree: DynamicTree,
-        m: u64,
-        w: u64,
-        u_bound: usize,
-    ) -> Result<Self, ControllerError> {
+    pub fn new(tree: DynamicTree, m: u64, w: u64, u_bound: usize) -> Result<Self, ControllerError> {
         let inner = IteratedController::new(tree, m, w, u_bound)?;
         Ok(TerminatingController {
             inner,

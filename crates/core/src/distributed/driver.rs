@@ -133,6 +133,27 @@ impl DistributedController {
         self.sim.metrics().total_messages()
     }
 
+    /// The permit budget `M`.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// The waste bound `W`.
+    pub fn waste(&self) -> u64 {
+        self.w
+    }
+
+    /// The largest per-node whiteboard footprint, in bits, under the
+    /// compressed representation of Claim 4.8.
+    pub fn peak_node_memory_bits(&self) -> u64 {
+        let params = *self.params();
+        self.sim
+            .whiteboards()
+            .map(|(_, wb)| wb.store.memory_bits(&params))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Number of permits granted so far.
     pub fn granted(&self) -> u64 {
         self.sim.protocol().granted()

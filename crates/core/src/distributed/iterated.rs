@@ -61,6 +61,9 @@ pub struct AdaptiveDistributedController {
     exhausted: bool,
     records: Vec<RequestRecord>,
     next_seed: u64,
+    /// Requests accepted through the [`crate::Controller`] trait, drained by
+    /// the next `run_to_quiescence`.
+    queued: Vec<(NodeId, RequestKind)>,
 }
 
 impl AdaptiveDistributedController {
@@ -98,6 +101,7 @@ impl AdaptiveDistributedController {
             exhausted: false,
             records: Vec::new(),
             next_seed: config.seed.wrapping_add(1),
+            queued: Vec::new(),
         })
     }
 
@@ -126,6 +130,16 @@ impl AdaptiveDistributedController {
     /// The current spanning tree.
     pub fn tree(&self) -> &DynamicTree {
         self.inner().tree()
+    }
+
+    /// The permit budget `M`.
+    pub fn budget(&self) -> u64 {
+        self.m
+    }
+
+    /// The waste bound `W`.
+    pub fn waste(&self) -> u64 {
+        self.w
     }
 
     /// Permits granted so far (all epochs).
@@ -319,5 +333,68 @@ impl AdaptiveDistributedController {
         let inner = Self::build_inner(self.config, tree, budget, self.w, self.epoch_u, seed)?;
         self.inner = Some(inner);
         Ok(())
+    }
+}
+
+impl crate::Controller for AdaptiveDistributedController {
+    fn name(&self) -> &'static str {
+        "adaptive-distributed"
+    }
+
+    fn budget(&self) -> u64 {
+        self.m
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.w
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), crate::ControllerError> {
+        // Validate against the current tree; execution happens at the next
+        // run_to_quiescence (the adaptive driver works in batches so that it
+        // can recycle permits and refresh epochs between rounds).
+        let tree = self.tree();
+        if !tree.contains(at) {
+            return Err(crate::ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::AddInternalAbove(child) if tree.parent(child) != Some(at) => {
+                return Err(crate::ControllerError::NotParentOf { at, child });
+            }
+            RequestKind::RemoveSelf if at == tree.root() => {
+                return Err(crate::ControllerError::CannotRemoveRoot);
+            }
+            _ => {}
+        }
+        self.queued.push((at, kind));
+        Ok(())
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), crate::ControllerError> {
+        let queued = std::mem::take(&mut self.queued);
+        if !queued.is_empty() {
+            self.run_batch(&queued)?;
+        }
+        Ok(())
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted()
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected()
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        self.tree()
+    }
+
+    fn metrics(&self) -> crate::ControllerMetrics {
+        crate::ControllerMetrics {
+            moves: self.inner().metrics().agent_hops,
+            messages: self.messages(),
+            peak_node_memory_bits: self.inner().peak_node_memory_bits(),
+        }
     }
 }

@@ -214,8 +214,7 @@ impl ControllerProtocol {
                     level,
                     interval,
                 };
-                let (stay, carry) =
-                    pkg.split(self.fresh_package_id(), self.fresh_package_id());
+                let (stay, carry) = pkg.split(self.fresh_package_id(), self.fresh_package_id());
                 ctx.whiteboard_mut().store.add_mobile(stay);
                 level = carry.level;
                 interval = carry.interval;
@@ -235,9 +234,9 @@ impl ControllerProtocol {
     fn grant(&mut self, ctx: &mut NodeCtx<'_, Self>, agent: &RequestAgent, serial: Option<u64>) {
         match agent.kind {
             RequestKind::NonTopological => {}
-            RequestKind::AddLeaf => ctx.schedule_change(TopologyChange::AddLeaf {
-                parent: ctx.node(),
-            }),
+            RequestKind::AddLeaf => {
+                ctx.schedule_change(TopologyChange::AddLeaf { parent: ctx.node() })
+            }
             RequestKind::AddInternalAbove(child) => {
                 ctx.schedule_change(TopologyChange::AddInternalAbove { below: child })
             }

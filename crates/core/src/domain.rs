@@ -257,9 +257,7 @@ mod tests {
         let mut aud = DomainAuditor::new();
         aud.package_deposited(1, 0, host, &path_up, &p);
         aud.package_deposited(2, 0, host, &path_up, &p);
-        let err = aud
-            .check_invariants(&tree, &p, |_| Some(host))
-            .unwrap_err();
+        let err = aud.check_invariants(&tree, &p, |_| Some(host)).unwrap_err();
         assert!(err.contains("two level-0 domains"));
     }
 

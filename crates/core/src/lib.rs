@@ -36,9 +36,11 @@
 //! use dcn_tree::DynamicTree;
 //!
 //! # fn main() -> Result<(), dcn_controller::ControllerError> {
-//! // A controller over a fresh 64-node star that may grant at most 10 permits
-//! // and may "waste" at most 5 of them.
+//! // A controller over a fresh 64-node star (the root plus 63 leaves —
+//! // `with_initial_star(k)` creates k leaves) that may grant at most 10
+//! // permits and may "waste" at most 5 of them.
 //! let tree = DynamicTree::with_initial_star(63);
+//! assert_eq!(tree.node_count(), 64);
 //! let mut ctrl = CentralizedController::new(tree, 10, 5, 200)?;
 //! let leaf = ctrl.tree().nodes().last().unwrap();
 //! let outcome = ctrl.submit(leaf, RequestKind::AddLeaf)?;
@@ -51,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 pub mod centralized;
 pub mod distributed;
 pub mod domain;
@@ -60,6 +63,7 @@ mod params;
 mod request;
 pub mod verify;
 
+pub use api::{Controller, ControllerMetrics};
 pub use error::ControllerError;
 pub use package::{MobilePackage, PackageStore, PermitInterval};
 pub use params::Params;

@@ -365,8 +365,16 @@ mod tests {
     fn filler_level_picks_the_smallest_matching_level() {
         let p = params();
         let mut store = PackageStore::new();
-        store.add_mobile(MobilePackage { id: 1, level: 2, interval: None });
-        store.add_mobile(MobilePackage { id: 2, level: 1, interval: None });
+        store.add_mobile(MobilePackage {
+            id: 1,
+            level: 2,
+            interval: None,
+        });
+        store.add_mobile(MobilePackage {
+            id: 2,
+            level: 1,
+            interval: None,
+        });
         // A distance in the level-1 band only.
         let dist = 3 * p.psi;
         assert_eq!(store.filler_level(dist, &p), Some(1));
@@ -379,9 +387,21 @@ mod tests {
     #[test]
     fn take_mobile_prefers_smallest_id_and_removes_it() {
         let mut store = PackageStore::new();
-        store.add_mobile(MobilePackage { id: 7, level: 1, interval: None });
-        store.add_mobile(MobilePackage { id: 3, level: 1, interval: None });
-        store.add_mobile(MobilePackage { id: 5, level: 2, interval: None });
+        store.add_mobile(MobilePackage {
+            id: 7,
+            level: 1,
+            interval: None,
+        });
+        store.add_mobile(MobilePackage {
+            id: 3,
+            level: 1,
+            interval: None,
+        });
+        store.add_mobile(MobilePackage {
+            id: 5,
+            level: 2,
+            interval: None,
+        });
         let taken = store.take_mobile(1).unwrap();
         assert_eq!(taken.id, 3);
         assert_eq!(store.mobile_count(), 2);
@@ -393,7 +413,11 @@ mod tests {
         let p = params();
         let mut store = PackageStore::new();
         store.add_static(3, None);
-        store.add_mobile(MobilePackage { id: 1, level: 2, interval: None });
+        store.add_mobile(MobilePackage {
+            id: 1,
+            level: 2,
+            interval: None,
+        });
         assert_eq!(store.total_permits(&p), 3 + 4 * p.phi);
         let reclaimed = store.clear(&p);
         assert_eq!(reclaimed, 3 + 4 * p.phi);
@@ -406,7 +430,11 @@ mod tests {
         a.add_static(1, None);
         let mut b = PackageStore::new();
         b.add_static(2, None);
-        b.add_mobile(MobilePackage { id: 9, level: 0, interval: None });
+        b.add_mobile(MobilePackage {
+            id: 9,
+            level: 0,
+            interval: None,
+        });
         b.place_reject();
         let moved = a.merge(b);
         assert!(moved >= 2);
@@ -420,9 +448,21 @@ mod tests {
         let p = params();
         let mut store = PackageStore::new();
         let empty_bits = store.memory_bits(&p);
-        store.add_mobile(MobilePackage { id: 1, level: 0, interval: None });
-        store.add_mobile(MobilePackage { id: 2, level: 3, interval: None });
-        store.add_mobile(MobilePackage { id: 3, level: 3, interval: None });
+        store.add_mobile(MobilePackage {
+            id: 1,
+            level: 0,
+            interval: None,
+        });
+        store.add_mobile(MobilePackage {
+            id: 2,
+            level: 3,
+            interval: None,
+        });
+        store.add_mobile(MobilePackage {
+            id: 3,
+            level: 3,
+            interval: None,
+        });
         let with_packages = store.memory_bits(&p);
         assert!(with_packages > empty_bits);
     }

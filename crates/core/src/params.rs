@@ -172,7 +172,12 @@ mod tests {
 
     #[test]
     fn psi_is_a_positive_multiple_of_four() {
-        for (m, w, u) in [(10u64, 1u64, 1u64), (100, 7, 64), (1000, 999, 512), (8, 8, 3)] {
+        for (m, w, u) in [
+            (10u64, 1u64, 1u64),
+            (100, 7, 64),
+            (1000, 999, 512),
+            (8, 8, 3),
+        ] {
             let p = Params::new(m, w, u).unwrap();
             assert!(p.psi >= 4, "psi too small for {m},{w},{u}");
             assert_eq!(p.psi % 4, 0);
@@ -232,7 +237,10 @@ mod tests {
         // k, so packages left behind are later discoverable.
         for k in 0..6u32 {
             let d = p.deposit_distance(k);
-            assert!(p.is_filler_band(d, k), "deposit point of level {k} not in its band");
+            assert!(
+                p.is_filler_band(d, k),
+                "deposit point of level {k} not in its band"
+            );
         }
     }
 

@@ -54,7 +54,10 @@ fn requests_near_the_root_are_cheap_and_deep_requests_cost_more() {
     let deep = deepest(ctrl.tree());
     ctrl.submit(deep, RequestKind::NonTopological).unwrap();
     let expensive = ctrl.moves() - cheap;
-    assert!(expensive > cheap, "deep requests should move permits farther");
+    assert!(
+        expensive > cheap,
+        "deep requests should move permits farther"
+    );
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn removing_a_node_moves_its_packages_to_the_parent() {
     let deep = deepest(ctrl.tree());
     ctrl.submit(deep, RequestKind::NonTopological).unwrap();
     let parked_before = ctrl.permits_in_packages();
-    assert!(parked_before > 0, "the distribution should leave packages behind");
+    assert!(
+        parked_before > 0,
+        "the distribution should leave packages behind"
+    );
     // Delete a node in the middle of the path; no permits may be lost.
     let mid = ctrl
         .tree()
@@ -196,11 +202,18 @@ fn iterated_controller_handles_zero_waste_exactly() {
     for i in 0..30usize {
         let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
         let at = nodes[(i * 11) % nodes.len()];
-        if ctrl.submit(at, RequestKind::NonTopological).unwrap().is_granted() {
+        if ctrl
+            .submit(at, RequestKind::NonTopological)
+            .unwrap()
+            .is_granted()
+        {
             granted += 1;
         }
     }
-    assert_eq!(granted, m, "W = 0 means exactly M permits before any reject");
+    assert_eq!(
+        granted, m,
+        "W = 0 means exactly M permits before any reject"
+    );
     assert_eq!(ctrl.granted(), m);
     assert!(ctrl.is_exhausted());
 }
@@ -268,10 +281,16 @@ fn terminating_controller_can_be_forced_to_terminate_early() {
     let tree = DynamicTree::with_initial_star(5);
     let mut ctrl = TerminatingController::new(tree, 10, 5, 32).unwrap();
     let root = ctrl.tree().root();
-    assert!(ctrl.submit(root, RequestKind::NonTopological).unwrap().is_granted());
+    assert!(ctrl
+        .submit(root, RequestKind::NonTopological)
+        .unwrap()
+        .is_granted());
     ctrl.terminate();
     assert!(ctrl.has_terminated());
-    assert!(!ctrl.submit(root, RequestKind::NonTopological).unwrap().is_granted());
+    assert!(!ctrl
+        .submit(root, RequestKind::NonTopological)
+        .unwrap()
+        .is_granted());
 }
 
 #[test]
@@ -333,7 +352,11 @@ fn moves_stay_within_the_theoretical_shape() {
     for i in 0..(m as usize) {
         let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
         let at = nodes[(i * 17) % nodes.len()];
-        if !ctrl.submit(at, RequestKind::NonTopological).unwrap().is_granted() {
+        if !ctrl
+            .submit(at, RequestKind::NonTopological)
+            .unwrap()
+            .is_granted()
+        {
             break;
         }
     }

@@ -43,9 +43,16 @@ fn concurrent_requests_from_all_leaves_are_all_answered() {
     let summary = ctrl.summary();
     assert_eq!(summary.unanswered, 0);
     summary.check().unwrap();
-    assert!(ctrl.granted() >= 30 - 10, "liveness: granted {}", ctrl.granted());
+    assert!(
+        ctrl.granted() >= 30 - 10,
+        "liveness: granted {}",
+        ctrl.granted()
+    );
     assert!(ctrl.granted() <= 30, "safety: granted {}", ctrl.granted());
-    assert!(ctrl.rejected() > 0, "40 requests vs budget 30 must reject some");
+    assert!(
+        ctrl.rejected() > 0,
+        "40 requests vs budget 30 must reject some"
+    );
 }
 
 #[test]
@@ -99,8 +106,7 @@ fn distributed_message_complexity_tracks_the_centralized_move_shape() {
 
     let mut central =
         dcn_controller::centralized::CentralizedController::new(make_tree(), m, w, 4 * n).unwrap();
-    let mut distributed =
-        DistributedController::new(cfg(11), make_tree(), m, w, 4 * n).unwrap();
+    let mut distributed = DistributedController::new(cfg(11), make_tree(), m, w, 4 * n).unwrap();
 
     let targets: Vec<usize> = (0..m as usize).map(|i| (i * 29) % n).collect();
     for &d in &targets {
@@ -178,7 +184,7 @@ fn rejected_requests_see_reject_packages_spread_by_the_wave() {
     let with_reject = ctrl
         .tree()
         .nodes()
-        .filter(|&n| ctrl.whiteboard(n).map_or(false, |wb| wb.store.has_reject()))
+        .filter(|&n| ctrl.whiteboard(n).is_some_and(|wb| wb.store.has_reject()))
         .count();
     assert_eq!(with_reject, ctrl.tree().node_count());
     // A later request is rejected locally, costing no extra permits.

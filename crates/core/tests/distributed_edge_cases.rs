@@ -132,11 +132,11 @@ fn permits_parked_in_packages_survive_the_deletion_of_their_host() {
 fn answers_match_between_two_identical_runs() {
     let run = |seed: u64| {
         let tree = DynamicTree::with_initial_star(16);
-        let mut ctrl =
-            DistributedController::new(SimConfig::new(seed), tree, 10, 3, 64).unwrap();
+        let mut ctrl = DistributedController::new(SimConfig::new(seed), tree, 10, 3, 64).unwrap();
         let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
         for i in 0..14usize {
-            ctrl.submit(nodes[i % nodes.len()], RequestKind::AddLeaf).unwrap();
+            ctrl.submit(nodes[i % nodes.len()], RequestKind::AddLeaf)
+                .unwrap();
         }
         ctrl.run().unwrap();
         let mut outcomes: Vec<(u64, bool)> = ctrl

@@ -1,14 +1,20 @@
-//! Property-based tests: random workloads and random asynchronous schedules
+//! Property-style tests: random workloads and random asynchronous schedules
 //! must never violate the (M, W)-Controller correctness conditions, the
 //! domain invariants, permit conservation, or tree consistency.
+//!
+//! The build environment has no proptest, so each property runs a fixed
+//! number of seeded random cases through `dcn-rng`: every failure is
+//! reproducible from its printed case seed.
 
 use dcn_controller::centralized::{CentralizedController, IteratedController};
 use dcn_controller::distributed::DistributedController;
 use dcn_controller::verify::ExecutionSummary;
 use dcn_controller::{Outcome, RequestKind};
+use dcn_rng::{DetRng, Rng, SeedableRng};
 use dcn_simnet::{DelayModel, SimConfig};
 use dcn_tree::{DynamicTree, NodeId};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// An abstract request; the node index is interpreted modulo the current node
 /// set so any sequence applies to any intermediate tree.
@@ -20,13 +26,21 @@ enum Req {
     Plain(usize),
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    prop_oneof![
-        3 => (0usize..256).prop_map(Req::AddLeaf),
-        2 => (0usize..256).prop_map(Req::AddInternal),
-        2 => (0usize..256).prop_map(Req::Remove),
-        3 => (0usize..256).prop_map(Req::Plain),
-    ]
+/// Draws one request with the weights 3 : 2 : 2 : 3 (mirroring the old
+/// proptest strategy).
+fn random_req(rng: &mut DetRng) -> Req {
+    let k = rng.gen_range(0usize..256);
+    match rng.gen_range(0u32..10) {
+        0..=2 => Req::AddLeaf(k),
+        3..=4 => Req::AddInternal(k),
+        5..=6 => Req::Remove(k),
+        _ => Req::Plain(k),
+    }
+}
+
+fn random_reqs(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<Req> {
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| random_req(rng)).collect()
 }
 
 fn pick(tree: &DynamicTree, k: usize) -> NodeId {
@@ -56,106 +70,141 @@ fn concretize(tree: &DynamicTree, req: Req) -> Option<(NodeId, RequestKind)> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The centralized base controller: safety, liveness, permit conservation
-    /// and tree consistency under arbitrary mixed workloads.
-    #[test]
-    fn centralized_controller_is_correct_under_random_workloads(
-        reqs in prop::collection::vec(req_strategy(), 1..120),
-        m in 1u64..60,
-        w_frac in 1u64..100,
-        n0 in 1usize..40,
-    ) {
-        let w = (m * w_frac / 100).max(1).min(m);
+/// The centralized base controller: safety, liveness, permit conservation
+/// and tree consistency under arbitrary mixed workloads.
+#[test]
+fn centralized_controller_is_correct_under_random_workloads() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let reqs = random_reqs(&mut rng, 1, 120);
+        let m = rng.gen_range(1u64..60);
+        let w_frac = rng.gen_range(1u64..100);
+        let n0 = rng.gen_range(1usize..40);
+        let w = (m * w_frac / 100).clamp(1, m);
         let u_bound = n0 + reqs.len() + 1;
         let tree = DynamicTree::with_initial_star(n0);
-        let mut ctrl = CentralizedController::new(tree, m, w, u_bound).unwrap().with_auditor();
+        let mut ctrl = CentralizedController::new(tree, m, w, u_bound)
+            .unwrap()
+            .with_auditor();
         let mut granted = 0u64;
         let mut rejected = 0u64;
         for req in &reqs {
-            let Some((at, kind)) = concretize(ctrl.tree(), *req) else { continue };
+            let Some((at, kind)) = concretize(ctrl.tree(), *req) else {
+                continue;
+            };
             match ctrl.submit(at, kind).unwrap() {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
             }
             // Permit conservation: granted + uncommitted == M at all times.
-            prop_assert_eq!(ctrl.granted() + ctrl.uncommitted_permits(), m);
+            assert_eq!(
+                ctrl.granted() + ctrl.uncommitted_permits(),
+                m,
+                "case {case}: permit conservation"
+            );
             // Structural and analysis invariants.
-            prop_assert!(ctrl.tree().check_invariants().is_ok());
-            ctrl.check_domain_invariants().map_err(|e| {
-                TestCaseError::fail(format!("domain invariant violated: {e}"))
-            })?;
+            assert!(ctrl.tree().check_invariants().is_ok(), "case {case}");
+            ctrl.check_domain_invariants()
+                .unwrap_or_else(|e| panic!("case {case}: domain invariant violated: {e}"));
         }
-        ExecutionSummary { m, w, granted, rejected, unanswered: 0 }
-            .check()
-            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+        ExecutionSummary {
+            m,
+            w,
+            granted,
+            rejected,
+            unanswered: 0,
+        }
+        .check()
+        .unwrap_or_else(|v| panic!("case {case}: {v}"));
     }
+}
 
-    /// The iterated controller supports W = 0 and always grants exactly
-    /// min(M, answered-before-exhaustion) permits with no waste.
-    #[test]
-    fn iterated_controller_with_zero_waste_grants_exactly_m(
-        reqs in prop::collection::vec(req_strategy(), 30..150),
-        m in 1u64..25,
-        n0 in 1usize..30,
-    ) {
+/// The iterated controller supports W = 0 and always grants exactly
+/// min(M, answered-before-exhaustion) permits with no waste.
+#[test]
+fn iterated_controller_with_zero_waste_grants_exactly_m() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(10_000 + case);
+        let reqs = random_reqs(&mut rng, 30, 150);
+        let m = rng.gen_range(1u64..25);
+        let n0 = rng.gen_range(1usize..30);
         let u_bound = n0 + reqs.len() + 1;
         let tree = DynamicTree::with_initial_star(n0);
         let mut ctrl = IteratedController::new(tree, m, 0, u_bound).unwrap();
         let mut granted = 0u64;
         let mut rejected = 0u64;
         for req in &reqs {
-            let Some((at, kind)) = concretize(ctrl.tree(), *req) else { continue };
+            let Some((at, kind)) = concretize(ctrl.tree(), *req) else {
+                continue;
+            };
             match ctrl.submit(at, kind).unwrap() {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
             }
         }
-        prop_assert!(granted <= m);
+        assert!(granted <= m, "case {case}");
         if rejected > 0 {
-            prop_assert_eq!(granted, m, "W = 0 requires zero waste once a reject is issued");
+            assert_eq!(
+                granted, m,
+                "case {case}: W = 0 requires zero waste once a reject is issued"
+            );
         }
-        prop_assert!(ctrl.tree().check_invariants().is_ok());
+        assert!(ctrl.tree().check_invariants().is_ok(), "case {case}");
     }
+}
 
-    /// The distributed controller under random workloads, random delay
-    /// schedules and concurrent submission: every request answered, safety
-    /// and liveness hold, all locks released, tree consistent.
-    #[test]
-    fn distributed_controller_is_correct_under_random_schedules(
-        reqs in prop::collection::vec(req_strategy(), 1..60),
-        m in 1u64..40,
-        w_frac in 1u64..100,
-        n0 in 1usize..25,
-        seed in 0u64..u64::MAX,
-        max_delay in 1u64..16,
-    ) {
-        let w = (m * w_frac / 100).max(1).min(m);
+/// The distributed controller under random workloads, random delay
+/// schedules and concurrent submission: every request answered, safety
+/// and liveness hold, all locks released, tree consistent.
+#[test]
+fn distributed_controller_is_correct_under_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(20_000 + case);
+        let reqs = random_reqs(&mut rng, 1, 60);
+        let m = rng.gen_range(1u64..40);
+        let w_frac = rng.gen_range(1u64..100);
+        let n0 = rng.gen_range(1usize..25);
+        let seed = rng.next_u64();
+        let max_delay = rng.gen_range(1u64..16);
+        let w = (m * w_frac / 100).clamp(1, m);
         let u_bound = n0 + reqs.len() + 2;
         let tree = DynamicTree::with_initial_star(n0);
-        let config = SimConfig::new(seed)
-            .with_delay(DelayModel::Uniform { min: 1, max: max_delay });
+        let config = SimConfig::new(seed).with_delay(DelayModel::Uniform {
+            min: 1,
+            max: max_delay,
+        });
         let mut ctrl = DistributedController::new(config, tree, m, w, u_bound).unwrap();
         let mut submitted = 0u64;
         for req in &reqs {
             // Concretize against the *initial* tree (all requests are
             // submitted up-front and race with each other).
-            let Some((at, kind)) = concretize(ctrl.tree(), *req) else { continue };
+            let Some((at, kind)) = concretize(ctrl.tree(), *req) else {
+                continue;
+            };
             ctrl.submit(at, kind).unwrap();
             submitted += 1;
         }
         ctrl.run().unwrap();
         let answered = ctrl.records().len() as u64;
-        prop_assert_eq!(answered, submitted, "every request must be answered");
-        let summary = ctrl.summary();
-        summary.check().map_err(|v| TestCaseError::fail(v.to_string()))?;
-        prop_assert!(ctrl.tree().check_invariants().is_ok());
+        assert_eq!(
+            answered, submitted,
+            "case {case}: every request must be answered"
+        );
+        ctrl.summary()
+            .check()
+            .unwrap_or_else(|v| panic!("case {case}: {v}"));
+        assert!(ctrl.tree().check_invariants().is_ok(), "case {case}");
         for node in ctrl.tree().nodes().collect::<Vec<_>>() {
-            prop_assert!(!ctrl.sim().is_locked(node), "node {} left locked", node);
+            assert!(
+                !ctrl.sim().is_locked(node),
+                "case {case}: node {node} left locked"
+            );
         }
         // Permit conservation in the distributed data structure.
-        prop_assert_eq!(ctrl.granted() + ctrl.uncommitted_permits(), m);
+        assert_eq!(
+            ctrl.granted() + ctrl.uncommitted_permits(),
+            m,
+            "case {case}: permit conservation"
+        );
     }
 }

@@ -191,6 +191,9 @@ mod tests {
         }
         tree.clear_change_log();
         let decomposition = HeavyChildDecomposition::new(SimConfig::new(23), tree).unwrap();
-        assert_eq!(decomposition.heavy_child(decomposition.tree().root()), Some(big));
+        assert_eq!(
+            decomposition.heavy_child(decomposition.tree().root()),
+            Some(big)
+        );
     }
 }

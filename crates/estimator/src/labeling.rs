@@ -99,7 +99,11 @@ impl AncestryLabeling {
 
     /// Answers an ancestry query purely from the two labels.
     pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> Option<bool> {
-        Some(self.labels.get(&anc)?.is_ancestor_of(self.labels.get(&desc)?))
+        Some(
+            self.labels
+                .get(&anc)?
+                .is_ancestor_of(self.labels.get(&desc)?),
+        )
     }
 
     /// Checks that every existing node is labeled, that label-based ancestry
@@ -153,13 +157,8 @@ impl AncestryLabeling {
         while let Some((node, expanded)) = stack.pop() {
             if expanded {
                 let low = entry[&node];
-                self.labels.insert(
-                    node,
-                    AncestryLabel {
-                        low,
-                        high: counter,
-                    },
-                );
+                self.labels
+                    .insert(node, AncestryLabel { low, high: counter });
                 continue;
             }
             counter += 1;

@@ -146,7 +146,9 @@ impl NameAssigner {
                 return Err(format!("node {node} has no identity"));
             };
             if *id == 0 || *id > 4 * n {
-                return Err(format!("node {node} has identity {id} outside [1, 4n] (n = {n})"));
+                return Err(format!(
+                    "node {node} has identity {id} outside [1, 4n] (n = {n})"
+                ));
             }
             if let Some(other) = seen.insert(*id, node) {
                 return Err(format!("identity {id} assigned to both {other} and {node}"));
@@ -296,7 +298,9 @@ mod tests {
             .nodes()
             .find(|&n| n != names.tree().root())
             .unwrap();
-        names.run_batch(&[(victim, RequestKind::RemoveSelf)]).unwrap();
+        names
+            .run_batch(&[(victim, RequestKind::RemoveSelf)])
+            .unwrap();
         assert!(!names.tree().contains(victim));
         assert!(names.id_of(victim).is_none());
         names.check_invariants().unwrap();

@@ -127,7 +127,12 @@ impl SubtreeEstimator {
     /// deletions do not subtract).
     fn update_super_weights(&mut self) {
         let tree = self.size.tree();
-        let log: Vec<_> = tree.change_log().iter().skip(self.log_cursor).cloned().collect();
+        let log: Vec<_> = tree
+            .change_log()
+            .iter()
+            .skip(self.log_cursor)
+            .cloned()
+            .collect();
         self.log_cursor = tree.change_log().len();
         for record in log {
             match record.event {

@@ -1,12 +1,18 @@
-//! Property-based tests for the §5 applications: their invariants must hold
+//! Property-style tests for the §5 applications: their invariants must hold
 //! after every batch, for random churn mixes, random seeds and random batch
 //! sizes.
+//!
+//! The build environment has no proptest, so each property runs a fixed
+//! number of seeded random cases through `dcn-rng`: every failure is
+//! reproducible from its printed case seed.
 
-use dcn_estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner, SizeEstimator};
 use dcn_controller::RequestKind;
+use dcn_estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner, SizeEstimator};
+use dcn_rng::{DetRng, Rng, SeedableRng};
 use dcn_simnet::SimConfig;
 use dcn_tree::{DynamicTree, NodeId};
-use proptest::prelude::*;
+
+const CASES: u64 = 16;
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -15,12 +21,20 @@ enum Op {
     Remove(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0usize..128).prop_map(Op::AddLeaf),
-        1 => (0usize..128).prop_map(Op::AddInternal),
-        2 => (0usize..128).prop_map(Op::Remove),
-    ]
+/// Draws one operation with the weights 3 : 1 : 2 (mirroring the old
+/// proptest strategy).
+fn random_op(rng: &mut DetRng) -> Op {
+    let k = rng.gen_range(0usize..128);
+    match rng.gen_range(0u32..6) {
+        0..=2 => Op::AddLeaf(k),
+        3 => Op::AddInternal(k),
+        _ => Op::Remove(k),
+    }
+}
+
+fn random_ops(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<Op> {
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn concretize(tree: &DynamicTree, op: Op) -> Option<(NodeId, RequestKind)> {
@@ -43,18 +57,15 @@ fn concretize(tree: &DynamicTree, op: Op) -> Option<(NodeId, RequestKind)> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The size estimate never leaves the β-band, for random churn and seeds.
-    #[test]
-    fn size_estimation_invariant_holds(
-        ops in prop::collection::vec(op_strategy(), 1..60),
-        seed in 0u64..1_000,
-        n0 in 4usize..24,
-        beta_pct in 125u32..300,
-    ) {
-        let beta = beta_pct as f64 / 100.0;
+/// The size estimate never leaves the β-band, for random churn and seeds.
+#[test]
+fn size_estimation_invariant_holds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let ops = random_ops(&mut rng, 1, 60);
+        let seed = rng.gen_range(0u64..1_000);
+        let n0 = rng.gen_range(4usize..24);
+        let beta = rng.gen_range(125u32..300) as f64 / 100.0;
         let tree = DynamicTree::with_initial_star(n0);
         let mut est = SizeEstimator::new(SimConfig::new(seed), tree, beta).unwrap();
         for chunk in ops.chunks(6) {
@@ -63,24 +74,26 @@ proptest! {
                 .filter_map(|&op| concretize(est.tree(), op))
                 .collect();
             est.run_batch(&batch).unwrap();
-            prop_assert!(
+            assert!(
                 est.estimate_is_valid(),
-                "estimate {} out of band for n = {} (beta = {beta})",
+                "case {case}: estimate {} out of band for n = {} (beta = {beta})",
                 est.estimate(),
                 est.tree().node_count()
             );
-            prop_assert!(est.tree().check_invariants().is_ok());
+            assert!(est.tree().check_invariants().is_ok(), "case {case}");
         }
     }
+}
 
-    /// Name assignment: identities stay unique and within [1, 4n] after every
-    /// batch of random churn.
-    #[test]
-    fn name_assignment_invariants_hold(
-        ops in prop::collection::vec(op_strategy(), 1..50),
-        seed in 0u64..1_000,
-        n0 in 4usize..20,
-    ) {
+/// Name assignment: identities stay unique and within [1, 4n] after every
+/// batch of random churn.
+#[test]
+fn name_assignment_invariants_hold() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(1_000 + case);
+        let ops = random_ops(&mut rng, 1, 50);
+        let seed = rng.gen_range(0u64..1_000);
+        let n0 = rng.gen_range(4usize..20);
         let tree = DynamicTree::with_initial_star(n0);
         let mut names = NameAssigner::new(SimConfig::new(seed), tree).unwrap();
         for chunk in ops.chunks(5) {
@@ -91,18 +104,20 @@ proptest! {
             names.run_batch(&batch).unwrap();
             names
                 .check_invariants()
-                .map_err(|e| TestCaseError::fail(e))?;
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
+}
 
-    /// Heavy-child decomposition: the light-ancestor bound holds after every
-    /// batch.
-    #[test]
-    fn heavy_child_light_depth_holds(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        seed in 0u64..500,
-        n0 in 4usize..16,
-    ) {
+/// Heavy-child decomposition: the light-ancestor bound holds after every
+/// batch.
+#[test]
+fn heavy_child_light_depth_holds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(2_000 + case);
+        let ops = random_ops(&mut rng, 1, 40);
+        let seed = rng.gen_range(0u64..500);
+        let n0 = rng.gen_range(4usize..16);
         let tree = DynamicTree::with_initial_star(n0);
         let mut heavy = HeavyChildDecomposition::new(SimConfig::new(seed), tree).unwrap();
         for chunk in ops.chunks(5) {
@@ -113,18 +128,20 @@ proptest! {
             heavy.run_batch(&batch).unwrap();
             heavy
                 .check_light_depth()
-                .map_err(|e| TestCaseError::fail(e))?;
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
+}
 
-    /// Ancestry labeling: labels stay present, correct and short after every
-    /// batch (churn skewed towards deletions, the case the corollary covers).
-    #[test]
-    fn ancestry_labeling_invariants_hold(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        seed in 0u64..500,
-        n0 in 8usize..32,
-    ) {
+/// Ancestry labeling: labels stay present, correct and short after every
+/// batch (churn skewed towards deletions, the case the corollary covers).
+#[test]
+fn ancestry_labeling_invariants_hold() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(3_000 + case);
+        let ops = random_ops(&mut rng, 1, 40);
+        let seed = rng.gen_range(0u64..500);
+        let n0 = rng.gen_range(8usize..32);
         let tree = DynamicTree::with_initial_star(n0);
         let mut labels = AncestryLabeling::new(SimConfig::new(seed), tree).unwrap();
         for chunk in ops.chunks(5) {
@@ -135,7 +152,7 @@ proptest! {
             labels.run_batch(&batch).unwrap();
             labels
                 .check_invariants()
-                .map_err(|e| TestCaseError::fail(e))?;
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
 }

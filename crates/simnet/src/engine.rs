@@ -67,15 +67,25 @@ impl EventQueue {
         self.heap.is_empty()
     }
 
-    /// Schedules `kind` to fire `delay` units after the current time.
-    pub fn schedule(&mut self, delay: Time, kind: EventKind) {
+    /// Schedules `kind` to fire `delay` units after the current time and
+    /// returns the event's absolute fire time.
+    pub fn schedule(&mut self, delay: Time, kind: EventKind) -> Time {
+        let time = self.now.saturating_add(delay);
         let event = Event {
-            time: self.now.saturating_add(delay),
+            time,
             seq: self.next_seq,
             kind,
         };
         self.next_seq += 1;
         self.heap.push(Reverse(event));
+        time
+    }
+
+    /// The absolute fire time of the next pending event, without popping it.
+    /// Lets drivers batch-poll ("is anything due before t?") without
+    /// disturbing the queue.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(event)| event.time)
     }
 
     /// Pops the next event and advances the clock to its timestamp.
@@ -128,6 +138,35 @@ mod tests {
         // Scheduling is relative to the current time.
         q.schedule(2, activate(2));
         assert_eq!(q.pop().unwrap().time, 6);
+    }
+
+    #[test]
+    fn schedule_returns_the_absolute_fire_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.schedule(10, activate(1)), 10);
+        q.pop();
+        assert_eq!(q.now(), 10);
+        // Relative delays resolve against the advanced clock.
+        assert_eq!(q.schedule(5, activate(2)), 15);
+        assert_eq!(q.schedule(0, activate(3)), 10);
+        // Saturation guard: a huge delay must not wrap around.
+        assert_eq!(q.schedule(Time::MAX, activate(4)), Time::MAX);
+    }
+
+    #[test]
+    fn peek_time_reports_the_next_event_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(8, activate(1));
+        q.schedule(3, activate(2));
+        assert_eq!(q.peek_time(), Some(3));
+        // Peeking does not consume or advance anything.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.now(), 0);
+        assert_eq!(q.pop().unwrap().time, 3);
+        assert_eq!(q.peek_time(), Some(8));
+        q.pop();
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

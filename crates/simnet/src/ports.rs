@@ -7,7 +7,7 @@
 //! confirm the protocol does not accidentally rely on a friendly numbering.
 
 use crate::NodeId;
-use rand::Rng;
+use dcn_rng::Rng;
 use std::collections::HashMap;
 
 /// Port numbers of a single node: one distinct number per incident tree edge.
@@ -24,7 +24,7 @@ impl PortMap {
 
     /// Assigns a fresh adversarial (random, unique at this node) port number
     /// for the edge towards `neighbor` and returns it.
-    pub fn assign<R: Rng + ?Sized>(&mut self, neighbor: NodeId, rng: &mut R) -> u32 {
+    pub fn assign<R: Rng>(&mut self, neighbor: NodeId, rng: &mut R) -> u32 {
         loop {
             let candidate: u32 = rng.gen();
             if !self.ports.values().any(|&p| p == candidate) {
@@ -66,12 +66,11 @@ impl PortMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha12Rng;
+    use dcn_rng::{DetRng, SeedableRng};
 
     #[test]
     fn assigned_ports_are_distinct_and_retrievable() {
-        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let mut pm = PortMap::new();
         for i in 0..100 {
             pm.assign(NodeId::from_index(i), &mut rng);
@@ -84,7 +83,7 @@ mod tests {
 
     #[test]
     fn removing_a_port_frees_the_slot() {
-        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let mut rng = DetRng::seed_from_u64(6);
         let mut pm = PortMap::new();
         pm.assign(NodeId::from_index(1), &mut rng);
         assert!(!pm.is_empty());

@@ -56,7 +56,7 @@ pub enum Action {
 
 /// Deferred effects collected during one activation.
 #[derive(Debug)]
-pub(crate) enum Effect<P: Protocol + ?Sized> {
+pub(crate) enum Effect<P: Protocol> {
     Lock,
     Unlock,
     MarkTop,
@@ -73,7 +73,7 @@ pub(crate) enum Effect<P: Protocol + ?Sized> {
 /// The controller only ever accesses the whiteboard of the node the agent is
 /// currently at, exactly as in the paper's model; `NodeCtx` enforces that by
 /// construction.
-pub struct NodeCtx<'a, P: Protocol + ?Sized> {
+pub struct NodeCtx<'a, P: Protocol> {
     pub(crate) node: NodeId,
     pub(crate) parent: Option<NodeId>,
     pub(crate) children: Vec<NodeId>,
@@ -263,8 +263,11 @@ pub trait Protocol: Sized {
     /// it carries the parent's whiteboard, modelling the paper's step in which
     /// a new node is told the protocol parameters (`M`, `W`, `U`) by its
     /// parent.
-    fn make_whiteboard(&mut self, node: NodeId, parent: Option<&Self::Whiteboard>)
-        -> Self::Whiteboard;
+    fn make_whiteboard(
+        &mut self,
+        node: NodeId,
+        parent: Option<&Self::Whiteboard>,
+    ) -> Self::Whiteboard;
 
     /// Merges the whiteboard of a gracefully removed node into its parent's
     /// whiteboard and returns the number of `O(log N)`-bit messages the

@@ -9,8 +9,7 @@ use crate::protocol::{Action, AgentId, Effect, NodeCtx, Protocol};
 use crate::taxi::{AgentTaxi, NodeTaxi};
 use crate::topology::{PendingChange, TopologyChange, MAX_CHANGE_ATTEMPTS};
 use crate::{DynamicTree, NodeId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use dcn_rng::{DetRng, SeedableRng};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -61,7 +60,7 @@ pub struct Simulator<P: Protocol> {
     config: SimConfig,
     protocol: P,
     tree: DynamicTree,
-    rng: ChaCha12Rng,
+    rng: DetRng,
     queue: EventQueue,
     whiteboards: HashMap<NodeId, P::Whiteboard>,
     node_taxi: HashMap<NodeId, NodeTaxi>,
@@ -84,7 +83,7 @@ impl<P: Protocol> Simulator<P> {
     /// created top-down so that every node's whiteboard can be derived from
     /// its parent's (the paper's parameter hand-off).
     pub fn with_tree(config: SimConfig, mut protocol: P, tree: DynamicTree) -> Self {
-        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let mut rng = DetRng::seed_from_u64(config.seed);
         let mut whiteboards = HashMap::new();
         let mut node_taxi = HashMap::new();
         let mut ports: HashMap<NodeId, PortMap> = HashMap::new();
@@ -182,7 +181,7 @@ impl<P: Protocol> Simulator<P> {
 
     /// Returns `true` if `node` is currently locked by some agent.
     pub fn is_locked(&self, node: NodeId) -> bool {
-        self.node_taxi.get(&node).map_or(false, NodeTaxi::is_locked)
+        self.node_taxi.get(&node).is_some_and(NodeTaxi::is_locked)
     }
 
     /// Number of agents currently alive (travelling, active or queued).
@@ -205,6 +204,12 @@ impl<P: Protocol> Simulator<P> {
     /// Returns `true` when no events are scheduled (nothing left to simulate).
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// The absolute simulated time of the next scheduled event, if any.
+    /// Drivers can batch-poll ("run until t") without popping events.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek_time()
     }
 
     /// Removes and returns all protocol outputs emitted so far.
@@ -257,8 +262,10 @@ impl<P: Protocol> Simulator<P> {
         let id = self.next_change;
         self.next_change += 1;
         self.pending_changes.insert(id, PendingChange::new(change));
-        self.queue
-            .schedule(self.config.change_delay, EventKind::AttemptChange { change: id });
+        self.queue.schedule(
+            self.config.change_delay,
+            EventKind::AttemptChange { change: id },
+        );
     }
 
     /// Processes a single event. Returns `Ok(false)` when the event queue is
@@ -566,10 +573,20 @@ impl<P: Protocol> Simulator<P> {
                 if let Some(pm) = self.ports.get_mut(&below) {
                     pm.remove(parent);
                 }
-                let pp = self.ports.entry(parent).or_default().assign(node, &mut self.rng);
+                let pp = self
+                    .ports
+                    .entry(parent)
+                    .or_default()
+                    .assign(node, &mut self.rng);
                 let _ = pp;
-                self.ports.entry(node).or_default().assign(below, &mut self.rng);
-                self.ports.entry(below).or_default().assign(node, &mut self.rng);
+                self.ports
+                    .entry(node)
+                    .or_default()
+                    .assign(below, &mut self.rng);
+                self.ports
+                    .entry(below)
+                    .or_default()
+                    .assign(node, &mut self.rng);
                 ChangeOutcome::Applied
             }
             TopologyChange::Remove { node } => {
@@ -611,8 +628,14 @@ impl<P: Protocol> Simulator<P> {
                     if let Some(pm) = self.ports.get_mut(&c) {
                         pm.remove(node);
                     }
-                    self.ports.entry(c).or_default().assign(parent, &mut self.rng);
-                    self.ports.entry(parent).or_default().assign(c, &mut self.rng);
+                    self.ports
+                        .entry(c)
+                        .or_default()
+                        .assign(parent, &mut self.rng);
+                    self.ports
+                        .entry(parent)
+                        .or_default()
+                        .assign(c, &mut self.rng);
                 }
                 self.tree.remove(node).expect("checked above");
                 ChangeOutcome::Applied
@@ -637,8 +660,14 @@ impl<P: Protocol> Simulator<P> {
         };
         self.whiteboards.insert(node, wb);
         self.node_taxi.insert(node, NodeTaxi::new());
-        self.ports.entry(parent).or_default().assign(node, &mut self.rng);
-        self.ports.entry(node).or_default().assign(parent, &mut self.rng);
+        self.ports
+            .entry(parent)
+            .or_default()
+            .assign(node, &mut self.rng);
+        self.ports
+            .entry(node)
+            .or_default()
+            .assign(parent, &mut self.rng);
     }
 }
 

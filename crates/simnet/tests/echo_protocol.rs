@@ -115,11 +115,22 @@ fn single_agent_measures_its_depth() {
     let tree = path_tree(5);
     let deepest = NodeId::from_index(5);
     let mut sim = Simulator::with_tree(SimConfig::new(1), ClimbProtocol, tree);
-    sim.create_agent(deepest, ClimbAgent { phase: ClimbPhase::Climb })
-        .unwrap();
+    sim.create_agent(
+        deepest,
+        ClimbAgent {
+            phase: ClimbPhase::Climb,
+        },
+    )
+    .unwrap();
     sim.run_until_quiescent().unwrap();
     let outputs = sim.drain_outputs();
-    assert_eq!(outputs, vec![DepthReport { origin: deepest, depth: 5 }]);
+    assert_eq!(
+        outputs,
+        vec![DepthReport {
+            origin: deepest,
+            depth: 5
+        }]
+    );
     // The agent traverses the depth-5 path four times (up, down, up, down).
     assert_eq!(sim.metrics().agent_hops, 20);
     assert_eq!(sim.live_agents(), 0);
@@ -133,11 +144,22 @@ fn single_agent_measures_its_depth() {
 fn agent_created_at_root_terminates_immediately() {
     let mut sim = Simulator::new(SimConfig::new(2), ClimbProtocol);
     let root = sim.tree().root();
-    sim.create_agent(root, ClimbAgent { phase: ClimbPhase::Climb })
-        .unwrap();
+    sim.create_agent(
+        root,
+        ClimbAgent {
+            phase: ClimbPhase::Climb,
+        },
+    )
+    .unwrap();
     sim.run_until_quiescent().unwrap();
     let outputs = sim.drain_outputs();
-    assert_eq!(outputs, vec![DepthReport { origin: root, depth: 0 }]);
+    assert_eq!(
+        outputs,
+        vec![DepthReport {
+            origin: root,
+            depth: 0
+        }]
+    );
     assert_eq!(sim.metrics().agent_hops, 0);
 }
 
@@ -156,8 +178,13 @@ fn concurrent_agents_all_complete_and_locks_serialize_them() {
         .filter(|&n| n != sim.tree().root())
         .collect();
     for &leaf in &leaves {
-        sim.create_agent(leaf, ClimbAgent { phase: ClimbPhase::Climb })
-            .unwrap();
+        sim.create_agent(
+            leaf,
+            ClimbAgent {
+                phase: ClimbPhase::Climb,
+            },
+        )
+        .unwrap();
     }
     sim.run_until_quiescent().unwrap();
     let outputs = sim.drain_outputs();
@@ -182,8 +209,13 @@ fn determinism_same_seed_same_metrics() {
             .filter(|&n| n != sim.tree().root())
             .collect();
         for &leaf in &leaves {
-            sim.create_agent(leaf, ClimbAgent { phase: ClimbPhase::Climb })
-                .unwrap();
+            sim.create_agent(
+                leaf,
+                ClimbAgent {
+                    phase: ClimbPhase::Climb,
+                },
+            )
+            .unwrap();
         }
         sim.run_until_quiescent().unwrap();
         (*sim.metrics(), sim.drain_outputs().len())
@@ -234,8 +266,13 @@ fn removal_merges_whiteboard_into_parent_and_counts_aux_messages() {
     let leaf = NodeId::from_index(2);
     let mid = NodeId::from_index(1);
     // Run one agent from the leaf so whiteboards accumulate visits.
-    sim.create_agent(leaf, ClimbAgent { phase: ClimbPhase::Climb })
-        .unwrap();
+    sim.create_agent(
+        leaf,
+        ClimbAgent {
+            phase: ClimbPhase::Climb,
+        },
+    )
+    .unwrap();
     sim.run_until_quiescent().unwrap();
     let leaf_visits = sim.whiteboard(leaf).unwrap().visits;
     let mid_visits = sim.whiteboard(mid).unwrap().visits;
@@ -245,7 +282,10 @@ fn removal_merges_whiteboard_into_parent_and_counts_aux_messages() {
     sim.schedule_change(TopologyChange::Remove { node: leaf });
     sim.run_until_quiescent().unwrap();
     assert!(sim.metrics().aux_messages > aux_before);
-    assert_eq!(sim.whiteboard(mid).unwrap().visits, leaf_visits + mid_visits);
+    assert_eq!(
+        sim.whiteboard(mid).unwrap().visits,
+        leaf_visits + mid_visits
+    );
     assert!(sim.whiteboard(leaf).is_none());
 }
 
@@ -298,9 +338,17 @@ fn ports_stay_distinct_after_churn() {
 fn create_agent_at_unknown_node_errors() {
     let mut sim = Simulator::new(SimConfig::new(10), ClimbProtocol);
     let err = sim
-        .create_agent(NodeId::from_index(99), ClimbAgent { phase: ClimbPhase::Climb })
+        .create_agent(
+            NodeId::from_index(99),
+            ClimbAgent {
+                phase: ClimbPhase::Climb,
+            },
+        )
         .unwrap_err();
-    assert_eq!(err, dcn_simnet::SimError::UnknownNode(NodeId::from_index(99)));
+    assert_eq!(
+        err,
+        dcn_simnet::SimError::UnknownNode(NodeId::from_index(99))
+    );
 }
 
 /// A protocol that never terminates (always re-activates) to exercise the

@@ -1,12 +1,18 @@
-//! Property-based tests for the simulator: graceful topology changes under
+//! Property-style tests for the simulator: graceful topology changes under
 //! concurrent agent traffic never corrupt the tree, never lose agents, and
 //! executions are deterministic per seed.
+//!
+//! The build environment has no proptest, so each property runs a fixed
+//! number of seeded random cases through `dcn-rng`: every failure is
+//! reproducible from its printed case seed.
 
+use dcn_rng::{DetRng, Rng, SeedableRng};
 use dcn_simnet::{
     Action, DelayModel, DynamicTree, NodeCtx, NodeId, Protocol, SimConfig, Simulator,
     TopologyChange,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 40;
 
 /// A protocol whose agents bounce: climb to the root locking, return to the
 /// origin, climb again, and finally descend unlocking (the same movement
@@ -94,13 +100,21 @@ enum SimEvent {
     Remove(usize),
 }
 
-fn event_strategy() -> impl Strategy<Value = SimEvent> {
-    prop_oneof![
-        4 => (0usize..64).prop_map(SimEvent::Agent),
-        2 => (0usize..64).prop_map(SimEvent::AddLeaf),
-        2 => (0usize..64).prop_map(SimEvent::AddInternal),
-        2 => (0usize..64).prop_map(SimEvent::Remove),
-    ]
+/// Draws one event with the weights 4 : 2 : 2 : 2 (mirroring the old
+/// proptest strategy).
+fn random_event(rng: &mut DetRng) -> SimEvent {
+    let k = rng.gen_range(0usize..64);
+    match rng.gen_range(0u32..10) {
+        0..=3 => SimEvent::Agent(k),
+        4..=5 => SimEvent::AddLeaf(k),
+        6..=7 => SimEvent::AddInternal(k),
+        _ => SimEvent::Remove(k),
+    }
+}
+
+fn random_events(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<SimEvent> {
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| random_event(rng)).collect()
 }
 
 fn pick(tree: &DynamicTree, k: usize) -> NodeId {
@@ -110,7 +124,10 @@ fn pick(tree: &DynamicTree, k: usize) -> NodeId {
 
 fn run(seed: u64, max_delay: u64, n0: usize, events: &[SimEvent]) -> (usize, u64, usize) {
     let tree = DynamicTree::with_initial_star(n0);
-    let config = SimConfig::new(seed).with_delay(DelayModel::Uniform { min: 1, max: max_delay });
+    let config = SimConfig::new(seed).with_delay(DelayModel::Uniform {
+        min: 1,
+        max: max_delay,
+    });
     let mut sim = Simulator::with_tree(config, BounceProtocol, tree);
     let mut agents_created = 0usize;
     // Interleave: inject a slice of events, run a few steps, inject more.
@@ -119,8 +136,13 @@ fn run(seed: u64, max_delay: u64, n0: usize, events: &[SimEvent]) -> (usize, u64
             match event {
                 SimEvent::Agent(k) => {
                     let at = pick(sim.tree(), k);
-                    sim.create_agent(at, BounceAgent { phase: BouncePhase::Climb })
-                        .unwrap();
+                    sim.create_agent(
+                        at,
+                        BounceAgent {
+                            phase: BouncePhase::Climb,
+                        },
+                    )
+                    .unwrap();
                     agents_created += 1;
                 }
                 SimEvent::AddLeaf(k) => {
@@ -145,24 +167,29 @@ fn run(seed: u64, max_delay: u64, n0: usize, events: &[SimEvent]) -> (usize, u64
     }
     sim.run_until_quiescent().unwrap();
     let outputs = sim.drain_outputs().len();
-    (agents_created, sim.metrics().agent_hops, outputs + sim.metrics().agents_dropped as usize)
+    (
+        agents_created,
+        sim.metrics().agent_hops,
+        outputs + sim.metrics().agents_dropped as usize,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Every agent eventually reports (or is accounted as dropped), every lock
-    /// is released, and the tree stays structurally valid — under arbitrary
-    /// interleavings of agent traffic and graceful topology changes.
-    #[test]
-    fn concurrent_agents_and_churn_never_corrupt_the_network(
-        events in prop::collection::vec(event_strategy(), 1..60),
-        seed in 0u64..10_000,
-        max_delay in 1u64..12,
-        n0 in 1usize..20,
-    ) {
+/// Every agent eventually reports (or is accounted as dropped), every lock
+/// is released, and the tree stays structurally valid — under arbitrary
+/// interleavings of agent traffic and graceful topology changes.
+#[test]
+fn concurrent_agents_and_churn_never_corrupt_the_network() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let events = random_events(&mut rng, 1, 60);
+        let seed = rng.gen_range(0u64..10_000);
+        let max_delay = rng.gen_range(1u64..12);
+        let n0 = rng.gen_range(1usize..20);
         let tree = DynamicTree::with_initial_star(n0);
-        let config = SimConfig::new(seed).with_delay(DelayModel::Uniform { min: 1, max: max_delay });
+        let config = SimConfig::new(seed).with_delay(DelayModel::Uniform {
+            min: 1,
+            max: max_delay,
+        });
         let mut sim = Simulator::with_tree(config, BounceProtocol, tree);
         let mut agents_created = 0u64;
         for chunk in events.chunks(3) {
@@ -170,7 +197,13 @@ proptest! {
                 match event {
                     SimEvent::Agent(k) => {
                         let at = pick(sim.tree(), k);
-                        sim.create_agent(at, BounceAgent { phase: BouncePhase::Climb }).unwrap();
+                        sim.create_agent(
+                            at,
+                            BounceAgent {
+                                phase: BouncePhase::Climb,
+                            },
+                        )
+                        .unwrap();
                         agents_created += 1;
                     }
                     SimEvent::AddLeaf(k) => {
@@ -195,30 +228,42 @@ proptest! {
         }
         sim.run_until_quiescent().unwrap();
 
-        prop_assert!(sim.tree().check_invariants().is_ok());
-        prop_assert_eq!(sim.live_agents(), 0, "agents must not leak");
-        prop_assert_eq!(sim.pending_change_count(), 0, "changes must not leak");
+        assert!(sim.tree().check_invariants().is_ok(), "case {case}");
+        assert_eq!(sim.live_agents(), 0, "case {case}: agents must not leak");
+        assert_eq!(
+            sim.pending_change_count(),
+            0,
+            "case {case}: changes must not leak"
+        );
         let answered = sim.drain_outputs().len() as u64;
-        prop_assert_eq!(answered, agents_created, "every agent reports exactly once");
+        assert_eq!(
+            answered, agents_created,
+            "case {case}: every agent reports exactly once"
+        );
         for node in sim.tree().nodes().collect::<Vec<_>>() {
-            prop_assert!(!sim.is_locked(node), "node {} left locked", node);
-            prop_assert!(sim.ports(node).map_or(true, |p| p.all_distinct()));
+            assert!(!sim.is_locked(node), "case {case}: node {node} left locked");
+            assert!(
+                sim.ports(node).map_or(true, |p| p.all_distinct()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Executions are fully deterministic for a fixed seed and differ only in
-    /// cost (not in delivered answers) across seeds.
-    #[test]
-    fn executions_are_deterministic_per_seed(
-        events in prop::collection::vec(event_strategy(), 1..40),
-        seed in 0u64..1_000,
-        n0 in 1usize..12,
-    ) {
+/// Executions are fully deterministic for a fixed seed and differ only in
+/// cost (not in delivered answers) across seeds.
+#[test]
+fn executions_are_deterministic_per_seed() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(10_000 + case);
+        let events = random_events(&mut rng, 1, 40);
+        let seed = rng.gen_range(0u64..1_000);
+        let n0 = rng.gen_range(1usize..12);
         let a = run(seed, 9, n0, &events);
         let b = run(seed, 9, n0, &events);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
         let c = run(seed.wrapping_add(1), 9, n0, &events);
         // Same number of agents created; every agent answered or dropped.
-        prop_assert_eq!(a.0, c.0);
+        assert_eq!(a.0, c.0, "case {case}");
     }
 }

@@ -34,7 +34,9 @@ impl fmt::Display for TreeError {
             TreeError::NotInternal(id) => write!(f, "node {id} is not an internal node"),
             TreeError::NoParentEdge(id) => write!(f, "node {id} has no parent edge to split"),
             TreeError::UnknownEdge(a, b) => write!(f, "non-tree edge ({a}, {b}) does not exist"),
-            TreeError::InvalidEdge(a, b) => write!(f, "edge ({a}, {b}) is not a valid non-tree edge"),
+            TreeError::InvalidEdge(a, b) => {
+                write!(f, "edge ({a}, {b}) is not a valid non-tree edge")
+            }
         }
     }
 }

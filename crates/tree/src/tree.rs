@@ -105,7 +105,7 @@ impl DynamicTree {
 
     /// Returns `true` if `id` currently exists in the tree.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.slots.get(id.index()).map_or(false, Option::is_some)
+        self.slots.get(id.index()).is_some_and(Option::is_some)
     }
 
     /// The change log recording every topological event applied through the
@@ -195,10 +195,7 @@ impl DynamicTree {
             d += 1;
             cur = p;
         }
-        assert!(
-            self.contains(id),
-            "depth() called on unknown node {id}"
-        );
+        assert!(self.contains(id), "depth() called on unknown node {id}");
         d
     }
 
@@ -757,14 +754,8 @@ mod tests {
         t.add_non_tree_edge(a, b).unwrap();
         assert_eq!(t.non_tree_neighbors(a).unwrap(), vec![b]);
         assert_eq!(t.non_tree_neighbors(b).unwrap(), vec![a]);
-        assert_eq!(
-            t.add_non_tree_edge(a, b),
-            Err(TreeError::InvalidEdge(a, b))
-        );
-        assert_eq!(
-            t.add_non_tree_edge(a, a),
-            Err(TreeError::InvalidEdge(a, a))
-        );
+        assert_eq!(t.add_non_tree_edge(a, b), Err(TreeError::InvalidEdge(a, b)));
+        assert_eq!(t.add_non_tree_edge(a, a), Err(TreeError::InvalidEdge(a, a)));
         assert_eq!(
             t.add_non_tree_edge(a, t.root()),
             Err(TreeError::InvalidEdge(a, t.root()))

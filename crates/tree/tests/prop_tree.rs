@@ -1,12 +1,18 @@
-//! Property-based tests for the dynamic tree substrate.
+//! Property-style tests for the dynamic tree substrate.
 //!
 //! A random sequence of topological operations (interpreted against whatever
 //! nodes currently exist) must always leave the tree structurally consistent,
 //! with depths, ancestry and the change log agreeing with a straightforward
 //! reference interpretation.
+//!
+//! The build environment has no proptest, so each property runs a fixed
+//! number of seeded random cases through `dcn-rng`: every failure is
+//! reproducible from its printed case seed.
 
+use dcn_rng::{DetRng, Rng, SeedableRng};
 use dcn_tree::{DynamicTree, NodeId, TreeError};
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 /// An abstract operation; indices are interpreted modulo the current node set
 /// so every generated sequence is applicable to every intermediate tree.
@@ -18,13 +24,21 @@ enum Op {
     RemoveInternal(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0usize..64).prop_map(Op::AddLeaf),
-        1 => (0usize..64).prop_map(Op::RemoveLeaf),
-        2 => (0usize..64).prop_map(Op::AddInternal),
-        1 => (0usize..64).prop_map(Op::RemoveInternal),
-    ]
+/// Draws one operation with the weights 3 : 1 : 2 : 1 (mirroring the old
+/// proptest strategy).
+fn random_op(rng: &mut DetRng) -> Op {
+    let k = rng.gen_range(0usize..64);
+    match rng.gen_range(0u32..7) {
+        0..=2 => Op::AddLeaf(k),
+        3 => Op::RemoveLeaf(k),
+        4..=5 => Op::AddInternal(k),
+        _ => Op::RemoveInternal(k),
+    }
+}
+
+fn random_ops(rng: &mut DetRng, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn nth_node(tree: &DynamicTree, k: usize) -> NodeId {
@@ -41,27 +55,34 @@ fn apply(tree: &mut DynamicTree, op: &Op) -> Result<(), TreeError> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After any sequence of operations the structural invariants hold.
-    #[test]
-    fn invariants_hold_after_random_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// After any sequence of operations the structural invariants hold.
+#[test]
+fn invariants_hold_after_random_ops() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let ops = random_ops(&mut rng, 200);
         let mut tree = DynamicTree::new();
         for op in &ops {
             // Errors (e.g. removing the root or a leaf via remove_internal)
             // are fine; the tree must simply stay consistent.
             let _ = apply(&mut tree, op);
-            prop_assert!(tree.check_invariants().is_ok(), "invariants violated after {:?}", op);
+            assert!(
+                tree.check_invariants().is_ok(),
+                "case {case}: invariants violated after {op:?}"
+            );
         }
-        prop_assert!(tree.node_count() >= 1);
-        prop_assert!(tree.contains(tree.root()));
+        assert!(tree.node_count() >= 1, "case {case}");
+        assert!(tree.contains(tree.root()), "case {case}");
     }
+}
 
-    /// The number of successful insertions minus deletions tracks node_count,
-    /// and total_created only ever grows.
-    #[test]
-    fn node_count_matches_successful_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// The number of successful insertions minus deletions tracks node_count,
+/// and total_created only ever grows.
+#[test]
+fn node_count_matches_successful_ops() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(1_000 + case);
+        let ops = random_ops(&mut rng, 200);
         let mut tree = DynamicTree::new();
         let mut expected = 1i64;
         for op in &ops {
@@ -72,33 +93,41 @@ proptest! {
                     Op::RemoveLeaf(_) | Op::RemoveInternal(_) => expected -= 1,
                 }
             }
-            prop_assert!(tree.total_created() >= before_created);
-            prop_assert_eq!(tree.node_count() as i64, expected);
+            assert!(tree.total_created() >= before_created, "case {case}");
+            assert_eq!(tree.node_count() as i64, expected, "case {case}");
         }
     }
+}
 
-    /// Every existing node's depth equals the length of its ancestor chain
-    /// minus one, and every node is a descendant of the root.
-    #[test]
-    fn depth_agrees_with_ancestor_chain(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// Every existing node's depth equals the length of its ancestor chain
+/// minus one, and every node is a descendant of the root.
+#[test]
+fn depth_agrees_with_ancestor_chain() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(2_000 + case);
+        let ops = random_ops(&mut rng, 150);
         let mut tree = DynamicTree::new();
         for op in &ops {
             let _ = apply(&mut tree, op);
         }
         for v in tree.nodes().collect::<Vec<_>>() {
             let chain: Vec<_> = tree.ancestors(v).collect();
-            prop_assert_eq!(tree.depth(v), chain.len() - 1);
-            prop_assert_eq!(*chain.last().unwrap(), tree.root());
-            prop_assert!(tree.is_ancestor(tree.root(), v));
+            assert_eq!(tree.depth(v), chain.len() - 1, "case {case}");
+            assert_eq!(*chain.last().unwrap(), tree.root(), "case {case}");
+            assert!(tree.is_ancestor(tree.root(), v), "case {case}");
             // path_between to the root agrees with the ancestor iterator.
             let path = tree.path_between(v, tree.root()).unwrap();
-            prop_assert_eq!(path, chain);
+            assert_eq!(path, chain, "case {case}");
         }
     }
+}
 
-    /// DFS from the root visits every existing node exactly once.
-    #[test]
-    fn dfs_is_a_bijection_on_nodes(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// DFS from the root visits every existing node exactly once.
+#[test]
+fn dfs_is_a_bijection_on_nodes() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(3_000 + case);
+        let ops = random_ops(&mut rng, 150);
         let mut tree = DynamicTree::new();
         for op in &ops {
             let _ = apply(&mut tree, op);
@@ -106,16 +135,20 @@ proptest! {
         let mut visited: Vec<_> = tree.dfs(tree.root()).collect();
         visited.sort();
         visited.dedup();
-        prop_assert_eq!(visited.len(), tree.node_count());
+        assert_eq!(visited.len(), tree.node_count(), "case {case}");
         let mut all: Vec<_> = tree.nodes().collect();
         all.sort();
-        prop_assert_eq!(visited, all);
+        assert_eq!(visited, all, "case {case}");
     }
+}
 
-    /// The change log's recorded sizes are consistent: sizes change by exactly
-    /// one per tree change and match the running count.
-    #[test]
-    fn change_log_sizes_are_consistent(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// The change log's recorded sizes are consistent: sizes change by exactly
+/// one per tree change and match the running count.
+#[test]
+fn change_log_sizes_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(4_000 + case);
+        let ops = random_ops(&mut rng, 150);
         let mut tree = DynamicTree::new();
         for op in &ops {
             let _ = apply(&mut tree, op);
@@ -124,33 +157,41 @@ proptest! {
         for rec in tree.change_log() {
             if rec.event.is_tree_change() {
                 let delta = rec.nodes_after as i64 - rec.nodes_before as i64;
-                prop_assert!(delta == 1 || delta == -1);
+                assert!(delta == 1 || delta == -1, "case {case}");
                 if rec.event.is_insertion() {
-                    prop_assert_eq!(delta, 1);
+                    assert_eq!(delta, 1, "case {case}");
                 } else {
-                    prop_assert_eq!(delta, -1);
+                    assert_eq!(delta, -1, "case {case}");
                 }
             } else {
-                prop_assert_eq!(rec.nodes_after, rec.nodes_before);
+                assert_eq!(rec.nodes_after, rec.nodes_before, "case {case}");
             }
             if let Some(p) = prev_after {
-                prop_assert_eq!(rec.nodes_before, p);
+                assert_eq!(rec.nodes_before, p, "case {case}");
             }
             prev_after = Some(rec.nodes_after);
         }
         if let Some(p) = prev_after {
-            prop_assert_eq!(p, tree.node_count());
+            assert_eq!(p, tree.node_count(), "case {case}");
         }
     }
+}
 
-    /// subtree_size of the root equals node_count and is monotone along edges.
-    #[test]
-    fn subtree_sizes_are_consistent(ops in prop::collection::vec(op_strategy(), 1..120)) {
+/// subtree_size of the root equals node_count and is monotone along edges.
+#[test]
+fn subtree_sizes_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(5_000 + case);
+        let ops = random_ops(&mut rng, 120);
         let mut tree = DynamicTree::new();
         for op in &ops {
             let _ = apply(&mut tree, op);
         }
-        prop_assert_eq!(tree.subtree_size(tree.root()).unwrap(), tree.node_count());
+        assert_eq!(
+            tree.subtree_size(tree.root()).unwrap(),
+            tree.node_count(),
+            "case {case}"
+        );
         for v in tree.nodes().collect::<Vec<_>>() {
             let sz = tree.subtree_size(v).unwrap();
             let child_sum: usize = tree
@@ -159,7 +200,7 @@ proptest! {
                 .iter()
                 .map(|&c| tree.subtree_size(c).unwrap())
                 .sum();
-            prop_assert_eq!(sz, child_sum + 1);
+            assert_eq!(sz, child_sum + 1, "case {case}");
         }
     }
 }

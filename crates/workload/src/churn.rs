@@ -1,11 +1,8 @@
 //! Churn models: sequences of topological-change requests.
 
 use crate::shape::random_node;
+use dcn_rng::{DetRng, Rng, SeedableRng};
 use dcn_tree::{DynamicTree, NodeId};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 /// One abstract operation requested from the controller.
 ///
@@ -13,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// driver converts them into controller requests (the request for an addition
 /// arrives at the parent-to-be, the request for a removal at the node itself,
 /// matching the paper's conventions).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ChurnOp {
     /// Attach a new leaf below `parent`.
     AddLeaf {
@@ -52,6 +50,21 @@ impl ChurnOp {
         }
     }
 
+    /// Converts the operation into a controller request, following the
+    /// paper's arrival conventions (additions arrive at the parent-to-be,
+    /// removals at the node itself).
+    pub fn to_request(&self) -> (NodeId, dcn_controller::RequestKind) {
+        use dcn_controller::RequestKind;
+        match *self {
+            ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
+            ChurnOp::AddInternal { below, parent } => {
+                (parent, RequestKind::AddInternalAbove(below))
+            }
+            ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
+            ChurnOp::Event { at } => (at, RequestKind::NonTopological),
+        }
+    }
+
     /// Returns `true` if the operation changes the tree topology.
     pub fn is_topological(&self) -> bool {
         !matches!(self, ChurnOp::Event { .. })
@@ -59,7 +72,8 @@ impl ChurnOp {
 }
 
 /// The statistical model governing which operations are generated.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ChurnModel {
     /// Only leaf insertions — the restricted model of Afek–Awerbuch–Plotkin–
     /// Saks, used for the baseline comparison (experiment T4).
@@ -112,7 +126,7 @@ impl ChurnModel {
 #[derive(Clone, Debug)]
 pub struct ChurnGenerator {
     model: ChurnModel,
-    rng: ChaCha12Rng,
+    rng: DetRng,
 }
 
 impl ChurnGenerator {
@@ -120,7 +134,7 @@ impl ChurnGenerator {
     pub fn new(model: ChurnModel, seed: u64) -> Self {
         ChurnGenerator {
             model,
-            rng: ChaCha12Rng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
         }
     }
 
@@ -143,7 +157,7 @@ impl ChurnGenerator {
                 Some(ChurnOp::Event { at })
             }
             ChurnModel::LeafChurn { insert_percent } => {
-                let roll: u8 = self.rng.gen_range(0..100);
+                let roll: u8 = self.rng.gen_range(0u8..100);
                 if roll < insert_percent || tree.node_count() <= 2 {
                     let parent = random_node(tree, &mut self.rng, false)?;
                     Some(ChurnOp::AddLeaf { parent })
@@ -162,7 +176,7 @@ impl ChurnGenerator {
                 add_internal,
                 remove,
             } => {
-                let roll: u8 = self.rng.gen_range(0..100);
+                let roll: u8 = self.rng.gen_range(0u8..100);
                 if roll < add_leaf || tree.node_count() <= 2 {
                     let parent = random_node(tree, &mut self.rng, false)?;
                     Some(ChurnOp::AddLeaf { parent })
@@ -170,10 +184,7 @@ impl ChurnGenerator {
                     let below = random_node(tree, &mut self.rng, true)?;
                     let parent = tree.parent(below)?;
                     Some(ChurnOp::AddInternal { below, parent })
-                } else if roll < add_leaf
-                    .saturating_add(add_internal)
-                    .saturating_add(remove)
-                {
+                } else if roll < add_leaf.saturating_add(add_internal).saturating_add(remove) {
                     let node = random_node(tree, &mut self.rng, true)?;
                     Some(ChurnOp::Remove { node })
                 } else {
@@ -199,7 +210,7 @@ impl ChurnGenerator {
     }
 }
 
-fn pick<'a, R: Rng + ?Sized, T>(rng: &mut R, slice: &'a [T]) -> Option<&'a T> {
+fn pick<'a, R: Rng, T>(rng: &mut R, slice: &'a [T]) -> Option<&'a T> {
     if slice.is_empty() {
         None
     } else {
@@ -234,7 +245,10 @@ mod tests {
 
     #[test]
     fn full_churn_generates_every_kind_and_valid_targets() {
-        let tree = build_tree(TreeShape::Balanced { nodes: 30, arity: 2 });
+        let tree = build_tree(TreeShape::Balanced {
+            nodes: 30,
+            arity: 2,
+        });
         let mut gen = ChurnGenerator::new(ChurnModel::default_mixed(), 3);
         let ops = gen.batch(&tree, 300);
         assert!(ops.iter().any(|o| matches!(o, ChurnOp::AddLeaf { .. })));
@@ -278,6 +292,9 @@ mod tests {
         };
         assert_eq!(op.origin(), NodeId::from_index(3));
         assert!(op.is_topological());
-        assert!(!ChurnOp::Event { at: NodeId::from_index(1) }.is_topological());
+        assert!(!ChurnOp::Event {
+            at: NodeId::from_index(1)
+        }
+        .is_topological());
     }
 }

@@ -1,0 +1,283 @@
+//! A minimal JSON reader/writer for scenario record-and-replay.
+//!
+//! The build environment has no access to crates.io, so scenarios cannot use
+//! `serde_json`; this module implements the small JSON subset scenarios need
+//! (objects, strings, unsigned integers, floats) with a hand-rolled
+//! recursive-descent parser. The parser/value types are private to
+//! `dcn-workload` — the public surface is
+//! [`Scenario::to_json`](crate::Scenario::to_json) /
+//! [`Scenario::from_json`](crate::Scenario::from_json) plus the
+//! [`quote`](crate::json_quote) string escaper shared with the bench
+//! harness's JSON-lines output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the subset scenarios use).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Value {
+    /// A JSON object; key order is not semantically meaningful.
+    Object(BTreeMap<String, Value>),
+    /// A string.
+    Str(String),
+    /// An unsigned integer literal, kept exact (u64 seeds exceed f64's 2^53
+    /// integer range, and record-and-replay must be lossless).
+    Int(u64),
+    /// A non-integer (or negative/exponent-form) number.
+    Num(f64),
+}
+
+impl Value {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Result<&'a Value, String> {
+        match self {
+            Value::Object(map) => map.get(key).ok_or_else(|| format!("missing key {key:?}")),
+            _ => Err(format!("expected an object while looking up {key:?}")),
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected a string, found {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => Err(format!("expected an unsigned integer, found {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_usize(&self) -> Result<usize, String> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    pub(crate) fn as_u8(&self) -> Result<u8, String> {
+        let v = self.as_u64()?;
+        u8::try_from(v).map_err(|_| format!("value {v} does not fit in u8"))
+    }
+}
+
+/// Escapes and quotes a string for JSON output (re-exported as
+/// `dcn_workload::json_quote` so the bench harness's JSON-lines emitter
+/// shares one correct escaper).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub(crate) fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {}, found {:?}",
+            c as char,
+            pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&b| b as char),
+            pos
+        )),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {}, found {:?}",
+                    pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Plain unsigned integer literals stay exact (u64 seeds do not fit in
+    // f64's 2^53 integer range); everything else goes through f64.
+    if let Ok(int) = text.parse::<u64>() {
+        return Ok(Value::Int(int));
+    }
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("invalid number {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_objects_strings_and_numbers() {
+        let v = parse(r#"{"a": {"b": 3, "c": "x\ny"}, "d": 2.5}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(
+            v.get("a").unwrap().get("c").unwrap().as_str().unwrap(),
+            "x\ny"
+        );
+        assert!(matches!(v.get("d").unwrap(), Value::Num(n) if (*n - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        let original = "weird \"name\"\\ with\ttabs\nand ünïcode";
+        let parsed = parse(&quote(original)).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse(r#"{"a": tru}"#).is_err());
+    }
+
+    #[test]
+    fn integer_conversions_are_checked() {
+        let v = parse(r#"{"x": 300, "y": 1.5}"#).unwrap();
+        assert!(v.get("x").unwrap().as_u8().is_err());
+        assert_eq!(v.get("x").unwrap().as_u64().unwrap(), 300);
+        assert!(v.get("y").unwrap().as_u64().is_err());
+        assert!(v.get("missing").is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse("{}").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn u64_integers_above_f64_precision_stay_exact() {
+        // 2^53 + 1 is the first integer an f64 cannot represent.
+        let v = parse(r#"{"seed": 9007199254740993, "max": 18446744073709551615}"#).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_u64().unwrap(), 9007199254740993);
+        assert_eq!(v.get("max").unwrap().as_u64().unwrap(), u64::MAX);
+    }
+}

@@ -15,18 +15,30 @@
 //! consumed by the controller drivers and the benchmark harness. A complete
 //! parameter set is captured by [`Scenario`], which is (de)serialisable so
 //! experiments can be recorded and replayed.
+//!
+//! On top of the generators sits the [`ScenarioRunner`]: the single driver
+//! loop that pushes a seeded scenario through **any**
+//! [`Controller`](dcn_controller::Controller) implementation — the paper's
+//! centralized and distributed controllers as well as the baselines — and
+//! returns a uniform [`RunReport`], so the experiment harness compares
+//! families row by row without per-family loops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod churn;
+mod json;
 mod placement;
+mod runner;
 mod scenario;
 mod shape;
 
 pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
+pub use json::quote as json_quote;
 pub use placement::Placement;
+pub use runner::{RunReport, ScenarioRunner};
 pub use scenario::Scenario;
 pub use shape::{build_tree, TreeShape};
 
+pub use dcn_controller::{Controller, RequestKind};
 pub use dcn_tree::{DynamicTree, NodeId};

@@ -1,11 +1,11 @@
 //! Placement distributions for non-topological requests.
 
+use dcn_rng::Rng;
 use dcn_tree::{DynamicTree, NodeId};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Where (at which nodes) requests arrive.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Placement {
     /// Uniformly over all existing nodes.
     Uniform,
@@ -26,7 +26,7 @@ pub enum Placement {
 
 impl Placement {
     /// Draws the arrival node for the next request.
-    pub fn draw<R: Rng + ?Sized>(&self, tree: &DynamicTree, rng: &mut R) -> NodeId {
+    pub fn draw<R: Rng>(&self, tree: &DynamicTree, rng: &mut R) -> NodeId {
         let nodes: Vec<NodeId> = tree.nodes().collect();
         match *self {
             Placement::Uniform => nodes[rng.gen_range(0..nodes.len())],
@@ -72,13 +72,12 @@ impl Placement {
 mod tests {
     use super::*;
     use crate::shape::{build_tree, TreeShape};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha12Rng;
+    use dcn_rng::{DetRng, SeedableRng};
 
     #[test]
     fn deepest_placement_always_hits_the_deepest_node() {
         let tree = build_tree(TreeShape::Path { nodes: 9 });
-        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for _ in 0..20 {
             let n = Placement::Deepest.draw(&tree, &mut rng);
             assert_eq!(tree.depth(n), 9);
@@ -88,7 +87,7 @@ mod tests {
     #[test]
     fn leaves_placement_only_hits_leaves() {
         let tree = build_tree(TreeShape::Caterpillar { spine: 4, legs: 2 });
-        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         for _ in 0..50 {
             let n = Placement::Leaves.draw(&tree, &mut rng);
             assert!(tree.is_leaf(n).unwrap());
@@ -98,7 +97,7 @@ mod tests {
     #[test]
     fn uniform_placement_covers_many_nodes() {
         let tree = build_tree(TreeShape::Star { nodes: 20 });
-        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..300 {
             seen.insert(Placement::Uniform.draw(&tree, &mut rng));
@@ -109,7 +108,7 @@ mod tests {
     #[test]
     fn skewed_placement_prefers_deep_nodes() {
         let tree = build_tree(TreeShape::Path { nodes: 30 });
-        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let placement = Placement::Skewed {
             hot_set: 2,
             hot_percent: 90,

@@ -1,0 +1,337 @@
+//! The [`ScenarioRunner`]: one driver loop for every controller family.
+//!
+//! Before this layer existed, every experiment binary and example carried its
+//! own submit/run loop, one per controller family. The runner replaces all of
+//! them: it takes a seeded [`Scenario`] (shape × churn × placement × budget)
+//! and drives **any** [`dyn Controller`](Controller) through it, returning a
+//! uniform [`RunReport`]. Two runs with the same scenario are identical
+//! request-for-request, so families can be compared row by row.
+
+use crate::churn::{ChurnGenerator, ChurnOp};
+use crate::scenario::Scenario;
+use crate::shape::build_tree;
+use dcn_controller::verify::{ExecutionSummary, Violation};
+use dcn_controller::{Controller, ControllerError};
+use dcn_rng::{DetRng, SeedableRng};
+use dcn_tree::DynamicTree;
+
+/// The uniform result of driving one controller through one scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// The controller family ([`Controller::name`]).
+    pub controller: String,
+    /// The scenario name.
+    pub scenario: String,
+    /// The permit budget `M`.
+    pub m: u64,
+    /// The waste bound `W`.
+    pub w: u64,
+    /// Requests actually submitted to the controller.
+    pub submitted: u64,
+    /// Operations the controller's dynamic model does not support (the AAPS
+    /// baseline refuses deletions and internal insertions).
+    pub refused: u64,
+    /// Operations that went stale before submission: an earlier grant in the
+    /// same batch removed or re-parented the node they referenced
+    /// (synchronous families apply changes immediately).
+    pub dropped: u64,
+    /// Permits granted.
+    pub granted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Permits that can no longer be granted (`M − granted` once a reject has
+    /// been issued; 0 while no reject happened).
+    pub wasted: u64,
+    /// Permit/package movement cost (the centralized cost measure).
+    pub moves: u64,
+    /// Total messages (the distributed cost measure).
+    pub messages: u64,
+    /// Largest per-node state footprint observed, in bits.
+    pub peak_node_memory_bits: u64,
+    /// Network size when the run finished.
+    pub final_nodes: usize,
+}
+
+impl RunReport {
+    /// The execution summary used by the §2.2 safety/liveness checkers.
+    pub fn summary(&self) -> ExecutionSummary {
+        ExecutionSummary {
+            m: self.m,
+            w: self.w,
+            granted: self.granted,
+            rejected: self.rejected,
+            unanswered: self.submitted.saturating_sub(self.granted + self.rejected),
+        }
+    }
+
+    /// Checks the (M, W)-Controller correctness conditions over this run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition.
+    pub fn check(&self) -> Result<(), Violation> {
+        self.summary().check()
+    }
+}
+
+/// Drives a [`dyn Controller`](Controller) through a seeded [`Scenario`].
+///
+/// The runner generates churn operations against the controller's *current*
+/// tree, redraws the arrival node of non-topological events from the
+/// scenario's placement distribution, skips (and counts) operations outside
+/// the controller's dynamic model, and runs the controller to quiescence
+/// after every batch so that granted topological changes take effect before
+/// the next batch is generated — the controlled dynamic model of §2.1.2.
+///
+/// ```
+/// use dcn_controller::centralized::IteratedController;
+/// use dcn_workload::{Scenario, ScenarioRunner};
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let runner = ScenarioRunner::new(Scenario::smoke());
+/// let mut ctrl = IteratedController::new(
+///     runner.initial_tree(),
+///     runner.scenario().m,
+///     runner.scenario().w,
+///     runner.suggested_u_bound(),
+/// )?;
+/// let report = runner.run(&mut ctrl)?;
+/// assert!(report.granted <= report.m);
+/// report.check().expect("safety and liveness hold");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    batch: usize,
+}
+
+impl ScenarioRunner {
+    /// Creates a runner for `scenario` with the default batch size of 16
+    /// concurrent requests.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioRunner {
+            scenario,
+            batch: 16,
+        }
+    }
+
+    /// Sets the number of requests submitted per batch (1 serialises the
+    /// workload completely; larger batches exercise concurrency in the
+    /// distributed family).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The scenario this runner drives.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Builds the scenario's initial tree (construct the controller over
+    /// this).
+    pub fn initial_tree(&self) -> DynamicTree {
+        build_tree(self.scenario.shape)
+    }
+
+    /// A node bound `U` that is always sufficient for this scenario: the
+    /// initial nodes plus one per request (every request could be an
+    /// insertion).
+    pub fn suggested_u_bound(&self) -> usize {
+        self.scenario.shape.node_budget() + 1 + self.scenario.requests + 1
+    }
+
+    /// Drives `ctrl` through the scenario and reports the outcome.
+    ///
+    /// The controller should be freshly constructed (the report reads the
+    /// controller's cumulative counters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission validation errors for operations the model
+    /// supports, and simulator errors from
+    /// [`Controller::run_to_quiescence`].
+    pub fn run(&self, ctrl: &mut dyn Controller) -> Result<RunReport, ControllerError> {
+        let scenario = &self.scenario;
+        let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
+        let mut placement_rng =
+            DetRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9).wrapping_add(71));
+        let mut submitted = 0u64;
+        let mut refused = 0u64;
+        let mut dropped = 0u64;
+        let mut stalled_batches = 0u32;
+
+        while (submitted as usize) < scenario.requests {
+            let want = self.batch.min(scenario.requests - submitted as usize);
+            let ops = churn.batch(ctrl.tree(), want);
+            if ops.is_empty() {
+                break;
+            }
+            let mut sent_this_batch = 0u64;
+            for op in &ops {
+                let (at, kind) = match op {
+                    // Non-topological requests arrive where the scenario's
+                    // placement distribution says, not where the churn
+                    // generator happened to land.
+                    ChurnOp::Event { .. } => (
+                        scenario.placement.draw(ctrl.tree(), &mut placement_rng),
+                        dcn_controller::RequestKind::NonTopological,
+                    ),
+                    other => other.to_request(),
+                };
+                if !ctrl.supports(kind) {
+                    refused += 1;
+                    continue;
+                }
+                // Synchronous families apply granted changes immediately, so
+                // a later op of the same batch may reference a node an
+                // earlier grant just removed; such stale ops are dropped.
+                if ctrl.submit(at, kind).is_err() {
+                    dropped += 1;
+                    continue;
+                }
+                submitted += 1;
+                sent_this_batch += 1;
+            }
+            ctrl.run_to_quiescence()?;
+            // A model that refuses everything the generator produces (e.g.
+            // AAPS under pure-deletion churn) must still terminate.
+            if sent_this_batch == 0 {
+                stalled_batches += 1;
+                if stalled_batches > 8 {
+                    break;
+                }
+            } else {
+                stalled_batches = 0;
+            }
+        }
+
+        let metrics = ctrl.metrics();
+        let (granted, rejected) = (ctrl.granted(), ctrl.rejected());
+        Ok(RunReport {
+            controller: ctrl.name().to_string(),
+            scenario: scenario.name.clone(),
+            m: ctrl.budget(),
+            w: ctrl.waste_bound(),
+            submitted,
+            refused,
+            dropped,
+            granted,
+            rejected,
+            wasted: if rejected > 0 {
+                ctrl.budget().saturating_sub(granted)
+            } else {
+                0
+            },
+            moves: metrics.moves,
+            messages: metrics.messages,
+            peak_node_memory_bits: metrics.peak_node_memory_bits,
+            final_nodes: ctrl.tree().node_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::placement::Placement;
+    use crate::shape::TreeShape;
+    use dcn_controller::centralized::IteratedController;
+    use dcn_controller::distributed::DistributedController;
+    use dcn_simnet::SimConfig;
+
+    fn scenario(requests: usize, m: u64, w: u64, seed: u64) -> Scenario {
+        Scenario {
+            name: "runner-test".to_string(),
+            shape: TreeShape::RandomRecursive { nodes: 23, seed: 5 },
+            churn: ChurnModel::default_mixed(),
+            placement: Placement::Uniform,
+            requests,
+            m,
+            w,
+            seed,
+        }
+    }
+
+    #[test]
+    fn runner_drives_the_iterated_controller_to_a_consistent_report() {
+        let runner = ScenarioRunner::new(scenario(80, 40, 10, 3));
+        let mut ctrl = IteratedController::new(
+            runner.initial_tree(),
+            runner.scenario().m,
+            runner.scenario().w,
+            runner.suggested_u_bound(),
+        )
+        .unwrap();
+        let report = runner.run(&mut ctrl).unwrap();
+        assert_eq!(report.controller, "iterated");
+        assert_eq!(report.submitted, 80);
+        assert_eq!(report.refused, 0);
+        assert_eq!(report.granted + report.rejected, report.submitted);
+        assert!(report.moves > 0);
+        report.check().unwrap();
+    }
+
+    #[test]
+    fn runner_drives_the_distributed_controller_identically_seeded() {
+        let s = scenario(40, 30, 10, 9);
+        let runner = ScenarioRunner::new(s);
+        let mut reports = Vec::new();
+        for _ in 0..2 {
+            let mut ctrl = DistributedController::new(
+                SimConfig::new(runner.scenario().seed),
+                runner.initial_tree(),
+                runner.scenario().m,
+                runner.scenario().w,
+                runner.suggested_u_bound(),
+            )
+            .unwrap();
+            reports.push(runner.run(&mut ctrl).unwrap());
+        }
+        assert_eq!(reports[0], reports[1], "runs must be reproducible");
+        assert!(reports[0].messages > 0);
+        reports[0].check().unwrap();
+    }
+
+    #[test]
+    fn wasted_is_only_counted_after_a_reject() {
+        // A scenario far below the budget never rejects: wasted must be 0.
+        let runner = ScenarioRunner::new(scenario(10, 100, 50, 4));
+        let mut ctrl =
+            IteratedController::new(runner.initial_tree(), 100, 50, runner.suggested_u_bound())
+                .unwrap();
+        let report = runner.run(&mut ctrl).unwrap();
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.wasted, 0);
+    }
+
+    #[test]
+    fn deepest_placement_is_respected() {
+        // Events-only churn on a path with Deepest placement: every granted
+        // request pulls permits the whole depth, so moves per request are at
+        // least the depth for the trivial-free iterated controller.
+        let s = Scenario {
+            name: "deep".to_string(),
+            shape: TreeShape::Path { nodes: 30 },
+            churn: ChurnModel::EventsOnly,
+            placement: Placement::Deepest,
+            requests: 5,
+            m: 10,
+            w: 5,
+            seed: 2,
+        };
+        let runner = ScenarioRunner::new(s);
+        let mut ctrl =
+            IteratedController::new(runner.initial_tree(), 10, 5, runner.suggested_u_bound())
+                .unwrap();
+        let report = runner.run(&mut ctrl).unwrap();
+        assert!(
+            report.moves >= 30,
+            "moves {} too low for depth-30 requests",
+            report.moves
+        );
+    }
+}

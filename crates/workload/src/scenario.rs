@@ -1,16 +1,17 @@
 //! Serialisable experiment scenarios.
 
 use crate::churn::ChurnModel;
+use crate::json::{self, Value};
 use crate::placement::Placement;
 use crate::shape::TreeShape;
-use serde::{Deserialize, Serialize};
 
 /// A complete, reproducible description of one experiment run: the initial
 /// topology, the churn model, the request placement, the controller
 /// parameters and the random seed.
 ///
-/// Scenarios serialise to JSON so that the benchmark harness can record
-/// exactly what was measured (see EXPERIMENTS.md).
+/// Scenarios serialise to JSON (via the dependency-free encoder in this
+/// crate) so that the benchmark harness can record exactly what was measured
+/// (see EXPERIMENTS.md).
 ///
 /// ```
 /// use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
@@ -25,11 +26,12 @@ use serde::{Deserialize, Serialize};
 ///     w: 100,
 ///     seed: 7,
 /// };
-/// let json = serde_json::to_string(&scenario).unwrap();
-/// let back: Scenario = serde_json::from_str(&json).unwrap();
+/// let json = scenario.to_json();
+/// let back = Scenario::from_json(&json).unwrap();
 /// assert_eq!(back, scenario);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scenario {
     /// Human-readable name (used in experiment output rows).
     pub name: String,
@@ -63,6 +65,145 @@ impl Scenario {
             seed: 0,
         }
     }
+
+    /// Returns a copy with a different seed (for seed sweeps over one
+    /// otherwise fixed scenario).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Serialises the scenario to a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"name": {}, "shape": {}, "churn": {}, "placement": {}, "requests": {}, "m": {}, "w": {}, "seed": {}}}"#,
+            json::quote(&self.name),
+            shape_to_json(self.shape),
+            churn_to_json(self.churn),
+            placement_to_json(self.placement),
+            self.requests,
+            self.m,
+            self.w,
+            self.seed,
+        )
+    }
+
+    /// Parses a scenario previously produced by [`Scenario::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let v = json::parse(input)?;
+        Ok(Scenario {
+            name: v.get("name")?.as_str()?.to_string(),
+            shape: shape_from_json(v.get("shape")?)?,
+            churn: churn_from_json(v.get("churn")?)?,
+            placement: placement_from_json(v.get("placement")?)?,
+            requests: v.get("requests")?.as_usize()?,
+            m: v.get("m")?.as_u64()?,
+            w: v.get("w")?.as_u64()?,
+            seed: v.get("seed")?.as_u64()?,
+        })
+    }
+}
+
+fn shape_to_json(shape: TreeShape) -> String {
+    match shape {
+        TreeShape::Path { nodes } => format!(r#"{{"type": "path", "nodes": {nodes}}}"#),
+        TreeShape::Star { nodes } => format!(r#"{{"type": "star", "nodes": {nodes}}}"#),
+        TreeShape::Balanced { nodes, arity } => {
+            format!(r#"{{"type": "balanced", "nodes": {nodes}, "arity": {arity}}}"#)
+        }
+        TreeShape::RandomRecursive { nodes, seed } => {
+            format!(r#"{{"type": "random-recursive", "nodes": {nodes}, "seed": {seed}}}"#)
+        }
+        TreeShape::Caterpillar { spine, legs } => {
+            format!(r#"{{"type": "caterpillar", "spine": {spine}, "legs": {legs}}}"#)
+        }
+    }
+}
+
+fn shape_from_json(v: &Value) -> Result<TreeShape, String> {
+    match v.get("type")?.as_str()? {
+        "path" => Ok(TreeShape::Path {
+            nodes: v.get("nodes")?.as_usize()?,
+        }),
+        "star" => Ok(TreeShape::Star {
+            nodes: v.get("nodes")?.as_usize()?,
+        }),
+        "balanced" => Ok(TreeShape::Balanced {
+            nodes: v.get("nodes")?.as_usize()?,
+            arity: v.get("arity")?.as_usize()?,
+        }),
+        "random-recursive" => Ok(TreeShape::RandomRecursive {
+            nodes: v.get("nodes")?.as_usize()?,
+            seed: v.get("seed")?.as_u64()?,
+        }),
+        "caterpillar" => Ok(TreeShape::Caterpillar {
+            spine: v.get("spine")?.as_usize()?,
+            legs: v.get("legs")?.as_usize()?,
+        }),
+        other => Err(format!("unknown tree shape {other:?}")),
+    }
+}
+
+fn churn_to_json(churn: ChurnModel) -> String {
+    match churn {
+        ChurnModel::GrowOnly => r#"{"type": "grow-only"}"#.to_string(),
+        ChurnModel::EventsOnly => r#"{"type": "events-only"}"#.to_string(),
+        ChurnModel::LeafChurn { insert_percent } => {
+            format!(r#"{{"type": "leaf-churn", "insert_percent": {insert_percent}}}"#)
+        }
+        ChurnModel::FullChurn {
+            add_leaf,
+            add_internal,
+            remove,
+        } => format!(
+            r#"{{"type": "full-churn", "add_leaf": {add_leaf}, "add_internal": {add_internal}, "remove": {remove}}}"#
+        ),
+    }
+}
+
+fn churn_from_json(v: &Value) -> Result<ChurnModel, String> {
+    match v.get("type")?.as_str()? {
+        "grow-only" => Ok(ChurnModel::GrowOnly),
+        "events-only" => Ok(ChurnModel::EventsOnly),
+        "leaf-churn" => Ok(ChurnModel::LeafChurn {
+            insert_percent: v.get("insert_percent")?.as_u8()?,
+        }),
+        "full-churn" => Ok(ChurnModel::FullChurn {
+            add_leaf: v.get("add_leaf")?.as_u8()?,
+            add_internal: v.get("add_internal")?.as_u8()?,
+            remove: v.get("remove")?.as_u8()?,
+        }),
+        other => Err(format!("unknown churn model {other:?}")),
+    }
+}
+
+fn placement_to_json(placement: Placement) -> String {
+    match placement {
+        Placement::Uniform => r#"{"type": "uniform"}"#.to_string(),
+        Placement::Deepest => r#"{"type": "deepest"}"#.to_string(),
+        Placement::Leaves => r#"{"type": "leaves"}"#.to_string(),
+        Placement::Skewed {
+            hot_set,
+            hot_percent,
+        } => format!(r#"{{"type": "skewed", "hot_set": {hot_set}, "hot_percent": {hot_percent}}}"#),
+    }
+}
+
+fn placement_from_json(v: &Value) -> Result<Placement, String> {
+    match v.get("type")?.as_str()? {
+        "uniform" => Ok(Placement::Uniform),
+        "deepest" => Ok(Placement::Deepest),
+        "leaves" => Ok(Placement::Leaves),
+        "skewed" => Ok(Placement::Skewed {
+            hot_set: v.get("hot_set")?.as_usize()?,
+            hot_percent: v.get("hot_percent")?.as_u8()?,
+        }),
+        other => Err(format!("unknown placement {other:?}")),
+    }
 }
 
 #[cfg(test)]
@@ -72,9 +213,61 @@ mod tests {
     #[test]
     fn scenarios_round_trip_through_json() {
         let s = Scenario::smoke();
-        let json = serde_json::to_string_pretty(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_shape_churn_and_placement_variant_round_trips() {
+        let shapes = [
+            TreeShape::Path { nodes: 5 },
+            TreeShape::Star { nodes: 6 },
+            TreeShape::Balanced { nodes: 7, arity: 3 },
+            TreeShape::RandomRecursive { nodes: 8, seed: 9 },
+            TreeShape::Caterpillar { spine: 2, legs: 3 },
+        ];
+        let churns = [
+            ChurnModel::GrowOnly,
+            ChurnModel::EventsOnly,
+            ChurnModel::LeafChurn { insert_percent: 70 },
+            ChurnModel::default_mixed(),
+        ];
+        let placements = [
+            Placement::Uniform,
+            Placement::Deepest,
+            Placement::Leaves,
+            Placement::Skewed {
+                hot_set: 4,
+                hot_percent: 80,
+            },
+        ];
+        for &shape in &shapes {
+            for &churn in &churns {
+                for &placement in &placements {
+                    let s = Scenario {
+                        name: "sweep \"quoted\"".to_string(),
+                        shape,
+                        churn,
+                        placement,
+                        requests: 10,
+                        m: 20,
+                        w: 5,
+                        seed: 3,
+                    };
+                    let back = Scenario::from_json(&s.to_json()).unwrap();
+                    assert_eq!(back, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json("not json").is_err());
+        let bad_shape = Scenario::smoke().to_json().replace("star", "blob");
+        assert!(Scenario::from_json(&bad_shape).is_err());
     }
 
     #[test]
@@ -82,5 +275,21 @@ mod tests {
         let s = Scenario::smoke();
         assert!(s.w <= s.m);
         assert!(s.requests > 0);
+    }
+
+    #[test]
+    fn seeds_above_f64_precision_replay_exactly() {
+        let s = Scenario::smoke().with_seed((1 << 53) + 1);
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.seed, s.seed);
+    }
+
+    #[test]
+    fn with_seed_only_changes_the_seed() {
+        let s = Scenario::smoke();
+        let t = s.clone().with_seed(99);
+        assert_eq!(t.seed, 99);
+        assert_eq!(t.name, s.name);
+        assert_eq!(t.shape, s.shape);
     }
 }

@@ -1,18 +1,15 @@
 //! Initial tree shapes.
 
+use dcn_rng::{DetRng, Rng, SeedableRng, SliceRandom};
 use dcn_tree::{DynamicTree, NodeId};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::ChaCha12Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// The shape of the initial spanning tree.
 ///
 /// The controller's cost depends heavily on node depths (permits travel along
 /// root-to-node paths), so experiments sweep over shapes with very different
 /// depth profiles.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TreeShape {
     /// A single path of the given depth hanging off the root: the worst case
     /// for permit travel distance.
@@ -95,7 +92,7 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             tree
         }
         TreeShape::RandomRecursive { nodes, seed } => {
-            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             let mut tree = DynamicTree::new();
             let mut existing: Vec<NodeId> = vec![tree.root()];
             for _ in 0..nodes {
@@ -122,7 +119,7 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
 }
 
 /// Picks a random existing node, optionally excluding the root.
-pub(crate) fn random_node<R: Rng + ?Sized>(
+pub(crate) fn random_node<R: Rng>(
     tree: &DynamicTree,
     rng: &mut R,
     exclude_root: bool,
@@ -143,7 +140,10 @@ mod tests {
         let shapes = [
             TreeShape::Path { nodes: 17 },
             TreeShape::Star { nodes: 17 },
-            TreeShape::Balanced { nodes: 17, arity: 3 },
+            TreeShape::Balanced {
+                nodes: 17,
+                arity: 3,
+            },
             TreeShape::RandomRecursive { nodes: 17, seed: 5 },
             TreeShape::Caterpillar { spine: 4, legs: 3 },
         ];
@@ -166,9 +166,15 @@ mod tests {
 
     #[test]
     fn balanced_tree_has_logarithmic_depth() {
-        let tree = build_tree(TreeShape::Balanced { nodes: 100, arity: 2 });
+        let tree = build_tree(TreeShape::Balanced {
+            nodes: 100,
+            arity: 2,
+        });
         let max_depth = tree.nodes().map(|n| tree.depth(n)).max().unwrap();
-        assert!(max_depth <= 8, "depth {max_depth} too large for a binary tree of 101 nodes");
+        assert!(
+            max_depth <= 8,
+            "depth {max_depth} too large for a binary tree of 101 nodes"
+        );
     }
 
     #[test]
@@ -181,6 +187,9 @@ mod tests {
 
     #[test]
     fn caterpillar_budget_matches() {
-        assert_eq!(TreeShape::Caterpillar { spine: 4, legs: 3 }.node_budget(), 16);
+        assert_eq!(
+            TreeShape::Caterpillar { spine: 4, legs: 3 }.node_budget(),
+            16
+        );
     }
 }

@@ -4,23 +4,17 @@
 //! "is peer u upstream of peer v?" locally (Corollary 5.7) — all maintained
 //! while the overlay changes.
 //!
+//! The §5 applications run on batch APIs layered *above* the controller, so
+//! this example drives them directly; the churn operations still come from
+//! the shared workload generators ([`ChurnOp::to_request`]).
+//!
 //! ```text
 //! cargo run --example overlay_directory
 //! ```
 
-use dcn::controller::RequestKind;
 use dcn::estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner};
 use dcn::simnet::SimConfig;
 use dcn::workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
-
-fn to_request(op: &ChurnOp) -> (dcn::tree::NodeId, RequestKind) {
-    match *op {
-        ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
-        ChurnOp::AddInternal { below, parent } => (parent, RequestKind::AddInternalAbove(below)),
-        ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
-        ChurnOp::Event { at } => (at, RequestKind::NonTopological),
-    }
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- overlay directory ---");
@@ -30,9 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut names = NameAssigner::new(SimConfig::new(21), tree)?;
     let mut churn = ChurnGenerator::new(ChurnModel::default_mixed(), 6);
     for _ in 0..10 {
-        let ops: Vec<_> = churn.batch(names.tree(), 8).iter().map(to_request).collect();
+        let ops: Vec<_> = churn
+            .batch(names.tree(), 8)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         names.run_batch(&ops)?;
-        names.check_invariants().expect("names stay unique and short");
+        names
+            .check_invariants()
+            .expect("names stay unique and short");
     }
     let n = names.tree().node_count() as u64;
     let max_id = names.ids().map(|(_, id)| id).max().unwrap_or(0);
@@ -50,10 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut heavy = HeavyChildDecomposition::new(SimConfig::new(22), tree)?;
     let mut growth = ChurnGenerator::new(ChurnModel::GrowOnly, 7);
     for _ in 0..10 {
-        let ops: Vec<_> = growth.batch(heavy.tree(), 10).iter().map(to_request).collect();
+        let ops: Vec<_> = growth
+            .batch(heavy.tree(), 10)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         heavy.run_batch(&ops)?;
     }
-    heavy.check_light_depth().expect("light depth stays logarithmic");
+    heavy
+        .check_light_depth()
+        .expect("light depth stays logarithmic");
     println!(
         "heavy-child: {} peers, max light ancestors {} (log2 n = {:.1})",
         heavy.tree().node_count(),
@@ -62,17 +68,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Ancestry labels that survive departures.
-    let tree = build_tree(TreeShape::Balanced { nodes: 62, arity: 2 });
+    let tree = build_tree(TreeShape::Balanced {
+        nodes: 62,
+        arity: 2,
+    });
     let mut labels = AncestryLabeling::new(SimConfig::new(23), tree)?;
     let mut departures = ChurnGenerator::new(ChurnModel::LeafChurn { insert_percent: 5 }, 8);
     for _ in 0..12 {
         let ops: Vec<_> = departures
             .batch(labels.tree(), 6)
             .iter()
-            .map(to_request)
+            .map(ChurnOp::to_request)
             .collect();
         labels.run_batch(&ops)?;
-        labels.check_invariants().expect("labels stay correct and short");
+        labels
+            .check_invariants()
+            .expect("labels stay correct and short");
     }
     let root = labels.tree().root();
     let some_leaf = labels

@@ -10,12 +10,13 @@
 //! The overlay starts with 8 peers and goes through 25 churn waves of joins,
 //! internal relay insertions and departures. No bound on the final size is
 //! known in advance, so the adaptive controller re-estimates its parameters
-//! epoch by epoch.
+//! epoch by epoch. Each wave is one small scenario driven through the shared
+//! `ScenarioRunner` — the same code path every controller family uses.
 
 use dcn::controller::distributed::AdaptiveDistributedController;
-use dcn::controller::RequestKind;
+use dcn::controller::Controller;
 use dcn::simnet::{DelayModel, SimConfig};
-use dcn::workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
+use dcn::workload::{build_tree, ChurnModel, Placement, Scenario, ScenarioRunner, TreeShape};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = build_tree(TreeShape::Star { nodes: 7 });
@@ -25,47 +26,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut controller = AdaptiveDistributedController::new(config, tree, 600, 60)?;
 
     // Churn: mostly joins, some relay (internal node) insertions, some leaves.
-    let mut churn = ChurnGenerator::new(
-        ChurnModel::FullChurn {
-            add_leaf: 55,
-            add_internal: 15,
-            remove: 25,
-        },
-        99,
-    );
+    let churn = ChurnModel::FullChurn {
+        add_leaf: 55,
+        add_internal: 15,
+        remove: 25,
+    };
 
     println!("--- p2p overlay churn ---");
-    for wave in 0..25 {
-        let ops = churn.batch(controller.tree(), 12);
-        let batch: Vec<_> = ops
-            .iter()
-            .map(|op| match *op {
-                ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
-                ChurnOp::AddInternal { below, parent } => {
-                    (parent, RequestKind::AddInternalAbove(below))
-                }
-                ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
-                ChurnOp::Event { at } => (at, RequestKind::NonTopological),
-            })
-            .collect();
-        let records = controller.run_batch(&batch)?;
-        let granted = records.iter().filter(|r| r.outcome.is_granted()).count();
+    for wave in 0..25u64 {
+        // One scenario per wave: 12 requests against the *current* overlay,
+        // reseeded so every wave draws fresh churn.
+        let scenario = Scenario {
+            name: format!("wave-{wave}"),
+            shape: TreeShape::Star { nodes: 7 }, // initial shape (tree already built)
+            churn,
+            placement: Placement::Uniform,
+            requests: 12,
+            m: 600,
+            w: 60,
+            seed: 99 + wave,
+        };
+        let granted_before = controller.granted();
+        let answered_before = controller.records().len();
+        ScenarioRunner::new(scenario).run(&mut controller)?;
+        let granted = controller.granted() - granted_before;
+        let answered = controller.records().len() - answered_before;
         println!(
-            "wave {wave:>2}: {granted:>2}/{:>2} changes granted   peers = {:>4}   epochs = {}   messages = {}",
-            records.len(),
-            controller.tree().node_count(),
+            "wave {wave:>2}: {granted:>2}/{answered:>2} changes granted   peers = {:>4}   epochs = {}   messages = {}",
+            Controller::tree(&controller).node_count(),
             controller.epochs(),
             controller.messages(),
         );
         if controller.is_exhausted() {
-            println!("         (budget spent — the overlay operator must provision a new controller)");
+            println!(
+                "         (budget spent — the overlay operator must provision a new controller)"
+            );
             break;
         }
     }
-    controller.summary().check().expect("safety & liveness hold");
+    controller
+        .summary()
+        .check()
+        .expect("safety & liveness hold");
     println!(
         "final overlay: {} peers, {} messages, {} epochs, {} recycling rounds",
-        controller.tree().node_count(),
+        Controller::tree(&controller).node_count(),
         controller.messages(),
         controller.epochs(),
         controller.recycles()

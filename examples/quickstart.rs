@@ -1,61 +1,57 @@
-//! Quickstart: run the distributed (M, W)-Controller on a small dynamic tree.
+//! Quickstart: run the distributed (M, W)-Controller on a small dynamic tree
+//! through the shared `ScenarioRunner`.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! A 16-node network is created, a batch of concurrent requests (leaf joins,
-//! an internal split, a departure and a few plain resource requests) is
-//! submitted, and the controller answers all of them while respecting the
-//! permit budget.
+//! A 16-node network is created, a seeded scenario of mixed churn (leaf
+//! joins, internal splits, departures and plain resource requests) is driven
+//! through the controller, and the uniform `RunReport` shows the controller
+//! answered everything while respecting the permit budget.
 
 use dcn::controller::distributed::DistributedController;
-use dcn::controller::{Outcome, RequestKind};
 use dcn::simnet::{DelayModel, SimConfig};
-use dcn::tree::DynamicTree;
+use dcn::workload::{ChurnModel, Placement, Scenario, ScenarioRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A network of 16 nodes spanned by a random-ish tree: the root plus a
-    // path with a few branches.
-    let mut tree = DynamicTree::new();
-    let mut spine = tree.root();
-    let mut branch_heads = Vec::new();
-    for i in 0..15 {
-        if i % 3 == 0 {
-            branch_heads.push(tree.add_leaf(spine)?);
-        } else {
-            spine = tree.add_leaf(spine)?;
-        }
-    }
-    tree.clear_change_log();
-
-    // An (M, W) = (10, 3) controller: at most 10 permits ever, and if anything
-    // is rejected at least 7 permits must have been granted.
-    let config = SimConfig::new(42).with_delay(DelayModel::Uniform { min: 1, max: 6 });
-    let u_bound = tree.node_count() + 16;
-    let mut controller = DistributedController::new(config, tree, 10, 3, u_bound)?;
-
-    // Concurrent requests from all over the network.
-    let nodes: Vec<_> = controller.tree().nodes().collect();
-    for (i, &node) in nodes.iter().enumerate().take(12) {
-        let kind = match i % 4 {
-            0 => RequestKind::AddLeaf,
-            1 => RequestKind::NonTopological,
-            2 if node != controller.tree().root() => RequestKind::RemoveSelf,
-            _ => RequestKind::AddLeaf,
-        };
-        controller.submit(node, kind)?;
-    }
-
-    // Run the asynchronous network until every request is answered and every
-    // granted topological change has been applied gracefully.
-    controller.run()?;
-
+    // An (M, W) = (10, 3) controller: at most 10 permits ever, and if
+    // anything is rejected at least 7 permits must have been granted.
+    let scenario = Scenario {
+        name: "quickstart".to_string(),
+        shape: dcn::workload::TreeShape::RandomRecursive {
+            nodes: 15,
+            seed: 42,
+        },
+        churn: ChurnModel::default_mixed(),
+        placement: Placement::Uniform,
+        requests: 12,
+        m: 10,
+        w: 3,
+        seed: 42,
+    };
     println!("--- quickstart ---");
+    println!("scenario: {}", scenario.to_json());
+
+    let runner = ScenarioRunner::new(scenario.clone());
+    let config = SimConfig::new(scenario.seed).with_delay(DelayModel::Uniform { min: 1, max: 6 });
+    let mut controller = DistributedController::new(
+        config,
+        runner.initial_tree(),
+        scenario.m,
+        scenario.w,
+        runner.suggested_u_bound(),
+    )?;
+
+    // One shared driver loop for every controller family: submit batches,
+    // run the asynchronous network to quiescence, repeat.
+    let report = runner.run(&mut controller)?;
+
     for record in controller.records() {
-        let answer = match record.outcome {
-            Outcome::Granted { .. } => "granted",
-            Outcome::Rejected => "rejected",
+        let answer = if record.outcome.is_granted() {
+            "granted"
+        } else {
+            "rejected"
         };
         println!(
             "request {:>3} at {:>4} ({:?}) -> {answer} (t = {})",
@@ -63,15 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "granted {} / rejected {} with budget M=10, waste W=3",
-        controller.granted(),
-        controller.rejected()
+        "granted {} / rejected {} with budget M={}, waste W={}",
+        report.granted, report.rejected, report.m, report.w
     );
     println!(
         "messages: {}   final network size: {}",
-        controller.messages(),
-        controller.tree().node_count()
+        report.messages, report.final_nodes
     );
-    controller.summary().check().expect("safety & liveness hold");
+    report.check().expect("safety & liveness hold");
     Ok(())
 }

@@ -2,6 +2,10 @@
 //! 2-approximation of the overlay size while peers join and leave, at a few
 //! messages per change.
 //!
+//! The size estimator runs on a batch API layered above the controller, so
+//! this example drives it directly; the churn operations still come from the
+//! shared workload generators ([`ChurnOp::to_request`]).
+//!
 //! ```text
 //! cargo run --example size_estimation_monitor
 //! ```
@@ -10,26 +14,19 @@
 //! estimate held by the nodes is printed next to the true size after every
 //! churn wave and never drifts outside the factor-2 band.
 
-use dcn::controller::RequestKind;
 use dcn::estimator::SizeEstimator;
 use dcn::simnet::SimConfig;
 use dcn::workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
-
-fn to_request(op: &ChurnOp) -> (dcn::tree::NodeId, RequestKind) {
-    match *op {
-        ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
-        ChurnOp::AddInternal { below, parent } => (parent, RequestKind::AddInternalAbove(below)),
-        ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
-        ChurnOp::Event { at } => (at, RequestKind::NonTopological),
-    }
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = build_tree(TreeShape::RandomRecursive { nodes: 63, seed: 1 });
     let mut estimator = SizeEstimator::new(SimConfig::new(11), tree, 2.0)?;
 
     println!("--- size estimation monitor (beta = 2) ---");
-    println!("{:>6} {:>8} {:>10} {:>12} {:>12}", "wave", "true n", "estimate", "iterations", "msgs/change");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12}",
+        "wave", "true n", "estimate", "iterations", "msgs/change"
+    );
 
     // Growth phase.
     let mut grow = ChurnGenerator::new(ChurnModel::GrowOnly, 2);
@@ -37,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ops: Vec<_> = grow
             .batch(estimator.tree(), 16)
             .iter()
-            .map(to_request)
+            .map(ChurnOp::to_request)
             .collect();
         estimator.run_batch(&ops)?;
         report(wave, &estimator);
@@ -48,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ops: Vec<_> = shrink
             .batch(estimator.tree(), 16)
             .iter()
-            .map(to_request)
+            .map(ChurnOp::to_request)
             .collect();
         estimator.run_batch(&ops)?;
         report(wave, &estimator);
@@ -66,6 +63,10 @@ fn report(wave: usize, estimator: &SizeEstimator) {
         estimator.estimate(),
         estimator.iterations(),
         estimator.amortized_messages_per_change(),
-        if estimator.estimate_is_valid() { "ok" } else { "OUT OF BAND" }
+        if estimator.estimate_is_valid() {
+            "ok"
+        } else {
+            "OUT OF BAND"
+        }
     );
 }

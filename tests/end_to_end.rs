@@ -1,21 +1,110 @@
-//! Cross-crate integration tests: workload generators driving the distributed
-//! controller and the §5 applications, with correctness checked end to end.
+//! Cross-crate integration tests: workload generators and the shared
+//! `ScenarioRunner` driving every controller family plus the §5 applications,
+//! with correctness checked end to end.
 
-use dcn::controller::distributed::AdaptiveDistributedController;
+use dcn::baseline::{AapsController, TrivialController};
+use dcn::controller::centralized::{CentralizedController, IteratedController};
+use dcn::controller::distributed::{AdaptiveDistributedController, DistributedController};
 use dcn::controller::verify::ExecutionSummary;
-use dcn::controller::{Outcome, RequestKind};
-use dcn::estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner, SizeEstimator};
+use dcn::controller::{Controller, Outcome, RequestKind};
 use dcn::simnet::{DelayModel, SimConfig};
 use dcn::tree::NodeId;
-use dcn::workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
+use dcn::workload::{
+    build_tree, ChurnGenerator, ChurnModel, ChurnOp, Placement, Scenario, ScenarioRunner, TreeShape,
+};
 
-fn to_request(op: &ChurnOp) -> (NodeId, RequestKind) {
-    match *op {
-        ChurnOp::AddLeaf { parent } => (parent, RequestKind::AddLeaf),
-        ChurnOp::AddInternal { below, parent } => (parent, RequestKind::AddInternalAbove(below)),
-        ChurnOp::Remove { node } => (node, RequestKind::RemoveSelf),
-        ChurnOp::Event { at } => (at, RequestKind::NonTopological),
+/// The satellite acceptance test of this refactor: all four controller
+/// families run the *same* seeded scenario through the single
+/// `ScenarioRunner` code path, and the safety invariant `granted ≤ M` (plus
+/// liveness, via `RunReport::check`) holds for each of them.
+#[test]
+fn all_four_controller_families_respect_safety_on_the_same_scenario() {
+    let scenario = Scenario {
+        name: "e2e-sweep".to_string(),
+        shape: TreeShape::RandomRecursive {
+            nodes: 31,
+            seed: 11,
+        },
+        churn: ChurnModel::GrowOnly,
+        placement: Placement::Uniform,
+        requests: 48,
+        m: 40,
+        w: 10,
+        seed: 11,
+    };
+    let runner = ScenarioRunner::new(scenario.clone());
+    let u_bound = runner.suggested_u_bound();
+
+    let mut controllers: Vec<Box<dyn Controller>> = vec![
+        Box::new(
+            CentralizedController::new(runner.initial_tree(), scenario.m, scenario.w, u_bound)
+                .unwrap(),
+        ),
+        Box::new(
+            DistributedController::new(
+                SimConfig::new(scenario.seed),
+                runner.initial_tree(),
+                scenario.m,
+                scenario.w,
+                u_bound,
+            )
+            .unwrap(),
+        ),
+        Box::new(TrivialController::new(runner.initial_tree(), scenario.m)),
+        Box::new(
+            AapsController::new(runner.initial_tree(), scenario.m, scenario.w, u_bound).unwrap(),
+        ),
+    ];
+
+    for ctrl in &mut controllers {
+        let report = runner.run(ctrl.as_mut()).unwrap();
+        assert!(
+            report.granted <= scenario.m,
+            "{}: safety violated ({} > {})",
+            report.controller,
+            report.granted,
+            scenario.m
+        );
+        assert!(report.granted > 0, "{}: nothing granted", report.controller);
+        assert_eq!(
+            report.granted + report.rejected,
+            report.submitted,
+            "{}: every submitted request must be answered",
+            report.controller
+        );
+        report
+            .check()
+            .unwrap_or_else(|v| panic!("{}: {v}", report.controller));
+        assert!(
+            ctrl.tree().check_invariants().is_ok(),
+            "{}: inconsistent tree",
+            report.controller
+        );
     }
+}
+
+/// The adaptive distributed controller also runs behind the shared trait.
+#[test]
+fn adaptive_distributed_controller_runs_through_the_scenario_runner() {
+    let scenario = Scenario {
+        name: "e2e-adaptive".to_string(),
+        shape: TreeShape::RandomRecursive { nodes: 15, seed: 3 },
+        churn: ChurnModel::default_mixed(),
+        placement: Placement::Uniform,
+        requests: 60,
+        m: 120,
+        w: 30,
+        seed: 3,
+    };
+    let runner = ScenarioRunner::new(scenario.clone());
+    let config = SimConfig::new(scenario.seed).with_delay(DelayModel::Uniform { min: 1, max: 7 });
+    let mut ctrl =
+        AdaptiveDistributedController::new(config, runner.initial_tree(), scenario.m, scenario.w)
+            .unwrap();
+    let report = runner.run(&mut ctrl).unwrap();
+    assert_eq!(report.controller, "adaptive-distributed");
+    report.check().unwrap();
+    assert!(Controller::tree(&ctrl).check_invariants().is_ok());
 }
 
 #[test]
@@ -29,7 +118,11 @@ fn generated_churn_through_the_adaptive_controller_is_safe_and_live() {
         let mut granted = 0u64;
         let mut rejected = 0u64;
         for _ in 0..20 {
-            let batch: Vec<_> = gen.batch(ctrl.tree(), 10).iter().map(to_request).collect();
+            let batch: Vec<_> = gen
+                .batch(ctrl.tree(), 10)
+                .iter()
+                .map(ChurnOp::to_request)
+                .collect();
             let records = ctrl.run_batch(&batch).unwrap();
             for r in &records {
                 match r.outcome {
@@ -46,7 +139,9 @@ fn generated_churn_through_the_adaptive_controller_is_safe_and_live() {
             rejected,
             unanswered: 0,
         };
-        summary.check().unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        summary
+            .check()
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         assert!(granted <= m);
         if rejected > 0 {
             assert!(granted >= m - w, "seed {seed}: granted {granted}");
@@ -56,6 +151,8 @@ fn generated_churn_through_the_adaptive_controller_is_safe_and_live() {
 
 #[test]
 fn all_section_five_applications_hold_their_invariants_under_one_shared_trace() {
+    use dcn::estimator::{AncestryLabeling, HeavyChildDecomposition, NameAssigner, SizeEstimator};
+
     // The same churn trace (same seed, same model) is fed to all four
     // applications; every application-specific invariant must hold after
     // every wave.
@@ -88,24 +185,38 @@ fn all_section_five_applications_hold_their_invariants_under_one_shared_trace() 
     )
     .unwrap();
 
-    let mut gens: Vec<ChurnGenerator> = (0..4)
-        .map(|_| ChurnGenerator::new(model, seed))
-        .collect();
+    let mut gens: Vec<ChurnGenerator> = (0..4).map(|_| ChurnGenerator::new(model, seed)).collect();
 
     for _ in 0..8 {
-        let ops: Vec<_> = gens[0].batch(size.tree(), 8).iter().map(to_request).collect();
+        let ops: Vec<_> = gens[0]
+            .batch(size.tree(), 8)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         size.run_batch(&ops).unwrap();
         assert!(size.estimate_is_valid());
 
-        let ops: Vec<_> = gens[1].batch(names.tree(), 8).iter().map(to_request).collect();
+        let ops: Vec<_> = gens[1]
+            .batch(names.tree(), 8)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         names.run_batch(&ops).unwrap();
         names.check_invariants().unwrap();
 
-        let ops: Vec<_> = gens[2].batch(heavy.tree(), 8).iter().map(to_request).collect();
+        let ops: Vec<_> = gens[2]
+            .batch(heavy.tree(), 8)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         heavy.run_batch(&ops).unwrap();
         heavy.check_light_depth().unwrap();
 
-        let ops: Vec<_> = gens[3].batch(labels.tree(), 8).iter().map(to_request).collect();
+        let ops: Vec<_> = gens[3]
+            .batch(labels.tree(), 8)
+            .iter()
+            .map(ChurnOp::to_request)
+            .collect();
         labels.run_batch(&ops).unwrap();
         labels.check_invariants().unwrap();
     }
@@ -116,13 +227,25 @@ fn baselines_comparison_captures_the_papers_qualitative_claims() {
     // Two claims are checked.
     //
     // (1) Dynamic-model generality: the AAPS-style baseline refuses deletions
-    //     and internal insertions, while the paper's controller handles them.
-    use dcn::baseline::{AapsController, TrivialController};
-
-    let mut aaps = AapsController::new(build_tree(TreeShape::Path { nodes: 15 }), 16, 8, 64).unwrap();
-    let leaf = aaps.tree().nodes().max_by_key(|&v| aaps.tree().depth(v)).unwrap();
-    assert!(aaps.submit(leaf, RequestKind::RemoveSelf).is_err());
-    assert!(aaps.submit(leaf, RequestKind::AddLeaf).unwrap().is_granted());
+    //     and internal insertions (visible both through `supports` and as an
+    //     error from the raw submit), while the paper's controller handles
+    //     them.
+    let mut aaps =
+        AapsController::new(build_tree(TreeShape::Path { nodes: 15 }), 16, 8, 64).unwrap();
+    let leaf = aaps
+        .tree()
+        .nodes()
+        .max_by_key(|&v| aaps.tree().depth(v))
+        .unwrap();
+    assert!(!aaps.supports(RequestKind::RemoveSelf));
+    assert!(!aaps.supports(RequestKind::AddInternalAbove(leaf)));
+    assert!(aaps.supports(RequestKind::AddLeaf));
+    assert!(AapsController::submit(&mut aaps, leaf, RequestKind::RemoveSelf).is_err());
+    assert!(
+        AapsController::submit(&mut aaps, leaf, RequestKind::AddLeaf)
+            .unwrap()
+            .is_granted()
+    );
 
     // (2) Shape of the cost: per-request move complexity of the paper's
     //     controller grows like polylog(n) while the trivial controller's
@@ -140,7 +263,7 @@ fn baselines_comparison_captures_the_papers_qualitative_claims() {
         let w = m / 2;
         let deep = NodeId::from_index(n - 1);
 
-        let mut ours = dcn::controller::centralized::IteratedController::new(
+        let mut ours = IteratedController::new(
             build_tree(TreeShape::Path { nodes: n - 1 }),
             m,
             w,
@@ -153,7 +276,7 @@ fn baselines_comparison_captures_the_papers_qualitative_claims() {
 
         let mut trivial = TrivialController::new(build_tree(TreeShape::Path { nodes: n - 1 }), m);
         for _ in 0..requests {
-            trivial.submit(deep, RequestKind::NonTopological).unwrap();
+            TrivialController::submit(&mut trivial, deep, RequestKind::NonTopological).unwrap();
         }
         (
             ours.moves() as f64 / requests as f64,
@@ -178,7 +301,6 @@ fn baselines_comparison_captures_the_papers_qualitative_claims() {
 
 #[test]
 fn scenario_serialisation_supports_replay() {
-    use dcn::workload::{Placement, Scenario};
     let scenario = Scenario {
         name: "replay".to_string(),
         shape: TreeShape::Caterpillar { spine: 8, legs: 2 },
@@ -189,11 +311,32 @@ fn scenario_serialisation_supports_replay() {
         w: 25,
         seed: 5,
     };
-    let json = serde_json::to_string(&scenario).unwrap();
-    let back: Scenario = serde_json::from_str(&json).unwrap();
+    let json = scenario.to_json();
+    let back = Scenario::from_json(&json).unwrap();
     assert_eq!(back, scenario);
-    // The replayed scenario builds the same tree.
-    let a = build_tree(scenario.shape);
-    let b = build_tree(back.shape);
-    assert_eq!(a.node_count(), b.node_count());
+    // The replayed scenario drives an identical run: same tree, same report.
+    let runner_a = ScenarioRunner::new(scenario);
+    let runner_b = ScenarioRunner::new(back);
+    assert_eq!(
+        runner_a.initial_tree().node_count(),
+        runner_b.initial_tree().node_count()
+    );
+    let mut ctrl_a = IteratedController::new(
+        runner_a.initial_tree(),
+        runner_a.scenario().m,
+        runner_a.scenario().w,
+        runner_a.suggested_u_bound(),
+    )
+    .unwrap();
+    let mut ctrl_b = IteratedController::new(
+        runner_b.initial_tree(),
+        runner_b.scenario().m,
+        runner_b.scenario().w,
+        runner_b.suggested_u_bound(),
+    )
+    .unwrap();
+    assert_eq!(
+        runner_a.run(&mut ctrl_a).unwrap(),
+        runner_b.run(&mut ctrl_b).unwrap()
+    );
 }
