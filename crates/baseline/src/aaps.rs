@@ -155,6 +155,35 @@ impl AapsController {
         (self.tree.root(), dist)
     }
 
+    /// End-game recall: when the root's storage and the entire supervisor
+    /// chain above a requester are dry, permits may still be stranded in
+    /// bins elsewhere in the hierarchy. Rejecting in that state violates
+    /// liveness as soon as more than `W` permits are stranded, so the
+    /// controller recalls one permit from the nearest non-empty bin (paying
+    /// the full donor-to-requester detour in messages and moves — this is
+    /// exactly the expensive path the paper's controller avoids). Returns
+    /// `false` only when every bin is empty.
+    fn recall_permit(&mut self, to: NodeId) -> bool {
+        // Deterministic donor choice (shallowest first, ties by id/level):
+        // HashMap iteration order must never leak into the execution.
+        let mut donors: Vec<BinKey> = self
+            .bins
+            .iter()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(&key, _)| key)
+            .collect();
+        donors.sort_by_key(|&(node, level)| (self.tree.depth(node), node.index(), level));
+        let Some(&(node, level)) = donors.first() else {
+            return false;
+        };
+        *self.bins.get_mut(&(node, level)).expect("donor exists") -= 1;
+        let cost = (self.tree.depth(node) + self.tree.depth(to)) as u64;
+        self.moves += cost;
+        self.messages += cost;
+        *self.bins.entry((to, 0)).or_insert(0) += 1;
+        true
+    }
+
     /// Ensures the given bin holds at least one permit, refilling it (and its
     /// supervisors) recursively from the root's storage. Returns `false` when
     /// even the root is out of permits.
@@ -220,7 +249,13 @@ impl AapsController {
         // The request walks to the nearest level-0 bin.
         let (host, dist) = self.nearest_bin_host(at, 0);
         self.messages += dist;
-        if !self.refill(host, 0) {
+        // Refill from the supervisor chain; once that is dry, recall from
+        // the rest of the hierarchy while the stranded permits still exceed
+        // `W` (rejecting earlier would violate liveness — the sweep grid's
+        // deep path/spider shapes caught exactly that).
+        let have_permit = self.refill(host, 0)
+            || (self.uncommitted_permits() > self.w && self.recall_permit(host));
+        if !have_permit {
             self.rejected += 1;
             // Reject answer walks back to the requester.
             self.messages += dist;
@@ -370,6 +405,36 @@ mod tests {
             second < first,
             "second request ({second}) should be cheaper than the first ({first})"
         );
+    }
+
+    #[test]
+    fn deep_paths_do_not_strand_more_than_w_permits() {
+        // Regression: on deep, narrow shapes the supervisor chain above a
+        // requester runs dry while permits sit stranded in bins on other
+        // branches; rejecting there violated liveness (granted < M − W).
+        // The end-game recall must keep granting until waste is within W.
+        for (len, m, w) in [(23usize, 48u64, 12u64), (40, 64, 8), (16, 30, 1)] {
+            let tree = DynamicTree::with_initial_path(len);
+            let mut ctrl = AapsController::new(tree, m, w, 256).unwrap();
+            let mut rejected = 0u64;
+            for i in 0..(3 * m as usize) {
+                let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+                let at = nodes[(i * 11) % nodes.len()];
+                match ctrl.submit(at, RequestKind::NonTopological).unwrap() {
+                    Outcome::Granted { .. } => {}
+                    Outcome::Rejected => rejected += 1,
+                }
+                // Permit conservation holds throughout, recall included.
+                assert_eq!(ctrl.granted() + ctrl.uncommitted_permits(), m);
+            }
+            assert!(rejected > 0, "len={len}: budget must be exhausted");
+            assert!(
+                ctrl.granted() >= m - w,
+                "len={len}: liveness violated — granted {} < M − W = {}",
+                ctrl.granted(),
+                m - w
+            );
+        }
     }
 
     #[test]

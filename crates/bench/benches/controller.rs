@@ -6,14 +6,15 @@
 //! once and then timed over a fixed number of iterations, reporting the mean
 //! and min wall-clock time per iteration. Run with `cargo bench`.
 
-use dcn_bench::{run_family, Family};
+use dcn_bench::{run_cells, run_grid};
 use dcn_controller::centralized::CentralizedController;
 use dcn_controller::RequestKind;
 use dcn_estimator::{HeavyChildDecomposition, NameAssigner, SizeEstimator};
 use dcn_simnet::SimConfig;
 use dcn_tree::NodeId;
 use dcn_workload::{
-    build_tree, ChurnGenerator, ChurnModel, ChurnOp, Placement, Scenario, TreeShape,
+    build_tree, ChurnGenerator, ChurnModel, ChurnOp, MwBudget, Placement, Scenario, SweepCell,
+    SweepGrid, TreeShape,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -54,7 +55,21 @@ fn scenario(
     }
 }
 
-/// T1: centralized controller, mixed churn, per network size.
+/// Runs one (family, scenario) pair through the shared sweep engine on a
+/// single worker and returns its report's headline counter.
+fn engine_cell(family: &str, s: &Scenario) -> (u64, u64) {
+    let cells = vec![SweepCell {
+        index: 0,
+        family: family.to_string(),
+        scenario: s.clone(),
+    }];
+    let report = run_cells("bench", cells, 1);
+    let r = report.cells[0].report.as_ref().expect("bench cell runs");
+    (r.moves, r.messages)
+}
+
+/// T1: centralized controller, mixed churn, per network size (driven through
+/// the sweep engine — the same code path the harness binaries use).
 fn bench_centralized_moves() {
     for &n in &[64usize, 256] {
         let s = scenario(
@@ -69,7 +84,7 @@ fn bench_centralized_moves() {
             1,
         );
         bench(&format!("t1_centralized/{n}"), 10, || {
-            black_box(run_family(Family::Iterated, &s).moves);
+            black_box(engine_cell("iterated", &s).0);
         });
     }
 }
@@ -89,7 +104,39 @@ fn bench_distributed_messages() {
             2,
         );
         bench(&format!("t3_distributed/{n}"), 10, || {
-            black_box(run_family(Family::Distributed, &s).messages);
+            black_box(engine_cell("distributed", &s).1);
+        });
+    }
+}
+
+/// Sweep-engine throughput: a 24-cell diversified grid end-to-end, serial vs
+/// the worker pool (the speedup column of every future scaling PR).
+fn bench_sweep_grid() {
+    let grid = SweepGrid {
+        name: "bench-grid".to_string(),
+        families: ["iterated", "trivial", "aaps"].map(String::from).to_vec(),
+        shapes: vec![
+            TreeShape::Star { nodes: 31 },
+            TreeShape::Path { nodes: 31 },
+            TreeShape::PreferentialAttachment { nodes: 31, seed: 5 },
+            TreeShape::Spider {
+                legs: 4,
+                leg_length: 8,
+            },
+        ],
+        churns: vec![
+            ChurnModel::GrowOnly,
+            ChurnModel::BurstyDeepLeaf { burst: 5 },
+        ],
+        placements: vec![Placement::Uniform],
+        budgets: vec![MwBudget { m: 64, w: 16 }],
+        requests: 48,
+        replicates: 1,
+        base_seed: 17,
+    };
+    for workers in [1usize, 4] {
+        bench(&format!("sweep_grid/24cells_w{workers}"), 5, || {
+            black_box(run_grid(&grid, workers).cells.len());
         });
     }
 }
@@ -174,6 +221,7 @@ fn main() {
     println!("dcn micro-benchmarks (hand-rolled harness; no criterion in this environment)");
     bench_centralized_moves();
     bench_distributed_messages();
+    bench_sweep_grid();
     bench_size_estimation();
     bench_name_assignment();
     bench_heavy_child();

@@ -1,0 +1,239 @@
+//! `dcn-sweep` — the parallel grid-sweep CLI.
+//!
+//! Expands a diversified [`SweepGrid`] (controller families × tree shapes ×
+//! churn models × placement distributions × (M, W) budgets × seed
+//! replicates), fans the cells out over a worker pool, checks every cell
+//! against the §2.2 safety/liveness/accounting conditions, and emits the
+//! aggregate as a summary table plus optional CSV/JSON files.
+//!
+//! The emitted CSV/JSON is byte-identical for any `--workers` value — the
+//! per-cell seeds are derived with SplitMix64 before any thread runs — so a
+//! recorded sweep reproduces exactly regardless of the machine it ran on.
+//!
+//! ```text
+//! dcn-sweep [--quick] [--workers N] [--seed S] [--replicates R]
+//!           [--csv PATH] [--json PATH]
+//! ```
+//!
+//! Exits non-zero if any cell errored or violated a correctness condition
+//! (the CI smoke contract).
+
+use dcn_bench::{default_workers, run_grid};
+use dcn_workload::{ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
+use std::process::ExitCode;
+
+/// The default grid: 4 families × 6 shapes × 3 churn models (full mode).
+fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
+    SweepGrid {
+        name: "sweep-full".to_string(),
+        families: families(),
+        shapes: vec![
+            TreeShape::Star { nodes: 63 },
+            TreeShape::Path { nodes: 63 },
+            TreeShape::Balanced {
+                nodes: 63,
+                arity: 3,
+            },
+            TreeShape::RandomRecursive { nodes: 63, seed: 7 },
+            TreeShape::PreferentialAttachment { nodes: 63, seed: 7 },
+            TreeShape::Spider {
+                legs: 4,
+                leg_length: 16,
+            },
+        ],
+        churns: churns(),
+        placements: vec![Placement::Uniform],
+        budgets: vec![MwBudget { m: 128, w: 32 }],
+        requests: 96,
+        replicates,
+        base_seed: seed,
+    }
+}
+
+/// The `--quick` grid: 4 families × 4 shapes × 3 churn models = 48 cells,
+/// small enough for a CI smoke step.
+fn quick_grid(seed: u64, replicates: usize) -> SweepGrid {
+    SweepGrid {
+        name: "sweep-quick".to_string(),
+        families: families(),
+        shapes: vec![
+            TreeShape::Star { nodes: 23 },
+            TreeShape::Path { nodes: 23 },
+            TreeShape::PreferentialAttachment { nodes: 23, seed: 7 },
+            TreeShape::Spider {
+                legs: 3,
+                leg_length: 8,
+            },
+        ],
+        churns: churns(),
+        placements: vec![Placement::Uniform],
+        budgets: vec![MwBudget { m: 48, w: 12 }],
+        requests: 40,
+        replicates,
+        base_seed: seed,
+    }
+}
+
+fn families() -> Vec<String> {
+    ["iterated", "distributed", "trivial", "aaps"]
+        .map(String::from)
+        .to_vec()
+}
+
+fn churns() -> Vec<ChurnModel> {
+    vec![
+        ChurnModel::GrowOnly,
+        ChurnModel::default_mixed(),
+        ChurnModel::BurstyDeepLeaf { burst: 6 },
+    ]
+}
+
+struct Args {
+    quick: bool,
+    workers: usize,
+    seed: u64,
+    replicates: usize,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        workers: default_workers(),
+        seed: 2007,
+        replicates: 1,
+        csv: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--replicates" => {
+                args.replicates = value("--replicates")?
+                    .parse()
+                    .map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dcn-sweep [--quick] [--workers N] [--seed S] \
+                     [--replicates R] [--csv PATH] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dcn-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let grid = if args.quick {
+        quick_grid(args.seed, args.replicates)
+    } else {
+        full_grid(args.seed, args.replicates)
+    };
+    println!(
+        "== dcn-sweep: grid {:?} — {} cells ({} families × {} shapes × {} churns × {} placements × {} budgets × {} replicates) on {} workers ==",
+        grid.name,
+        grid.cell_count(),
+        grid.families.len(),
+        grid.shapes.len(),
+        grid.churns.len(),
+        grid.placements.len(),
+        grid.budgets.len(),
+        grid.replicates.max(1),
+        args.workers,
+    );
+    let report = run_grid(&grid, args.workers);
+
+    println!(
+        "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "family",
+        "cells",
+        "errors",
+        "violations",
+        "p50moves",
+        "p95moves",
+        "p50msgs",
+        "p95msgs",
+        "p50mem",
+        "p95mem"
+    );
+    for s in report.summaries() {
+        println!(
+            "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            s.family,
+            s.cells,
+            s.errors,
+            s.violations,
+            s.p50_moves,
+            s.p95_moves,
+            s.p50_messages,
+            s.p95_messages,
+            s.p50_memory_bits,
+            s.p95_memory_bits,
+        );
+    }
+    for cell in &report.cells {
+        if let Err(e) = &cell.report {
+            eprintln!(
+                "cell {} ({} / {}): error: {e}",
+                cell.cell.index, cell.cell.family, cell.cell.scenario.name
+            );
+        } else if let Some(v) = &cell.violation {
+            eprintln!(
+                "cell {} ({} / {}): VIOLATION: {v}",
+                cell.cell.index, cell.cell.family, cell.cell.scenario.name
+            );
+        }
+    }
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, report.to_csv()) {
+            eprintln!("dcn-sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dcn-sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    let errors = report.error_count();
+    let violations = report.violation_count();
+    if errors + violations > 0 {
+        eprintln!("dcn-sweep: {errors} errors, {violations} violations");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "all {} cells ok (0 errors, 0 violations)",
+        report.cells.len()
+    );
+    ExitCode::SUCCESS
+}

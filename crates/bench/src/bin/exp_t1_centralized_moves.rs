@@ -2,18 +2,21 @@
 //! centralized controller as the network size grows.
 //!
 //! For each initial size `n`, a mixed-churn workload of `2n` requests is run
-//! through the iterated centralized controller (via the shared
-//! `ScenarioRunner`) with `M = 2n`, `W = n/2`. The measured moves are
-//! compared against the theoretical shape `U · log²U · log(M/(W+1))`; the
-//! paper's claim holds when the ratio column stays roughly flat (no
-//! super-logarithmic blow-up with `n`).
+//! through the iterated centralized controller with `M = 2n`, `W = n/2`. The
+//! sweep ties `M`, `W` and the request count to `n`, which a plain cross
+//! product cannot express, so the binary builds the cell list itself and runs
+//! it through the shared `SweepEngine` (parallel across sizes and shapes).
+//! The measured moves are compared against the theoretical shape
+//! `U · log²U · log(M/(W+1))`; the paper's claim holds when the ratio column
+//! stays roughly flat (no super-logarithmic blow-up with `n`).
 
-use dcn_bench::{iterated_bound, print_table, run_family, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512, 1024, 2048], &[64, 256]);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut row_meta = Vec::new();
     for &n in &sizes {
         for (shape_name, shape) in [
             ("path", TreeShape::Path { nodes: n - 1 }),
@@ -38,17 +41,29 @@ fn main() {
                 w,
                 seed: n as u64,
             };
-            let report = run_family(Family::Iterated, &scenario);
+            cells.push(SweepCell {
+                index: cells.len(),
+                family: "iterated".to_string(),
+                scenario,
+            });
             let u_bound = n + requests + 1;
-            let bound = iterated_bound(u_bound, m, w);
-            rows.push(Row::new(
-                "T1",
+            row_meta.push((
                 format!("shape={shape_name} n0={n} M={m} W={w} reqs={requests}"),
-                report.moves as f64,
-                bound,
+                iterated_bound(u_bound, m, w),
             ));
         }
     }
+    let report = run_cells("t1", cells, default_workers());
+    let rows: Vec<Row> = report
+        .cells
+        .iter()
+        .zip(row_meta)
+        .map(|(cell, (params, bound))| {
+            let r = cell.report.as_ref().expect("T1 cells are valid");
+            assert!(cell.violation.is_none(), "{params}: {:?}", cell.violation);
+            Row::new("T1", params, r.moves as f64, bound)
+        })
+        .collect();
     print_table(
         "T1 — centralized move complexity vs U·log²U·log(M/(W+1))",
         &rows,

@@ -4,11 +4,12 @@
 //! Sweeps the network size and the asynchronous delay schedule (seed); the
 //! measured message count is compared against the same
 //! `U·log²U·log(M/(W+1))` shape as the centralized bound (Lemma 4.5 ties the
-//! two together). Each run is one seeded scenario through the shared
-//! `ScenarioRunner`.
+//! two together). The size axis co-varies `M`, `W` and the request count, so
+//! the binary builds its cell list explicitly and fans it out through the
+//! shared `SweepEngine`.
 
-use dcn_bench::{iterated_bound, print_table, run_family, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[32, 64, 128, 256, 512], &[32, 128]);
@@ -17,7 +18,8 @@ fn main() {
     } else {
         &[1, 2, 3]
     };
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut bounds = Vec::new();
     for &n in &sizes {
         for &seed in seeds {
             let requests = n;
@@ -33,19 +35,37 @@ fn main() {
                 w,
                 seed,
             };
-            let report = run_family(Family::Distributed, &scenario);
-            let u_bound = n + requests + 1;
-            rows.push(Row::new(
+            cells.push(SweepCell {
+                index: cells.len(),
+                family: "distributed".to_string(),
+                scenario,
+            });
+            bounds.push((n, seed, iterated_bound(n + requests + 1, m, w)));
+        }
+    }
+    let report = run_cells("t3", cells, default_workers());
+    let rows: Vec<Row> = report
+        .cells
+        .iter()
+        .zip(bounds)
+        .map(|(cell, (n, seed, bound))| {
+            let r = cell.report.as_ref().expect("T3 cells are valid");
+            assert!(
+                cell.violation.is_none(),
+                "n={n} s={seed}: {:?}",
+                cell.violation
+            );
+            Row::new(
                 "T3",
                 format!(
                     "n0={n} seed={seed} granted={} rejected={} final_n={}",
-                    report.granted, report.rejected, report.final_nodes
+                    r.granted, r.rejected, r.final_nodes
                 ),
-                report.messages as f64,
-                iterated_bound(u_bound, m, w),
-            ));
-        }
-    }
+                r.messages as f64,
+                bound,
+            )
+        })
+        .collect();
     print_table(
         "T3 — distributed message complexity vs U·log²U·log(M/(W+1))",
         &rows,

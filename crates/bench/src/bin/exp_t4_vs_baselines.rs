@@ -7,15 +7,19 @@
 //! mixed churn the AAPS column is reported as refusals — that is the
 //! qualitative point of the paper.
 //!
-//! Every family is driven by the shared `ScenarioRunner` over the *same*
+//! Every family is a cell of the same `SweepEngine` run over the *same*
 //! seeded scenario, so the rows compare identical request streams.
 
-use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
+use dcn_workload::{ChurnModel, Placement, RunReport, Scenario, SweepCell, TreeShape};
+
+/// Cells per size step: grow-only × {distributed, aaps, trivial} plus
+/// mixed-churn × {distributed, aaps}.
+const CELLS_PER_SIZE: usize = 5;
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &n in &sizes {
         let base = Scenario {
             name: format!("t4-grow-n{n}"),
@@ -30,15 +34,46 @@ fn main() {
             w: (n as u64 / 2).max(1),
             seed: 5,
         };
+        let mixed = Scenario {
+            name: format!("t4-mixed-n{n}"),
+            churn: ChurnModel::default_mixed(),
+            seed: 6,
+            ..base.clone()
+        };
+        for (family, scenario) in [
+            ("distributed", &base),
+            ("aaps", &base),
+            ("trivial", &base),
+            ("distributed", &mixed),
+            ("aaps", &mixed),
+        ] {
+            cells.push(SweepCell {
+                index: cells.len(),
+                family: family.to_string(),
+                scenario: scenario.clone(),
+            });
+        }
+    }
+    let report = run_cells("t4", cells, default_workers());
+    let get = |i: usize| -> &RunReport {
+        let cell = &report.cells[i];
+        assert!(
+            cell.violation.is_none(),
+            "{}: {:?}",
+            cell.cell.scenario.name,
+            cell.violation
+        );
+        cell.report.as_ref().expect("T4 cells are valid")
+    };
 
-        // The same grow-only scenario through all four controller families.
-        let ours = run_family(Family::Distributed, &base);
-        let aaps = run_family(Family::Aaps, &base);
-        let trivial = run_family(Family::Trivial, &base);
-        ours.check()
-            .expect("safety/liveness of the distributed run");
-        aaps.check().expect("safety/liveness of the AAPS run");
-        trivial.check().expect("safety/liveness of the trivial run");
+    let mut rows = Vec::new();
+    for (step, &n) in sizes.iter().enumerate() {
+        let base_idx = step * CELLS_PER_SIZE;
+        let ours = get(base_idx);
+        let aaps = get(base_idx + 1);
+        let trivial = get(base_idx + 2);
+        let ours_mixed = get(base_idx + 3);
+        let aaps_mixed = get(base_idx + 4);
 
         rows.push(Row::new(
             "T4",
@@ -52,16 +87,6 @@ fn main() {
             trivial.messages as f64,
             ours.messages as f64,
         ));
-
-        // Mixed churn: ours works, AAPS refuses deletions / internal inserts.
-        let mixed = Scenario {
-            name: format!("t4-mixed-n{n}"),
-            churn: ChurnModel::default_mixed(),
-            seed: 6,
-            ..base
-        };
-        let ours_mixed = run_family(Family::Distributed, &mixed);
-        let aaps_mixed = run_family(Family::Aaps, &mixed);
         rows.push(Row::new(
             "T4",
             format!(

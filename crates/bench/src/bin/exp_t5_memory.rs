@@ -1,16 +1,19 @@
 //! Experiment T5 (Claim 4.8): per-node memory of the distributed controller.
 //!
-//! After a demanding grow-only workload (driven by the shared
-//! `ScenarioRunner`), the largest whiteboard (under the compressed per-level
+//! After a demanding grow-only workload (one `SweepEngine` cell per shape ×
+//! size), the largest whiteboard (under the compressed per-level
 //! representation) is measured in bits and compared against the claim
-//! `O(deg(v)·log N + log³N + log²U)` evaluated at the final network.
+//! `O(deg(v)·log N + log³N + log²U)` evaluated at the *measured* final
+//! network (grow-only churn raises node degrees well above the initial
+//! shape's; the runner reports the final size and maximum degree).
 
-use dcn_bench::{build_controller, print_table, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, ScenarioRunner, TreeShape};
+use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
+use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut meta = Vec::new();
     for &n in &sizes {
         for (shape_name, shape) in [
             ("path", TreeShape::Path { nodes: n - 1 }),
@@ -33,32 +36,38 @@ fn main() {
                 w: (n as u64 / 2).max(1),
                 seed: 9,
             };
-            // Keep the controller so the bound can be evaluated against the
-            // *measured* final tree (grow-only churn raises node degrees well
-            // above the initial shape's).
-            let mut ctrl = build_controller(Family::Distributed, &scenario).expect("params");
-            let report = ScenarioRunner::new(scenario.clone())
-                .run(ctrl.as_mut())
-                .expect("run");
-            let u_bound = shape.node_budget() + 1 + n + 1;
-            let n_now = report.final_nodes.max(2) as f64;
-            let log_n = n_now.log2();
-            let log_u = (u_bound as f64).log2();
-            let max_deg = ctrl
-                .tree()
-                .nodes()
-                .map(|v| ctrl.tree().child_degree(v).unwrap_or(0))
-                .max()
-                .unwrap_or(0) as f64;
-            let bound = max_deg * log_n + log_n.powi(3) + log_u.powi(2);
-            rows.push(Row::new(
-                "T5",
-                format!("shape={shape_name} n0={n} peak whiteboard"),
-                report.peak_node_memory_bits as f64,
-                bound,
-            ));
+            cells.push(SweepCell {
+                index: cells.len(),
+                family: "distributed".to_string(),
+                scenario,
+            });
+            meta.push((shape_name, n, shape.node_budget() + 1 + n + 1));
         }
     }
+    let report = run_cells("t5", cells, default_workers());
+    let rows: Vec<Row> = report
+        .cells
+        .iter()
+        .zip(meta)
+        .map(|(cell, (shape_name, n, u_bound))| {
+            let r = cell.report.as_ref().expect("T5 cells are valid");
+            assert!(
+                cell.violation.is_none(),
+                "shape={shape_name} n0={n}: {:?}",
+                cell.violation
+            );
+            let n_now = r.final_nodes.max(2) as f64;
+            let log_n = n_now.log2();
+            let log_u = (u_bound as f64).log2();
+            let bound = r.final_max_degree as f64 * log_n + log_n.powi(3) + log_u.powi(2);
+            Row::new(
+                "T5",
+                format!("shape={shape_name} n0={n} peak whiteboard"),
+                r.peak_node_memory_bits as f64,
+                bound,
+            )
+        })
+        .collect();
     print_table(
         "T5 — per-node memory (bits) vs O(deg·logN + log³N + log²U)",
         &rows,

@@ -39,7 +39,9 @@ use dcn_controller::centralized::{CentralizedController, IteratedController};
 use dcn_controller::distributed::DistributedController;
 use dcn_controller::{Controller, ControllerError};
 use dcn_simnet::SimConfig;
-use dcn_workload::{RunReport, Scenario, ScenarioRunner};
+use dcn_workload::{
+    RunReport, Scenario, ScenarioRunner, SweepCell, SweepEngine, SweepGrid, SweepReport,
+};
 
 /// One output row of an experiment.
 #[derive(Clone, Debug)]
@@ -172,6 +174,54 @@ impl Family {
             Family::Aaps => "aaps",
         }
     }
+
+    /// The family for a display name (the inverse of [`Family::name`]; used
+    /// to resolve the family strings of a [`SweepGrid`]).
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// The [`ControllerFactory`](dcn_workload::ControllerFactory) covering every
+/// controller family in the workspace: resolves a [`SweepGrid`] family string
+/// and builds the controller over the cell's scenario.
+///
+/// # Errors
+///
+/// Returns a description for unknown family names and invalid parameter
+/// combinations (reported per cell by the engine, never propagated).
+pub fn family_factory(family: &str, scenario: &Scenario) -> Result<Box<dyn Controller>, String> {
+    let family =
+        Family::from_name(family).ok_or_else(|| format!("unknown controller family {family:?}"))?;
+    build_controller(family, scenario).map_err(|e| e.to_string())
+}
+
+/// The worker-thread count used by the harness binaries: `DCN_WORKERS` if
+/// set, otherwise the machine's available parallelism (at least 2 so the
+/// parallel path is always exercised).
+pub fn default_workers() -> usize {
+    std::env::var("DCN_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2)
+        })
+}
+
+/// Runs a declarative [`SweepGrid`] over the workspace's controller families
+/// on `workers` threads.
+pub fn run_grid(grid: &SweepGrid, workers: usize) -> SweepReport {
+    SweepEngine::new(workers).run(grid, &family_factory)
+}
+
+/// Runs an explicit cell list (for sweeps whose parameters co-vary, e.g. `M`
+/// growing with the tree size) over the workspace's controller families.
+pub fn run_cells(grid_name: &str, cells: Vec<SweepCell>, workers: usize) -> SweepReport {
+    SweepEngine::new(workers).run_cells(grid_name.to_string(), cells, &family_factory)
 }
 
 /// Builds a fresh controller of `family` over the scenario's initial tree,

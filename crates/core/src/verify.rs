@@ -50,6 +50,18 @@ pub enum Violation {
         /// Number of unanswered requests.
         count: u64,
     },
+    /// More answers than requests: `granted + rejected` exceeds the number of
+    /// submitted requests. Either a controller answered a request twice or a
+    /// driver lost count — both are accounting bugs that would otherwise hide
+    /// behind a saturating `unanswered = submitted − answered` computation.
+    OverAnswered {
+        /// Permits granted.
+        granted: u64,
+        /// Requests rejected.
+        rejected: u64,
+        /// Requests actually submitted.
+        submitted: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -65,6 +77,14 @@ impl std::fmt::Display for Violation {
             Violation::Unanswered { count } => {
                 write!(f, "{count} requests never received an answer")
             }
+            Violation::OverAnswered {
+                granted,
+                rejected,
+                submitted,
+            } => write!(
+                f,
+                "accounting violated: {granted} grants + {rejected} rejects exceed the {submitted} submitted requests"
+            ),
         }
     }
 }
@@ -192,5 +212,11 @@ mod tests {
             required: 7,
         };
         assert!(v.to_string().contains("liveness"));
+        let v = Violation::OverAnswered {
+            granted: 6,
+            rejected: 5,
+            submitted: 10,
+        };
+        assert!(v.to_string().contains("accounting"));
     }
 }

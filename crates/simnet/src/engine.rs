@@ -46,6 +46,10 @@ pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
     now: Time,
+    /// Number of absolute-time schedules that pointed into the past and were
+    /// clamped to `now`. Always 0 in a correct driver; surfaced so tests and
+    /// debug assertions can detect would-be time travel.
+    clamped: u64,
 }
 
 impl EventQueue {
@@ -70,7 +74,24 @@ impl EventQueue {
     /// Schedules `kind` to fire `delay` units after the current time and
     /// returns the event's absolute fire time.
     pub fn schedule(&mut self, delay: Time, kind: EventKind) -> Time {
-        let time = self.now.saturating_add(delay);
+        self.schedule_at(self.now.saturating_add(delay), kind)
+    }
+
+    /// Schedules `kind` at the absolute time `at` and returns the actual fire
+    /// time.
+    ///
+    /// Simulated time must never run backwards (the §2.1.2 execution model
+    /// orders every change), so an `at` in the past is **clamped to `now`**
+    /// rather than accepted verbatim; the clamp is counted
+    /// ([`EventQueue::clamped_count`]) so drivers and tests can treat it as
+    /// the bug it indicates.
+    pub fn schedule_at(&mut self, at: Time, kind: EventKind) -> Time {
+        let time = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
         let event = Event {
             time,
             seq: self.next_seq,
@@ -81,6 +102,12 @@ impl EventQueue {
         time
     }
 
+    /// Number of past-dated schedules that were clamped to `now` (0 in a
+    /// correct execution).
+    pub fn clamped_count(&self) -> u64 {
+        self.clamped
+    }
+
     /// The absolute fire time of the next pending event, without popping it.
     /// Lets drivers batch-poll ("is anything due before t?") without
     /// disturbing the queue.
@@ -88,11 +115,13 @@ impl EventQueue {
         self.heap.peek().map(|Reverse(event)| event.time)
     }
 
-    /// Pops the next event and advances the clock to its timestamp.
+    /// Pops the next event and advances the clock to its timestamp. The clock
+    /// is monotone by construction (every insertion point is `≥ now`), and
+    /// `max` keeps it monotone even against a future bug in the queue itself.
     pub fn pop(&mut self) -> Option<Event> {
         let Reverse(event) = self.heap.pop()?;
         debug_assert!(event.time >= self.now, "time must not run backwards");
-        self.now = event.time;
+        self.now = self.now.max(event.time);
         Some(event)
     }
 }
@@ -167,6 +196,47 @@ mod tests {
         assert_eq!(q.peek_time(), Some(8));
         q.pop();
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn past_dated_events_are_clamped_to_now_and_counted() {
+        let mut q = EventQueue::new();
+        q.schedule(10, activate(1));
+        q.pop();
+        assert_eq!(q.now(), 10);
+        // An absolute schedule in the past must not move time backwards: it
+        // fires "now" and the violation is counted.
+        assert_eq!(q.schedule_at(3, activate(2)), 10);
+        assert_eq!(q.clamped_count(), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 10);
+        assert_eq!(q.now(), 10);
+        // Present and future absolute schedules pass through unclamped.
+        assert_eq!(q.schedule_at(10, activate(3)), 10);
+        assert_eq!(q.schedule_at(12, activate(4)), 12);
+        assert_eq!(q.clamped_count(), 1);
+    }
+
+    #[test]
+    fn clock_is_monotone_under_mixed_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(5, activate(1));
+        q.schedule_at(2, activate(2));
+        q.schedule(0, activate(3));
+        let mut last = q.now();
+        let mut popped = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last, "time ran backwards: {} < {last}", e.time);
+            assert!(q.now() >= last);
+            last = q.now();
+            popped += 1;
+            if popped == 2 {
+                // Interleave more scheduling mid-drain.
+                q.schedule_at(1, activate(4));
+                q.schedule(1, activate(5));
+            }
+        }
+        assert_eq!(popped, 5);
     }
 
     #[test]

@@ -148,6 +148,13 @@ impl<P: Protocol> Simulator<P> {
         self.queue.now()
     }
 
+    /// Number of events that were scheduled in the past and clamped to the
+    /// current time. Always 0 in a correct execution — a non-zero value means
+    /// a driver or protocol computed a stale absolute timestamp.
+    pub fn clamped_event_count(&self) -> u64 {
+        self.queue.clamped_count()
+    }
+
     /// Cost counters accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

@@ -250,6 +250,89 @@ fn concurrent_agents_and_churn_never_corrupt_the_network() {
     }
 }
 
+/// Simulated time never goes backwards: across arbitrary interleavings of
+/// agent traffic, delayed injections and graceful topology changes, the
+/// clock observed after every single step is non-decreasing, and the next
+/// pending event is never due before "now".
+#[test]
+fn simulator_time_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(20_000 + case);
+        let events = random_events(&mut rng, 1, 50);
+        let seed = rng.gen_range(0u64..10_000);
+        let max_delay = rng.gen_range(1u64..16);
+        let n0 = rng.gen_range(1usize..16);
+        let tree = DynamicTree::with_initial_star(n0);
+        let config = SimConfig::new(seed).with_delay(DelayModel::Uniform {
+            min: 1,
+            max: max_delay,
+        });
+        let mut sim = Simulator::with_tree(config, BounceProtocol, tree);
+        let mut last = sim.time();
+        let check = |sim: &Simulator<BounceProtocol>, last: &mut u64| {
+            assert!(
+                sim.time() >= *last,
+                "case {case}: time ran backwards ({} < {last})",
+                sim.time()
+            );
+            if let Some(next) = sim.next_event_time() {
+                assert!(
+                    next >= sim.time(),
+                    "case {case}: pending event at {next} is before now={}",
+                    sim.time()
+                );
+            }
+            *last = sim.time();
+        };
+        for chunk in events.chunks(5) {
+            for &event in chunk {
+                match event {
+                    SimEvent::Agent(k) => {
+                        let at = pick(sim.tree(), k);
+                        let delay = rng.gen_range(0u64..8);
+                        sim.create_agent_delayed(
+                            at,
+                            BounceAgent {
+                                phase: BouncePhase::Climb,
+                            },
+                            delay,
+                        )
+                        .unwrap();
+                    }
+                    SimEvent::AddLeaf(k) => {
+                        let parent = pick(sim.tree(), k);
+                        sim.schedule_change(TopologyChange::AddLeaf { parent });
+                    }
+                    SimEvent::AddInternal(k) => {
+                        let below = pick(sim.tree(), k);
+                        sim.schedule_change(TopologyChange::AddInternalAbove { below });
+                    }
+                    SimEvent::Remove(k) => {
+                        let node = pick(sim.tree(), k);
+                        sim.schedule_change(TopologyChange::Remove { node });
+                    }
+                }
+                check(&sim, &mut last);
+            }
+            for _ in 0..10 {
+                let progressed = sim.step().unwrap();
+                check(&sim, &mut last);
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        while sim.step().unwrap() {
+            check(&sim, &mut last);
+        }
+        assert_eq!(
+            sim.clamped_event_count(),
+            0,
+            "case {case}: an event was scheduled in the past"
+        );
+    }
+}
+
 /// Executions are fully deterministic for a fixed seed and differ only in
 /// cost (not in delivered answers) across seeds.
 #[test]

@@ -13,6 +13,14 @@ struct NodeData {
     /// Non-tree neighbors (the paper allows non-tree edges; the controller
     /// ignores them, but they are part of the network graph).
     non_tree: BTreeSet<NodeId>,
+    /// Cached hop distance to the root, maintained incrementally by every
+    /// mutation (`add_internal_above` / `remove_internal` shift whole
+    /// subtrees). Verified against a from-scratch recomputation by
+    /// [`DynamicTree::check_invariants`].
+    depth: usize,
+    /// Cached size of the subtree rooted here (including the node itself),
+    /// maintained incrementally along the ancestor chain of every mutation.
+    subtree: usize,
 }
 
 /// A dynamic rooted tree supporting the four topological changes of the paper
@@ -56,6 +64,8 @@ impl DynamicTree {
             parent: None,
             children: Vec::new(),
             non_tree: BTreeSet::new(),
+            depth: 0,
+            subtree: 1,
         };
         DynamicTree {
             slots: vec![Some(root_data)],
@@ -78,11 +88,26 @@ impl DynamicTree {
 
     /// Creates a tree that is a path of `len + 1` nodes starting at the root.
     /// The construction events are not recorded in the change log.
+    ///
+    /// Built directly (not via repeated `add_leaf`) so the depth/subtree
+    /// caches are filled in one pass — incremental maintenance would walk
+    /// the whole ancestor chain per node and make this `O(len²)`.
     pub fn with_initial_path(len: usize) -> Self {
         let mut t = Self::new();
-        let mut cur = t.root;
-        for _ in 0..len {
-            cur = t.add_leaf_unlogged(cur).expect("node exists");
+        t.slots[0].as_mut().expect("root exists").subtree = len + 1;
+        for d in 1..=len {
+            let parent = NodeId((d - 1) as u32);
+            let child = t.alloc(NodeData {
+                parent: Some(parent),
+                children: Vec::new(),
+                non_tree: BTreeSet::new(),
+                depth: d,
+                subtree: len + 1 - d,
+            });
+            t.data_mut(parent)
+                .expect("previous path node exists")
+                .children
+                .push(child);
         }
         t
     }
@@ -184,19 +209,18 @@ impl DynamicTree {
     /// Hop distance from `id` to the root (the paper's *depth*). The root has
     /// depth 0.
     ///
+    /// `O(1)`: depths are cached per node and maintained incrementally by
+    /// every mutation.
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not exist; use [`DynamicTree::contains`] first when
     /// the id may be stale.
     pub fn depth(&self, id: NodeId) -> usize {
-        let mut d = 0usize;
-        let mut cur = id;
-        while let Some(p) = self.parent(cur) {
-            d += 1;
-            cur = p;
+        match self.data(id) {
+            Ok(d) => d.depth,
+            Err(_) => panic!("depth() called on unknown node {id}"),
         }
-        assert!(self.contains(id), "depth() called on unknown node {id}");
-        d
     }
 
     /// Returns `true` if `anc` is an ancestor of `desc` (a node is its own
@@ -285,12 +309,14 @@ impl DynamicTree {
 
     /// Number of nodes in the subtree rooted at `id` (including `id`).
     ///
+    /// `O(1)`: subtree sizes are cached per node and maintained incrementally
+    /// along the ancestor chain of every mutation.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::UnknownNode`] if `id` does not exist.
     pub fn subtree_size(&self, id: NodeId) -> Result<usize, TreeError> {
-        self.data(id)?;
-        Ok(self.dfs(id).count())
+        Ok(self.data(id)?.subtree)
     }
 
     /// Non-tree neighbors of `id`.
@@ -306,8 +332,9 @@ impl DynamicTree {
     ///
     /// Verified invariants: parent/child pointers are mutually consistent,
     /// every existing non-root node has an existing parent, the root has no
-    /// parent, every node is reachable from the root, and the node count
-    /// matches the number of occupied slots.
+    /// parent, every node is reachable from the root, the node count matches
+    /// the number of occupied slots, and the cached depths / subtree sizes
+    /// agree with a from-scratch recomputation.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut seen = 0usize;
         for (i, slot) in self.slots.iter().enumerate() {
@@ -351,6 +378,31 @@ impl DynamicTree {
                 self.node_count
             ));
         }
+        for id in self.nodes().collect::<Vec<_>>() {
+            let data = self.data(id).expect("id from nodes()");
+            let true_depth = {
+                let mut d = 0usize;
+                let mut cur = id;
+                while let Some(p) = self.parent(cur) {
+                    d += 1;
+                    cur = p;
+                }
+                d
+            };
+            if data.depth != true_depth {
+                return Err(format!(
+                    "cached depth {} of {id} != recomputed {true_depth}",
+                    data.depth
+                ));
+            }
+            let true_size = self.dfs(id).count();
+            if data.subtree != true_size {
+                return Err(format!(
+                    "cached subtree size {} of {id} != recomputed {true_size}",
+                    data.subtree
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -358,17 +410,42 @@ impl DynamicTree {
     // Mutations
     // ------------------------------------------------------------------
 
+    /// Adds `delta` to the cached subtree sizes of `from` and all its
+    /// ancestors up to the root.
+    fn adjust_ancestor_sizes(&mut self, from: NodeId, delta: isize) {
+        let mut cur = Some(from);
+        while let Some(c) = cur {
+            let d = self.data_mut(c).expect("ancestor chain exists");
+            d.subtree = d.subtree.checked_add_signed(delta).expect("size underflow");
+            cur = d.parent;
+        }
+    }
+
+    /// Adds `delta` to the cached depth of every node in the subtree of
+    /// `top` (inclusive) — the whole subtree moves when an internal node is
+    /// spliced in or out above it.
+    fn shift_subtree_depths(&mut self, top: NodeId, delta: isize) {
+        let ids: Vec<NodeId> = self.dfs(top).collect();
+        for id in ids {
+            let d = self.data_mut(id).expect("dfs yields existing nodes");
+            d.depth = d.depth.checked_add_signed(delta).expect("depth underflow");
+        }
+    }
+
     fn add_leaf_unlogged(&mut self, parent: NodeId) -> Result<NodeId, TreeError> {
-        self.data(parent)?;
+        let depth = self.data(parent)?.depth + 1;
         let child = self.alloc(NodeData {
             parent: Some(parent),
             children: Vec::new(),
             non_tree: BTreeSet::new(),
+            depth,
+            subtree: 1,
         });
         self.data_mut(parent)
             .expect("parent checked above")
             .children
             .push(child);
+        self.adjust_ancestor_sizes(parent, 1);
         Ok(child)
     }
 
@@ -410,6 +487,7 @@ impl DynamicTree {
         pd.children.retain(|&c| c != node);
         self.slots[node.index()] = None;
         self.node_count -= 1;
+        self.adjust_ancestor_sizes(parent, -1);
         self.log.push(
             TopologyEvent::RemoveLeaf { parent, node },
             before,
@@ -426,15 +504,20 @@ impl DynamicTree {
     /// * [`TreeError::NoParentEdge`] if `below` is the root;
     /// * [`TreeError::UnknownNode`] if `below` does not exist.
     pub fn add_internal_above(&mut self, below: NodeId) -> Result<NodeId, TreeError> {
-        let parent = match self.data(below)?.parent {
+        let below_data = self.data(below)?;
+        let parent = match below_data.parent {
             Some(p) => p,
             None => return Err(TreeError::NoParentEdge(below)),
         };
+        // The new node takes `below`'s old depth and absorbs its subtree.
+        let (node_depth, node_subtree) = (below_data.depth, below_data.subtree + 1);
         let before = self.node_count;
         let node = self.alloc(NodeData {
             parent: Some(parent),
             children: vec![below],
             non_tree: BTreeSet::new(),
+            depth: node_depth,
+            subtree: node_subtree,
         });
         {
             let pd = self.data_mut(parent).expect("parent exists");
@@ -446,6 +529,8 @@ impl DynamicTree {
             pd.children[pos] = node;
         }
         self.data_mut(below).expect("below exists").parent = Some(node);
+        self.shift_subtree_depths(below, 1);
+        self.adjust_ancestor_sizes(parent, 1);
         self.log.push(
             TopologyEvent::AddInternal {
                 parent,
@@ -493,9 +578,11 @@ impl DynamicTree {
         }
         for &c in &children {
             self.data_mut(c).expect("child exists").parent = Some(parent);
+            self.shift_subtree_depths(c, -1);
         }
         self.slots[node.index()] = None;
         self.node_count -= 1;
+        self.adjust_ancestor_sizes(parent, -1);
         self.log.push(
             TopologyEvent::RemoveInternal { parent, node },
             before,

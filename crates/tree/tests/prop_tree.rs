@@ -177,6 +177,55 @@ fn change_log_sizes_are_consistent() {
     }
 }
 
+/// The cached depths and subtree sizes returned by `depth()` /
+/// `subtree_size()` match a from-scratch recomputation (parent-chain walk
+/// and child recursion that never touch the caches) after arbitrary
+/// sequences of `add_leaf` / `remove_leaf` / `add_internal_above` /
+/// `remove_internal`.
+#[test]
+fn cached_depths_and_sizes_match_recomputation() {
+    fn recompute_depth(tree: &DynamicTree, v: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = v;
+        while let Some(p) = tree.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+    fn recompute_size(tree: &DynamicTree, v: NodeId) -> usize {
+        1 + tree
+            .children(v)
+            .unwrap()
+            .iter()
+            .map(|&c| recompute_size(tree, c))
+            .sum::<usize>()
+    }
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(6_000 + case);
+        let ops = random_ops(&mut rng, 160);
+        let mut tree = DynamicTree::new();
+        for (i, op) in ops.iter().enumerate() {
+            let _ = apply(&mut tree, op);
+            // Check after *every* step, not only at the end: splice
+            // operations shift whole subtrees and drift would otherwise be
+            // masked by later inverse operations.
+            for v in tree.nodes().collect::<Vec<_>>() {
+                assert_eq!(
+                    tree.depth(v),
+                    recompute_depth(&tree, v),
+                    "case {case}: cached depth of {v} drifted after op {i} ({op:?})"
+                );
+                assert_eq!(
+                    tree.subtree_size(v).unwrap(),
+                    recompute_size(&tree, v),
+                    "case {case}: cached subtree size of {v} drifted after op {i} ({op:?})"
+                );
+            }
+        }
+    }
+}
+
 /// subtree_size of the root equals node_count and is monotone along edges.
 #[test]
 fn subtree_sizes_are_consistent() {

@@ -98,6 +98,17 @@ pub enum ChurnModel {
     },
     /// Only non-topological events (the pure resource-allocation workload).
     EventsOnly,
+    /// Bursty deep-leaf churn: alternating bursts of `burst` operations that
+    /// first grow the deepest frontier (leaves attached at maximal-depth
+    /// nodes), then tear it down again (removals of maximal-depth leaves).
+    /// The adversarial pattern for permit travel: every burst happens as far
+    /// from the root as the tree currently reaches, and the depth keeps
+    /// ratcheting because a growth burst deepens the frontier faster than the
+    /// next removal burst can strip it.
+    BurstyDeepLeaf {
+        /// Operations per burst (clamped to at least 1).
+        burst: u8,
+    },
 }
 
 impl ChurnModel {
@@ -127,6 +138,8 @@ impl ChurnModel {
 pub struct ChurnGenerator {
     model: ChurnModel,
     rng: DetRng,
+    /// Operations generated so far; drives the phase of the bursty models.
+    ticks: u64,
 }
 
 impl ChurnGenerator {
@@ -135,6 +148,7 @@ impl ChurnGenerator {
         ChurnGenerator {
             model,
             rng: DetRng::seed_from_u64(seed),
+            ticks: 0,
         }
     }
 
@@ -147,6 +161,8 @@ impl ChurnGenerator {
     /// only if no applicable operation exists (e.g. a removal was drawn but
     /// the tree has only the root — callers may simply retry).
     pub fn next_op(&mut self, tree: &DynamicTree) -> Option<ChurnOp> {
+        let tick = self.ticks;
+        self.ticks += 1;
         match self.model {
             ChurnModel::GrowOnly => {
                 let parent = random_node(tree, &mut self.rng, false)?;
@@ -190,6 +206,30 @@ impl ChurnGenerator {
                 } else {
                     let at = random_node(tree, &mut self.rng, false)?;
                     Some(ChurnOp::Event { at })
+                }
+            }
+            ChurnModel::BurstyDeepLeaf { burst } => {
+                let burst = u64::from(burst.max(1));
+                let growing = (tick / burst) % 2 == 0;
+                let max_depth = tree.nodes().map(|n| tree.depth(n)).max().unwrap_or(0);
+                if growing || max_depth == 0 {
+                    // Growth burst: attach a leaf at a maximal-depth node.
+                    let frontier: Vec<NodeId> = tree
+                        .nodes()
+                        .filter(|&n| tree.depth(n) == max_depth)
+                        .collect();
+                    let parent = *pick(&mut self.rng, &frontier)?;
+                    Some(ChurnOp::AddLeaf { parent })
+                } else {
+                    // Removal burst: strip a maximal-depth leaf (maximal-depth
+                    // nodes are always leaves, and depth > 0 excludes the
+                    // root).
+                    let deepest_leaves: Vec<NodeId> = tree
+                        .nodes()
+                        .filter(|&n| tree.depth(n) == max_depth)
+                        .collect();
+                    let node = *pick(&mut self.rng, &deepest_leaves)?;
+                    Some(ChurnOp::Remove { node })
                 }
             }
         }
@@ -275,6 +315,61 @@ mod tests {
                 assert!(tree.is_leaf(node).unwrap());
             }
         }
+    }
+
+    #[test]
+    fn bursty_deep_leaf_alternates_deep_growth_and_deep_removal() {
+        let mut tree = build_tree(TreeShape::Spider {
+            legs: 3,
+            leg_length: 4,
+        });
+        let mut gen = ChurnGenerator::new(ChurnModel::BurstyDeepLeaf { burst: 5 }, 8);
+        let mut saw_add = 0usize;
+        let mut saw_remove = 0usize;
+        for i in 0..40 {
+            let max_depth = tree.nodes().map(|n| tree.depth(n)).max().unwrap();
+            let op = gen.next_op(&tree).unwrap();
+            let growing = (i / 5) % 2 == 0;
+            match op {
+                ChurnOp::AddLeaf { parent } => {
+                    assert!(growing, "op {i}: add outside a growth burst");
+                    assert_eq!(tree.depth(parent), max_depth, "op {i}: not deepest");
+                    tree.add_leaf(parent).unwrap();
+                    saw_add += 1;
+                }
+                ChurnOp::Remove { node } => {
+                    assert!(!growing, "op {i}: removal outside a removal burst");
+                    assert_eq!(tree.depth(node), max_depth, "op {i}: not deepest");
+                    assert!(tree.is_leaf(node).unwrap(), "op {i}: deepest is a leaf");
+                    tree.remove_leaf(node).unwrap();
+                    saw_remove += 1;
+                }
+                other => panic!("op {i}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(saw_add, 20);
+        assert_eq!(saw_remove, 20);
+    }
+
+    #[test]
+    fn bursty_deep_leaf_never_strands_a_root_only_tree() {
+        // Degenerate start: only the root. Removal bursts must fall back to
+        // growth instead of returning None forever.
+        let mut tree = DynamicTree::new();
+        let mut gen = ChurnGenerator::new(ChurnModel::BurstyDeepLeaf { burst: 1 }, 3);
+        for _ in 0..20 {
+            let op = gen.next_op(&tree).unwrap();
+            match op {
+                ChurnOp::AddLeaf { parent } => {
+                    tree.add_leaf(parent).unwrap();
+                }
+                ChurnOp::Remove { node } => {
+                    tree.remove_leaf(node).unwrap();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(tree.node_count() >= 1);
     }
 
     #[test]

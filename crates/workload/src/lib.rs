@@ -22,6 +22,12 @@
 //! centralized and distributed controllers as well as the baselines — and
 //! returns a uniform [`RunReport`], so the experiment harness compares
 //! families row by row without per-family loops.
+//!
+//! Above the runner sits the [`SweepEngine`]: a declarative [`SweepGrid`]
+//! (families × shapes × churn × placement × budgets × replicates) expanded
+//! into deterministically-seeded cells, executed over a worker-thread pool,
+//! and aggregated into a [`SweepReport`] whose CSV/JSON output is
+//! byte-identical regardless of the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +38,7 @@ mod placement;
 mod runner;
 mod scenario;
 mod shape;
+mod sweep;
 
 pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
 pub use json::quote as json_quote;
@@ -39,6 +46,10 @@ pub use placement::Placement;
 pub use runner::{RunReport, ScenarioRunner};
 pub use scenario::Scenario;
 pub use shape::{build_tree, TreeShape};
+pub use sweep::{
+    churn_label, placement_label, shape_label, CellResult, ControllerFactory, FamilySummary,
+    MwBudget, SweepCell, SweepEngine, SweepGrid, SweepReport,
+};
 
 pub use dcn_controller::{Controller, RequestKind};
 pub use dcn_tree::{DynamicTree, NodeId};

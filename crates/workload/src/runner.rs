@@ -50,10 +50,17 @@ pub struct RunReport {
     pub peak_node_memory_bits: u64,
     /// Network size when the run finished.
     pub final_nodes: usize,
+    /// Largest child-degree in the final tree (the `deg(v)` input of the
+    /// Claim 4.8 memory bound, measured where the memory was measured).
+    pub final_max_degree: usize,
 }
 
 impl RunReport {
     /// The execution summary used by the §2.2 safety/liveness checkers.
+    ///
+    /// `unanswered` saturates at 0; use [`RunReport::check`], which reports
+    /// an over-count (`granted + rejected > submitted`) as a hard
+    /// [`Violation::OverAnswered`] instead of letting the saturation hide it.
     pub fn summary(&self) -> ExecutionSummary {
         ExecutionSummary {
             m: self.m,
@@ -68,8 +75,20 @@ impl RunReport {
     ///
     /// # Errors
     ///
-    /// Returns the first violated condition.
+    /// Returns the first violated condition. On top of the §2.2 conditions,
+    /// a run that *over*-answers — more grants plus rejects than requests
+    /// submitted, i.e. a controller double-answered or a driver lost count —
+    /// fails with [`Violation::OverAnswered`] rather than being silently
+    /// clamped to `unanswered = 0`.
     pub fn check(&self) -> Result<(), Violation> {
+        let answered = self.granted.saturating_add(self.rejected);
+        if answered > self.submitted {
+            return Err(Violation::OverAnswered {
+                granted: self.granted,
+                rejected: self.rejected,
+                submitted: self.submitted,
+            });
+        }
         self.summary().check()
     }
 }
@@ -229,6 +248,12 @@ impl ScenarioRunner {
             messages: metrics.messages,
             peak_node_memory_bits: metrics.peak_node_memory_bits,
             final_nodes: ctrl.tree().node_count(),
+            final_max_degree: ctrl
+                .tree()
+                .nodes()
+                .map(|v| ctrl.tree().child_degree(v).unwrap_or(0))
+                .max()
+                .unwrap_or(0),
         })
     }
 }
@@ -294,6 +319,31 @@ mod tests {
         assert_eq!(reports[0], reports[1], "runs must be reproducible");
         assert!(reports[0].messages > 0);
         reports[0].check().unwrap();
+    }
+
+    #[test]
+    fn over_answering_is_a_hard_violation_not_a_silent_clamp() {
+        let runner = ScenarioRunner::new(scenario(30, 20, 5, 11));
+        let mut ctrl =
+            IteratedController::new(runner.initial_tree(), 20, 5, runner.suggested_u_bound())
+                .unwrap();
+        let mut report = runner.run(&mut ctrl).unwrap();
+        report.check().unwrap();
+        // Forge the double-answer bug the check is for: more answers than
+        // submissions used to clamp `unanswered` to 0 and pass.
+        report.granted = report.submitted;
+        report.rejected = 1;
+        assert!(
+            matches!(
+                report.check(),
+                Err(dcn_controller::verify::Violation::OverAnswered { rejected: 1, .. })
+            ),
+            "got {:?}",
+            report.check()
+        );
+        // The summary itself still saturates (documented), which is exactly
+        // why check() must look at the raw counters.
+        assert_eq!(report.summary().unanswered, 0);
     }
 
     #[test]

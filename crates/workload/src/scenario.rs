@@ -121,6 +121,12 @@ fn shape_to_json(shape: TreeShape) -> String {
         TreeShape::Caterpillar { spine, legs } => {
             format!(r#"{{"type": "caterpillar", "spine": {spine}, "legs": {legs}}}"#)
         }
+        TreeShape::PreferentialAttachment { nodes, seed } => {
+            format!(r#"{{"type": "preferential-attachment", "nodes": {nodes}, "seed": {seed}}}"#)
+        }
+        TreeShape::Spider { legs, leg_length } => {
+            format!(r#"{{"type": "spider", "legs": {legs}, "leg_length": {leg_length}}}"#)
+        }
     }
 }
 
@@ -144,6 +150,14 @@ fn shape_from_json(v: &Value) -> Result<TreeShape, String> {
             spine: v.get("spine")?.as_usize()?,
             legs: v.get("legs")?.as_usize()?,
         }),
+        "preferential-attachment" => Ok(TreeShape::PreferentialAttachment {
+            nodes: v.get("nodes")?.as_usize()?,
+            seed: v.get("seed")?.as_u64()?,
+        }),
+        "spider" => Ok(TreeShape::Spider {
+            legs: v.get("legs")?.as_usize()?,
+            leg_length: v.get("leg_length")?.as_usize()?,
+        }),
         other => Err(format!("unknown tree shape {other:?}")),
     }
 }
@@ -162,6 +176,9 @@ fn churn_to_json(churn: ChurnModel) -> String {
         } => format!(
             r#"{{"type": "full-churn", "add_leaf": {add_leaf}, "add_internal": {add_internal}, "remove": {remove}}}"#
         ),
+        ChurnModel::BurstyDeepLeaf { burst } => {
+            format!(r#"{{"type": "bursty-deep-leaf", "burst": {burst}}}"#)
+        }
     }
 }
 
@@ -176,6 +193,9 @@ fn churn_from_json(v: &Value) -> Result<ChurnModel, String> {
             add_leaf: v.get("add_leaf")?.as_u8()?,
             add_internal: v.get("add_internal")?.as_u8()?,
             remove: v.get("remove")?.as_u8()?,
+        }),
+        "bursty-deep-leaf" => Ok(ChurnModel::BurstyDeepLeaf {
+            burst: v.get("burst")?.as_u8()?,
         }),
         other => Err(format!("unknown churn model {other:?}")),
     }
@@ -226,12 +246,18 @@ mod tests {
             TreeShape::Balanced { nodes: 7, arity: 3 },
             TreeShape::RandomRecursive { nodes: 8, seed: 9 },
             TreeShape::Caterpillar { spine: 2, legs: 3 },
+            TreeShape::PreferentialAttachment { nodes: 9, seed: 2 },
+            TreeShape::Spider {
+                legs: 2,
+                leg_length: 4,
+            },
         ];
         let churns = [
             ChurnModel::GrowOnly,
             ChurnModel::EventsOnly,
             ChurnModel::LeafChurn { insert_percent: 70 },
             ChurnModel::default_mixed(),
+            ChurnModel::BurstyDeepLeaf { burst: 6 },
         ];
         let placements = [
             Placement::Uniform,

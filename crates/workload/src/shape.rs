@@ -45,6 +45,26 @@ pub enum TreeShape {
         /// Leaves per spine node.
         legs: usize,
     },
+    /// Degree-biased random attachment (Barabási–Albert-style): each new node
+    /// picks a parent with probability proportional to `1 + child-degree`.
+    /// Produces the hub-dominated skewed-degree trees typical of real
+    /// overlays — shallower than random recursive but with a few very wide
+    /// nodes.
+    PreferentialAttachment {
+        /// Number of non-root nodes.
+        nodes: usize,
+        /// Seed for the attachment choices.
+        seed: u64,
+    },
+    /// A "spider": `legs` disjoint paths of `leg_length` nodes hanging off the
+    /// root — maximal depth in several independent directions at once, the
+    /// multi-branch analogue of [`TreeShape::Path`].
+    Spider {
+        /// Number of paths hanging off the root.
+        legs: usize,
+        /// Nodes per path.
+        leg_length: usize,
+    },
 }
 
 impl TreeShape {
@@ -54,8 +74,10 @@ impl TreeShape {
             TreeShape::Path { nodes }
             | TreeShape::Star { nodes }
             | TreeShape::Balanced { nodes, .. }
-            | TreeShape::RandomRecursive { nodes, .. } => nodes,
+            | TreeShape::RandomRecursive { nodes, .. }
+            | TreeShape::PreferentialAttachment { nodes, .. } => nodes,
             TreeShape::Caterpillar { spine, legs } => spine * (legs + 1),
+            TreeShape::Spider { legs, leg_length } => legs * leg_length,
         }
     }
 }
@@ -115,6 +137,32 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             tree.clear_change_log();
             tree
         }
+        TreeShape::PreferentialAttachment { nodes, seed } => {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let mut tree = DynamicTree::new();
+            // Each node appears once plus once per child, so a uniform draw
+            // from this list is a draw proportional to `1 + child-degree`.
+            let mut endpoints: Vec<NodeId> = vec![tree.root()];
+            for _ in 0..nodes {
+                let parent = *endpoints.choose(&mut rng).expect("non-empty");
+                let child = tree.add_leaf(parent).expect("parent exists");
+                endpoints.push(parent);
+                endpoints.push(child);
+            }
+            tree.clear_change_log();
+            tree
+        }
+        TreeShape::Spider { legs, leg_length } => {
+            let mut tree = DynamicTree::new();
+            for _ in 0..legs {
+                let mut cur = tree.root();
+                for _ in 0..leg_length {
+                    cur = tree.add_leaf(cur).expect("node exists");
+                }
+            }
+            tree.clear_change_log();
+            tree
+        }
     }
 }
 
@@ -146,6 +194,11 @@ mod tests {
             },
             TreeShape::RandomRecursive { nodes: 17, seed: 5 },
             TreeShape::Caterpillar { spine: 4, legs: 3 },
+            TreeShape::PreferentialAttachment { nodes: 17, seed: 5 },
+            TreeShape::Spider {
+                legs: 3,
+                leg_length: 6,
+            },
         ];
         for shape in shapes {
             let tree = build_tree(shape);
@@ -191,5 +244,33 @@ mod tests {
             TreeShape::Caterpillar { spine: 4, legs: 3 }.node_budget(),
             16
         );
+    }
+
+    #[test]
+    fn preferential_attachment_skews_degrees_and_is_reproducible() {
+        let shape = TreeShape::PreferentialAttachment {
+            nodes: 200,
+            seed: 11,
+        };
+        let a = build_tree(shape);
+        let b = build_tree(shape);
+        let parents = |t: &DynamicTree| t.nodes().map(|n| t.parent(n)).collect::<Vec<_>>();
+        assert_eq!(parents(&a), parents(&b));
+        // Degree-biased attachment produces hubs far wider than uniform
+        // attachment does on average (200 nodes / max uniform degree ≈ 8).
+        let max_deg = a.nodes().map(|n| a.child_degree(n).unwrap()).max().unwrap();
+        assert!(max_deg >= 12, "max degree {max_deg} not hub-like");
+    }
+
+    #[test]
+    fn spider_has_leg_count_many_maximal_paths() {
+        let tree = build_tree(TreeShape::Spider {
+            legs: 4,
+            leg_length: 7,
+        });
+        assert_eq!(tree.node_count(), 29);
+        assert_eq!(tree.child_degree(tree.root()).unwrap(), 4);
+        let deepest = tree.nodes().filter(|&n| tree.depth(n) == 7).count();
+        assert_eq!(deepest, 4, "each leg ends at depth 7");
     }
 }

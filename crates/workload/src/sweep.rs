@@ -1,0 +1,766 @@
+//! The [`SweepEngine`]: parallel execution of declarative scenario grids.
+//!
+//! The paper's claims are *comparative* — the (M, W)-controller beats the
+//! baselines on moves, messages and memory across network shapes and churn
+//! patterns — so the experiments' real substrate is not one hand-picked
+//! scenario but a **grid**: controller families × tree shapes × churn models
+//! × placement distributions × (M, W) budgets × seed replicates. A
+//! [`SweepGrid`] describes such a grid declaratively; the [`SweepEngine`]
+//! expands it into [`SweepCell`]s, fans the cells out over a `std::thread`
+//! worker pool, and aggregates the per-cell [`RunReport`]s into a
+//! [`SweepReport`] with CSV/JSON emitters and per-family summary rows.
+//!
+//! Two properties are load-bearing for everything built on top:
+//!
+//! * **Determinism under parallelism.** Every cell's scenario seed is a pure
+//!   SplitMix64 function of the grid's base seed and the cell's coordinates,
+//!   computed *before* any thread runs, and results are reassembled in cell
+//!   order — so the emitted CSV/JSON is byte-identical whether the grid runs
+//!   on 1 worker or 16.
+//! * **Family comparability.** The derived seed deliberately excludes the
+//!   family axis: every family meets the *same* workload stream in the
+//!   corresponding cell, so rows compare request-for-request (the T4
+//!   methodology, applied grid-wide).
+
+use crate::churn::ChurnModel;
+use crate::placement::Placement;
+use crate::runner::{RunReport, ScenarioRunner};
+use crate::scenario::Scenario;
+use crate::shape::TreeShape;
+use dcn_controller::Controller;
+use dcn_rng::split_mix64;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An `(M, W)` budget point of a sweep grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MwBudget {
+    /// The permit budget `M`.
+    pub m: u64,
+    /// The waste bound `W`.
+    pub w: u64,
+}
+
+/// A declarative scenario grid: the cross product of every axis.
+///
+/// Expansion order is fixed (family outermost, then shape, churn, placement,
+/// budget, replicate), so cell indices — and with them the derived seeds and
+/// the emitted row order — are stable for a given grid description.
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    /// Grid name (prefixes every scenario name).
+    pub name: String,
+    /// Controller family names, resolved by the factory passed to
+    /// [`SweepEngine::run`] (the harness crate maps them to concrete
+    /// controllers; `dcn-workload` itself stays family-agnostic).
+    pub families: Vec<String>,
+    /// Initial tree shapes.
+    pub shapes: Vec<TreeShape>,
+    /// Churn models.
+    pub churns: Vec<ChurnModel>,
+    /// Placement distributions for non-topological requests.
+    pub placements: Vec<Placement>,
+    /// `(M, W)` budget points.
+    pub budgets: Vec<MwBudget>,
+    /// Requests submitted per cell.
+    pub requests: usize,
+    /// Number of seed replicates per scenario point.
+    pub replicates: usize,
+    /// Base seed every per-cell seed is derived from.
+    pub base_seed: u64,
+}
+
+impl SweepGrid {
+    /// Number of cells the grid expands to.
+    pub fn cell_count(&self) -> usize {
+        self.families.len()
+            * self.shapes.len()
+            * self.churns.len()
+            * self.placements.len()
+            * self.budgets.len()
+            * self.replicates.max(1)
+    }
+
+    /// Expands the grid into its cells, deriving each cell's scenario seed
+    /// via SplitMix64 from the base seed and the cell's *scenario*
+    /// coordinates (excluding the family axis, so that every family sees the
+    /// identical workload stream for the same scenario point).
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let replicates = self.replicates.max(1);
+        let mut index = 0usize;
+        for family in &self.families {
+            // The scenario-point index restarts per family: equal for the
+            // same (shape, churn, placement, budget, replicate) across
+            // families, which is what makes the derived seed family-blind.
+            let mut point = 0u64;
+            for &shape in &self.shapes {
+                for &churn in &self.churns {
+                    for &placement in &self.placements {
+                        for &budget in &self.budgets {
+                            for replicate in 0..replicates {
+                                let seed = split_mix64(
+                                    split_mix64(self.base_seed ^ split_mix64(point))
+                                        ^ replicate as u64,
+                                );
+                                let scenario = Scenario {
+                                    name: format!(
+                                        "{}-{}-{}-{}-m{}w{}-r{replicate}",
+                                        self.name,
+                                        shape_label(&shape),
+                                        churn_label(&churn),
+                                        placement_label(&placement),
+                                        budget.m,
+                                        budget.w,
+                                    ),
+                                    shape,
+                                    churn,
+                                    placement,
+                                    requests: self.requests,
+                                    m: budget.m,
+                                    w: budget.w,
+                                    seed,
+                                };
+                                cells.push(SweepCell {
+                                    index,
+                                    family: family.clone(),
+                                    scenario,
+                                });
+                                index += 1;
+                                point += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One cell of an expanded grid: a family driven through one seeded scenario.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Position in the grid's expansion order (also the output row order).
+    pub index: usize,
+    /// Controller family name (resolved by the factory).
+    pub family: String,
+    /// The fully-specified scenario, including the derived seed.
+    pub scenario: Scenario,
+}
+
+/// The result of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell that was executed.
+    pub cell: SweepCell,
+    /// The run's report, or a description of why it could not run (factory
+    /// rejection or runner error).
+    pub report: Result<RunReport, String>,
+    /// The first violated §2.2 correctness condition, if any (also set for
+    /// accounting violations such as over-answering).
+    pub violation: Option<String>,
+}
+
+/// Aggregated outcome of a sweep: cells in grid order plus per-family
+/// summaries.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The grid name.
+    pub grid: String,
+    /// All cell results, sorted by cell index.
+    pub cells: Vec<CellResult>,
+}
+
+/// Per-family aggregate over the executed cells of a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilySummary {
+    /// The controller family.
+    pub family: String,
+    /// Cells attempted for this family.
+    pub cells: usize,
+    /// Cells that failed to build or run.
+    pub errors: usize,
+    /// Cells whose report violated a correctness condition.
+    pub violations: usize,
+    /// Median permit/package moves.
+    pub p50_moves: u64,
+    /// 95th-percentile permit/package moves.
+    pub p95_moves: u64,
+    /// Median messages.
+    pub p50_messages: u64,
+    /// 95th-percentile messages.
+    pub p95_messages: u64,
+    /// Median peak per-node memory, in bits.
+    pub p50_memory_bits: u64,
+    /// 95th-percentile peak per-node memory, in bits.
+    pub p95_memory_bits: u64,
+}
+
+/// Builds a controller of the named family over a scenario.
+///
+/// The engine deliberately takes the factory as a parameter: `dcn-workload`
+/// knows the [`Controller`] trait but not the concrete families, which live
+/// above it (`dcn-controller`'s implementations, `dcn-baseline`, and whatever
+/// future backends are plugged in). Errors are reported per cell, not
+/// propagated — one invalid parameter combination must not sink a 1000-cell
+/// sweep.
+pub type ControllerFactory<'a> =
+    dyn Fn(&str, &Scenario) -> Result<Box<dyn Controller>, String> + Sync + 'a;
+
+/// The parallel sweep executor.
+///
+/// ```
+/// use dcn_controller::centralized::IteratedController;
+/// use dcn_workload::{
+///     ChurnModel, MwBudget, Placement, ScenarioRunner, SweepEngine, SweepGrid, TreeShape,
+/// };
+///
+/// let grid = SweepGrid {
+///     name: "doc".to_string(),
+///     families: vec!["iterated".to_string()],
+///     shapes: vec![TreeShape::Star { nodes: 12 }],
+///     churns: vec![ChurnModel::default_mixed()],
+///     placements: vec![Placement::Uniform],
+///     budgets: vec![MwBudget { m: 32, w: 8 }],
+///     requests: 24,
+///     replicates: 2,
+///     base_seed: 7,
+/// };
+/// let report = SweepEngine::new(2).run(&grid, &|family, scenario| {
+///     assert_eq!(family, "iterated");
+///     let runner = ScenarioRunner::new(scenario.clone());
+///     IteratedController::new(
+///         runner.initial_tree(),
+///         scenario.m,
+///         scenario.w,
+///         runner.suggested_u_bound(),
+///     )
+///     .map(|c| Box::new(c) as Box<dyn dcn_workload::Controller>)
+///     .map_err(|e| e.to_string())
+/// });
+/// assert_eq!(report.cells.len(), 2);
+/// assert!(report.cells.iter().all(|c| c.violation.is_none()));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SweepEngine {
+    workers: usize,
+}
+
+impl SweepEngine {
+    /// Creates an engine with the given worker-thread count (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        SweepEngine {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Expands `grid` and runs every cell, building each cell's controller
+    /// through `factory`.
+    pub fn run(&self, grid: &SweepGrid, factory: &ControllerFactory<'_>) -> SweepReport {
+        self.run_cells(grid.name.clone(), grid.cells(), factory)
+    }
+
+    /// Runs an explicit cell list (the lower-level entry point for harness
+    /// binaries whose sweeps tie parameters together in ways a plain cross
+    /// product cannot express, e.g. `M` growing with the tree size).
+    ///
+    /// Cells are distributed over the worker pool via an atomic cursor;
+    /// results are reassembled in cell-index order, so the report — and any
+    /// CSV/JSON derived from it — is independent of scheduling.
+    pub fn run_cells(
+        &self,
+        grid_name: String,
+        cells: Vec<SweepCell>,
+        factory: &ControllerFactory<'_>,
+    ) -> SweepReport {
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(cells.len()).max(1);
+        let mut results: Vec<Option<CellResult>> = vec![None; cells.len()];
+        let mut collected: Vec<Vec<(usize, CellResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let cells = &cells;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = cells.get(i) else { break };
+                            mine.push((i, run_cell(cell, factory)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        for (i, result) in collected.drain(..).flatten() {
+            results[i] = Some(result);
+        }
+        SweepReport {
+            grid: grid_name,
+            cells: results
+                .into_iter()
+                .map(|r| r.expect("every cell executed"))
+                .collect(),
+        }
+    }
+}
+
+/// Executes one cell: build the controller, drive the scenario, check the
+/// §2.2 conditions.
+fn run_cell(cell: &SweepCell, factory: &ControllerFactory<'_>) -> CellResult {
+    let runner = ScenarioRunner::new(cell.scenario.clone());
+    let report = factory(&cell.family, &cell.scenario)
+        .and_then(|mut ctrl| runner.run(ctrl.as_mut()).map_err(|e| e.to_string()));
+    let violation = report
+        .as_ref()
+        .ok()
+        .and_then(|r| r.check().err())
+        .map(|v| v.to_string());
+    CellResult {
+        cell: cell.clone(),
+        report,
+        violation,
+    }
+}
+
+impl SweepReport {
+    /// Number of cells that failed to build or run.
+    pub fn error_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.report.is_err()).count()
+    }
+
+    /// Number of cells whose report violated a correctness condition.
+    pub fn violation_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.violation.is_some()).count()
+    }
+
+    /// Per-family summaries (p50/p95 of moves, messages and peak memory over
+    /// the cells that produced a report), in first-appearance order.
+    pub fn summaries(&self) -> Vec<FamilySummary> {
+        let mut order: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !order.contains(&cell.cell.family.as_str()) {
+                order.push(&cell.cell.family);
+            }
+        }
+        order
+            .into_iter()
+            .map(|family| {
+                let reports: Vec<&RunReport> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.cell.family == family)
+                    .filter_map(|c| c.report.as_ref().ok())
+                    .collect();
+                let attempted = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.cell.family == family)
+                    .count();
+                let violations = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.cell.family == family && c.violation.is_some())
+                    .count();
+                let (p50_moves, p95_moves) = percentiles(reports.iter().map(|r| r.moves));
+                let (p50_messages, p95_messages) = percentiles(reports.iter().map(|r| r.messages));
+                let (p50_memory_bits, p95_memory_bits) =
+                    percentiles(reports.iter().map(|r| r.peak_node_memory_bits));
+                FamilySummary {
+                    family: family.to_string(),
+                    cells: attempted,
+                    errors: attempted - reports.len(),
+                    violations,
+                    p50_moves,
+                    p95_moves,
+                    p50_messages,
+                    p95_messages,
+                    p50_memory_bits,
+                    p95_memory_bits,
+                }
+            })
+            .collect()
+    }
+
+    /// The full report as CSV: a header line, one row per cell in grid
+    /// order, a blank line, then the per-family summary rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "cell,family,scenario,shape,churn,placement,m,w,requests,seed,status,\
+             submitted,refused,dropped,granted,rejected,wasted,moves,messages,\
+             peak_memory_bits,final_nodes,final_max_degree\n",
+        );
+        for c in &self.cells {
+            let s = &c.cell.scenario;
+            // Error/violation messages are free text; keep the row's column
+            // count intact no matter what they contain.
+            let status = cell_status(c).replace(',', ";").replace('\n', " ");
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                c.cell.index,
+                c.cell.family,
+                s.name,
+                shape_label(&s.shape),
+                churn_label(&s.churn),
+                placement_label(&s.placement),
+                s.m,
+                s.w,
+                s.requests,
+                s.seed,
+                status,
+            );
+            match &c.report {
+                Ok(r) => {
+                    let _ = writeln!(
+                        out,
+                        ",{},{},{},{},{},{},{},{},{},{},{}",
+                        r.submitted,
+                        r.refused,
+                        r.dropped,
+                        r.granted,
+                        r.rejected,
+                        r.wasted,
+                        r.moves,
+                        r.messages,
+                        r.peak_node_memory_bits,
+                        r.final_nodes,
+                        r.final_max_degree,
+                    );
+                }
+                Err(_) => {
+                    out.push_str(",,,,,,,,,,,\n");
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(
+            "family,cells,errors,violations,p50_moves,p95_moves,p50_messages,\
+             p95_messages,p50_memory_bits,p95_memory_bits\n",
+        );
+        for s in self.summaries() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                s.family,
+                s.cells,
+                s.errors,
+                s.violations,
+                s.p50_moves,
+                s.p95_moves,
+                s.p50_messages,
+                s.p95_messages,
+                s.p50_memory_bits,
+                s.p95_memory_bits,
+            );
+        }
+        out
+    }
+
+    /// The full report as a single JSON document (hand-rolled like the rest
+    /// of the workspace; string escaping via [`crate::json_quote`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"{{"grid": {}, "cells": ["#,
+            crate::json::quote(&self.grid)
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                r#"{{"cell": {}, "family": {}, "scenario": {}, "status": {}, "report": "#,
+                c.cell.index,
+                crate::json::quote(&c.cell.family),
+                c.cell.scenario.to_json(),
+                crate::json::quote(&cell_status(c)),
+            );
+            match &c.report {
+                Ok(r) => {
+                    let _ = write!(
+                        out,
+                        r#"{{"submitted": {}, "refused": {}, "dropped": {}, "granted": {}, "rejected": {}, "wasted": {}, "moves": {}, "messages": {}, "peak_memory_bits": {}, "final_nodes": {}, "final_max_degree": {}}}"#,
+                        r.submitted,
+                        r.refused,
+                        r.dropped,
+                        r.granted,
+                        r.rejected,
+                        r.wasted,
+                        r.moves,
+                        r.messages,
+                        r.peak_node_memory_bits,
+                        r.final_nodes,
+                        r.final_max_degree,
+                    );
+                }
+                Err(_) => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str(r#"], "summary": ["#);
+        for (i, s) in self.summaries().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                r#"{{"family": {}, "cells": {}, "errors": {}, "violations": {}, "p50_moves": {}, "p95_moves": {}, "p50_messages": {}, "p95_messages": {}, "p50_memory_bits": {}, "p95_memory_bits": {}}}"#,
+                crate::json::quote(&s.family),
+                s.cells,
+                s.errors,
+                s.violations,
+                s.p50_moves,
+                s.p95_moves,
+                s.p50_messages,
+                s.p95_messages,
+                s.p50_memory_bits,
+                s.p95_memory_bits,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn cell_status(c: &CellResult) -> String {
+    match (&c.report, &c.violation) {
+        (Err(e), _) => format!("error: {e}"),
+        (Ok(_), Some(v)) => format!("violation: {v}"),
+        (Ok(_), None) => "ok".to_string(),
+    }
+}
+
+/// Nearest-rank p50/p95 of a value stream (0 for an empty stream).
+fn percentiles(values: impl Iterator<Item = u64>) -> (u64, u64) {
+    let mut sorted: Vec<u64> = values.collect();
+    if sorted.is_empty() {
+        return (0, 0);
+    }
+    sorted.sort_unstable();
+    let rank = |q: usize| sorted[(q * sorted.len()).div_ceil(100).clamp(1, sorted.len()) - 1];
+    (rank(50), rank(95))
+}
+
+/// A short, comma-free label for a shape (used in scenario names and CSV).
+pub fn shape_label(shape: &TreeShape) -> String {
+    match *shape {
+        TreeShape::Path { nodes } => format!("path{nodes}"),
+        TreeShape::Star { nodes } => format!("star{nodes}"),
+        TreeShape::Balanced { nodes, arity } => format!("bal{nodes}x{arity}"),
+        TreeShape::RandomRecursive { nodes, seed } => format!("rrt{nodes}s{seed}"),
+        TreeShape::Caterpillar { spine, legs } => format!("cat{spine}x{legs}"),
+        TreeShape::PreferentialAttachment { nodes, seed } => format!("pa{nodes}s{seed}"),
+        TreeShape::Spider { legs, leg_length } => format!("spider{legs}x{leg_length}"),
+    }
+}
+
+/// A short, comma-free label for a churn model.
+pub fn churn_label(churn: &ChurnModel) -> String {
+    match *churn {
+        ChurnModel::GrowOnly => "grow".to_string(),
+        ChurnModel::EventsOnly => "events".to_string(),
+        ChurnModel::LeafChurn { insert_percent } => format!("leaf{insert_percent}"),
+        ChurnModel::FullChurn {
+            add_leaf,
+            add_internal,
+            remove,
+        } => format!("full{add_leaf}-{add_internal}-{remove}"),
+        ChurnModel::BurstyDeepLeaf { burst } => format!("bursty{burst}"),
+    }
+}
+
+/// A short, comma-free label for a placement distribution.
+pub fn placement_label(placement: &Placement) -> String {
+    match *placement {
+        Placement::Uniform => "uniform".to_string(),
+        Placement::Deepest => "deepest".to_string(),
+        Placement::Leaves => "leaves".to_string(),
+        Placement::Skewed {
+            hot_set,
+            hot_percent,
+        } => format!("skew{hot_set}-{hot_percent}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_controller::centralized::IteratedController;
+
+    fn iterated_factory(family: &str, scenario: &Scenario) -> Result<Box<dyn Controller>, String> {
+        if family != "iterated" {
+            return Err(format!("unknown family {family:?}"));
+        }
+        let runner = ScenarioRunner::new(scenario.clone());
+        IteratedController::new(
+            runner.initial_tree(),
+            scenario.m,
+            scenario.w,
+            runner.suggested_u_bound(),
+        )
+        .map(|c| Box::new(c) as Box<dyn Controller>)
+        .map_err(|e| e.to_string())
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid {
+            name: "unit".to_string(),
+            families: vec!["iterated".to_string()],
+            shapes: vec![TreeShape::Star { nodes: 10 }, TreeShape::Path { nodes: 10 }],
+            churns: vec![ChurnModel::default_mixed(), ChurnModel::GrowOnly],
+            placements: vec![Placement::Uniform],
+            budgets: vec![MwBudget { m: 24, w: 6 }],
+            requests: 16,
+            replicates: 2,
+            base_seed: 99,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_stable_and_counts_match() {
+        let grid = small_grid();
+        assert_eq!(grid.cell_count(), 8);
+        let a = grid.cells();
+        let b = grid.cells();
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.scenario, y.scenario);
+        }
+        // Indices are the positions.
+        for (i, c) in a.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn per_cell_seeds_ignore_the_family_axis() {
+        let mut grid = small_grid();
+        grid.families = vec!["iterated".to_string(), "other".to_string()];
+        let cells = grid.cells();
+        let half = cells.len() / 2;
+        for i in 0..half {
+            assert_eq!(
+                cells[i].scenario.seed,
+                cells[half + i].scenario.seed,
+                "family must not change the workload stream"
+            );
+        }
+        // But distinct scenario points get distinct seeds.
+        let mut seeds: Vec<u64> = cells[..half].iter().map(|c| c.scenario.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), half);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_emit_identical_reports() {
+        let grid = small_grid();
+        let serial = SweepEngine::new(1).run(&grid, &iterated_factory);
+        let parallel = SweepEngine::new(4).run(&grid, &iterated_factory);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.error_count(), 0);
+        assert_eq!(serial.violation_count(), 0);
+    }
+
+    #[test]
+    fn factory_errors_are_reported_per_cell_not_propagated() {
+        let mut grid = small_grid();
+        grid.families = vec!["iterated".to_string(), "bogus".to_string()];
+        let report = SweepEngine::new(2).run(&grid, &iterated_factory);
+        assert_eq!(report.cells.len(), 16);
+        assert_eq!(report.error_count(), 8);
+        let summaries = report.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[1].family, "bogus");
+        assert_eq!(summaries[1].errors, 8);
+        assert_eq!(summaries[1].p50_moves, 0);
+        // Errored cells keep their row (with an empty report tail) so cell
+        // indices stay aligned across emitters.
+        assert!(report.to_csv().contains("error: unknown family"));
+        assert!(report.to_json().contains(r#""report": null"#));
+    }
+
+    #[test]
+    fn summaries_compute_nearest_rank_percentiles() {
+        assert_eq!(percentiles([].into_iter()), (0, 0));
+        assert_eq!(percentiles([7].into_iter()), (7, 7));
+        let (p50, p95) = percentiles((1..=100).rev());
+        assert_eq!(p50, 50);
+        assert_eq!(p95, 95);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_headers_and_summary() {
+        let grid = small_grid();
+        let report = SweepEngine::new(2).run(&grid, &iterated_factory);
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // header + 8 cells + blank + summary header + 1 family.
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].starts_with("cell,family,"));
+        assert!(lines[10].starts_with("family,cells,"));
+        // No stray commas from labels: every cell row has the same arity.
+        let arity = lines[0].matches(',').count();
+        for row in &lines[1..9] {
+            assert_eq!(row.matches(',').count(), arity, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_comma_free_for_every_variant() {
+        let shapes = [
+            TreeShape::Path { nodes: 1 },
+            TreeShape::Star { nodes: 2 },
+            TreeShape::Balanced { nodes: 3, arity: 2 },
+            TreeShape::RandomRecursive { nodes: 4, seed: 5 },
+            TreeShape::Caterpillar { spine: 2, legs: 2 },
+            TreeShape::PreferentialAttachment { nodes: 5, seed: 6 },
+            TreeShape::Spider {
+                legs: 2,
+                leg_length: 3,
+            },
+        ];
+        for s in &shapes {
+            assert!(!shape_label(s).contains(','));
+        }
+        let churns = [
+            ChurnModel::GrowOnly,
+            ChurnModel::EventsOnly,
+            ChurnModel::LeafChurn { insert_percent: 9 },
+            ChurnModel::default_mixed(),
+            ChurnModel::BurstyDeepLeaf { burst: 4 },
+        ];
+        for c in &churns {
+            assert!(!churn_label(c).contains(','));
+        }
+        let placements = [
+            Placement::Uniform,
+            Placement::Deepest,
+            Placement::Leaves,
+            Placement::Skewed {
+                hot_set: 3,
+                hot_percent: 80,
+            },
+        ];
+        for p in &placements {
+            assert!(!placement_label(p).contains(','));
+        }
+    }
+}
