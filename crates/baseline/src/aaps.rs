@@ -17,7 +17,10 @@
 //! [`ControllerError::Sim`]-free, explicit errors so experiment T4 can report
 //! them.
 
-use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
+use dcn_controller::{
+    Controller, ControllerError, ControllerEvent, ControllerMetrics, Outcome, RequestId,
+    RequestKind, RequestLedger, RequestRecord,
+};
 use dcn_tree::{DynamicTree, NodeId};
 use std::collections::HashMap;
 
@@ -55,6 +58,7 @@ pub struct AapsController {
     rejected: u64,
     messages: u64,
     moves: u64,
+    ledger: RequestLedger,
 }
 
 impl AapsController {
@@ -91,6 +95,7 @@ impl AapsController {
             rejected: 0,
             messages: 0,
             moves: 0,
+            ledger: RequestLedger::new(),
         })
     }
 
@@ -322,12 +327,36 @@ impl Controller for AapsController {
         matches!(kind, RequestKind::AddLeaf | RequestKind::NonTopological)
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
-        AapsController::submit(self, at, kind).map(|_| ())
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        if !self.tree.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        if !Controller::supports(self, kind) {
+            // Outside the AAPS dynamic model: the ticket resolves to a
+            // refusal instead of surfacing as an error (the raw
+            // [`AapsController::submit`] keeps erroring for direct callers).
+            return Ok(self.ledger.refuse(at, kind));
+        }
+        let outcome = AapsController::submit(self, at, kind)?;
+        let id = self.ledger.issue();
+        self.ledger.record(id, at, kind, outcome);
+        Ok(id)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
         Ok(())
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.ledger.drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.ledger.records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.ledger.outcome(id)
     }
 
     fn granted(&self) -> u64 {
@@ -423,6 +452,7 @@ mod tests {
                 match ctrl.submit(at, RequestKind::NonTopological).unwrap() {
                     Outcome::Granted { .. } => {}
                     Outcome::Rejected => rejected += 1,
+                    Outcome::Refused => unreachable!("events are inside the AAPS model"),
                 }
                 // Permit conservation holds throughout, recall included.
                 assert_eq!(ctrl.granted() + ctrl.uncommitted_permits(), m);
@@ -452,6 +482,7 @@ mod tests {
             {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
+                Outcome::Refused => unreachable!("events are inside the AAPS model"),
             }
         }
         assert!(granted <= m);

@@ -37,7 +37,10 @@ mod trivial;
 pub use aaps::AapsController;
 pub use trivial::TrivialController;
 
-pub use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
+pub use dcn_controller::{
+    Controller, ControllerError, ControllerEvent, ControllerMetrics, Outcome, Progress, RequestId,
+    RequestKind, RequestLedger, RequestRecord,
+};
 pub use dcn_tree::{DynamicTree, NodeId};
 
 /// Error returned when a baseline is asked to perform an operation outside

@@ -1,6 +1,9 @@
 //! The trivial root-walk controller.
 
-use dcn_controller::{Controller, ControllerError, ControllerMetrics, Outcome, RequestKind};
+use dcn_controller::{
+    Controller, ControllerError, ControllerEvent, ControllerMetrics, Outcome, RequestId,
+    RequestKind, RequestLedger, RequestRecord,
+};
 use dcn_tree::{DynamicTree, NodeId};
 
 /// The naive (M, W)-Controller: every request sends a message up to the root
@@ -20,6 +23,7 @@ pub struct TrivialController {
     rejected: u64,
     messages: u64,
     moves: u64,
+    ledger: RequestLedger,
 }
 
 impl TrivialController {
@@ -33,6 +37,7 @@ impl TrivialController {
             rejected: 0,
             messages: 0,
             moves: 0,
+            ledger: RequestLedger::new(),
         }
     }
 
@@ -127,12 +132,27 @@ impl Controller for TrivialController {
         0
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
-        TrivialController::submit(self, at, kind).map(|_| ())
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        let outcome = TrivialController::submit(self, at, kind)?;
+        let id = self.ledger.issue();
+        self.ledger.record(id, at, kind, outcome);
+        Ok(id)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
         Ok(())
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.ledger.drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.ledger.records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.ledger.outcome(id)
     }
 
     fn granted(&self) -> u64 {
@@ -199,7 +219,7 @@ mod tests {
         let out = ctrl.submit(leaf, RequestKind::AddLeaf).unwrap();
         let new = match out {
             Outcome::Granted { new_node, .. } => new_node.unwrap(),
-            Outcome::Rejected => panic!("should grant"),
+            Outcome::Rejected | Outcome::Refused => panic!("should grant"),
         };
         ctrl.submit(leaf, RequestKind::AddInternalAbove(new))
             .unwrap();

@@ -13,8 +13,8 @@ use dcn_estimator::{HeavyChildDecomposition, NameAssigner, SizeEstimator};
 use dcn_simnet::SimConfig;
 use dcn_tree::NodeId;
 use dcn_workload::{
-    build_tree, ChurnGenerator, ChurnModel, ChurnOp, MwBudget, Placement, Scenario, SweepCell,
-    SweepGrid, TreeShape,
+    build_tree, ArrivalMode, ChurnGenerator, ChurnModel, ChurnOp, MwBudget, Placement, Scenario,
+    SweepCell, SweepGrid, TreeShape,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -48,6 +48,7 @@ fn scenario(
         shape,
         churn,
         placement: Placement::Uniform,
+        arrival: ArrivalMode::Batch,
         requests,
         m,
         w,
@@ -124,6 +125,7 @@ fn bench_sweep_grid() {
                 leg_length: 8,
             },
         ],
+        arrivals: vec![ArrivalMode::Batch],
         churns: vec![
             ChurnModel::GrowOnly,
             ChurnModel::BurstyDeepLeaf { burst: 5 },

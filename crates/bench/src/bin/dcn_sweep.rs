@@ -19,10 +19,11 @@
 //! (the CI smoke contract).
 
 use dcn_bench::{default_workers, run_grid};
-use dcn_workload::{ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
 use std::process::ExitCode;
 
-/// The default grid: 4 families × 6 shapes × 3 churn models (full mode).
+/// The default grid: 4 families × 6 shapes × 3 churn models × 2 arrival
+/// modes (full mode).
 fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
     SweepGrid {
         name: "sweep-full".to_string(),
@@ -43,6 +44,7 @@ fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
         ],
         churns: churns(),
         placements: vec![Placement::Uniform],
+        arrivals: arrivals(),
         budgets: vec![MwBudget { m: 128, w: 32 }],
         requests: 96,
         replicates,
@@ -50,8 +52,8 @@ fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
     }
 }
 
-/// The `--quick` grid: 4 families × 4 shapes × 3 churn models = 48 cells,
-/// small enough for a CI smoke step.
+/// The `--quick` grid: 4 families × 4 shapes × 3 churn models × 2 arrival
+/// modes = 96 cells, small enough for a CI smoke step.
 fn quick_grid(seed: u64, replicates: usize) -> SweepGrid {
     SweepGrid {
         name: "sweep-quick".to_string(),
@@ -67,6 +69,7 @@ fn quick_grid(seed: u64, replicates: usize) -> SweepGrid {
         ],
         churns: churns(),
         placements: vec![Placement::Uniform],
+        arrivals: arrivals(),
         budgets: vec![MwBudget { m: 48, w: 12 }],
         requests: 40,
         replicates,
@@ -78,6 +81,13 @@ fn families() -> Vec<String> {
     ["iterated", "distributed", "trivial", "aaps"]
         .map(String::from)
         .to_vec()
+}
+
+/// Both arrival modes: the closed-loop batch schedule and the open-loop
+/// interleaved schedule, in which requests are submitted while distributed
+/// agents are still in flight.
+fn arrivals() -> Vec<ArrivalMode> {
+    vec![ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 24 }]
 }
 
 fn churns() -> Vec<ChurnModel> {
@@ -155,13 +165,14 @@ fn main() -> ExitCode {
         full_grid(args.seed, args.replicates)
     };
     println!(
-        "== dcn-sweep: grid {:?} — {} cells ({} families × {} shapes × {} churns × {} placements × {} budgets × {} replicates) on {} workers ==",
+        "== dcn-sweep: grid {:?} — {} cells ({} families × {} shapes × {} churns × {} placements × {} arrivals × {} budgets × {} replicates) on {} workers ==",
         grid.name,
         grid.cell_count(),
         grid.families.len(),
         grid.shapes.len(),
         grid.churns.len(),
         grid.placements.len(),
+        grid.arrivals.len(),
         grid.budgets.len(),
         grid.replicates.max(1),
         args.workers,
@@ -169,7 +180,7 @@ fn main() -> ExitCode {
     let report = run_grid(&grid, args.workers);
 
     println!(
-        "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
         "family",
         "cells",
         "errors",
@@ -179,11 +190,13 @@ fn main() -> ExitCode {
         "p50msgs",
         "p95msgs",
         "p50mem",
-        "p95mem"
+        "p95mem",
+        "p50lat",
+        "p95lat"
     );
     for s in report.summaries() {
         println!(
-            "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            "{:<12} {:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
             s.family,
             s.cells,
             s.errors,
@@ -194,6 +207,8 @@ fn main() -> ExitCode {
             s.p95_messages,
             s.p50_memory_bits,
             s.p95_memory_bits,
+            s.p50_latency,
+            s.p95_latency,
         );
     }
     for cell in &report.cells {

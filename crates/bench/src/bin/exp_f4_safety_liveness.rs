@@ -9,7 +9,7 @@
 //! must stay 0).
 
 use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 256], &[64]);
@@ -26,6 +26,7 @@ fn main() {
                 },
                 churn: ChurnModel::EventsOnly,
                 placement: Placement::Uniform,
+                arrival: ArrivalMode::Batch,
                 requests: 2 * m as usize,
                 m,
                 w,

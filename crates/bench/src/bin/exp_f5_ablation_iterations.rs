@@ -8,7 +8,7 @@
 //! the shared `ScenarioRunner`.
 
 use dcn_bench::{print_table, run_family, sweep_sizes, Family, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, TreeShape};
 
 fn main() {
     let budgets = sweep_sizes(&[200, 500, 1000, 2000, 4000], &[200, 1000]);
@@ -25,6 +25,7 @@ fn main() {
             shape: TreeShape::Path { nodes: n - 1 },
             churn: ChurnModel::EventsOnly,
             placement: Placement::Uniform,
+            arrival: ArrivalMode::Batch,
             requests: m as usize,
             m,
             w: 1,

@@ -11,7 +11,7 @@
 //! stays roughly flat (no super-logarithmic blow-up with `n`).
 
 use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512, 1024, 2048], &[64, 256]);
@@ -36,6 +36,7 @@ fn main() {
                 shape,
                 churn: ChurnModel::default_mixed(),
                 placement: Placement::Uniform,
+                arrival: ArrivalMode::Batch,
                 requests,
                 m,
                 w,

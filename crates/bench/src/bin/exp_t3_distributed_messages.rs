@@ -9,7 +9,7 @@
 //! shared `SweepEngine`.
 
 use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[32, 64, 128, 256, 512], &[32, 128]);
@@ -30,6 +30,7 @@ fn main() {
                 shape: TreeShape::RandomRecursive { nodes: n - 1, seed },
                 churn: ChurnModel::default_mixed(),
                 placement: Placement::Uniform,
+                arrival: ArrivalMode::Batch,
                 requests,
                 m,
                 w,

@@ -11,7 +11,7 @@
 //! seeded scenario, so the rows compare identical request streams.
 
 use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ChurnModel, Placement, RunReport, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, RunReport, Scenario, SweepCell, TreeShape};
 
 /// Cells per size step: grow-only × {distributed, aaps, trivial} plus
 /// mixed-churn × {distributed, aaps}.
@@ -29,6 +29,7 @@ fn main() {
             },
             churn: ChurnModel::GrowOnly,
             placement: Placement::Uniform,
+            arrival: ArrivalMode::Batch,
             requests: n,
             m: n as u64,
             w: (n as u64 / 2).max(1),

@@ -8,7 +8,7 @@
 //! shape's; the runner reports the final size and maximum degree).
 
 use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
@@ -31,6 +31,7 @@ fn main() {
                 shape,
                 churn: ChurnModel::GrowOnly,
                 placement: Placement::Uniform,
+                arrival: ArrivalMode::Batch,
                 requests: n,
                 m: n as u64,
                 w: (n as u64 / 2).max(1),

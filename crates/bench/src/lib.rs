@@ -34,14 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dcn_baseline::{AapsController, TrivialController};
-use dcn_controller::centralized::{CentralizedController, IteratedController};
-use dcn_controller::distributed::DistributedController;
 use dcn_controller::{Controller, ControllerError};
-use dcn_simnet::SimConfig;
 use dcn_workload::{
-    RunReport, Scenario, ScenarioRunner, SweepCell, SweepEngine, SweepGrid, SweepReport,
+    ControllerSpec, RunReport, Scenario, ScenarioRunner, SweepCell, SweepEngine, SweepGrid,
+    SweepReport,
 };
+
+pub use dcn_workload::{family_factory, Family};
 
 /// One output row of an experiment.
 #[derive(Clone, Debug)]
@@ -137,63 +136,20 @@ pub fn sweep_sizes(full: &[usize], quick: &[usize]) -> Vec<usize> {
     }
 }
 
-/// The controller families the harness can build and compare. All of them
-/// implement the shared [`Controller`] trait, so every experiment drives them
-/// through the same [`ScenarioRunner`] code path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Family {
-    /// The fixed-bound centralized controller of §3.1 (requires `W ≥ 1`).
-    Centralized,
-    /// The iterated centralized controller of Observation 3.4 (`W = 0` ok).
-    Iterated,
-    /// The distributed mobile-agent controller of §4 on the simulator.
-    Distributed,
-    /// The trivial every-request-walks-to-the-root strawman.
-    Trivial,
-    /// The AAPS-style bin-hierarchy baseline (grow-only dynamic model).
-    Aaps,
-}
-
-impl Family {
-    /// All families, in comparison order.
-    pub const ALL: [Family; 5] = [
-        Family::Centralized,
-        Family::Iterated,
-        Family::Distributed,
-        Family::Trivial,
-        Family::Aaps,
-    ];
-
-    /// The family's display name (matches [`Controller::name`]).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Family::Centralized => "centralized",
-            Family::Iterated => "iterated",
-            Family::Distributed => "distributed",
-            Family::Trivial => "trivial",
-            Family::Aaps => "aaps",
-        }
-    }
-
-    /// The family for a display name (the inverse of [`Family::name`]; used
-    /// to resolve the family strings of a [`SweepGrid`]).
-    pub fn from_name(name: &str) -> Option<Family> {
-        Family::ALL.into_iter().find(|f| f.name() == name)
-    }
-}
-
-/// The [`ControllerFactory`](dcn_workload::ControllerFactory) covering every
-/// controller family in the workspace: resolves a [`SweepGrid`] family string
-/// and builds the controller over the cell's scenario.
+/// Builds a fresh controller of `family` over the scenario's initial tree,
+/// sized for the scenario's budget and request count — a thin wrapper around
+/// [`ControllerSpec::for_scenario`](dcn_workload::ControllerSpec), kept so
+/// experiment binaries read naturally.
 ///
 /// # Errors
 ///
-/// Returns a description for unknown family names and invalid parameter
-/// combinations (reported per cell by the engine, never propagated).
-pub fn family_factory(family: &str, scenario: &Scenario) -> Result<Box<dyn Controller>, String> {
-    let family =
-        Family::from_name(family).ok_or_else(|| format!("unknown controller family {family:?}"))?;
-    build_controller(family, scenario).map_err(|e| e.to_string())
+/// Propagates parameter validation errors (e.g. `W = 0` for families that
+/// require `W ≥ 1`).
+pub fn build_controller(
+    family: Family,
+    scenario: &Scenario,
+) -> Result<Box<dyn Controller>, ControllerError> {
+    ControllerSpec::for_scenario(family, scenario).build_for(&ScenarioRunner::new(scenario.clone()))
 }
 
 /// The worker-thread count used by the harness binaries: `DCN_WORKERS` if
@@ -224,39 +180,6 @@ pub fn run_cells(grid_name: &str, cells: Vec<SweepCell>, workers: usize) -> Swee
     SweepEngine::new(workers).run_cells(grid_name.to_string(), cells, &family_factory)
 }
 
-/// Builds a fresh controller of `family` over the scenario's initial tree,
-/// sized for the scenario's budget and request count.
-///
-/// # Errors
-///
-/// Propagates parameter validation errors (e.g. `W = 0` for families that
-/// require `W ≥ 1`).
-pub fn build_controller(
-    family: Family,
-    scenario: &Scenario,
-) -> Result<Box<dyn Controller>, ControllerError> {
-    let runner = ScenarioRunner::new(scenario.clone());
-    let tree = runner.initial_tree();
-    let u_bound = runner.suggested_u_bound();
-    Ok(match family {
-        Family::Centralized => Box::new(CentralizedController::new(
-            tree, scenario.m, scenario.w, u_bound,
-        )?),
-        Family::Iterated => Box::new(IteratedController::new(
-            tree, scenario.m, scenario.w, u_bound,
-        )?),
-        Family::Distributed => Box::new(DistributedController::new(
-            SimConfig::new(scenario.seed),
-            tree,
-            scenario.m,
-            scenario.w,
-            u_bound,
-        )?),
-        Family::Trivial => Box::new(TrivialController::new(tree, scenario.m)),
-        Family::Aaps => Box::new(AapsController::new(tree, scenario.m, scenario.w, u_bound)?),
-    })
-}
-
 /// Builds a controller of `family` and drives it through `scenario` with the
 /// shared [`ScenarioRunner`].
 ///
@@ -284,7 +207,7 @@ pub fn iterated_bound(u: usize, m: u64, w: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_workload::{ChurnModel, Placement, TreeShape};
+    use dcn_workload::{ArrivalMode, ChurnModel, Placement, TreeShape};
 
     fn small_scenario() -> Scenario {
         Scenario {
@@ -292,6 +215,7 @@ mod tests {
             shape: TreeShape::Star { nodes: 15 },
             churn: ChurnModel::GrowOnly,
             placement: Placement::Uniform,
+            arrival: ArrivalMode::Batch,
             requests: 20,
             m: 30,
             w: 10,

@@ -3,7 +3,7 @@
 //! runs on one worker or many, and re-running must reproduce exactly.
 
 use dcn_bench::run_grid;
-use dcn_workload::{ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
+use dcn_workload::{ArrivalMode, ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
 
 fn grid() -> SweepGrid {
     SweepGrid {
@@ -25,6 +25,11 @@ fn grid() -> SweepGrid {
             ChurnModel::BurstyDeepLeaf { burst: 4 },
         ],
         placements: vec![Placement::Uniform, Placement::Deepest],
+        // Both schedules: closed-loop batches and open-loop interleaved
+        // arrivals, in which requests are submitted while the distributed
+        // family's agents are still in flight — determinism must survive
+        // mid-flight submission too.
+        arrivals: vec![ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 16 }],
         budgets: vec![MwBudget { m: 32, w: 8 }],
         requests: 24,
         replicates: 1,
@@ -37,7 +42,7 @@ fn grid() -> SweepGrid {
 #[test]
 fn sweep_reports_are_byte_identical_across_worker_counts() {
     let grid = grid();
-    assert_eq!(grid.cell_count(), 72);
+    assert_eq!(grid.cell_count(), 144);
     let serial = run_grid(&grid, 1);
     let serial_csv = serial.to_csv();
     let serial_json = serial.to_json();
@@ -85,7 +90,7 @@ fn every_family_survives_the_diversified_grid() {
     let summaries = report.summaries();
     assert_eq!(summaries.len(), 4);
     for s in &summaries {
-        assert_eq!(s.cells, 18, "{}", s.family);
+        assert_eq!(s.cells, 36, "{}", s.family);
         assert_eq!(s.errors, 0, "{}", s.family);
         assert!(s.p95_messages > 0, "{}", s.family);
     }

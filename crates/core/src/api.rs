@@ -1,23 +1,33 @@
-//! The shared [`Controller`] runtime abstraction.
+//! The shared [`Controller`] runtime abstraction: tickets, events and
+//! incremental execution.
 //!
 //! The workspace grows several controller families — the paper's centralized
 //! and distributed (M, W)-Controllers plus the comparison baselines — and they
 //! all answer the same kind of question: *may this event take place?* This
 //! module is the architectural seam between those implementations and every
-//! driver that wants to exercise one of them (the scenario runner in
-//! `dcn-workload`, the experiment binaries in `dcn-bench`, the examples and
-//! the end-to-end tests): a driver programs against `dyn Controller` and never
-//! needs to know which family it is driving.
+//! driver that wants to exercise one of them (the scenario runner and sweep
+//! engine in `dcn-workload`, the experiment binaries in `dcn-bench`, the
+//! examples and the end-to-end tests): a driver programs against
+//! `dyn Controller` and never needs to know which family it is driving.
 //!
-//! The lifecycle is submit-then-drain: [`Controller::submit`] hands a request
-//! to the controller (synchronous families answer it on the spot, the
-//! distributed family only enqueues an agent), and
-//! [`Controller::run_to_quiescence`] drives the execution until every
-//! submitted request has been answered and every granted topological change
-//! has been applied. Cost counters are exposed uniformly through
-//! [`ControllerMetrics`].
+//! The lifecycle is **ticket-based**, mirroring the paper's online setting
+//! where requests arrive at arbitrary nodes at arbitrary times and are
+//! answered individually:
+//!
+//! 1. [`Controller::submit`] hands a request to the controller and returns a
+//!    [`RequestId`] *ticket*. Synchronous families answer on the spot; the
+//!    distributed family only enqueues a mobile agent.
+//! 2. Execution advances either all the way ([`Controller::run_to_quiescence`])
+//!    or in bounded slices ([`Controller::step`]), so a driver can interleave
+//!    new submissions with in-flight execution (open-loop workloads).
+//! 3. Outcomes are observed per request: as [`ControllerEvent`]s drained from
+//!    the event stream ([`Controller::drain_events`]), as [`RequestRecord`]s
+//!    in the history ([`Controller::records`]), or by ticket
+//!    ([`Controller::outcome`]).
+//!
+//! Cost counters are exposed uniformly through [`ControllerMetrics`].
 
-use crate::request::RequestKind;
+use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
 use crate::ControllerError;
 use dcn_tree::DynamicTree;
 use dcn_tree::NodeId;
@@ -45,17 +55,134 @@ pub struct ControllerMetrics {
     pub peak_node_memory_bits: u64,
 }
 
+/// A per-request outcome notification, drained from
+/// [`Controller::drain_events`].
+///
+/// Events are emitted in answer order. Every ticket issued by
+/// [`Controller::submit`] resolves to exactly one of
+/// [`ControllerEvent::Granted`], [`ControllerEvent::Rejected`] or
+/// [`ControllerEvent::Refused`]; granted *topological* requests additionally
+/// emit one [`ControllerEvent::TopologyApplied`] once the change has taken
+/// effect on the controller's tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControllerEvent {
+    /// The request received a permit.
+    Granted {
+        /// The request's ticket.
+        id: RequestId,
+        /// Virtual time at which the answer was delivered (same clock as
+        /// [`RequestRecord::answered_at`]).
+        at: u64,
+        /// What the request asked for.
+        kind: RequestKind,
+    },
+    /// The request was rejected (the budget is spent up to the waste bound).
+    Rejected {
+        /// The request's ticket.
+        id: RequestId,
+    },
+    /// The request's kind lies outside the controller's dynamic model (see
+    /// [`Controller::supports`]); no permit was consumed.
+    Refused {
+        /// The request's ticket.
+        id: RequestId,
+    },
+    /// A granted topological change has been applied to the controller's
+    /// tree.
+    TopologyApplied {
+        /// The granting request's ticket.
+        id: RequestId,
+        /// The topological request kind that was applied.
+        kind: RequestKind,
+        /// The newly created node, for insertions answered synchronously
+        /// (`None` for deletions and for the distributed family, whose node
+        /// identities are assigned inside the simulator).
+        node: Option<NodeId>,
+    },
+}
+
+impl ControllerEvent {
+    /// Appends the events a resolved request produces, in emission order: the
+    /// answer event matching the record's outcome (stamped with the record's
+    /// answer time), plus one [`ControllerEvent::TopologyApplied`] for a
+    /// granted topological request. Shared by every family's event emission
+    /// so the event/record contract cannot drift per family.
+    pub fn push_for_record(record: &RequestRecord, events: &mut Vec<ControllerEvent>) {
+        match record.outcome {
+            Outcome::Granted { new_node, .. } => {
+                events.push(ControllerEvent::Granted {
+                    id: record.id,
+                    at: record.answered_at,
+                    kind: record.kind,
+                });
+                if record.kind.is_topological() {
+                    events.push(ControllerEvent::TopologyApplied {
+                        id: record.id,
+                        kind: record.kind,
+                        node: new_node,
+                    });
+                }
+            }
+            Outcome::Rejected => events.push(ControllerEvent::Rejected { id: record.id }),
+            Outcome::Refused => events.push(ControllerEvent::Refused { id: record.id }),
+        }
+    }
+
+    /// The ticket this event belongs to.
+    pub fn id(&self) -> RequestId {
+        match *self {
+            ControllerEvent::Granted { id, .. }
+            | ControllerEvent::Rejected { id }
+            | ControllerEvent::Refused { id }
+            | ControllerEvent::TopologyApplied { id, .. } => id,
+        }
+    }
+
+    /// Returns `true` for the three *answer* events (granted / rejected /
+    /// refused) that resolve a ticket; `false` for
+    /// [`ControllerEvent::TopologyApplied`] notifications.
+    pub fn is_answer(&self) -> bool {
+        !matches!(self, ControllerEvent::TopologyApplied { .. })
+    }
+}
+
+/// The result of one bounded execution slice ([`Controller::step`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Simulator events processed during this slice (0 for synchronous
+    /// families, which answer inside `submit`).
+    pub processed: u64,
+    /// `true` when every submitted request has been answered and every
+    /// granted topological change has been applied — calling
+    /// [`Controller::step`] again without new submissions will do nothing.
+    pub quiescent: bool,
+}
+
+impl Progress {
+    /// A slice that found the controller already quiescent.
+    pub fn quiescent() -> Self {
+        Progress {
+            processed: 0,
+            quiescent: true,
+        }
+    }
+}
+
 /// The shared behaviour of every (M, W)-controller in the workspace.
 ///
 /// Implemented by [`CentralizedController`](crate::centralized::CentralizedController),
 /// [`IteratedController`](crate::centralized::IteratedController),
-/// [`DistributedController`](crate::distributed::DistributedController) and by
-/// the `TrivialController` / `AapsController` baselines in `dcn-baseline`.
+/// [`DistributedController`](crate::distributed::DistributedController),
+/// [`AdaptiveDistributedController`](crate::distributed::AdaptiveDistributedController)
+/// and by the `TrivialController` / `AapsController` baselines in
+/// `dcn-baseline`.
 ///
-/// Drivers must call [`Controller::run_to_quiescence`] after a batch of
-/// submissions before reading answers: synchronous families answer inside
-/// `submit` and treat the call as a no-op, while the distributed family
-/// executes all in-flight agents there.
+/// Synchronous families answer inside [`Controller::submit`] and emit their
+/// events immediately; the distributed families defer execution to
+/// [`Controller::run_to_quiescence`] / [`Controller::step`]. Drivers that mix
+/// submission and execution freely should drain events after every execution
+/// call; drivers that only want aggregates can keep reading
+/// [`Controller::granted`] / [`Controller::rejected`].
 pub trait Controller {
     /// A short human-readable family name (used in experiment rows).
     fn name(&self) -> &'static str;
@@ -68,23 +195,27 @@ pub trait Controller {
 
     /// Returns `true` if this controller's dynamic model covers `kind`.
     ///
-    /// The AAPS baseline only supports the grow-only model; drivers check
-    /// this before submitting so that unsupported operations are counted as
-    /// *refusals* instead of surfacing as errors.
+    /// The AAPS baseline only supports the grow-only model; submitting an
+    /// unsupported kind is not an error — the request is *refused*: it gets a
+    /// ticket, a [`ControllerEvent::Refused`] event and an
+    /// [`Outcome::Refused`] record, and the safety/liveness accounting is
+    /// untouched.
     fn supports(&self, kind: RequestKind) -> bool {
         let _ = kind;
         true
     }
 
-    /// Submits a request arriving at `at`.
+    /// Submits a request arriving at `at` and returns its ticket.
     ///
     /// # Errors
     ///
     /// Returns validation errors (unknown node, malformed topological
-    /// request); the answer itself is *not* part of the return value — it is
-    /// reflected in [`Controller::granted`] / [`Controller::rejected`] once
-    /// the execution is quiescent.
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError>;
+    /// request); such a request never entered the controller and resolves to
+    /// no event. The *answer* is not part of the return value — it is
+    /// observed through [`Controller::drain_events`] /
+    /// [`Controller::outcome`] once the execution has progressed far enough
+    /// (immediately for synchronous families).
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError>;
 
     /// Runs until every submitted request is answered and every granted
     /// topological change has been applied. A no-op for synchronous families.
@@ -94,6 +225,41 @@ pub trait Controller {
     /// Propagates simulator errors (event budget exceeded, protocol
     /// violations).
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError>;
+
+    /// Advances execution by at most `budget` simulator events and reports
+    /// how far it got, so drivers can interleave new submissions with
+    /// in-flight execution (open-loop workloads).
+    ///
+    /// Synchronous families answer inside [`Controller::submit`] and are
+    /// always quiescent; the default implementation (also used by the
+    /// batch-oriented adaptive-distributed family) simply delegates to
+    /// [`Controller::run_to_quiescence`]. The fixed-bound distributed family
+    /// overrides this with true incremental simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Controller::run_to_quiescence`].
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let _ = budget;
+        self.run_to_quiescence()?;
+        Ok(Progress::quiescent())
+    }
+
+    /// Removes and returns the per-request events produced since the last
+    /// drain, in answer order.
+    fn drain_events(&mut self) -> Vec<ControllerEvent>;
+
+    /// All resolved requests so far, in answer order (grants, rejects and
+    /// refusals alike), with submit/answer virtual times.
+    fn records(&self) -> &[RequestRecord];
+
+    /// The outcome of a specific ticket, if it has been answered.
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.records()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.outcome)
+    }
 
     /// Number of permits granted so far.
     fn granted(&self) -> u64;
@@ -121,12 +287,28 @@ impl Controller for crate::centralized::CentralizedController {
         self.params().w
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
-        self.submit(at, kind).map(|_| ())
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        let outcome = self.submit(at, kind)?;
+        let ledger = self.ledger_mut();
+        let id = ledger.issue();
+        ledger.record(id, at, kind, outcome);
+        Ok(id)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
         Ok(())
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.ledger_mut().drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.ledger().records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.ledger().outcome(id)
     }
 
     fn granted(&self) -> u64 {
@@ -163,12 +345,28 @@ impl Controller for crate::centralized::IteratedController {
         self.waste()
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
-        self.submit(at, kind).map(|_| ())
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        let outcome = self.submit(at, kind)?;
+        let ledger = self.ledger_mut();
+        let id = ledger.issue();
+        ledger.record(id, at, kind, outcome);
+        Ok(id)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
         Ok(())
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.ledger_mut().drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.ledger().records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.ledger().outcome(id)
     }
 
     fn granted(&self) -> u64 {
@@ -205,12 +403,28 @@ impl Controller for crate::distributed::DistributedController {
         self.waste()
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
-        self.submit(at, kind).map(|_| ())
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.submit(at, kind)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
         self.run()
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        self.step(budget)
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.outcome(id)
     }
 
     fn granted(&self) -> u64 {
@@ -241,13 +455,15 @@ mod tests {
     use crate::distributed::DistributedController;
     use dcn_simnet::SimConfig;
 
-    fn drive(ctrl: &mut dyn Controller, requests: usize) {
+    fn drive(ctrl: &mut dyn Controller, requests: usize) -> Vec<RequestId> {
+        let mut ids = Vec::new();
         for i in 0..requests {
             let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
             let at = nodes[(i * 7) % nodes.len()];
-            ctrl.submit(at, RequestKind::NonTopological).unwrap();
+            ids.push(ctrl.submit(at, RequestKind::NonTopological).unwrap());
         }
         ctrl.run_to_quiescence().unwrap();
+        ids
     }
 
     #[test]
@@ -271,13 +487,64 @@ mod tests {
             ),
         ];
         for ctrl in &mut controllers {
-            drive(ctrl.as_mut(), 20);
+            let ids = drive(ctrl.as_mut(), 20);
             assert!(ctrl.granted() <= ctrl.budget(), "{}", ctrl.name());
             assert!(ctrl.granted() + ctrl.rejected() == 20, "{}", ctrl.name());
             assert!(ctrl.granted() >= ctrl.budget() - ctrl.waste_bound());
             assert!(ctrl.metrics().messages > 0 || ctrl.metrics().moves > 0);
             assert!(ctrl.supports(RequestKind::RemoveSelf));
+            // Tickets are unique and every one resolves to an outcome.
+            assert_eq!(ids.len(), 20);
+            for &id in &ids {
+                assert!(ctrl.outcome(id).is_some(), "{}: {id}", ctrl.name());
+            }
+            // Event totals mirror the counters exactly.
+            let events = ctrl.drain_events();
+            let granted = events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::Granted { .. }))
+                .count() as u64;
+            let rejected = events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::Rejected { .. }))
+                .count() as u64;
+            assert_eq!(granted, ctrl.granted(), "{}", ctrl.name());
+            assert_eq!(rejected, ctrl.rejected(), "{}", ctrl.name());
+            // Draining is destructive.
+            assert!(ctrl.drain_events().is_empty());
         }
+    }
+
+    #[test]
+    fn stepping_interleaves_submission_with_execution() {
+        let mut ctrl = DistributedController::new(
+            SimConfig::new(11),
+            DynamicTree::with_initial_path(20),
+            16,
+            8,
+            128,
+        )
+        .unwrap();
+        let nodes: Vec<NodeId> = Controller::tree(&ctrl).nodes().collect();
+        Controller::submit(&mut ctrl, nodes[15], RequestKind::NonTopological).unwrap();
+        // A tiny slice leaves the agent in flight…
+        let progress = Controller::step(&mut ctrl, 2).unwrap();
+        assert_eq!(progress.processed, 2);
+        assert!(!progress.quiescent);
+        // …while a second request arrives mid-flight.
+        Controller::submit(&mut ctrl, nodes[9], RequestKind::NonTopological).unwrap();
+        let mut total = progress.processed;
+        loop {
+            let p = Controller::step(&mut ctrl, 64).unwrap();
+            total += p.processed;
+            if p.quiescent {
+                break;
+            }
+        }
+        assert!(total > 2);
+        assert_eq!(ctrl.granted(), 2);
+        let events = Controller::drain_events(&mut ctrl);
+        assert_eq!(events.iter().filter(|e| e.is_answer()).count(), 2);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The fixed-bound centralized (M, W)-Controller (§3.1).
 
 use crate::domain::DomainAuditor;
+use crate::ledger::RequestLedger;
 use crate::package::{MobilePackage, PackageStore, PermitInterval};
 use crate::params::Params;
 use crate::request::{Outcome, RequestKind};
@@ -63,6 +64,10 @@ pub struct CentralizedController {
     next_package_id: u64,
     reject_wave_done: bool,
     auditor: Option<DomainAuditor>,
+    /// Ticket/event/record bookkeeping for submissions through the
+    /// [`Controller`](crate::Controller) trait (the raw [`CentralizedController::submit`]
+    /// below stays ticket-free for the wrappers that drive it directly).
+    ledger: RequestLedger,
 }
 
 impl CentralizedController {
@@ -97,7 +102,16 @@ impl CentralizedController {
             next_package_id: 0,
             reject_wave_done: false,
             auditor: None,
+            ledger: RequestLedger::new(),
         })
+    }
+
+    pub(crate) fn ledger(&self) -> &RequestLedger {
+        &self.ledger
+    }
+
+    pub(crate) fn ledger_mut(&mut self) -> &mut RequestLedger {
+        &mut self.ledger
     }
 
     /// Enables the domain auditor (§3.2 invariants); intended for tests and

@@ -10,6 +10,7 @@
 //! `O(U · log² U · log(M/(W+1)))` and also yields a controller for `W = 0`.
 
 use super::base::{Attempt, CentralizedController};
+use crate::ledger::RequestLedger;
 use crate::request::{Outcome, RequestKind};
 use crate::ControllerError;
 use dcn_tree::{DynamicTree, NodeId};
@@ -61,6 +62,9 @@ pub struct IteratedController {
     /// clears every store, so the end-of-run snapshot alone would miss
     /// earlier rounds' peaks).
     peak_memory_bits: u64,
+    /// Ticket/event/record bookkeeping for submissions through the
+    /// [`Controller`](crate::Controller) trait.
+    ledger: RequestLedger,
 }
 
 impl IteratedController {
@@ -91,7 +95,16 @@ impl IteratedController {
             rejected: 0,
             reject_wave_charged: false,
             peak_memory_bits: 0,
+            ledger: RequestLedger::new(),
         })
+    }
+
+    pub(crate) fn ledger(&self) -> &RequestLedger {
+        &self.ledger
+    }
+
+    pub(crate) fn ledger_mut(&mut self) -> &mut RequestLedger {
+        &mut self.ledger
     }
 
     /// The spanning tree as currently maintained by the controller.

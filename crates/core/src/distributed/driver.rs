@@ -3,6 +3,7 @@
 
 use super::agent::{CtrlAgent, RequestAgent};
 use super::protocol::ControllerProtocol;
+use crate::api::{ControllerEvent, Progress};
 use crate::package::PermitInterval;
 use crate::params::Params;
 use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
@@ -44,6 +45,10 @@ pub struct DistributedController {
     next_request: u64,
     records: Vec<RequestRecord>,
     index: HashMap<RequestId, usize>,
+    /// Virtual arrival time per in-flight ticket, consumed when the answer is
+    /// collected (the protocol only knows the answer time).
+    submit_times: HashMap<RequestId, u64>,
+    events: Vec<ControllerEvent>,
     submitted: u64,
     m: u64,
     w: u64,
@@ -100,6 +105,8 @@ impl DistributedController {
             next_request: 0,
             records: Vec::new(),
             index: HashMap::new(),
+            submit_times: HashMap::new(),
+            events: Vec::new(),
             submitted: 0,
             m,
             w,
@@ -229,6 +236,7 @@ impl DistributedController {
         let id = RequestId(self.next_request);
         self.next_request += 1;
         self.submitted += 1;
+        self.submit_times.insert(id, self.sim.time() + delay);
         let agent = CtrlAgent::Request(RequestAgent::new(id, kind));
         self.sim.create_agent_delayed(at, agent, delay)?;
         Ok(id)
@@ -243,11 +251,47 @@ impl DistributedController {
     /// violations).
     pub fn run(&mut self) -> Result<(), ControllerError> {
         self.sim.run_until_quiescent()?;
-        for record in self.sim.drain_outputs() {
+        self.collect_answers();
+        Ok(())
+    }
+
+    /// Processes at most `budget` simulator events, collecting any answers
+    /// produced along the way, and reports whether the network is quiescent —
+    /// the incremental counterpart of [`DistributedController::run`] used by
+    /// open-loop drivers that submit requests while agents are in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (protocol violations). Unlike
+    /// [`DistributedController::run`], the caller owns the budget, so the
+    /// configured `max_events` safety net does not apply here.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let mut processed = 0u64;
+        while processed < budget && self.sim.step()? {
+            processed += 1;
+        }
+        self.collect_answers();
+        Ok(Progress {
+            processed,
+            quiescent: self.sim.is_quiescent(),
+        })
+    }
+
+    /// Moves the simulator's freshly produced answers into the record
+    /// history, stamping submit times and emitting per-request events.
+    fn collect_answers(&mut self) {
+        for mut record in self.sim.drain_outputs() {
+            record.submitted_at = self.submit_times.remove(&record.id).unwrap_or(0);
+            ControllerEvent::push_for_record(&record, &mut self.events);
             self.index.insert(record.id, self.records.len());
             self.records.push(record);
         }
-        Ok(())
+    }
+
+    /// Removes and returns the per-request events produced since the last
+    /// drain, in answer order.
+    pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// All answers collected so far, in the order they were produced.

@@ -22,10 +22,12 @@
 //! records this substitution.
 
 use super::driver::DistributedController;
-use crate::request::{Outcome, RequestKind, RequestRecord};
+use crate::api::ControllerEvent;
+use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
 use crate::verify::ExecutionSummary;
 use crate::ControllerError;
 use dcn_simnet::{DynamicTree, NodeId, SimConfig};
+use std::collections::HashMap;
 
 /// Summary of one adaptive (multi-epoch) distributed execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -60,11 +62,23 @@ pub struct AdaptiveDistributedController {
     epoch_changes_at_start: usize,
     exhausted: bool,
     records: Vec<RequestRecord>,
+    index: HashMap<RequestId, usize>,
+    events: Vec<ControllerEvent>,
+    /// Outer tickets: the inner controller is rebuilt at every epoch boundary
+    /// and restarts its ids at 0, so the driver issues its own stable ids and
+    /// maps inner answers back to them round by round.
+    next_ticket: u64,
+    /// Virtual time accumulated over torn-down inner simulators; the global
+    /// clock is `time_base + inner simulator time`.
+    time_base: u64,
     next_seed: u64,
     /// Requests accepted through the [`crate::Controller`] trait, drained by
     /// the next `run_to_quiescence`.
-    queued: Vec<(NodeId, RequestKind)>,
+    queued: Vec<PendingRequest>,
 }
+
+/// One not-yet-answered outer request: `(ticket, origin, kind, submitted_at)`.
+type PendingRequest = (RequestId, NodeId, RequestKind, u64);
 
 impl AdaptiveDistributedController {
     /// Creates an adaptive distributed (m, w)-controller over `tree`.
@@ -100,6 +114,10 @@ impl AdaptiveDistributedController {
             epoch_changes_at_start,
             exhausted: false,
             records: Vec::new(),
+            index: HashMap::new(),
+            events: Vec::new(),
+            next_ticket: 0,
+            time_base: 0,
             next_seed: config.seed.wrapping_add(1),
             queued: Vec::new(),
         })
@@ -178,6 +196,39 @@ impl AdaptiveDistributedController {
         &self.records
     }
 
+    /// The outcome of a specific ticket, if it has been answered.
+    pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.index.get(&id).map(|&i| self.records[i].outcome)
+    }
+
+    /// Removes and returns the per-request events produced since the last
+    /// drain, in answer order.
+    pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The current global virtual time: the accumulated clock of torn-down
+    /// epochs plus the running inner simulator's clock.
+    fn now(&self) -> u64 {
+        self.time_base + self.inner().sim().time()
+    }
+
+    /// Issues the next outer ticket.
+    fn issue(&mut self) -> RequestId {
+        let id = RequestId(self.next_ticket);
+        self.next_ticket += 1;
+        id
+    }
+
+    /// Finalises one answer: appends it to the history, indexes it by ticket
+    /// and emits the matching events.
+    fn finalize(&mut self, record: RequestRecord) -> RequestRecord {
+        ControllerEvent::push_for_record(&record, &mut self.events);
+        self.index.insert(record.id, self.records.len());
+        self.records.push(record);
+        record
+    }
+
     /// A correctness summary over the whole execution.
     pub fn summary(&self) -> ExecutionSummary {
         ExecutionSummary {
@@ -215,48 +266,70 @@ impl AdaptiveDistributedController {
         &mut self,
         requests: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
-        let mut pending: Vec<(NodeId, RequestKind)> = requests.to_vec();
+        let now = self.now();
+        let pending: Vec<PendingRequest> = requests
+            .iter()
+            .map(|&(origin, kind)| (self.issue(), origin, kind, now))
+            .collect();
+        self.run_pending(pending)
+    }
+
+    /// The multi-epoch execution engine behind [`run_batch`] and the trait's
+    /// `run_to_quiescence`: answers every pending outer ticket, recycling
+    /// permits and refreshing epochs as needed.
+    ///
+    /// [`run_batch`]: AdaptiveDistributedController::run_batch
+    fn run_pending(
+        &mut self,
+        mut pending: Vec<PendingRequest>,
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
         let mut answered: Vec<RequestRecord> = Vec::new();
         self.submitted_total += pending.len() as u64;
 
         while !pending.is_empty() {
             if self.exhausted {
-                for &(origin, kind) in &pending {
-                    answered.push(self.synthetic_reject(origin, kind));
+                for &(id, origin, kind, submitted_at) in &pending {
+                    answered.push(self.synthetic_reject(id, origin, kind, submitted_at));
                 }
                 pending.clear();
                 break;
             }
+            let time_base = self.time_base;
             let inner = self.inner.as_mut().expect("inner controller present");
-            let mut skipped: Vec<RequestRecord> = Vec::new();
-            for &(origin, kind) in &pending {
+            // Inner ids restart at 0 per epoch; map them back to the stable
+            // outer tickets round by round.
+            let mut ticket_of: HashMap<RequestId, (RequestId, u64)> = HashMap::new();
+            let mut skipped: Vec<PendingRequest> = Vec::new();
+            for &(id, origin, kind, submitted_at) in &pending {
                 if !inner.tree().contains(origin) {
                     // The origin vanished while the request was waiting to be
                     // retried; answer it with a reject.
-                    skipped.push(RequestRecord {
-                        id: crate::RequestId(u64::MAX),
-                        origin,
-                        kind,
-                        outcome: Outcome::Rejected,
-                        answered_at: 0,
-                    });
+                    skipped.push((id, origin, kind, submitted_at));
                     continue;
                 }
-                inner.submit(origin, kind)?;
+                let inner_id = inner.submit(origin, kind)?;
+                ticket_of.insert(inner_id, (id, submitted_at));
             }
             inner.run()?;
             let round_records = inner.take_records();
-            self.rejected_total += skipped.len() as u64;
-            answered.extend(skipped);
+            for (id, origin, kind, submitted_at) in skipped {
+                answered.push(self.synthetic_reject(id, origin, kind, submitted_at));
+            }
 
-            let mut retry: Vec<(NodeId, RequestKind)> = Vec::new();
+            let mut retry: Vec<PendingRequest> = Vec::new();
             let mut saw_reject = false;
-            for rec in round_records {
+            for mut rec in round_records {
+                let (outer, submitted_at) = ticket_of
+                    .remove(&rec.id)
+                    .expect("every inner answer maps to an outer ticket");
+                rec.id = outer;
+                rec.submitted_at = submitted_at;
+                rec.answered_at += time_base;
                 match rec.outcome {
-                    Outcome::Granted { .. } => answered.push(rec),
-                    Outcome::Rejected => {
+                    Outcome::Granted { .. } => answered.push(self.finalize(rec)),
+                    Outcome::Rejected | Outcome::Refused => {
                         saw_reject = true;
-                        retry.push((rec.origin, rec.kind));
+                        retry.push((outer, rec.origin, rec.kind, submitted_at));
                     }
                 }
             }
@@ -267,8 +340,8 @@ impl AdaptiveDistributedController {
                     // Truly exhausted: the rejects are final (liveness holds:
                     // granted = M − uncommitted ≥ M − W).
                     self.exhausted = true;
-                    for (origin, kind) in retry.drain(..) {
-                        answered.push(self.synthetic_reject(origin, kind));
+                    for (id, origin, kind, submitted_at) in retry.drain(..) {
+                        answered.push(self.synthetic_reject(id, origin, kind, submitted_at));
                     }
                 } else {
                     // Recycle the parked permits and retry the queued requests
@@ -291,19 +364,26 @@ impl AdaptiveDistributedController {
                 self.rebuild(true)?;
             }
         }
-        self.records.extend(answered.iter().copied());
         Ok(answered)
     }
 
-    fn synthetic_reject(&mut self, origin: NodeId, kind: RequestKind) -> RequestRecord {
+    fn synthetic_reject(
+        &mut self,
+        id: RequestId,
+        origin: NodeId,
+        kind: RequestKind,
+        submitted_at: u64,
+    ) -> RequestRecord {
         self.rejected_total += 1;
-        RequestRecord {
-            id: crate::RequestId(u64::MAX),
+        let answered_at = self.now();
+        self.finalize(RequestRecord {
+            id,
             origin,
             kind,
             outcome: Outcome::Rejected,
-            answered_at: 0,
-        }
+            submitted_at,
+            answered_at,
+        })
     }
 
     /// Tears down the current inner controller, accounts its cost plus the
@@ -314,6 +394,9 @@ impl AdaptiveDistributedController {
         let inner = self.inner.take().expect("inner controller present");
         self.granted_total += inner.granted();
         self.messages_total += inner.messages();
+        // The fresh inner simulator restarts its clock at 0; fold the retired
+        // clock into the base so global answer times stay monotone.
+        self.time_base += inner.sim().time();
         let tree = inner.into_tree();
         let n = tree.node_count() as u64;
         // Counting / clearing waves at the boundary: broadcast + upcast to
@@ -349,7 +432,11 @@ impl crate::Controller for AdaptiveDistributedController {
         self.w
     }
 
-    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<(), crate::ControllerError> {
+    fn submit(
+        &mut self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<RequestId, crate::ControllerError> {
         // Validate against the current tree; execution happens at the next
         // run_to_quiescence (the adaptive driver works in batches so that it
         // can recycle permits and refresh epochs between rounds).
@@ -366,16 +453,30 @@ impl crate::Controller for AdaptiveDistributedController {
             }
             _ => {}
         }
-        self.queued.push((at, kind));
-        Ok(())
+        let id = self.issue();
+        let now = self.now();
+        self.queued.push((id, at, kind, now));
+        Ok(id)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), crate::ControllerError> {
         let queued = std::mem::take(&mut self.queued);
         if !queued.is_empty() {
-            self.run_batch(&queued)?;
+            self.run_pending(queued)?;
         }
         Ok(())
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.outcome(id)
     }
 
     fn granted(&self) -> u64 {

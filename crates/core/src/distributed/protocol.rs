@@ -253,6 +253,9 @@ impl ControllerProtocol {
                 serial,
                 new_node: None,
             },
+            // The driver stamps the real submit time when it collects the
+            // answer; the protocol only knows the answer instant.
+            submitted_at: 0,
             answered_at: ctx.time(),
         };
         ctx.emit(record);
@@ -267,6 +270,9 @@ impl ControllerProtocol {
             origin: ctx.origin(),
             kind: agent.kind,
             outcome: Outcome::Rejected,
+            // The driver stamps the real submit time when it collects the
+            // answer; the protocol only knows the answer instant.
+            submitted_at: 0,
             answered_at: ctx.time(),
         };
         ctx.emit(record);
@@ -303,6 +309,9 @@ impl ControllerProtocol {
             origin: ctx.origin(),
             kind: agent.kind,
             outcome: Outcome::Rejected,
+            // The driver stamps the real submit time when it collects the
+            // answer; the protocol only knows the answer instant.
+            submitted_at: 0,
             answered_at: ctx.time(),
         };
         ctx.emit(record);

@@ -1,0 +1,169 @@
+//! The [`RequestLedger`]: shared ticket/event/record bookkeeping for
+//! [`Controller`](crate::Controller) implementations.
+//!
+//! The redesigned runtime API is *ticket-based*: every submission is issued a
+//! [`RequestId`], and its outcome is observable three ways — as a
+//! [`ControllerEvent`] drained from the event stream, as a [`RequestRecord`]
+//! in the per-request history, and by id through
+//! [`Controller::outcome`](crate::Controller::outcome). The synchronous
+//! families (centralized, iterated, trivial, AAPS) answer inside `submit`, so
+//! their bookkeeping is identical: issue a ticket, record the answer, emit
+//! the matching events. This struct packages that bookkeeping so each family
+//! embeds one field instead of re-implementing the protocol; the distributed
+//! families keep their own (time-aware) bookkeeping but expose the same
+//! surface.
+//!
+//! The ledger also provides the virtual clock of the synchronous families:
+//! each issued ticket advances the clock by one, and the answer is recorded
+//! at the same instant the request was submitted (latency 0 — the synchronous
+//! setting answers on the spot, which is exactly what makes the distributed
+//! family's non-zero latencies interesting to compare).
+
+use crate::api::ControllerEvent;
+use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
+use dcn_tree::NodeId;
+use std::collections::HashMap;
+
+/// Ticket issuing, event buffering and request history for a synchronous
+/// controller family.
+///
+/// ```
+/// use dcn_controller::{Outcome, RequestKind, RequestLedger};
+/// use dcn_tree::NodeId;
+///
+/// let mut ledger = RequestLedger::new();
+/// let id = ledger.issue();
+/// ledger.record(
+///     id,
+///     NodeId::from_index(0),
+///     RequestKind::NonTopological,
+///     Outcome::Granted { serial: None, new_node: None },
+/// );
+/// assert!(ledger.outcome(id).unwrap().is_granted());
+/// assert_eq!(ledger.drain_events().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestLedger {
+    next_id: u64,
+    clock: u64,
+    events: Vec<ControllerEvent>,
+    records: Vec<RequestRecord>,
+    index: HashMap<RequestId, usize>,
+}
+
+impl RequestLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RequestLedger::default()
+    }
+
+    /// Issues the next ticket and advances the virtual clock by one.
+    pub fn issue(&mut self) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.clock += 1;
+        id
+    }
+
+    /// The current virtual time (number of tickets issued so far).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Records the final answer for `id` and emits the matching events:
+    /// [`ControllerEvent::Granted`] (plus [`ControllerEvent::TopologyApplied`]
+    /// for granted topological requests — the synchronous families apply the
+    /// change before `submit` returns), [`ControllerEvent::Rejected`] or
+    /// [`ControllerEvent::Refused`].
+    pub fn record(&mut self, id: RequestId, origin: NodeId, kind: RequestKind, outcome: Outcome) {
+        let now = self.clock;
+        let record = RequestRecord {
+            id,
+            origin,
+            kind,
+            outcome,
+            submitted_at: now,
+            answered_at: now,
+        };
+        ControllerEvent::push_for_record(&record, &mut self.events);
+        self.index.insert(id, self.records.len());
+        self.records.push(record);
+    }
+
+    /// Issues a ticket and records a refusal in one step (the path taken when
+    /// [`Controller::supports`](crate::Controller::supports) is `false` for
+    /// the request's kind).
+    pub fn refuse(&mut self, origin: NodeId, kind: RequestKind) -> RequestId {
+        let id = self.issue();
+        self.record(id, origin, kind, Outcome::Refused);
+        id
+    }
+
+    /// Removes and returns the buffered events, in emission order.
+    pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// All answers recorded so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The outcome of a specific request, if it has been answered.
+    pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.index.get(&id).map(|&i| self.records[i].outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_sequential_and_tick_the_clock() {
+        let mut ledger = RequestLedger::new();
+        assert_eq!(ledger.issue(), RequestId(0));
+        assert_eq!(ledger.issue(), RequestId(1));
+        assert_eq!(ledger.now(), 2);
+    }
+
+    #[test]
+    fn granted_topological_requests_emit_two_events() {
+        let mut ledger = RequestLedger::new();
+        let id = ledger.issue();
+        ledger.record(
+            id,
+            NodeId::from_index(3),
+            RequestKind::AddLeaf,
+            Outcome::Granted {
+                serial: None,
+                new_node: Some(NodeId::from_index(9)),
+            },
+        );
+        let events = ledger.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], ControllerEvent::Granted { .. }));
+        assert!(matches!(
+            events[1],
+            ControllerEvent::TopologyApplied {
+                node: Some(n),
+                ..
+            } if n == NodeId::from_index(9)
+        ));
+        // Draining empties the buffer.
+        assert!(ledger.drain_events().is_empty());
+    }
+
+    #[test]
+    fn refusals_are_recorded_and_retrievable() {
+        let mut ledger = RequestLedger::new();
+        let id = ledger.refuse(NodeId::from_index(1), RequestKind::RemoveSelf);
+        assert_eq!(ledger.outcome(id), Some(Outcome::Refused));
+        assert!(matches!(
+            ledger.drain_events()[..],
+            [ControllerEvent::Refused { id: got }] if got == id
+        ));
+        // Synchronous records carry zero latency.
+        assert_eq!(ledger.records()[0].latency(), 0);
+    }
+}

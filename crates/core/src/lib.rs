@@ -30,21 +30,38 @@
 //! * [`verify`] — safety / liveness / waste checkers shared by tests, property
 //!   tests and the experiment harness.
 //!
+//! Every family is driven through the ticket-based [`Controller`] trait: a
+//! submission returns a [`RequestId`] ticket, execution advances either all
+//! the way ([`Controller::run_to_quiescence`]) or in bounded slices
+//! ([`Controller::step`]), and per-request outcomes are observed as
+//! [`ControllerEvent`]s or looked up by ticket:
+//!
 //! ```
-//! use dcn_controller::centralized::CentralizedController;
-//! use dcn_controller::{Outcome, RequestKind};
+//! use dcn_controller::distributed::DistributedController;
+//! use dcn_controller::{Controller, ControllerEvent, RequestKind};
+//! use dcn_simnet::SimConfig;
 //! use dcn_tree::DynamicTree;
 //!
 //! # fn main() -> Result<(), dcn_controller::ControllerError> {
-//! // A controller over a fresh 64-node star (the root plus 63 leaves —
-//! // `with_initial_star(k)` creates k leaves) that may grant at most 10
-//! // permits and may "waste" at most 5 of them.
+//! // A distributed (M, W) = (10, 5) controller over a fresh 64-node star
+//! // (the root plus 63 leaves — `with_initial_star(k)` creates k leaves).
 //! let tree = DynamicTree::with_initial_star(63);
 //! assert_eq!(tree.node_count(), 64);
-//! let mut ctrl = CentralizedController::new(tree, 10, 5, 200)?;
-//! let leaf = ctrl.tree().nodes().last().unwrap();
-//! let outcome = ctrl.submit(leaf, RequestKind::AddLeaf)?;
-//! assert!(matches!(outcome, Outcome::Granted { .. }));
+//! let mut ctrl = DistributedController::new(SimConfig::new(7), tree, 10, 5, 200)?;
+//! let leaf = Controller::tree(&ctrl).nodes().last().unwrap();
+//!
+//! // Submit returns a ticket; the agent is now in flight.
+//! let ticket = Controller::submit(&mut ctrl, leaf, RequestKind::AddLeaf)?;
+//! assert!(Controller::outcome(&ctrl, ticket).is_none());
+//!
+//! // Advance the simulator in bounded slices until it is quiescent —
+//! // open-loop drivers submit more requests between slices.
+//! while !Controller::step(&mut ctrl, 32)?.quiescent {}
+//!
+//! // The answer arrives as an event (and as a record retrievable by ticket).
+//! let events = Controller::drain_events(&mut ctrl);
+//! assert!(matches!(events[0], ControllerEvent::Granted { id, .. } if id == ticket));
+//! assert!(Controller::outcome(&ctrl, ticket).unwrap().is_granted());
 //! assert_eq!(ctrl.granted(), 1);
 //! # Ok(())
 //! # }
@@ -58,13 +75,15 @@ pub mod centralized;
 pub mod distributed;
 pub mod domain;
 mod error;
+mod ledger;
 mod package;
 mod params;
 mod request;
 pub mod verify;
 
-pub use api::{Controller, ControllerMetrics};
+pub use api::{Controller, ControllerEvent, ControllerMetrics, Progress};
 pub use error::ControllerError;
+pub use ledger::RequestLedger;
 pub use package::{MobilePackage, PackageStore, PermitInterval};
 pub use params::Params;
 pub use request::{Outcome, RequestId, RequestKind, RequestRecord};

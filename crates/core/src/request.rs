@@ -4,6 +4,11 @@ use dcn_tree::NodeId;
 use std::fmt;
 
 /// Identifier of a request submitted to a controller.
+///
+/// Every [`Controller::submit`](crate::Controller::submit) call that reaches a
+/// controller issues one — it is the *ticket* under which the request's
+/// outcome is later reported ([`ControllerEvent`](crate::ControllerEvent),
+/// [`RequestRecord`], [`Controller::outcome`](crate::Controller::outcome)).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
@@ -60,6 +65,10 @@ pub enum Outcome {
     },
     /// The request was rejected.
     Rejected,
+    /// The controller's dynamic model does not cover the request's kind (the
+    /// AAPS baseline refuses deletions and internal insertions); no permit was
+    /// consumed and the safety/liveness accounting is untouched.
+    Refused,
 }
 
 impl Outcome {
@@ -67,9 +76,15 @@ impl Outcome {
     pub fn is_granted(&self) -> bool {
         matches!(self, Outcome::Granted { .. })
     }
+
+    /// Returns `true` for refused outcomes (request kind outside the
+    /// controller's dynamic model).
+    pub fn is_refused(&self) -> bool {
+        matches!(self, Outcome::Refused)
+    }
 }
 
-/// A fully resolved request, as reported by the distributed controller driver.
+/// A fully resolved request, as recorded by every controller family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestRecord {
     /// The request's identifier.
@@ -80,8 +95,21 @@ pub struct RequestRecord {
     pub kind: RequestKind,
     /// The controller's answer.
     pub outcome: Outcome,
-    /// Simulated time at which the answer was delivered.
+    /// Virtual time at which the request was submitted (simulated network
+    /// time for the distributed families; the submission serial number for
+    /// the synchronous families, which answer inside `submit`).
+    pub submitted_at: u64,
+    /// Virtual time at which the answer was delivered (same clock as
+    /// [`RequestRecord::submitted_at`]).
     pub answered_at: u64,
+}
+
+impl RequestRecord {
+    /// The request's answer latency in virtual time units
+    /// (`answered_at − submitted_at`; 0 for the synchronous families).
+    pub fn latency(&self) -> u64 {
+        self.answered_at.saturating_sub(self.submitted_at)
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +138,20 @@ mod tests {
         };
         assert!(g.is_granted());
         assert!(!Outcome::Rejected.is_granted());
+        assert!(!Outcome::Refused.is_granted());
+        assert!(Outcome::Refused.is_refused());
+    }
+
+    #[test]
+    fn latency_is_the_answer_delay() {
+        let rec = RequestRecord {
+            id: RequestId(0),
+            origin: NodeId::from_index(0),
+            kind: RequestKind::NonTopological,
+            outcome: Outcome::Rejected,
+            submitted_at: 10,
+            answered_at: 25,
+        };
+        assert_eq!(rec.latency(), 15);
     }
 }

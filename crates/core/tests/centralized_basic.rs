@@ -28,6 +28,7 @@ fn grants_until_budget_then_rejects_and_liveness_holds() {
         match ctrl.submit(at, RequestKind::NonTopological).unwrap() {
             Outcome::Granted { .. } => granted += 1,
             Outcome::Rejected => rejected += 1,
+            Outcome::Refused => unreachable!("core families never refuse"),
         }
     }
     assert_eq!(granted, ctrl.granted());
@@ -70,7 +71,7 @@ fn topological_requests_change_the_tree() {
     let out = ctrl.submit(leaf, RequestKind::AddLeaf).unwrap();
     let new_leaf = match out {
         Outcome::Granted { new_node, .. } => new_node.unwrap(),
-        Outcome::Rejected => panic!("request should be granted"),
+        Outcome::Rejected | Outcome::Refused => panic!("request should be granted"),
     };
     assert_eq!(ctrl.tree().parent(new_leaf), Some(leaf));
 
@@ -80,7 +81,7 @@ fn topological_requests_change_the_tree() {
         .unwrap();
     let mid = match out {
         Outcome::Granted { new_node, .. } => new_node.unwrap(),
-        Outcome::Rejected => panic!("request should be granted"),
+        Outcome::Rejected | Outcome::Refused => panic!("request should be granted"),
     };
     assert_eq!(ctrl.tree().parent(new_leaf), Some(mid));
 
@@ -183,6 +184,7 @@ fn interval_mode_reports_distinct_serials_within_budget() {
         match ctrl.submit(nodes[i % nodes.len()], RequestKind::NonTopological) {
             Ok(Outcome::Granted { serial, .. }) => serials.push(serial.unwrap()),
             Ok(Outcome::Rejected) => break,
+            Ok(Outcome::Refused) => unreachable!("core families never refuse"),
             Err(e) => panic!("unexpected error: {e}"),
         }
     }
@@ -328,6 +330,7 @@ fn adaptive_controller_respects_safety_and_liveness_under_churn() {
         match ctrl.submit(at, kind) {
             Ok(Outcome::Granted { .. }) => granted += 1,
             Ok(Outcome::Rejected) => rejected += 1,
+            Ok(Outcome::Refused) => unreachable!("core families never refuse"),
             Err(ControllerError::CannotRemoveRoot) => {}
             Err(e) => panic!("unexpected error: {e}"),
         }

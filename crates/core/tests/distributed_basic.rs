@@ -159,7 +159,7 @@ fn interval_mode_grants_unique_serials() {
         .iter()
         .filter_map(|r| match r.outcome {
             Outcome::Granted { serial, .. } => serial,
-            Outcome::Rejected => None,
+            Outcome::Rejected | Outcome::Refused => None,
         })
         .collect();
     let granted = serials.len();
@@ -231,7 +231,7 @@ fn adaptive_distributed_controller_rejects_only_when_budget_spent() {
         for r in &records {
             match r.outcome {
                 Outcome::Granted { .. } => granted += 1,
-                Outcome::Rejected => rejected += 1,
+                Outcome::Rejected | Outcome::Refused => rejected += 1,
             }
         }
     }

@@ -95,6 +95,7 @@ fn centralized_controller_is_correct_under_random_workloads() {
             match ctrl.submit(at, kind).unwrap() {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
+                Outcome::Refused => unreachable!("core families never refuse"),
             }
             // Permit conservation: granted + uncommitted == M at all times.
             assert_eq!(
@@ -140,6 +141,7 @@ fn iterated_controller_with_zero_waste_grants_exactly_m() {
             match ctrl.submit(at, kind).unwrap() {
                 Outcome::Granted { .. } => granted += 1,
                 Outcome::Rejected => rejected += 1,
+                Outcome::Refused => unreachable!("core families never refuse"),
             }
         }
         assert!(granted <= m, "case {case}");

@@ -217,6 +217,9 @@ impl NameAssigner {
                         need_new_iteration = true;
                         next_pending.push((rec.origin, rec.kind));
                     }
+                    // The fixed-bound distributed family supports the full
+                    // dynamic model and never refuses.
+                    Outcome::Refused => unreachable!("distributed controller never refuses"),
                 }
             }
             let (new_nodes, existing): (Vec<NodeId>, Vec<NodeId>) = {

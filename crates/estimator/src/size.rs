@@ -214,6 +214,9 @@ impl SizeEstimator {
                         need_new_iteration = true;
                         next_pending.push((rec.origin, rec.kind));
                     }
+                    // The fixed-bound distributed family supports the full
+                    // dynamic model and never refuses.
+                    Outcome::Refused => unreachable!("distributed controller never refuses"),
                 }
             }
             pending = next_pending;

@@ -17,17 +17,24 @@
 //! experiments can be recorded and replayed.
 //!
 //! On top of the generators sits the [`ScenarioRunner`]: the single driver
-//! loop that pushes a seeded scenario through **any**
-//! [`Controller`](dcn_controller::Controller) implementation — the paper's
-//! centralized and distributed controllers as well as the baselines — and
-//! returns a uniform [`RunReport`], so the experiment harness compares
-//! families row by row without per-family loops.
+//! loop that pushes a seeded scenario through **any** [`Controller`]
+//! implementation — the paper's centralized and distributed controllers as
+//! well as the baselines — and returns a uniform [`RunReport`] with
+//! per-request answer-latency percentiles. Scenarios choose an
+//! [`ArrivalMode`]: closed-loop batches, or open-loop *interleaved* arrivals
+//! in which new requests are submitted through bounded
+//! [`Controller::step`] slices while distributed agents are still in flight.
+//!
+//! Concrete controllers are built through the uniform [`ControllerSpec`]
+//! factory ([`Family`] × `M` × `W` × sim-config), which replaces the
+//! per-driver construction match arms; [`family_factory`] adapts it to the
+//! sweep engine's factory hook.
 //!
 //! Above the runner sits the [`SweepEngine`]: a declarative [`SweepGrid`]
-//! (families × shapes × churn × placement × budgets × replicates) expanded
-//! into deterministically-seeded cells, executed over a worker-thread pool,
-//! and aggregated into a [`SweepReport`] whose CSV/JSON output is
-//! byte-identical regardless of the worker count.
+//! (families × shapes × churn × placement × arrivals × budgets × replicates)
+//! expanded into deterministically-seeded cells, executed over a
+//! worker-thread pool, and aggregated into a [`SweepReport`] whose CSV/JSON
+//! output is byte-identical regardless of the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,18 +45,22 @@ mod placement;
 mod runner;
 mod scenario;
 mod shape;
+mod spec;
 mod sweep;
 
 pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
 pub use json::quote as json_quote;
 pub use placement::Placement;
 pub use runner::{RunReport, ScenarioRunner};
-pub use scenario::Scenario;
+pub use scenario::{ArrivalMode, Scenario};
 pub use shape::{build_tree, TreeShape};
+pub use spec::{family_factory, ControllerSpec, Family};
 pub use sweep::{
-    churn_label, placement_label, shape_label, CellResult, ControllerFactory, FamilySummary,
-    MwBudget, SweepCell, SweepEngine, SweepGrid, SweepReport,
+    arrival_label, churn_label, placement_label, shape_label, CellResult, ControllerFactory,
+    FamilySummary, MwBudget, SweepCell, SweepEngine, SweepGrid, SweepReport,
 };
 
-pub use dcn_controller::{Controller, RequestKind};
+pub use dcn_controller::{
+    Controller, ControllerEvent, Progress, RequestId, RequestKind, RequestRecord,
+};
 pub use dcn_tree::{DynamicTree, NodeId};

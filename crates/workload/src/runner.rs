@@ -2,16 +2,25 @@
 //!
 //! Before this layer existed, every experiment binary and example carried its
 //! own submit/run loop, one per controller family. The runner replaces all of
-//! them: it takes a seeded [`Scenario`] (shape × churn × placement × budget)
-//! and drives **any** [`dyn Controller`](Controller) through it, returning a
-//! uniform [`RunReport`]. Two runs with the same scenario are identical
-//! request-for-request, so families can be compared row by row.
+//! them: it takes a seeded [`Scenario`] (shape × churn × placement × arrival ×
+//! budget) and drives **any** [`dyn Controller`](Controller) through it,
+//! returning a uniform [`RunReport`]. Two runs with the same scenario are
+//! identical request-for-request, so families can be compared row by row.
+//!
+//! The runner is ticket-based: every submission yields a
+//! [`RequestId`](dcn_controller::RequestId), outcomes are tallied from the
+//! drained [`ControllerEvent`] stream, and per-request answer latencies are
+//! read from the controller's [`RequestRecord`] history. Under
+//! [`ArrivalMode::Interleaved`] the runner advances execution in bounded
+//! [`Controller::step`] slices between batches, so new requests arrive while
+//! the distributed family's agents are still in flight (the paper's online
+//! setting); a final [`Controller::run_to_quiescence`] answers everything.
 
 use crate::churn::{ChurnGenerator, ChurnOp};
-use crate::scenario::Scenario;
+use crate::scenario::{ArrivalMode, Scenario};
 use crate::shape::build_tree;
 use dcn_controller::verify::{ExecutionSummary, Violation};
-use dcn_controller::{Controller, ControllerError};
+use dcn_controller::{Controller, ControllerError, ControllerEvent};
 use dcn_rng::{DetRng, SeedableRng};
 use dcn_tree::DynamicTree;
 
@@ -26,10 +35,12 @@ pub struct RunReport {
     pub m: u64,
     /// The waste bound `W`.
     pub w: u64,
-    /// Requests actually submitted to the controller.
+    /// Requests actually processed by the controller's machinery (tickets
+    /// issued minus refusals).
     pub submitted: u64,
-    /// Operations the controller's dynamic model does not support (the AAPS
-    /// baseline refuses deletions and internal insertions).
+    /// Tickets that resolved to [`ControllerEvent::Refused`]: operations the
+    /// controller's dynamic model does not support (the AAPS baseline refuses
+    /// deletions and internal insertions).
     pub refused: u64,
     /// Operations that went stale before submission: an earlier grant in the
     /// same batch removed or re-parented the node they referenced
@@ -46,6 +57,12 @@ pub struct RunReport {
     pub moves: u64,
     /// Total messages (the distributed cost measure).
     pub messages: u64,
+    /// Median answer latency in virtual time units (`answered_at −
+    /// submitted_at` over this run's grants and rejects; 0 for synchronous
+    /// families, which answer inside `submit`).
+    pub p50_answer_latency: u64,
+    /// 95th-percentile answer latency in virtual time units.
+    pub p95_answer_latency: u64,
     /// Largest per-node state footprint observed, in bits.
     pub peak_node_memory_bits: u64,
     /// Network size when the run finished.
@@ -93,14 +110,28 @@ impl RunReport {
     }
 }
 
+/// Nearest-rank p50/p95 of a value stream (0 for an empty stream). Shared by
+/// the runner's latency columns and the sweep engine's family summaries.
+pub(crate) fn percentiles(values: impl Iterator<Item = u64>) -> (u64, u64) {
+    let mut sorted: Vec<u64> = values.collect();
+    if sorted.is_empty() {
+        return (0, 0);
+    }
+    sorted.sort_unstable();
+    let rank = |q: usize| sorted[(q * sorted.len()).div_ceil(100).clamp(1, sorted.len()) - 1];
+    (rank(50), rank(95))
+}
+
 /// Drives a [`dyn Controller`](Controller) through a seeded [`Scenario`].
 ///
 /// The runner generates churn operations against the controller's *current*
 /// tree, redraws the arrival node of non-topological events from the
-/// scenario's placement distribution, skips (and counts) operations outside
-/// the controller's dynamic model, and runs the controller to quiescence
-/// after every batch so that granted topological changes take effect before
-/// the next batch is generated — the controlled dynamic model of §2.1.2.
+/// scenario's placement distribution, submits every operation as a ticket
+/// (unsupported kinds resolve to refusal events instead of being filtered at
+/// the driver), and advances execution according to the scenario's
+/// [`ArrivalMode`] — to quiescence after every batch in the controlled
+/// closed-loop model of §2.1.2, or in bounded [`Controller::step`] slices in
+/// the open-loop interleaved model.
 ///
 /// ```
 /// use dcn_controller::centralized::IteratedController;
@@ -164,26 +195,30 @@ impl ScenarioRunner {
 
     /// Drives `ctrl` through the scenario and reports the outcome.
     ///
-    /// The controller should be freshly constructed (the report reads the
-    /// controller's cumulative counters).
+    /// The controller should be freshly constructed: the report reads the
+    /// controller's cumulative counters, and the latency columns cover the
+    /// records produced during this run only.
     ///
     /// # Errors
     ///
     /// Propagates submission validation errors for operations the model
-    /// supports, and simulator errors from
+    /// supports, and simulator errors from [`Controller::step`] /
     /// [`Controller::run_to_quiescence`].
     pub fn run(&self, ctrl: &mut dyn Controller) -> Result<RunReport, ControllerError> {
         let scenario = &self.scenario;
         let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
         let mut placement_rng =
             DetRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9).wrapping_add(71));
-        let mut submitted = 0u64;
-        let mut refused = 0u64;
+        let mut issued = 0u64;
         let mut dropped = 0u64;
         let mut stalled_batches = 0u32;
+        // Events and records from earlier runs over the same controller are
+        // not this run's outcomes.
+        ctrl.drain_events();
+        let records_before = ctrl.records().len();
 
-        while (submitted as usize) < scenario.requests {
-            let want = self.batch.min(scenario.requests - submitted as usize);
+        while (issued as usize) < scenario.requests {
+            let want = self.batch.min(scenario.requests - issued as usize);
             let ops = churn.batch(ctrl.tree(), want);
             if ops.is_empty() {
                 break;
@@ -200,23 +235,28 @@ impl ScenarioRunner {
                     ),
                     other => other.to_request(),
                 };
-                if !ctrl.supports(kind) {
-                    refused += 1;
-                    continue;
-                }
                 // Synchronous families apply granted changes immediately, so
                 // a later op of the same batch may reference a node an
                 // earlier grant just removed; such stale ops are dropped.
+                // (Unsupported kinds are NOT dropped — they get a ticket and
+                // resolve to a refusal event.)
                 if ctrl.submit(at, kind).is_err() {
                     dropped += 1;
                     continue;
                 }
-                submitted += 1;
+                issued += 1;
                 sent_this_batch += 1;
             }
-            ctrl.run_to_quiescence()?;
-            // A model that refuses everything the generator produces (e.g.
-            // AAPS under pure-deletion churn) must still terminate.
+            match scenario.arrival {
+                ArrivalMode::Batch => ctrl.run_to_quiescence()?,
+                ArrivalMode::Interleaved { quantum } => {
+                    // A bounded slice: distributed agents stay in flight while
+                    // the next batch is generated and submitted.
+                    ctrl.step(quantum)?;
+                }
+            }
+            // A model that refuses everything the generator produces must
+            // still terminate even if the generator runs dry of novel ops.
             if sent_this_batch == 0 {
                 stalled_batches += 1;
                 if stalled_batches > 8 {
@@ -226,7 +266,19 @@ impl ScenarioRunner {
                 stalled_batches = 0;
             }
         }
+        ctrl.run_to_quiescence()?;
 
+        let events = ctrl.drain_events();
+        let refused = events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::Refused { .. }))
+            .count() as u64;
+        let (p50_answer_latency, p95_answer_latency) = percentiles(
+            ctrl.records()[records_before..]
+                .iter()
+                .filter(|r| !r.outcome.is_refused())
+                .map(|r| r.latency()),
+        );
         let metrics = ctrl.metrics();
         let (granted, rejected) = (ctrl.granted(), ctrl.rejected());
         Ok(RunReport {
@@ -234,7 +286,7 @@ impl ScenarioRunner {
             scenario: scenario.name.clone(),
             m: ctrl.budget(),
             w: ctrl.waste_bound(),
-            submitted,
+            submitted: issued - refused,
             refused,
             dropped,
             granted,
@@ -246,6 +298,8 @@ impl ScenarioRunner {
             },
             moves: metrics.moves,
             messages: metrics.messages,
+            p50_answer_latency,
+            p95_answer_latency,
             peak_node_memory_bits: metrics.peak_node_memory_bits,
             final_nodes: ctrl.tree().node_count(),
             final_max_degree: ctrl
@@ -274,6 +328,7 @@ mod tests {
             shape: TreeShape::RandomRecursive { nodes: 23, seed: 5 },
             churn: ChurnModel::default_mixed(),
             placement: Placement::Uniform,
+            arrival: ArrivalMode::Batch,
             requests,
             m,
             w,
@@ -297,6 +352,8 @@ mod tests {
         assert_eq!(report.refused, 0);
         assert_eq!(report.granted + report.rejected, report.submitted);
         assert!(report.moves > 0);
+        // Synchronous families answer inside submit: zero latency.
+        assert_eq!(report.p95_answer_latency, 0);
         report.check().unwrap();
     }
 
@@ -318,7 +375,45 @@ mod tests {
         }
         assert_eq!(reports[0], reports[1], "runs must be reproducible");
         assert!(reports[0].messages > 0);
+        // Answers travel over the simulated network: non-zero latency.
+        assert!(reports[0].p95_answer_latency > 0);
         reports[0].check().unwrap();
+    }
+
+    #[test]
+    fn interleaved_arrivals_submit_while_agents_are_in_flight() {
+        let mut s = scenario(48, 40, 10, 21);
+        s.arrival = ArrivalMode::Interleaved { quantum: 8 };
+        let runner = ScenarioRunner::new(s);
+        let build = |runner: &ScenarioRunner| {
+            DistributedController::new(
+                SimConfig::new(runner.scenario().seed),
+                runner.initial_tree(),
+                runner.scenario().m,
+                runner.scenario().w,
+                runner.suggested_u_bound(),
+            )
+            .unwrap()
+        };
+        let mut ctrl = build(&runner);
+        let report = runner.run(&mut ctrl).unwrap();
+        assert_eq!(report.granted + report.rejected, report.submitted);
+        report.check().unwrap();
+        // Reproducible like every other mode.
+        let mut again = build(&runner);
+        assert_eq!(runner.run(&mut again).unwrap(), report);
+        // The open-loop schedule differs observably from the closed loop:
+        // under it, later requests contend with in-flight agents.
+        let mut closed = runner.scenario().clone();
+        closed.arrival = ArrivalMode::Batch;
+        let closed_runner = ScenarioRunner::new(closed);
+        let mut closed_ctrl = build(&closed_runner);
+        let closed_report = closed_runner.run(&mut closed_ctrl).unwrap();
+        assert_ne!(
+            (report.messages, report.p95_answer_latency),
+            (closed_report.messages, closed_report.p95_answer_latency),
+            "interleaved arrivals should change the execution schedule"
+        );
     }
 
     #[test]
@@ -368,6 +463,7 @@ mod tests {
             shape: TreeShape::Path { nodes: 30 },
             churn: ChurnModel::EventsOnly,
             placement: Placement::Deepest,
+            arrival: ArrivalMode::Batch,
             requests: 5,
             m: 10,
             w: 5,
@@ -383,5 +479,14 @@ mod tests {
             "moves {} too low for depth-30 requests",
             report.moves
         );
+    }
+
+    #[test]
+    fn percentile_helper_computes_nearest_rank() {
+        assert_eq!(percentiles([].into_iter()), (0, 0));
+        assert_eq!(percentiles([7].into_iter()), (7, 7));
+        let (p50, p95) = percentiles((1..=100).rev());
+        assert_eq!(p50, 50);
+        assert_eq!(p95, 95);
     }
 }

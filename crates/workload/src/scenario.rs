@@ -5,6 +5,41 @@ use crate::json::{self, Value};
 use crate::placement::Placement;
 use crate::shape::TreeShape;
 
+/// When execution advances relative to request arrivals.
+///
+/// The paper's (M, W)-Controller is an *online* object: requests arrive at
+/// arbitrary nodes at arbitrary times, including while earlier requests are
+/// still being served. The arrival mode controls how faithfully a scenario
+/// reproduces that:
+///
+/// * [`ArrivalMode::Batch`] is the closed-loop schedule (submit a batch, run
+///   to quiescence, repeat) every driver used before the ticket/event API;
+/// * [`ArrivalMode::Interleaved`] is the open-loop schedule: after each batch
+///   only a bounded [`Controller::step`](dcn_controller::Controller::step)
+///   slice runs, so the next batch arrives while the distributed family's
+///   agents are still in flight. Synchronous families answer inside `submit`
+///   and behave identically in both modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ArrivalMode {
+    /// Closed-loop: run to quiescence between request batches.
+    #[default]
+    Batch,
+    /// Open-loop: advance execution by at most `quantum` simulator events
+    /// between batches, then run to quiescence once all requests are in.
+    Interleaved {
+        /// Simulator-event budget granted between consecutive batches.
+        quantum: u64,
+    },
+}
+
+impl ArrivalMode {
+    /// Returns `true` for the open-loop (mid-flight submission) mode.
+    pub fn is_interleaved(&self) -> bool {
+        matches!(self, ArrivalMode::Interleaved { .. })
+    }
+}
+
 /// A complete, reproducible description of one experiment run: the initial
 /// topology, the churn model, the request placement, the controller
 /// parameters and the random seed.
@@ -14,13 +49,14 @@ use crate::shape::TreeShape;
 /// (see EXPERIMENTS.md).
 ///
 /// ```
-/// use dcn_workload::{ChurnModel, Placement, Scenario, TreeShape};
+/// use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, TreeShape};
 ///
 /// let scenario = Scenario {
 ///     name: "quarter-churn".to_string(),
 ///     shape: TreeShape::Balanced { nodes: 255, arity: 2 },
 ///     churn: ChurnModel::default_mixed(),
 ///     placement: Placement::Uniform,
+///     arrival: ArrivalMode::Interleaved { quantum: 48 },
 ///     requests: 1_000,
 ///     m: 1_000,
 ///     w: 100,
@@ -41,6 +77,8 @@ pub struct Scenario {
     pub churn: ChurnModel,
     /// Placement of non-topological requests.
     pub placement: Placement,
+    /// How request arrivals interleave with execution.
+    pub arrival: ArrivalMode,
     /// Total number of requests to submit.
     pub requests: usize,
     /// Permit budget `M`.
@@ -59,6 +97,7 @@ impl Scenario {
             shape: TreeShape::Star { nodes: 31 },
             churn: ChurnModel::default_mixed(),
             placement: Placement::Uniform,
+            arrival: ArrivalMode::Batch,
             requests: 64,
             m: 64,
             w: 16,
@@ -76,11 +115,12 @@ impl Scenario {
     /// Serialises the scenario to a single-line JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"name": {}, "shape": {}, "churn": {}, "placement": {}, "requests": {}, "m": {}, "w": {}, "seed": {}}}"#,
+            r#"{{"name": {}, "shape": {}, "churn": {}, "placement": {}, "arrival": {}, "requests": {}, "m": {}, "w": {}, "seed": {}}}"#,
             json::quote(&self.name),
             shape_to_json(self.shape),
             churn_to_json(self.churn),
             placement_to_json(self.placement),
+            arrival_to_json(self.arrival),
             self.requests,
             self.m,
             self.w,
@@ -100,6 +140,12 @@ impl Scenario {
             shape: shape_from_json(v.get("shape")?)?,
             churn: churn_from_json(v.get("churn")?)?,
             placement: placement_from_json(v.get("placement")?)?,
+            // Scenarios recorded before the ticket/event redesign have no
+            // arrival field; they replay in the original closed-loop mode.
+            arrival: match v.get("arrival") {
+                Ok(a) => arrival_from_json(a)?,
+                Err(_) => ArrivalMode::Batch,
+            },
             requests: v.get("requests")?.as_usize()?,
             m: v.get("m")?.as_u64()?,
             w: v.get("w")?.as_u64()?,
@@ -201,6 +247,25 @@ fn churn_from_json(v: &Value) -> Result<ChurnModel, String> {
     }
 }
 
+fn arrival_to_json(arrival: ArrivalMode) -> String {
+    match arrival {
+        ArrivalMode::Batch => r#"{"type": "batch"}"#.to_string(),
+        ArrivalMode::Interleaved { quantum } => {
+            format!(r#"{{"type": "interleaved", "quantum": {quantum}}}"#)
+        }
+    }
+}
+
+fn arrival_from_json(v: &Value) -> Result<ArrivalMode, String> {
+    match v.get("type")?.as_str()? {
+        "batch" => Ok(ArrivalMode::Batch),
+        "interleaved" => Ok(ArrivalMode::Interleaved {
+            quantum: v.get("quantum")?.as_u64()?,
+        }),
+        other => Err(format!("unknown arrival mode {other:?}")),
+    }
+}
+
 fn placement_to_json(placement: Placement) -> String {
     match placement {
         Placement::Uniform => r#"{"type": "uniform"}"#.to_string(),
@@ -268,24 +333,39 @@ mod tests {
                 hot_percent: 80,
             },
         ];
+        let arrivals = [ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 16 }];
         for &shape in &shapes {
             for &churn in &churns {
                 for &placement in &placements {
-                    let s = Scenario {
-                        name: "sweep \"quoted\"".to_string(),
-                        shape,
-                        churn,
-                        placement,
-                        requests: 10,
-                        m: 20,
-                        w: 5,
-                        seed: 3,
-                    };
-                    let back = Scenario::from_json(&s.to_json()).unwrap();
-                    assert_eq!(back, s);
+                    for &arrival in &arrivals {
+                        let s = Scenario {
+                            name: "sweep \"quoted\"".to_string(),
+                            shape,
+                            churn,
+                            placement,
+                            arrival,
+                            requests: 10,
+                            m: 20,
+                            w: 5,
+                            seed: 3,
+                        };
+                        let back = Scenario::from_json(&s.to_json()).unwrap();
+                        assert_eq!(back, s);
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn scenarios_recorded_before_the_arrival_field_replay_in_batch_mode() {
+        // A pre-redesign recording has no "arrival" key.
+        let legacy = Scenario::smoke()
+            .to_json()
+            .replace(r#""arrival": {"type": "batch"}, "#, "");
+        assert!(!legacy.contains("arrival"));
+        let back = Scenario::from_json(&legacy).unwrap();
+        assert_eq!(back.arrival, ArrivalMode::Batch);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! [`ControllerSpec`]: the uniform factory for every controller family.
+//!
+//! Before this module, every driver that needed a concrete controller — the
+//! experiment binaries, the sweep CLI, the examples, the end-to-end tests —
+//! carried its own hand-rolled `match family { ... }` over the constructors.
+//! A [`ControllerSpec`] replaces all of them: it captures the *family* plus
+//! the shared parameters (budget `M`, waste bound `W`, simulator
+//! configuration for the distributed families) and builds any of the six
+//! families behind a `Box<dyn Controller>`.
+//!
+//! The sweep engine's [`ControllerFactory`](crate::ControllerFactory) hook is
+//! covered by [`family_factory`], which resolves a grid's family *string* and
+//! builds the controller over the cell's scenario.
+
+use crate::runner::ScenarioRunner;
+use crate::scenario::Scenario;
+use dcn_baseline::{AapsController, TrivialController};
+use dcn_controller::centralized::{CentralizedController, IteratedController};
+use dcn_controller::distributed::{AdaptiveDistributedController, DistributedController};
+use dcn_controller::{Controller, ControllerError};
+use dcn_simnet::SimConfig;
+use dcn_tree::DynamicTree;
+
+/// The controller families the workspace can build and compare. All of them
+/// implement the shared [`Controller`] trait, so every driver exercises them
+/// through the same ticket/event code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// The fixed-bound centralized controller of §3.1 (requires `W ≥ 1`).
+    Centralized,
+    /// The iterated centralized controller of Observation 3.4 (`W = 0` ok).
+    Iterated,
+    /// The distributed mobile-agent controller of §4 on the simulator.
+    Distributed,
+    /// The adaptive distributed controller of Theorem 4.9 / Appendix A: no
+    /// a-priori bound on the number of nodes, epochs plus permit recycling.
+    AdaptiveDistributed,
+    /// The trivial every-request-walks-to-the-root strawman.
+    Trivial,
+    /// The AAPS-style bin-hierarchy baseline (grow-only dynamic model).
+    Aaps,
+}
+
+impl Family {
+    /// All six families, in comparison order.
+    pub const ALL: [Family; 6] = [
+        Family::Centralized,
+        Family::Iterated,
+        Family::Distributed,
+        Family::AdaptiveDistributed,
+        Family::Trivial,
+        Family::Aaps,
+    ];
+
+    /// The family's display name (matches [`Controller::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Centralized => "centralized",
+            Family::Iterated => "iterated",
+            Family::Distributed => "distributed",
+            Family::AdaptiveDistributed => "adaptive-distributed",
+            Family::Trivial => "trivial",
+            Family::Aaps => "aaps",
+        }
+    }
+
+    /// The family for a display name (the inverse of [`Family::name`]; used
+    /// to resolve the family strings of a [`SweepGrid`](crate::SweepGrid)).
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// A complete recipe for one controller: family × `M` × `W` × simulator
+/// configuration. Build it over any tree with [`ControllerSpec::build`], or
+/// over a scenario's initial tree with [`ControllerSpec::build_for`].
+///
+/// ```
+/// use dcn_workload::{ControllerSpec, Family, Scenario, ScenarioRunner};
+///
+/// let scenario = Scenario::smoke();
+/// let runner = ScenarioRunner::new(scenario.clone());
+/// for family in Family::ALL {
+///     let mut ctrl = ControllerSpec::for_scenario(family, &scenario)
+///         .build_for(&runner)
+///         .unwrap();
+///     let report = runner.run(ctrl.as_mut()).unwrap();
+///     assert_eq!(report.controller, family.name());
+///     report.check().unwrap();
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControllerSpec {
+    /// Which controller family to build.
+    pub family: Family,
+    /// The permit budget `M`.
+    pub m: u64,
+    /// The waste bound `W` (ignored by the trivial family, whose root always
+    /// knows the exact remaining budget).
+    pub w: u64,
+    /// Simulator configuration (seed, delay model, event budget) for the
+    /// distributed families; ignored by the synchronous ones.
+    pub sim: SimConfig,
+}
+
+impl ControllerSpec {
+    /// A spec with a default simulator configuration (seed 0).
+    pub fn new(family: Family, m: u64, w: u64) -> Self {
+        ControllerSpec {
+            family,
+            m,
+            w,
+            sim: SimConfig::new(0),
+        }
+    }
+
+    /// Replaces the simulator configuration (distributed families only).
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The spec matching a scenario's budget, waste bound and seed (the
+    /// simulator is seeded with the scenario seed so distributed delay
+    /// schedules replay with the workload).
+    pub fn for_scenario(family: Family, scenario: &Scenario) -> Self {
+        ControllerSpec {
+            family,
+            m: scenario.m,
+            w: scenario.w,
+            sim: SimConfig::new(scenario.seed),
+        }
+    }
+
+    /// Builds the controller over `tree` with node bound `u_bound`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors (e.g. `W = 0` for families that
+    /// require `W ≥ 1`, or a bound below the current node count).
+    pub fn build(
+        &self,
+        tree: DynamicTree,
+        u_bound: usize,
+    ) -> Result<Box<dyn Controller>, ControllerError> {
+        Ok(match self.family {
+            Family::Centralized => {
+                Box::new(CentralizedController::new(tree, self.m, self.w, u_bound)?)
+            }
+            Family::Iterated => Box::new(IteratedController::new(tree, self.m, self.w, u_bound)?),
+            Family::Distributed => Box::new(DistributedController::new(
+                self.sim, tree, self.m, self.w, u_bound,
+            )?),
+            Family::AdaptiveDistributed => Box::new(AdaptiveDistributedController::new(
+                self.sim, tree, self.m, self.w,
+            )?),
+            Family::Trivial => Box::new(TrivialController::new(tree, self.m)),
+            Family::Aaps => Box::new(AapsController::new(tree, self.m, self.w, u_bound)?),
+        })
+    }
+
+    /// Builds the controller over a runner's initial tree, sized with the
+    /// runner's suggested node bound.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ControllerSpec::build`].
+    pub fn build_for(
+        &self,
+        runner: &ScenarioRunner,
+    ) -> Result<Box<dyn Controller>, ControllerError> {
+        self.build(runner.initial_tree(), runner.suggested_u_bound())
+    }
+}
+
+/// The [`ControllerFactory`](crate::ControllerFactory) covering every family:
+/// resolves a [`SweepGrid`](crate::SweepGrid) family string and builds the
+/// controller over the cell's scenario.
+///
+/// # Errors
+///
+/// Returns a description for unknown family names and invalid parameter
+/// combinations (reported per cell by the engine, never propagated).
+pub fn family_factory(family: &str, scenario: &Scenario) -> Result<Box<dyn Controller>, String> {
+    let family =
+        Family::from_name(family).ok_or_else(|| format!("unknown controller family {family:?}"))?;
+    ControllerSpec::for_scenario(family, scenario)
+        .build_for(&ScenarioRunner::new(scenario.clone()))
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_controller::RequestKind;
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(Family::from_name(family.name()), Some(family));
+        }
+        assert_eq!(Family::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_family_builds_and_reports_its_own_name() {
+        let scenario = Scenario::smoke();
+        for family in Family::ALL {
+            let spec = ControllerSpec::for_scenario(family, &scenario);
+            let ctrl = spec
+                .build_for(&ScenarioRunner::new(scenario.clone()))
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert_eq!(ctrl.name(), family.name());
+            assert_eq!(ctrl.budget(), scenario.m);
+        }
+    }
+
+    #[test]
+    fn built_controllers_answer_tickets_uniformly() {
+        let scenario = Scenario::smoke();
+        for family in Family::ALL {
+            let mut ctrl = ControllerSpec::for_scenario(family, &scenario)
+                .build_for(&ScenarioRunner::new(scenario.clone()))
+                .unwrap();
+            let at = ctrl.tree().root();
+            let id = ctrl.submit(at, RequestKind::NonTopological).unwrap();
+            ctrl.run_to_quiescence().unwrap();
+            assert!(ctrl.outcome(id).unwrap().is_granted(), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn factory_rejects_unknown_families_with_a_description() {
+        let err = family_factory("martian", &Scenario::smoke())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("martian"));
+    }
+}

@@ -24,8 +24,8 @@
 
 use crate::churn::ChurnModel;
 use crate::placement::Placement;
-use crate::runner::{RunReport, ScenarioRunner};
-use crate::scenario::Scenario;
+use crate::runner::{percentiles, RunReport, ScenarioRunner};
+use crate::scenario::{ArrivalMode, Scenario};
 use crate::shape::TreeShape;
 use dcn_controller::Controller;
 use dcn_rng::split_mix64;
@@ -60,6 +60,9 @@ pub struct SweepGrid {
     pub churns: Vec<ChurnModel>,
     /// Placement distributions for non-topological requests.
     pub placements: Vec<Placement>,
+    /// Arrival modes (closed-loop batches and/or open-loop interleaved
+    /// submission against in-flight execution).
+    pub arrivals: Vec<ArrivalMode>,
     /// `(M, W)` budget points.
     pub budgets: Vec<MwBudget>,
     /// Requests submitted per cell.
@@ -77,6 +80,7 @@ impl SweepGrid {
             * self.shapes.len()
             * self.churns.len()
             * self.placements.len()
+            * self.arrivals.len()
             * self.budgets.len()
             * self.replicates.max(1)
     }
@@ -97,37 +101,41 @@ impl SweepGrid {
             for &shape in &self.shapes {
                 for &churn in &self.churns {
                     for &placement in &self.placements {
-                        for &budget in &self.budgets {
-                            for replicate in 0..replicates {
-                                let seed = split_mix64(
-                                    split_mix64(self.base_seed ^ split_mix64(point))
-                                        ^ replicate as u64,
-                                );
-                                let scenario = Scenario {
-                                    name: format!(
-                                        "{}-{}-{}-{}-m{}w{}-r{replicate}",
-                                        self.name,
-                                        shape_label(&shape),
-                                        churn_label(&churn),
-                                        placement_label(&placement),
-                                        budget.m,
-                                        budget.w,
-                                    ),
-                                    shape,
-                                    churn,
-                                    placement,
-                                    requests: self.requests,
-                                    m: budget.m,
-                                    w: budget.w,
-                                    seed,
-                                };
-                                cells.push(SweepCell {
-                                    index,
-                                    family: family.clone(),
-                                    scenario,
-                                });
-                                index += 1;
-                                point += 1;
+                        for &arrival in &self.arrivals {
+                            for &budget in &self.budgets {
+                                for replicate in 0..replicates {
+                                    let seed = split_mix64(
+                                        split_mix64(self.base_seed ^ split_mix64(point))
+                                            ^ replicate as u64,
+                                    );
+                                    let scenario = Scenario {
+                                        name: format!(
+                                            "{}-{}-{}-{}-{}-m{}w{}-r{replicate}",
+                                            self.name,
+                                            shape_label(&shape),
+                                            churn_label(&churn),
+                                            placement_label(&placement),
+                                            arrival_label(&arrival),
+                                            budget.m,
+                                            budget.w,
+                                        ),
+                                        shape,
+                                        churn,
+                                        placement,
+                                        arrival,
+                                        requests: self.requests,
+                                        m: budget.m,
+                                        w: budget.w,
+                                        seed,
+                                    };
+                                    cells.push(SweepCell {
+                                        index,
+                                        family: family.clone(),
+                                        scenario,
+                                    });
+                                    index += 1;
+                                    point += 1;
+                                }
                             }
                         }
                     }
@@ -195,6 +203,11 @@ pub struct FamilySummary {
     pub p50_memory_bits: u64,
     /// 95th-percentile peak per-node memory, in bits.
     pub p95_memory_bits: u64,
+    /// Median of the cells' median answer latencies (virtual time units; 0
+    /// for synchronous families, which answer inside `submit`).
+    pub p50_latency: u64,
+    /// 95th percentile of the cells' p95 answer latencies.
+    pub p95_latency: u64,
 }
 
 /// Builds a controller of the named family over a scenario.
@@ -213,7 +226,8 @@ pub type ControllerFactory<'a> =
 /// ```
 /// use dcn_controller::centralized::IteratedController;
 /// use dcn_workload::{
-///     ChurnModel, MwBudget, Placement, ScenarioRunner, SweepEngine, SweepGrid, TreeShape,
+///     ArrivalMode, ChurnModel, MwBudget, Placement, ScenarioRunner, SweepEngine, SweepGrid,
+///     TreeShape,
 /// };
 ///
 /// let grid = SweepGrid {
@@ -222,6 +236,7 @@ pub type ControllerFactory<'a> =
 ///     shapes: vec![TreeShape::Star { nodes: 12 }],
 ///     churns: vec![ChurnModel::default_mixed()],
 ///     placements: vec![Placement::Uniform],
+///     arrivals: vec![ArrivalMode::Batch],
 ///     budgets: vec![MwBudget { m: 32, w: 8 }],
 ///     requests: 24,
 ///     replicates: 2,
@@ -377,6 +392,8 @@ impl SweepReport {
                 let (p50_messages, p95_messages) = percentiles(reports.iter().map(|r| r.messages));
                 let (p50_memory_bits, p95_memory_bits) =
                     percentiles(reports.iter().map(|r| r.peak_node_memory_bits));
+                let (p50_latency, _) = percentiles(reports.iter().map(|r| r.p50_answer_latency));
+                let (_, p95_latency) = percentiles(reports.iter().map(|r| r.p95_answer_latency));
                 FamilySummary {
                     family: family.to_string(),
                     cells: attempted,
@@ -388,6 +405,8 @@ impl SweepReport {
                     p95_messages,
                     p50_memory_bits,
                     p95_memory_bits,
+                    p50_latency,
+                    p95_latency,
                 }
             })
             .collect()
@@ -398,9 +417,9 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "cell,family,scenario,shape,churn,placement,m,w,requests,seed,status,\
+            "cell,family,scenario,shape,churn,placement,arrival,m,w,requests,seed,status,\
              submitted,refused,dropped,granted,rejected,wasted,moves,messages,\
-             peak_memory_bits,final_nodes,final_max_degree\n",
+             p50_latency,p95_latency,peak_memory_bits,final_nodes,final_max_degree\n",
         );
         for c in &self.cells {
             let s = &c.cell.scenario;
@@ -409,13 +428,14 @@ impl SweepReport {
             let status = cell_status(c).replace(',', ";").replace('\n', " ");
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.cell.index,
                 c.cell.family,
                 s.name,
                 shape_label(&s.shape),
                 churn_label(&s.churn),
                 placement_label(&s.placement),
+                arrival_label(&s.arrival),
                 s.m,
                 s.w,
                 s.requests,
@@ -426,7 +446,7 @@ impl SweepReport {
                 Ok(r) => {
                     let _ = writeln!(
                         out,
-                        ",{},{},{},{},{},{},{},{},{},{},{}",
+                        ",{},{},{},{},{},{},{},{},{},{},{},{},{}",
                         r.submitted,
                         r.refused,
                         r.dropped,
@@ -435,25 +455,27 @@ impl SweepReport {
                         r.wasted,
                         r.moves,
                         r.messages,
+                        r.p50_answer_latency,
+                        r.p95_answer_latency,
                         r.peak_node_memory_bits,
                         r.final_nodes,
                         r.final_max_degree,
                     );
                 }
                 Err(_) => {
-                    out.push_str(",,,,,,,,,,,\n");
+                    out.push_str(",,,,,,,,,,,,,\n");
                 }
             }
         }
         out.push('\n');
         out.push_str(
             "family,cells,errors,violations,p50_moves,p95_moves,p50_messages,\
-             p95_messages,p50_memory_bits,p95_memory_bits\n",
+             p95_messages,p50_memory_bits,p95_memory_bits,p50_latency,p95_latency\n",
         );
         for s in self.summaries() {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
                 s.family,
                 s.cells,
                 s.errors,
@@ -464,6 +486,8 @@ impl SweepReport {
                 s.p95_messages,
                 s.p50_memory_bits,
                 s.p95_memory_bits,
+                s.p50_latency,
+                s.p95_latency,
             );
         }
         out
@@ -494,7 +518,7 @@ impl SweepReport {
                 Ok(r) => {
                     let _ = write!(
                         out,
-                        r#"{{"submitted": {}, "refused": {}, "dropped": {}, "granted": {}, "rejected": {}, "wasted": {}, "moves": {}, "messages": {}, "peak_memory_bits": {}, "final_nodes": {}, "final_max_degree": {}}}"#,
+                        r#"{{"submitted": {}, "refused": {}, "dropped": {}, "granted": {}, "rejected": {}, "wasted": {}, "moves": {}, "messages": {}, "p50_latency": {}, "p95_latency": {}, "peak_memory_bits": {}, "final_nodes": {}, "final_max_degree": {}}}"#,
                         r.submitted,
                         r.refused,
                         r.dropped,
@@ -503,6 +527,8 @@ impl SweepReport {
                         r.wasted,
                         r.moves,
                         r.messages,
+                        r.p50_answer_latency,
+                        r.p95_answer_latency,
                         r.peak_node_memory_bits,
                         r.final_nodes,
                         r.final_max_degree,
@@ -519,7 +545,7 @@ impl SweepReport {
             }
             let _ = write!(
                 out,
-                r#"{{"family": {}, "cells": {}, "errors": {}, "violations": {}, "p50_moves": {}, "p95_moves": {}, "p50_messages": {}, "p95_messages": {}, "p50_memory_bits": {}, "p95_memory_bits": {}}}"#,
+                r#"{{"family": {}, "cells": {}, "errors": {}, "violations": {}, "p50_moves": {}, "p95_moves": {}, "p50_messages": {}, "p95_messages": {}, "p50_memory_bits": {}, "p95_memory_bits": {}, "p50_latency": {}, "p95_latency": {}}}"#,
                 crate::json::quote(&s.family),
                 s.cells,
                 s.errors,
@@ -530,6 +556,8 @@ impl SweepReport {
                 s.p95_messages,
                 s.p50_memory_bits,
                 s.p95_memory_bits,
+                s.p50_latency,
+                s.p95_latency,
             );
         }
         out.push_str("]}");
@@ -543,17 +571,6 @@ fn cell_status(c: &CellResult) -> String {
         (Ok(_), Some(v)) => format!("violation: {v}"),
         (Ok(_), None) => "ok".to_string(),
     }
-}
-
-/// Nearest-rank p50/p95 of a value stream (0 for an empty stream).
-fn percentiles(values: impl Iterator<Item = u64>) -> (u64, u64) {
-    let mut sorted: Vec<u64> = values.collect();
-    if sorted.is_empty() {
-        return (0, 0);
-    }
-    sorted.sort_unstable();
-    let rank = |q: usize| sorted[(q * sorted.len()).div_ceil(100).clamp(1, sorted.len()) - 1];
-    (rank(50), rank(95))
 }
 
 /// A short, comma-free label for a shape (used in scenario names and CSV).
@@ -581,6 +598,14 @@ pub fn churn_label(churn: &ChurnModel) -> String {
             remove,
         } => format!("full{add_leaf}-{add_internal}-{remove}"),
         ChurnModel::BurstyDeepLeaf { burst } => format!("bursty{burst}"),
+    }
+}
+
+/// A short, comma-free label for an arrival mode.
+pub fn arrival_label(arrival: &ArrivalMode) -> String {
+    match *arrival {
+        ArrivalMode::Batch => "batch".to_string(),
+        ArrivalMode::Interleaved { quantum } => format!("open{quantum}"),
     }
 }
 
@@ -624,6 +649,7 @@ mod tests {
             shapes: vec![TreeShape::Star { nodes: 10 }, TreeShape::Path { nodes: 10 }],
             churns: vec![ChurnModel::default_mixed(), ChurnModel::GrowOnly],
             placements: vec![Placement::Uniform],
+            arrivals: vec![ArrivalMode::Batch],
             budgets: vec![MwBudget { m: 24, w: 6 }],
             requests: 16,
             replicates: 2,
@@ -698,12 +724,19 @@ mod tests {
     }
 
     #[test]
-    fn summaries_compute_nearest_rank_percentiles() {
-        assert_eq!(percentiles([].into_iter()), (0, 0));
-        assert_eq!(percentiles([7].into_iter()), (7, 7));
-        let (p50, p95) = percentiles((1..=100).rev());
-        assert_eq!(p50, 50);
-        assert_eq!(p95, 95);
+    fn the_arrival_axis_multiplies_the_grid_and_labels_cells() {
+        let mut grid = small_grid();
+        grid.arrivals = vec![ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 12 }];
+        assert_eq!(grid.cell_count(), 16);
+        let cells = grid.cells();
+        assert!(cells
+            .iter()
+            .any(|c| c.scenario.arrival.is_interleaved() && c.scenario.name.contains("open12")));
+        // An interleaved grid still runs clean and deterministically.
+        let serial = SweepEngine::new(1).run(&grid, &iterated_factory);
+        let parallel = SweepEngine::new(3).run(&grid, &iterated_factory);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.violation_count(), 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use dcn::controller::distributed::AdaptiveDistributedController;
 use dcn::controller::Controller;
 use dcn::simnet::{DelayModel, SimConfig};
-use dcn::workload::{build_tree, ChurnModel, Placement, Scenario, ScenarioRunner, TreeShape};
+use dcn::workload::{
+    build_tree, ArrivalMode, ChurnModel, Placement, Scenario, ScenarioRunner, TreeShape,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = build_tree(TreeShape::Star { nodes: 7 });
@@ -41,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shape: TreeShape::Star { nodes: 7 }, // initial shape (tree already built)
             churn,
             placement: Placement::Uniform,
+            // The adaptive controller recycles permits between full batches,
+            // so each wave runs closed-loop.
+            arrival: ArrivalMode::Batch,
             requests: 12,
             m: 600,
             w: 60,

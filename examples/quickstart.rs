@@ -1,18 +1,21 @@
-//! Quickstart: run the distributed (M, W)-Controller on a small dynamic tree
-//! through the shared `ScenarioRunner`.
+//! Quickstart: drive the distributed (M, W)-Controller through the
+//! ticket-based Controller API — submit returns a ticket, execution advances
+//! in bounded `step()` slices while more requests arrive (the paper's online
+//! setting), and per-request outcomes stream back as events.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! A 16-node network is created, a seeded scenario of mixed churn (leaf
-//! joins, internal splits, departures and plain resource requests) is driven
-//! through the controller, and the uniform `RunReport` shows the controller
-//! answered everything while respecting the permit budget.
+//! A 16-node network is created through the uniform `ControllerSpec` factory,
+//! a seeded open-loop scenario of mixed churn (leaf joins, internal splits,
+//! departures and plain resource requests) is driven through the controller,
+//! and the uniform `RunReport` shows the controller answered everything while
+//! respecting the permit budget — including per-request answer latencies.
 
-use dcn::controller::distributed::DistributedController;
-use dcn::simnet::{DelayModel, SimConfig};
-use dcn::workload::{ChurnModel, Placement, Scenario, ScenarioRunner};
+use dcn::workload::{
+    ArrivalMode, ChurnModel, ControllerSpec, Family, Placement, Scenario, ScenarioRunner,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An (M, W) = (10, 3) controller: at most 10 permits ever, and if
@@ -25,6 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         churn: ChurnModel::default_mixed(),
         placement: Placement::Uniform,
+        // Open-loop arrivals: between request batches the simulator advances
+        // by at most 16 events, so new requests arrive while earlier mobile
+        // agents are still in flight.
+        arrival: ArrivalMode::Interleaved { quantum: 16 },
         requests: 12,
         m: 10,
         w: 3,
@@ -33,20 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- quickstart ---");
     println!("scenario: {}", scenario.to_json());
 
+    // The spec factory builds any of the six families uniformly; swap
+    // `Family::Distributed` for `Family::Iterated`, `Family::Aaps`, … and the
+    // rest of this program is unchanged.
     let runner = ScenarioRunner::new(scenario.clone());
-    let config = SimConfig::new(scenario.seed).with_delay(DelayModel::Uniform { min: 1, max: 6 });
-    let mut controller = DistributedController::new(
-        config,
-        runner.initial_tree(),
-        scenario.m,
-        scenario.w,
-        runner.suggested_u_bound(),
-    )?;
+    let mut controller =
+        ControllerSpec::for_scenario(Family::Distributed, &scenario).build_for(&runner)?;
 
-    // One shared driver loop for every controller family: submit batches,
-    // run the asynchronous network to quiescence, repeat.
-    let report = runner.run(&mut controller)?;
+    // One shared driver loop for every controller family: submit tickets,
+    // step the execution, collect events.
+    let report = runner.run(controller.as_mut())?;
 
+    // Every request is retrievable by its ticket, with submit/answer times.
     for record in controller.records() {
         let answer = if record.outcome.is_granted() {
             "granted"
@@ -54,8 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "rejected"
         };
         println!(
-            "request {:>3} at {:>4} ({:?}) -> {answer} (t = {})",
-            record.id, record.origin, record.kind, record.answered_at
+            "request {:>3} at {:>4} ({:?}) -> {answer} (submitted t = {}, answered t = {}, latency {})",
+            record.id,
+            record.origin,
+            record.kind,
+            record.submitted_at,
+            record.answered_at,
+            record.latency(),
         );
     }
     println!(
@@ -63,8 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.granted, report.rejected, report.m, report.w
     );
     println!(
-        "messages: {}   final network size: {}",
-        report.messages, report.final_nodes
+        "messages: {}   final network size: {}   answer latency p50/p95: {}/{}",
+        report.messages, report.final_nodes, report.p50_answer_latency, report.p95_answer_latency
     );
     report.check().expect("safety & liveness hold");
     Ok(())

@@ -3,22 +3,25 @@
 //! with correctness checked end to end.
 
 use dcn::baseline::{AapsController, TrivialController};
-use dcn::controller::centralized::{CentralizedController, IteratedController};
-use dcn::controller::distributed::{AdaptiveDistributedController, DistributedController};
+use dcn::controller::centralized::IteratedController;
+use dcn::controller::distributed::AdaptiveDistributedController;
 use dcn::controller::verify::ExecutionSummary;
 use dcn::controller::{Controller, Outcome, RequestKind};
 use dcn::simnet::{DelayModel, SimConfig};
 use dcn::tree::NodeId;
 use dcn::workload::{
-    build_tree, ChurnGenerator, ChurnModel, ChurnOp, Placement, Scenario, ScenarioRunner, TreeShape,
+    build_tree, ArrivalMode, ChurnGenerator, ChurnModel, ChurnOp, ControllerSpec, Family,
+    Placement, Scenario, ScenarioRunner, TreeShape,
 };
 
-/// The satellite acceptance test of this refactor: all four controller
-/// families run the *same* seeded scenario through the single
-/// `ScenarioRunner` code path, and the safety invariant `granted ≤ M` (plus
-/// liveness, via `RunReport::check`) holds for each of them.
+/// The acceptance test of the ticket/event redesign: all six controller
+/// families — built through the *same* `ControllerSpec` factory — run the
+/// same seeded scenario through the single `ScenarioRunner` code path; the
+/// safety invariant `granted ≤ M` (plus liveness, via `RunReport::check`)
+/// holds for each of them, and every single request's outcome is retrievable
+/// by its `RequestId` ticket afterwards.
 #[test]
-fn all_four_controller_families_respect_safety_on_the_same_scenario() {
+fn all_six_controller_families_respect_safety_on_the_same_scenario() {
     let scenario = Scenario {
         name: "e2e-sweep".to_string(),
         shape: TreeShape::RandomRecursive {
@@ -27,37 +30,20 @@ fn all_four_controller_families_respect_safety_on_the_same_scenario() {
         },
         churn: ChurnModel::GrowOnly,
         placement: Placement::Uniform,
+        arrival: ArrivalMode::Batch,
         requests: 48,
         m: 40,
         w: 10,
         seed: 11,
     };
     let runner = ScenarioRunner::new(scenario.clone());
-    let u_bound = runner.suggested_u_bound();
 
-    let mut controllers: Vec<Box<dyn Controller>> = vec![
-        Box::new(
-            CentralizedController::new(runner.initial_tree(), scenario.m, scenario.w, u_bound)
-                .unwrap(),
-        ),
-        Box::new(
-            DistributedController::new(
-                SimConfig::new(scenario.seed),
-                runner.initial_tree(),
-                scenario.m,
-                scenario.w,
-                u_bound,
-            )
-            .unwrap(),
-        ),
-        Box::new(TrivialController::new(runner.initial_tree(), scenario.m)),
-        Box::new(
-            AapsController::new(runner.initial_tree(), scenario.m, scenario.w, u_bound).unwrap(),
-        ),
-    ];
-
-    for ctrl in &mut controllers {
+    for family in Family::ALL {
+        let mut ctrl = ControllerSpec::for_scenario(family, &scenario)
+            .build_for(&runner)
+            .unwrap();
         let report = runner.run(ctrl.as_mut()).unwrap();
+        assert_eq!(report.controller, family.name());
         assert!(
             report.granted <= scenario.m,
             "{}: safety violated ({} > {})",
@@ -80,6 +66,65 @@ fn all_four_controller_families_respect_safety_on_the_same_scenario() {
             "{}: inconsistent tree",
             report.controller
         );
+        // Per-request outcomes are retrievable by ticket for every family.
+        let records = ctrl.records();
+        assert_eq!(
+            records.len() as u64,
+            report.submitted + report.refused,
+            "{}: one record per ticket",
+            report.controller
+        );
+        for rec in records {
+            assert_eq!(
+                ctrl.outcome(rec.id),
+                Some(rec.outcome),
+                "{}: {:?} must be retrievable by ticket",
+                report.controller,
+                rec.id
+            );
+            assert!(rec.answered_at >= rec.submitted_at);
+        }
+    }
+}
+
+/// Open-loop arrivals: requests are submitted while distributed agents are
+/// in flight, and the execution stays safe, live and reproducible.
+#[test]
+fn interleaved_arrivals_are_safe_for_the_distributed_families() {
+    let scenario = Scenario {
+        name: "e2e-interleaved".to_string(),
+        shape: TreeShape::RandomRecursive {
+            nodes: 31,
+            seed: 13,
+        },
+        churn: ChurnModel::GrowOnly,
+        placement: Placement::Uniform,
+        arrival: ArrivalMode::Interleaved { quantum: 12 },
+        requests: 48,
+        m: 40,
+        w: 10,
+        seed: 13,
+    };
+    let runner = ScenarioRunner::new(scenario.clone());
+    for family in [Family::Distributed, Family::AdaptiveDistributed] {
+        let build = || {
+            ControllerSpec::for_scenario(family, &scenario)
+                .build_for(&runner)
+                .unwrap()
+        };
+        let mut ctrl = build();
+        let report = runner.run(ctrl.as_mut()).unwrap();
+        report
+            .check()
+            .unwrap_or_else(|v| panic!("{}: {v}", report.controller));
+        assert_eq!(report.granted + report.rejected, report.submitted);
+        let mut again = build();
+        assert_eq!(
+            runner.run(again.as_mut()).unwrap(),
+            report,
+            "{}: interleaved runs must be reproducible",
+            family.name()
+        );
     }
 }
 
@@ -91,6 +136,7 @@ fn adaptive_distributed_controller_runs_through_the_scenario_runner() {
         shape: TreeShape::RandomRecursive { nodes: 15, seed: 3 },
         churn: ChurnModel::default_mixed(),
         placement: Placement::Uniform,
+        arrival: ArrivalMode::Batch,
         requests: 60,
         m: 120,
         w: 30,
@@ -128,6 +174,7 @@ fn generated_churn_through_the_adaptive_controller_is_safe_and_live() {
                 match r.outcome {
                     Outcome::Granted { .. } => granted += 1,
                     Outcome::Rejected => rejected += 1,
+                    Outcome::Refused => unreachable!("the adaptive family never refuses"),
                 }
             }
             assert!(ctrl.tree().check_invariants().is_ok());
@@ -306,6 +353,7 @@ fn scenario_serialisation_supports_replay() {
         shape: TreeShape::Caterpillar { spine: 8, legs: 2 },
         churn: ChurnModel::LeafChurn { insert_percent: 60 },
         placement: Placement::Leaves,
+        arrival: ArrivalMode::Interleaved { quantum: 20 },
         requests: 100,
         m: 100,
         w: 25,

@@ -1,0 +1,214 @@
+//! Property tests for the ticket/event runtime API (seeded case loops — the
+//! build environment has no proptest; every failure reproduces from its
+//! printed case seed).
+//!
+//! Two properties must hold for **all six** controller families:
+//!
+//! 1. **Event/counter parity.** The drained [`ControllerEvent`] stream is not
+//!    a parallel truth: its `Granted` / `Rejected` / `Refused` totals equal
+//!    the `granted()` / `rejected()` counters and the refusal count exactly,
+//!    every answer event carries a ticket that resolves through `outcome()`,
+//!    and the record history matches event for event.
+//! 2. **Step ≡ run.** Driving execution with `step(budget)` until quiescence
+//!    is observationally identical to one `run_to_quiescence` call: same
+//!    records, same events, same counters, same tree, same cost metrics.
+
+use dcn::controller::{Controller, ControllerEvent, Outcome};
+use dcn::workload::{
+    build_tree, ChurnGenerator, ChurnModel, ControllerSpec, Family, Scenario, TreeShape,
+};
+
+const CASES: u64 = 6;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::smoke();
+    s.name = format!("parity-{seed}");
+    // Mixed churn includes deletions and internal insertions, which the AAPS
+    // family refuses — exercising the Refused path.
+    s.churn = ChurnModel::default_mixed();
+    s.shape = TreeShape::RandomRecursive { nodes: 19, seed };
+    s.requests = 40;
+    s.m = 24;
+    s.w = 8;
+    s.seed = seed;
+    s
+}
+
+/// Submits one seeded batch stream; after each batch, `advance` drives the
+/// controller (either one `run_to_quiescence` or a step-until-quiescent
+/// loop). Returns the tickets issued.
+fn drive(
+    ctrl: &mut dyn Controller,
+    scenario: &Scenario,
+    advance: &dyn Fn(&mut dyn Controller),
+) -> Vec<dcn::controller::RequestId> {
+    let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
+    let mut tickets = Vec::new();
+    while tickets.len() < scenario.requests {
+        let want = 8.min(scenario.requests - tickets.len());
+        let ops = churn.batch(ctrl.tree(), want);
+        if ops.is_empty() {
+            break;
+        }
+        for op in &ops {
+            let (at, kind) = op.to_request();
+            if let Ok(id) = ctrl.submit(at, kind) {
+                tickets.push(id);
+            }
+        }
+        advance(ctrl);
+    }
+    advance(ctrl);
+    tickets
+}
+
+fn run_fully(ctrl: &mut dyn Controller) {
+    ctrl.run_to_quiescence().unwrap();
+}
+
+fn step_until_quiescent(ctrl: &mut dyn Controller) {
+    loop {
+        if ctrl.step(7).unwrap().quiescent {
+            break;
+        }
+    }
+}
+
+#[test]
+fn event_totals_equal_counters_for_all_six_families() {
+    for case in 0..CASES {
+        let scenario = scenario(case);
+        for family in Family::ALL {
+            let tree = build_tree(scenario.shape);
+            let u_bound = tree.node_count() + scenario.requests + 2;
+            let mut ctrl = ControllerSpec::for_scenario(family, &scenario)
+                .build(tree, u_bound)
+                .unwrap();
+            let tickets = drive(ctrl.as_mut(), &scenario, &run_fully);
+            let events = ctrl.drain_events();
+
+            let granted = events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::Granted { .. }))
+                .count() as u64;
+            let rejected = events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::Rejected { .. }))
+                .count() as u64;
+            let refused = events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::Refused { .. }))
+                .count() as u64;
+            let answers = events.iter().filter(|e| e.is_answer()).count();
+
+            assert_eq!(
+                granted,
+                ctrl.granted(),
+                "case {case} {}: granted events vs counter",
+                family.name()
+            );
+            assert_eq!(
+                rejected,
+                ctrl.rejected(),
+                "case {case} {}: rejected events vs counter",
+                family.name()
+            );
+            assert_eq!(
+                answers,
+                tickets.len(),
+                "case {case} {}: every ticket resolves to exactly one answer",
+                family.name()
+            );
+            assert_eq!(
+                ctrl.records().len(),
+                answers,
+                "case {case} {}: one record per answer",
+                family.name()
+            );
+            if family == Family::Aaps {
+                assert!(
+                    refused > 0,
+                    "case {case}: mixed churn must exercise the AAPS refusal path"
+                );
+            } else {
+                assert_eq!(refused, 0, "case {case} {}", family.name());
+            }
+            // Every answer event's ticket resolves through outcome(), and the
+            // outcome kind matches the event kind.
+            for event in &events {
+                let outcome = ctrl
+                    .outcome(event.id())
+                    .unwrap_or_else(|| panic!("case {case} {}: {:?}", family.name(), event));
+                match event {
+                    ControllerEvent::Granted { .. } => assert!(outcome.is_granted()),
+                    ControllerEvent::Rejected { .. } => assert_eq!(outcome, Outcome::Rejected),
+                    ControllerEvent::Refused { .. } => assert_eq!(outcome, Outcome::Refused),
+                    ControllerEvent::TopologyApplied { .. } => assert!(outcome.is_granted()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stepping_until_quiescent_is_observationally_identical_to_running() {
+    for case in 0..CASES {
+        let scenario = scenario(1_000 + case);
+        for family in Family::ALL {
+            let build = || {
+                let tree = build_tree(scenario.shape);
+                let u_bound = tree.node_count() + scenario.requests + 2;
+                ControllerSpec::for_scenario(family, &scenario)
+                    .build(tree, u_bound)
+                    .unwrap()
+            };
+            let mut ran = build();
+            let ran_tickets = drive(ran.as_mut(), &scenario, &run_fully);
+            let mut stepped = build();
+            let stepped_tickets = drive(stepped.as_mut(), &scenario, &step_until_quiescent);
+
+            assert_eq!(
+                ran_tickets,
+                stepped_tickets,
+                "case {case} {}: identical submission streams",
+                family.name()
+            );
+            assert_eq!(
+                ran.drain_events(),
+                stepped.drain_events(),
+                "case {case} {}: identical event streams",
+                family.name()
+            );
+            assert_eq!(
+                ran.records(),
+                stepped.records(),
+                "case {case} {}: identical record histories",
+                family.name()
+            );
+            assert_eq!(
+                ran.granted(),
+                stepped.granted(),
+                "case {case} {}",
+                family.name()
+            );
+            assert_eq!(
+                ran.rejected(),
+                stepped.rejected(),
+                "case {case} {}",
+                family.name()
+            );
+            assert_eq!(
+                ran.metrics(),
+                stepped.metrics(),
+                "case {case} {}: identical cost metrics",
+                family.name()
+            );
+            assert_eq!(
+                ran.tree().node_count(),
+                stepped.tree().node_count(),
+                "case {case} {}: identical final trees",
+                family.name()
+            );
+        }
+    }
+}
