@@ -13,8 +13,8 @@ use dcn_estimator::{HeavyChildDecomposition, NameAssigner, SizeEstimator};
 use dcn_simnet::SimConfig;
 use dcn_tree::NodeId;
 use dcn_workload::{
-    build_tree, ArrivalMode, ChurnGenerator, ChurnModel, ChurnOp, MwBudget, Placement, Scenario,
-    SweepCell, SweepGrid, TreeShape,
+    build_tree, ArrivalMode, CellKind, ChurnGenerator, ChurnModel, ChurnOp, MwBudget, Placement,
+    Scenario, SweepCell, SweepGrid, TreeShape,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -62,10 +62,11 @@ fn engine_cell(family: &str, s: &Scenario) -> (u64, u64) {
     let cells = vec![SweepCell {
         index: 0,
         family: family.to_string(),
+        kind: CellKind::Controller,
         scenario: s.clone(),
     }];
     let report = run_cells("bench", cells, 1);
-    let r = report.cells[0].report.as_ref().expect("bench cell runs");
+    let r = report.cells[0].run_report().expect("bench cell runs");
     (r.moves, r.messages)
 }
 
@@ -116,6 +117,7 @@ fn bench_sweep_grid() {
     let grid = SweepGrid {
         name: "bench-grid".to_string(),
         families: ["iterated", "trivial", "aaps"].map(String::from).to_vec(),
+        apps: vec![],
         shapes: vec![
             TreeShape::Star { nodes: 31 },
             TreeShape::Path { nodes: 31 },

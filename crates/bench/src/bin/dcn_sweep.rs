@@ -11,9 +11,15 @@
 //! recorded sweep reproduces exactly regardless of the machine it ran on.
 //!
 //! ```text
-//! dcn-sweep [--quick] [--workers N] [--seed S] [--replicates R]
+//! dcn-sweep [--quick] [--apps] [--workers N] [--seed S] [--replicates R]
 //!           [--csv PATH] [--json PATH]
 //! ```
+//!
+//! `--apps` adds the §5 application axis to the grid: all six applications
+//! (size estimation, name assignment, subtree estimation, heavy-child
+//! decomposition, ancestry labeling, majority commitment) run through the
+//! same `ScenarioRunner`/`SweepEngine` machinery as the controllers, and any
+//! §5 invariant violation fails the sweep.
 //!
 //! Exits non-zero if any cell errored or violated a correctness condition
 //! (the CI smoke contract).
@@ -23,11 +29,13 @@ use dcn_workload::{ArrivalMode, ChurnModel, MwBudget, Placement, SweepGrid, Tree
 use std::process::ExitCode;
 
 /// The default grid: 4 families × 6 shapes × 3 churn models × 2 arrival
-/// modes (full mode).
-fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
+/// modes (full mode); `with_apps` adds the six §5 applications as a further
+/// axis.
+fn full_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
     SweepGrid {
         name: "sweep-full".to_string(),
         families: families(),
+        apps: apps(with_apps),
         shapes: vec![
             TreeShape::Star { nodes: 63 },
             TreeShape::Path { nodes: 63 },
@@ -53,11 +61,13 @@ fn full_grid(seed: u64, replicates: usize) -> SweepGrid {
 }
 
 /// The `--quick` grid: 4 families × 4 shapes × 3 churn models × 2 arrival
-/// modes = 96 cells, small enough for a CI smoke step.
-fn quick_grid(seed: u64, replicates: usize) -> SweepGrid {
+/// modes = 96 cells, small enough for a CI smoke step; `--apps` adds the six
+/// §5 applications (240 cells total).
+fn quick_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
     SweepGrid {
         name: "sweep-quick".to_string(),
         families: families(),
+        apps: apps(with_apps),
         shapes: vec![
             TreeShape::Star { nodes: 23 },
             TreeShape::Path { nodes: 23 },
@@ -83,6 +93,16 @@ fn families() -> Vec<String> {
         .to_vec()
 }
 
+/// The §5 applications axis (all six families), when requested.
+fn apps(with_apps: bool) -> Vec<String> {
+    if !with_apps {
+        return Vec::new();
+    }
+    dcn_workload::AppFamily::ALL
+        .map(|f| f.name().to_string())
+        .to_vec()
+}
+
 /// Both arrival modes: the closed-loop batch schedule and the open-loop
 /// interleaved schedule, in which requests are submitted while distributed
 /// agents are still in flight.
@@ -100,6 +120,7 @@ fn churns() -> Vec<ChurnModel> {
 
 struct Args {
     quick: bool,
+    apps: bool,
     workers: usize,
     seed: u64,
     replicates: usize,
@@ -110,6 +131,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
+        apps: false,
         workers: default_workers(),
         seed: 2007,
         replicates: 1,
@@ -121,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--apps" => args.apps = true,
             "--workers" => {
                 args.workers = value("--workers")?
                     .parse()
@@ -140,7 +163,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: dcn-sweep [--quick] [--workers N] [--seed S] \
+                    "usage: dcn-sweep [--quick] [--apps] [--workers N] [--seed S] \
                      [--replicates R] [--csv PATH] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -160,15 +183,16 @@ fn main() -> ExitCode {
         }
     };
     let grid = if args.quick {
-        quick_grid(args.seed, args.replicates)
+        quick_grid(args.seed, args.replicates, args.apps)
     } else {
-        full_grid(args.seed, args.replicates)
+        full_grid(args.seed, args.replicates, args.apps)
     };
     println!(
-        "== dcn-sweep: grid {:?} — {} cells ({} families × {} shapes × {} churns × {} placements × {} arrivals × {} budgets × {} replicates) on {} workers ==",
+        "== dcn-sweep: grid {:?} — {} cells ({} families + {} apps × {} shapes × {} churns × {} placements × {} arrivals × {} budgets × {} replicates) on {} workers ==",
         grid.name,
         grid.cell_count(),
         grid.families.len(),
+        grid.apps.len(),
         grid.shapes.len(),
         grid.churns.len(),
         grid.placements.len(),

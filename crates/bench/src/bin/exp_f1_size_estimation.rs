@@ -1,57 +1,59 @@
 //! Experiment F1 (Theorem 5.1): the size-estimation protocol.
 //!
-//! Long mixed-churn traces for several approximation factors β; each row
-//! reports the amortized messages per topological change (compared against
-//! the `log²n` shape) and counts the β-invariant violations observed after
-//! every batch (the paper's guarantee is that there are none).
+//! Long mixed-churn scenarios for several approximation factors β, driven
+//! through the shared `ScenarioRunner` over the ticketed application runtime
+//! (no bespoke drive loop). Each row reports the amortized messages per
+//! topological change (compared against the `log²n` shape) and the number of
+//! β-invariant violations observed at the runner's quiescent checkpoints
+//! (the paper's guarantee is that there are none).
 
 use dcn_bench::{print_table, sweep_sizes, Row};
-use dcn_estimator::SizeEstimator;
-use dcn_simnet::SimConfig;
-use dcn_workload::{build_tree, ChurnGenerator, ChurnModel, ChurnOp, TreeShape};
+use dcn_workload::{
+    AppFamily, AppSpec, ArrivalMode, ChurnModel, Placement, Scenario, ScenarioRunner, TreeShape,
+};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 256, 1024], &[64, 256]);
     let betas = [1.5f64, 2.0, 3.0];
+    let requests = if dcn_bench::quick_mode() { 120 } else { 360 };
     let mut rows = Vec::new();
     for &n in &sizes {
         for &beta in &betas {
-            let tree = build_tree(TreeShape::RandomRecursive {
-                nodes: n - 1,
-                seed: 11,
-            });
-            let mut est = SizeEstimator::new(SimConfig::new(11), tree, beta).expect("params");
-            let mut gen = ChurnGenerator::new(
-                ChurnModel::FullChurn {
+            let scenario = Scenario {
+                name: format!("f1-n{n}-beta{beta}"),
+                shape: TreeShape::RandomRecursive {
+                    nodes: n - 1,
+                    seed: 11,
+                },
+                churn: ChurnModel::FullChurn {
                     add_leaf: 40,
                     add_internal: 15,
                     remove: 45,
                 },
-                n as u64,
-            );
-            let batches = if dcn_bench::quick_mode() { 10 } else { 30 };
-            let mut violations = 0u64;
-            for _ in 0..batches {
-                let ops: Vec<_> = gen
-                    .batch(est.tree(), 12)
-                    .iter()
-                    .map(ChurnOp::to_request)
-                    .collect();
-                est.run_batch(&ops).expect("batch");
-                if !est.estimate_is_valid() {
-                    violations += 1;
-                }
-            }
-            let n_now = est.tree().node_count().max(2) as f64;
+                placement: Placement::Uniform,
+                arrival: ArrivalMode::Batch,
+                requests,
+                // The application derives its per-iteration budgets from the
+                // live network size; the scenario's (M, W) is not used.
+                m: requests as u64,
+                w: 1,
+                seed: 11,
+            };
+            let runner = ScenarioRunner::new(scenario.clone()).with_batch(12);
+            let mut app = AppSpec::for_scenario(AppFamily::SizeEstimator, &scenario)
+                .with_beta(beta)
+                .build_for(&runner)
+                .expect("params");
+            let report = runner.run_app(app.as_mut()).expect("run");
+            let n_now = report.final_nodes.max(2) as f64;
             let bound = n_now.log2().powi(2);
             rows.push(Row::new(
                 "F1",
                 format!(
-                    "n0={n} beta={beta} iterations={} changes={} violations={violations}",
-                    est.iterations(),
-                    est.changes()
+                    "n0={n} beta={beta} iterations={} changes={} violations={}",
+                    report.iterations, report.changes, report.invariant_violations
                 ),
-                est.amortized_messages_per_change(),
+                report.amortized_messages_per_change(),
                 bound,
             ));
         }

@@ -11,7 +11,7 @@
 //! stays roughly flat (no super-logarithmic blow-up with `n`).
 
 use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, CellKind, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512, 1024, 2048], &[64, 256]);
@@ -44,6 +44,7 @@ fn main() {
             };
             cells.push(SweepCell {
                 index: cells.len(),
+                kind: CellKind::Controller,
                 family: "iterated".to_string(),
                 scenario,
             });
@@ -60,7 +61,7 @@ fn main() {
         .iter()
         .zip(row_meta)
         .map(|(cell, (params, bound))| {
-            let r = cell.report.as_ref().expect("T1 cells are valid");
+            let r = cell.run_report().expect("T1 cells are valid");
             assert!(cell.violation.is_none(), "{params}: {:?}", cell.violation);
             Row::new("T1", params, r.moves as f64, bound)
         })

@@ -9,7 +9,7 @@
 //! shared `SweepEngine`.
 
 use dcn_bench::{default_workers, iterated_bound, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, CellKind, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[32, 64, 128, 256, 512], &[32, 128]);
@@ -38,6 +38,7 @@ fn main() {
             };
             cells.push(SweepCell {
                 index: cells.len(),
+                kind: CellKind::Controller,
                 family: "distributed".to_string(),
                 scenario,
             });
@@ -50,7 +51,7 @@ fn main() {
         .iter()
         .zip(bounds)
         .map(|(cell, (n, seed, bound))| {
-            let r = cell.report.as_ref().expect("T3 cells are valid");
+            let r = cell.run_report().expect("T3 cells are valid");
             assert!(
                 cell.violation.is_none(),
                 "n={n} s={seed}: {:?}",

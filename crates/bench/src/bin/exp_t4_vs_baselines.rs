@@ -11,7 +11,9 @@
 //! seeded scenario, so the rows compare identical request streams.
 
 use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ArrivalMode, ChurnModel, Placement, RunReport, Scenario, SweepCell, TreeShape};
+use dcn_workload::{
+    ArrivalMode, CellKind, ChurnModel, Placement, RunReport, Scenario, SweepCell, TreeShape,
+};
 
 /// Cells per size step: grow-only × {distributed, aaps, trivial} plus
 /// mixed-churn × {distributed, aaps}.
@@ -50,6 +52,7 @@ fn main() {
         ] {
             cells.push(SweepCell {
                 index: cells.len(),
+                kind: CellKind::Controller,
                 family: family.to_string(),
                 scenario: scenario.clone(),
             });
@@ -64,7 +67,7 @@ fn main() {
             cell.cell.scenario.name,
             cell.violation
         );
-        cell.report.as_ref().expect("T4 cells are valid")
+        cell.run_report().expect("T4 cells are valid")
     };
 
     let mut rows = Vec::new();

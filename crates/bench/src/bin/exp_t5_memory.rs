@@ -8,7 +8,7 @@
 //! shape's; the runner reports the final size and maximum degree).
 
 use dcn_bench::{default_workers, print_table, run_cells, sweep_sizes, Row};
-use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
+use dcn_workload::{ArrivalMode, CellKind, ChurnModel, Placement, Scenario, SweepCell, TreeShape};
 
 fn main() {
     let sizes = sweep_sizes(&[64, 128, 256, 512], &[64, 128]);
@@ -39,6 +39,7 @@ fn main() {
             };
             cells.push(SweepCell {
                 index: cells.len(),
+                kind: CellKind::Controller,
                 family: "distributed".to_string(),
                 scenario,
             });
@@ -51,7 +52,7 @@ fn main() {
         .iter()
         .zip(meta)
         .map(|(cell, (shape_name, n, u_bound))| {
-            let r = cell.report.as_ref().expect("T5 cells are valid");
+            let r = cell.run_report().expect("T5 cells are valid");
             assert!(
                 cell.violation.is_none(),
                 "shape={shape_name} n0={n}: {:?}",

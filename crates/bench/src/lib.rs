@@ -22,9 +22,12 @@
 //! Controller experiments are expressed as [`Scenario`]s and executed through
 //! the shared [`ScenarioRunner`] — one driver loop for every
 //! [`Controller`] family ([`Family`] enumerates them, [`run_family`] builds
-//! and drives one). Only the §5 application experiments (F1–F3) and the
-//! growth-to-target adaptive experiment (T2) keep bespoke loops, because they
-//! drive the estimator protocols' batch APIs rather than a `dyn Controller`.
+//! and drives one). The §5 application experiments (F1–F3) run through the
+//! same runner via [`ScenarioRunner::run_app`] over the ticketed application
+//! runtime ([`AppFamily`] enumerates the six applications, [`run_app_family`]
+//! builds and drives one). Only the growth-to-target adaptive experiment (T2)
+//! keeps a bespoke loop, because its stopping condition is a network size,
+//! not a request count.
 //!
 //! Every binary prints a table of rows (`experiment, parameters, measured,
 //! bound, ratio`) and, when the `DCN_JSON` environment variable is set, the
@@ -36,11 +39,11 @@
 
 use dcn_controller::{Controller, ControllerError};
 use dcn_workload::{
-    ControllerSpec, RunReport, Scenario, ScenarioRunner, SweepCell, SweepEngine, SweepGrid,
-    SweepReport,
+    AppReport, AppSpec, ControllerSpec, RunReport, Scenario, ScenarioRunner, SweepCell,
+    SweepEngine, SweepGrid, SweepReport,
 };
 
-pub use dcn_workload::{family_factory, Family};
+pub use dcn_workload::{app_factory, family_factory, AppFamily, Family};
 
 /// One output row of an experiment.
 #[derive(Clone, Debug)]
@@ -195,6 +198,23 @@ pub fn run_family(family: Family, scenario: &Scenario) -> RunReport {
         .unwrap_or_else(|e| panic!("{}: run failed: {e}", family.name()))
 }
 
+/// Builds a §5 application of `family` over the scenario's initial tree and
+/// drives it through the shared [`ScenarioRunner`].
+///
+/// # Panics
+///
+/// Panics on invalid scenario parameters or simulator errors (experiment
+/// harness context, where that is a bug in the sweep definition).
+pub fn run_app_family(family: AppFamily, scenario: &Scenario) -> AppReport {
+    let runner = ScenarioRunner::new(scenario.clone());
+    let mut app = AppSpec::for_scenario(family, scenario)
+        .build_for(&runner)
+        .unwrap_or_else(|e| panic!("{}: invalid parameters: {e}", family.name()));
+    runner
+        .run_app(app.as_mut())
+        .unwrap_or_else(|e| panic!("{}: run failed: {e}", family.name()))
+}
+
 /// The theoretical distributed/centralized bound shape
 /// `U · log²U · log(M/(W+1))` used as the comparison column for T1–T3.
 pub fn iterated_bound(u: usize, m: u64, w: u64) -> f64 {
@@ -255,6 +275,18 @@ mod tests {
         let report = run_family(Family::Distributed, &small_scenario());
         assert!(report.messages > 0);
         assert!(report.final_nodes > 16);
+    }
+
+    #[test]
+    fn every_application_runs_the_same_scenario() {
+        let scenario = small_scenario();
+        for family in AppFamily::ALL {
+            let report = run_app_family(family, &scenario);
+            assert_eq!(report.app, family.name());
+            assert!(report.granted > 0, "{}", family.name());
+            assert_eq!(report.invariant_violations, 0, "{}", family.name());
+            report.check().unwrap();
+        }
     }
 
     #[test]

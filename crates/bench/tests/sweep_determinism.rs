@@ -11,6 +11,7 @@ fn grid() -> SweepGrid {
         families: ["iterated", "distributed", "trivial", "aaps"]
             .map(String::from)
             .to_vec(),
+        apps: vec![],
         shapes: vec![
             TreeShape::Path { nodes: 15 },
             TreeShape::PreferentialAttachment { nodes: 15, seed: 3 },
@@ -62,6 +63,75 @@ fn sweep_reports_are_byte_identical_across_worker_counts() {
     // Replay: a fresh serial run reproduces the bytes too.
     let again = run_grid(&grid, 1);
     assert_eq!(serial_csv, again.to_csv());
+}
+
+/// The same grid with the §5 apps axis attached: `size-estimator` and
+/// `name-assigner` cells run through `ScenarioRunner::run_app` inside the
+/// same engine, and the emitted CSV/JSON must stay byte-identical whether
+/// the grid runs on 1, 4 or 16 workers.
+fn apps_grid() -> SweepGrid {
+    let mut grid = grid();
+    grid.name = "determinism-apps".to_string();
+    grid.families = vec!["iterated".to_string(), "distributed".to_string()];
+    grid.apps = vec!["size-estimator".to_string(), "name-assigner".to_string()];
+    grid
+}
+
+/// Satellite of the application-layer refactor: the apps grid is
+/// byte-identical across worker counts and reproducible on re-run, exactly
+/// like the controller grid.
+#[test]
+fn apps_grid_reports_are_byte_identical_across_worker_counts() {
+    let grid = apps_grid();
+    assert_eq!(grid.cell_count(), 144);
+    let serial = run_grid(&grid, 1);
+    let serial_csv = serial.to_csv();
+    let serial_json = serial.to_json();
+    for workers in [4, 16] {
+        let parallel = run_grid(&grid, workers);
+        assert_eq!(
+            serial_csv,
+            parallel.to_csv(),
+            "CSV diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_json,
+            parallel.to_json(),
+            "JSON diverged at {workers} workers"
+        );
+    }
+    // Replay: a fresh serial run reproduces the bytes too.
+    let again = run_grid(&grid, 1);
+    assert_eq!(serial_csv, again.to_csv());
+    // The app cells all ran clean: every ticket answered, no §5 invariant
+    // violations anywhere on the diversified grid.
+    for cell in serial
+        .cells
+        .iter()
+        .filter(|c| c.cell.kind == dcn_workload::CellKind::App)
+    {
+        let report = cell
+            .app_report()
+            .unwrap_or_else(|| panic!("cell {}: {:?}", cell.cell.index, cell.report));
+        assert!(
+            cell.violation.is_none(),
+            "cell {} ({} / {}): {:?}",
+            cell.cell.index,
+            cell.cell.family,
+            cell.cell.scenario.name,
+            cell.violation
+        );
+        assert_eq!(report.invariant_violations, 0);
+        assert!(report.invariant_checks > 0);
+    }
+    // Both app families produced summary rows with real message costs.
+    let summaries = serial.summaries();
+    assert_eq!(summaries.len(), 4);
+    for s in summaries.iter().filter(|s| s.family.contains('-')) {
+        assert_eq!(s.cells, 36, "{}", s.family);
+        assert_eq!(s.errors, 0, "{}", s.family);
+        assert!(s.p95_messages > 0, "{}", s.family);
+    }
 }
 
 /// Every cell of the grid runs clean over the real families: no build/run

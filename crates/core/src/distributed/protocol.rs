@@ -176,8 +176,16 @@ impl ControllerProtocol {
         let dist = ctx.distance_from_origin() as u64;
         let params = ctx.whiteboard().params;
         // Account the permits moving down through this node (subtree
-        // estimator, Lemma 5.3).
-        ctx.whiteboard_mut().permits_passed_down += params.mobile_size(level);
+        // estimator, Lemma 5.3). The super-weight counts nodes that *joined*
+        // the subtree, so only insertion-carrying agents feed the
+        // observable: permits consumed by deletions or by non-topological
+        // events travel the same paths but must not inflate it.
+        if matches!(
+            agent.kind,
+            RequestKind::AddLeaf | RequestKind::AddInternalAbove(_)
+        ) {
+            ctx.whiteboard_mut().permits_passed_down += params.mobile_size(level);
+        }
 
         loop {
             if level == 0 {

@@ -1,0 +1,762 @@
+//! The shared [`IterationDriver`]: one epoch engine for every §5 application.
+//!
+//! Each §5 protocol runs in *iterations*: an iteration opens with an
+//! announcement wave (charged `O(n)` messages), builds a fresh terminating
+//! distributed controller whose budget caps the drift of the network away
+//! from the iteration-start size, and rotates to a new iteration when that
+//! controller is exhausted (charging the closing count wave). Before this
+//! module, all six applications hand-rolled that lifecycle — iteration
+//! start, exhaustion detection, wave charging via `aux_messages` /
+//! `finished_messages`, per-iteration seed derivation and the controller
+//! rebuild. The driver owns all of it once; an application shrinks to an
+//! [`IterationPolicy`] that picks the per-iteration parameters (α/β budgets,
+//! interval mode, renaming waves) plus its own invariant bookkeeping.
+//!
+//! The driver exposes the same ticket/event/step seam as the controller
+//! runtime (PR 3): [`IterationDriver::submit`] returns a stable
+//! [`RequestId`] ticket that survives iteration rebuilds, bounded
+//! [`IterationDriver::step`] slices interleave execution with new arrivals,
+//! [`IterationDriver::drain_events`] streams [`AppEvent`]s (the controller's
+//! per-request events plus [`AppEvent::IterationStarted`] at every iteration
+//! boundary) and [`IterationDriver::records`] keeps the resolved history.
+//! Requests rejected by an exhausted iteration are retried transparently in
+//! the next one; their ticket resolves only when a final answer exists.
+
+use crate::invariant::InvariantError;
+use dcn_controller::distributed::DistributedController;
+use dcn_controller::{
+    ControllerError, ControllerEvent, Outcome, PermitInterval, Progress, RequestId, RequestKind,
+    RequestRecord,
+};
+use dcn_simnet::{NodeId, SimConfig};
+use dcn_tree::DynamicTree;
+use std::collections::HashMap;
+
+/// The parameters an [`IterationPolicy`] chooses for one iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationPlan {
+    /// The inner controller's permit budget `M` for this iteration.
+    pub budget: u64,
+    /// The inner controller's waste bound `W`.
+    pub waste: u64,
+    /// Serial-number interval for interval mode (the name assigner hands the
+    /// permits out as identities); `None` for anonymous permits.
+    pub interval: Option<PermitInterval>,
+    /// Messages charged for the iteration-opening announcement wave(s) — one
+    /// broadcast (`n`) for the size estimator's `N_i` announcement, two DFS
+    /// renaming traversals (`4n`) for the name assigner.
+    pub announce_messages: u64,
+}
+
+/// The per-application hook of the [`IterationDriver`]: picks each
+/// iteration's controller parameters and absorbs answered requests into the
+/// application's own state.
+pub trait IterationPolicy {
+    /// Plans the iteration about to start over `tree` (called once at
+    /// construction and again at every rotation, before the inner controller
+    /// is rebuilt). State the application refreshes per iteration — the name
+    /// assigner's DFS renaming, the subtree estimator's `ω₀` snapshot —
+    /// belongs here.
+    fn plan(&mut self, tree: &DynamicTree) -> IterationPlan;
+
+    /// Absorbs a round of final answers (called after every answer
+    /// collection, before any rotation; `tree` reflects all granted changes
+    /// of the round). The default does nothing.
+    fn absorb(&mut self, tree: &DynamicTree, records: &[RequestRecord]) {
+        let _ = (tree, records);
+    }
+}
+
+/// An event drained from an [`IterationDriver`] (or any [`Application`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppEvent {
+    /// A per-request controller event (grant / reject / refusal / topology
+    /// application), with the driver's stable outer ticket.
+    Controller(ControllerEvent),
+    /// A new iteration started: the epoch announcement of the §5 protocols.
+    IterationStarted {
+        /// The 1-based iteration index.
+        index: u32,
+        /// The iteration-start network size `N_i` (the estimate announced to
+        /// every node).
+        estimate: u64,
+    },
+}
+
+impl AppEvent {
+    /// The ticket this event belongs to, for per-request events.
+    pub fn id(&self) -> Option<RequestId> {
+        match self {
+            AppEvent::Controller(e) => Some(e.id()),
+            AppEvent::IterationStarted { .. } => None,
+        }
+    }
+
+    /// Returns `true` for the answer events that resolve a ticket.
+    pub fn is_answer(&self) -> bool {
+        matches!(self, AppEvent::Controller(e) if e.is_answer())
+    }
+}
+
+/// One not-yet-answered outer request.
+type PendingRequest = (RequestId, NodeId, RequestKind, u64);
+
+/// The request preconditions of the dynamic model, shared by
+/// [`IterationDriver::submit`] (where a violation is a caller error) and the
+/// retry path (where it means the request went stale while waiting and is
+/// answered with a final reject).
+fn validate(tree: &DynamicTree, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+    if !tree.contains(at) {
+        return Err(ControllerError::UnknownNode(at));
+    }
+    match kind {
+        RequestKind::AddInternalAbove(child) if tree.parent(child) != Some(at) => {
+            Err(ControllerError::NotParentOf { at, child })
+        }
+        RequestKind::RemoveSelf if at == tree.root() => Err(ControllerError::CannotRemoveRoot),
+        _ => Ok(()),
+    }
+}
+
+/// Consecutive grant-free rotations after which the driver stops retrying
+/// and rejects the stragglers (a fresh iteration normally grants at least
+/// one request; this is the safety valve the old per-app loops capped at 64
+/// rounds).
+const MAX_STALLED_ROTATIONS: u32 = 64;
+
+/// The shared iteration engine of the §5 applications.
+///
+/// Owns the inner [`DistributedController`] of the current iteration, the
+/// iteration counters and the charged wave messages; rebuilds the controller
+/// (with a derived seed) whenever an iteration exhausts its budget, retrying
+/// the rejected requests under their original tickets.
+#[derive(Debug)]
+pub struct IterationDriver<P> {
+    config: SimConfig,
+    policy: P,
+    inner: Option<DistributedController>,
+    /// The iteration-start size `N_i` announced to every node.
+    estimate: u64,
+    iterations: u32,
+    aux_messages: u64,
+    finished_messages: u64,
+    changes_total: u64,
+    seed_counter: u64,
+    next_ticket: u64,
+    /// Global virtual clock base: inner simulators restart at 0 per
+    /// iteration, so global times are `time_base + inner time`.
+    time_base: u64,
+    records: Vec<RequestRecord>,
+    index: HashMap<RequestId, usize>,
+    events: Vec<AppEvent>,
+    /// Outer tickets submitted but not yet handed to the inner controller.
+    queued: Vec<PendingRequest>,
+    /// Inner ticket → outer ticket mapping for the in-flight requests of the
+    /// current iteration.
+    ticket_of: HashMap<RequestId, (RequestId, u64)>,
+    /// Requests rejected by an exhausted iteration, waiting for the rotation
+    /// that retries them.
+    retry: Vec<PendingRequest>,
+    stalled_rotations: u32,
+}
+
+impl<P: IterationPolicy> IterationDriver<P> {
+    /// Creates the driver over `tree`, planning and starting the first
+    /// iteration through `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns controller construction errors (invalid plan parameters).
+    pub fn new(config: SimConfig, tree: DynamicTree, policy: P) -> Result<Self, ControllerError> {
+        let mut driver = IterationDriver {
+            config,
+            policy,
+            inner: None,
+            estimate: 0,
+            iterations: 0,
+            aux_messages: 0,
+            finished_messages: 0,
+            changes_total: 0,
+            seed_counter: config.seed,
+            next_ticket: 0,
+            time_base: 0,
+            records: Vec::new(),
+            index: HashMap::new(),
+            events: Vec::new(),
+            queued: Vec::new(),
+            ticket_of: HashMap::new(),
+            retry: Vec::new(),
+            stalled_rotations: 0,
+        };
+        driver.start_iteration(tree)?;
+        Ok(driver)
+    }
+
+    fn inner(&self) -> &DistributedController {
+        self.inner.as_ref().expect("inner controller present")
+    }
+
+    /// The iteration policy (the application's own state lives here).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the iteration policy.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// The current spanning tree.
+    pub fn tree(&self) -> &DynamicTree {
+        self.inner().tree()
+    }
+
+    /// The iteration-start size `N_i` held by every node (the estimate `ñ`
+    /// of the size-estimation protocol).
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+
+    /// Number of iterations started so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Total messages so far: retired and current controller messages plus
+    /// every charged wave.
+    pub fn messages(&self) -> u64 {
+        self.finished_messages + self.inner().messages() + self.aux_messages
+    }
+
+    /// Number of topological changes granted so far.
+    pub fn changes(&self) -> u64 {
+        self.changes_total
+    }
+
+    /// Amortized messages per topological change (the quantity the §5
+    /// theorems bound).
+    pub fn amortized_messages_per_change(&self) -> f64 {
+        self.messages() as f64 / self.changes_total.max(1) as f64
+    }
+
+    /// Charges `messages` auxiliary protocol messages to the driver's
+    /// counter (application-level waves: re-labelings, pointer flips, vote
+    /// deliveries). Centralising the counter here keeps "what is charged
+    /// where" in one place — applications declare costs, they do not own
+    /// counters.
+    pub fn charge_messages(&mut self, messages: u64) {
+        self.aux_messages += messages;
+    }
+
+    /// The number of permits that travelled down through `node` in the
+    /// current iteration (read off the inner controller's whiteboard; used
+    /// by the subtree estimator).
+    pub fn permits_passed_down(&self, node: NodeId) -> u64 {
+        self.inner()
+            .whiteboard(node)
+            .map_or(0, |wb| wb.permits_passed_down)
+    }
+
+    /// The current global virtual time.
+    fn now(&self) -> u64 {
+        self.time_base + self.inner().sim().time()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The outcome of a specific ticket, if it has been answered.
+    pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.index.get(&id).map(|&i| self.records[i].outcome)
+    }
+
+    /// Removes and returns the events produced since the last drain, in
+    /// emission order.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits a request arriving at `at` under a stable outer ticket;
+    /// execution happens in the next [`IterationDriver::step`] /
+    /// [`IterationDriver::run_to_quiescence`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the *current* tree (unknown node,
+    /// malformed topological request); such a request never entered the
+    /// driver and resolves to no event.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        validate(self.tree(), at, kind)?;
+        let id = RequestId(self.next_ticket);
+        self.next_ticket += 1;
+        let now = self.now();
+        self.queued.push((id, at, kind, now));
+        Ok(id)
+    }
+
+    /// Runs until every submitted ticket has a final answer, rotating
+    /// iterations as budgets exhaust.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors and rotation-time construction errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        loop {
+            let progress = self.step(u64::MAX)?;
+            if progress.quiescent {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advances execution by at most `budget` inner simulator events,
+    /// handing queued submissions to the inner controller, collecting final
+    /// answers, and rotating iterations when the current one is exhausted.
+    /// `Progress::quiescent` is `true` once no ticket is unanswered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors and rotation-time construction errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let mut processed = 0u64;
+        loop {
+            self.flush_queued()?;
+            let inner = self.inner.as_mut().expect("inner controller present");
+            let slice = inner.step(budget - processed)?;
+            processed += slice.processed;
+            self.collect_answers();
+            if !slice.quiescent {
+                // Budget exhausted with agents still in flight.
+                return Ok(Progress {
+                    processed,
+                    quiescent: false,
+                });
+            }
+            // The inner controller is quiescent; are we done, or did an
+            // exhausted iteration leave rejected requests to retry?
+            if self.retry.is_empty() && self.queued.is_empty() {
+                // Settle the policy against the fully-applied tree: grants
+                // are answered slightly before the simulator applies their
+                // topological change, so bookkeeping keyed on tree contents
+                // (identity assignment) needs one final absorb.
+                let tree = self
+                    .inner
+                    .as_ref()
+                    .expect("inner controller present")
+                    .tree();
+                self.policy.absorb(tree, &[]);
+                return Ok(Progress {
+                    processed,
+                    quiescent: true,
+                });
+            }
+            if !self.retry.is_empty() {
+                if self.stalled_rotations >= MAX_STALLED_ROTATIONS {
+                    // Safety valve: iterations keep exhausting without
+                    // granting anything; answer the stragglers with final
+                    // rejects rather than looping forever.
+                    let stragglers = std::mem::take(&mut self.retry);
+                    for (id, origin, kind, submitted_at) in stragglers {
+                        self.finalize_reject(id, origin, kind, submitted_at);
+                    }
+                    continue;
+                }
+                self.rotate()?;
+            }
+            if processed >= budget {
+                return Ok(Progress {
+                    processed,
+                    quiescent: false,
+                });
+            }
+        }
+    }
+
+    /// Hands queued and retried requests to the inner controller, mapping
+    /// inner tickets back to the stable outer ones. Requests whose origin
+    /// vanished (or whose topological precondition broke) while they waited
+    /// are answered with a final reject.
+    fn flush_queued(&mut self) -> Result<(), ControllerError> {
+        let mut waiting = std::mem::take(&mut self.retry);
+        waiting.append(&mut self.queued);
+        for (id, origin, kind, submitted_at) in waiting {
+            let inner = self.inner.as_mut().expect("inner controller present");
+            if validate(inner.tree(), origin, kind).is_err() {
+                // The request went stale while it waited (its target
+                // vanished or its precondition broke): final reject.
+                self.finalize_reject(id, origin, kind, submitted_at);
+                continue;
+            }
+            let inner_id = inner.submit(origin, kind)?;
+            self.ticket_of.insert(inner_id, (id, submitted_at));
+        }
+        Ok(())
+    }
+
+    /// Moves the inner controller's fresh answers into the outer history:
+    /// grants become final records/events, rejects join the retry queue for
+    /// the next iteration.
+    fn collect_answers(&mut self) {
+        let time_base = self.time_base;
+        let inner = self.inner.as_mut().expect("inner controller present");
+        let round = inner.take_records();
+        if round.is_empty() {
+            return;
+        }
+        inner.drain_events(); // outer events are re-emitted under outer tickets
+        let mut absorbed: Vec<RequestRecord> = Vec::new();
+        for mut rec in round {
+            let (outer, submitted_at) = self
+                .ticket_of
+                .remove(&rec.id)
+                .expect("every inner answer maps to an outer ticket");
+            rec.id = outer;
+            rec.submitted_at = submitted_at;
+            rec.answered_at += time_base;
+            match rec.outcome {
+                Outcome::Granted { .. } => {
+                    if rec.kind.is_topological() {
+                        self.changes_total += 1;
+                    }
+                    self.stalled_rotations = 0;
+                    self.finalize(rec);
+                    absorbed.push(rec);
+                }
+                Outcome::Rejected => {
+                    self.retry
+                        .push((rec.id, rec.origin, rec.kind, submitted_at));
+                }
+                // The fixed-bound distributed family supports the full
+                // dynamic model and never refuses.
+                Outcome::Refused => unreachable!("distributed controller never refuses"),
+            }
+        }
+        if !absorbed.is_empty() {
+            let inner = self.inner.as_ref().expect("inner controller present");
+            self.policy.absorb(inner.tree(), &absorbed);
+        }
+    }
+
+    /// Appends a final answer to the history and emits its events.
+    fn finalize(&mut self, record: RequestRecord) {
+        let mut events = Vec::new();
+        ControllerEvent::push_for_record(&record, &mut events);
+        self.events
+            .extend(events.into_iter().map(AppEvent::Controller));
+        self.index.insert(record.id, self.records.len());
+        self.records.push(record);
+    }
+
+    /// Answers a request with a final driver-level reject (origin vanished,
+    /// or the retry safety valve fired).
+    fn finalize_reject(
+        &mut self,
+        id: RequestId,
+        origin: NodeId,
+        kind: RequestKind,
+        submitted_at: u64,
+    ) {
+        let answered_at = self.now();
+        self.finalize(RequestRecord {
+            id,
+            origin,
+            kind,
+            outcome: Outcome::Rejected,
+            submitted_at,
+            answered_at,
+        });
+    }
+
+    /// Tears down the exhausted iteration's controller — accounting its
+    /// messages, folding its clock into the monotone base and charging the
+    /// closing count wave (broadcast + upcast, `2n`) — and starts the next
+    /// iteration.
+    fn rotate(&mut self) -> Result<(), ControllerError> {
+        let inner = self.inner.take().expect("inner controller present");
+        self.finished_messages += inner.messages();
+        self.time_base += inner.sim().time();
+        self.ticket_of.clear();
+        let tree = inner.into_tree();
+        self.aux_messages += 2 * tree.node_count() as u64;
+        self.stalled_rotations += 1;
+        self.start_iteration(tree)
+    }
+
+    /// Plans and starts an iteration over `tree`: charges the announcement
+    /// wave, derives the iteration seed, rebuilds the inner controller and
+    /// emits [`AppEvent::IterationStarted`].
+    fn start_iteration(&mut self, tree: DynamicTree) -> Result<(), ControllerError> {
+        let n = tree.node_count() as u64;
+        self.iterations += 1;
+        self.estimate = n;
+        let plan = self.policy.plan(&tree);
+        self.aux_messages += plan.announce_messages;
+        let budget = plan.budget.max(1);
+        let waste = plan.waste.min(budget);
+        let u_bound = tree.node_count() + budget as usize + 1;
+        let mut cfg = self.config;
+        cfg.seed = self.seed_counter;
+        self.seed_counter = self.seed_counter.wrapping_add(1);
+        let inner =
+            DistributedController::with_interval(cfg, tree, budget, waste, u_bound, plan.interval)?;
+        self.inner = Some(inner);
+        self.events.push(AppEvent::IterationStarted {
+            index: self.iterations,
+            estimate: self.estimate,
+        });
+        Ok(())
+    }
+
+    /// Submits a batch of requests and runs to quiescence — the convenience
+    /// shim over the ticketed lifecycle that every pre-refactor caller used.
+    /// Operations that fail validation against the current tree (an earlier
+    /// grant removed their target) are skipped, as before; the returned
+    /// records cover exactly this batch's tickets, in answer order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_batch(
+        &mut self,
+        ops: &[(NodeId, RequestKind)],
+    ) -> Result<Vec<RequestRecord>, ControllerError> {
+        let before = self.records.len();
+        for &(at, kind) in ops {
+            // Stale intra-batch operations are dropped, matching the
+            // historical batch semantics.
+            let _ = self.submit(at, kind);
+        }
+        self.run_to_quiescence()?;
+        Ok(self.records[before..].to_vec())
+    }
+}
+
+/// The uniform driver-facing surface of the six §5 applications: the
+/// ticket/event/step lifecycle of the iteration driver plus the
+/// application's own invariant check. The scenario runner and sweep engine
+/// in `dcn-workload` program against `dyn Application` exactly as the
+/// controller drivers program against `dyn Controller`.
+pub trait Application {
+    /// A short application name (used in report rows and sweep grids).
+    fn name(&self) -> &'static str;
+
+    /// Submits a request under a stable ticket (see
+    /// [`IterationDriver::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError>;
+
+    /// Advances execution by at most `budget` simulator events (see
+    /// [`IterationDriver::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and iteration-rotation errors.
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError>;
+
+    /// Runs until every ticket is answered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and iteration-rotation errors.
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError>;
+
+    /// Removes and returns the events produced since the last drain.
+    fn drain_events(&mut self) -> Vec<AppEvent>;
+
+    /// All resolved requests so far, in answer order.
+    fn records(&self) -> &[RequestRecord];
+
+    /// The current spanning tree.
+    fn tree(&self) -> &DynamicTree;
+
+    /// Iterations (epochs) started so far.
+    fn iterations(&self) -> u32;
+
+    /// Topological changes granted so far.
+    fn changes(&self) -> u64;
+
+    /// Total messages so far (controller messages plus every charged wave).
+    fn messages(&self) -> u64;
+
+    /// Checks the application's §5 guarantee against its current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn check_invariants(&self) -> Result<(), InvariantError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal policy: budget n/2, no interval, one broadcast per
+    /// iteration.
+    struct HalfPolicy;
+
+    impl IterationPolicy for HalfPolicy {
+        fn plan(&mut self, tree: &DynamicTree) -> IterationPlan {
+            let n = tree.node_count() as u64;
+            IterationPlan {
+                budget: (n / 2).max(1),
+                waste: (n / 4).max(1),
+                interval: None,
+                announce_messages: n,
+            }
+        }
+    }
+
+    fn driver(n: usize, seed: u64) -> IterationDriver<HalfPolicy> {
+        IterationDriver::new(
+            SimConfig::new(seed),
+            DynamicTree::with_initial_star(n),
+            HalfPolicy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_emits_the_first_iteration_event() {
+        let mut d = driver(10, 1);
+        assert_eq!(d.iterations(), 1);
+        assert_eq!(d.estimate(), 11);
+        let events = d.drain_events();
+        assert_eq!(
+            events,
+            vec![AppEvent::IterationStarted {
+                index: 1,
+                estimate: 11
+            }]
+        );
+    }
+
+    #[test]
+    fn tickets_survive_iteration_rotations() {
+        let mut d = driver(7, 2);
+        // Budget 4: submitting 10 leaf requests forces at least one
+        // exhaustion + rotation, yet every ticket resolves.
+        let root = d.tree().root();
+        let ids: Vec<RequestId> = (0..10)
+            .map(|_| d.submit(root, RequestKind::AddLeaf).unwrap())
+            .collect();
+        d.run_to_quiescence().unwrap();
+        assert!(d.iterations() > 1, "rotation expected");
+        for id in &ids {
+            assert!(
+                d.outcome(*id).is_some_and(|o| o.is_granted()),
+                "{id} unresolved"
+            );
+        }
+        // Ticket ids are unique and stable.
+        let mut sorted: Vec<_> = ids.iter().map(|r| r.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        // The event stream contains the rotation announcements and exactly
+        // one answer per ticket.
+        let events = d.drain_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::IterationStarted { .. }))
+            .count();
+        assert_eq!(starts as u32, d.iterations());
+        assert_eq!(events.iter().filter(|e| e.is_answer()).count(), 10);
+    }
+
+    #[test]
+    fn bounded_steps_interleave_submission_with_execution() {
+        let mut d = IterationDriver::new(
+            SimConfig::new(3),
+            DynamicTree::with_initial_path(20),
+            HalfPolicy,
+        )
+        .unwrap();
+        let deep = d.tree().nodes().max_by_key(|&n| d.tree().depth(n)).unwrap();
+        d.submit(deep, RequestKind::AddLeaf).unwrap();
+        // A tiny slice leaves the request's agent in flight…
+        let p = d.step(2).unwrap();
+        assert_eq!(p.processed, 2);
+        assert!(!p.quiescent);
+        // …while a second request arrives mid-flight.
+        d.submit(deep, RequestKind::AddLeaf).unwrap();
+        let mut total = p.processed;
+        loop {
+            let p = d.step(64).unwrap();
+            total += p.processed;
+            if p.quiescent {
+                break;
+            }
+        }
+        assert!(total > 2);
+        assert_eq!(d.changes(), 2);
+        assert_eq!(d.records().len(), 2);
+    }
+
+    #[test]
+    fn wave_charges_accumulate_across_rotations() {
+        let mut d = driver(9, 4);
+        let root = d.tree().root();
+        for _ in 0..12 {
+            d.submit(root, RequestKind::AddLeaf).unwrap();
+        }
+        d.run_to_quiescence().unwrap();
+        let controller_only = d.finished_messages + d.inner().messages();
+        assert!(d.iterations() >= 2);
+        // Announce (n per iteration) + closing waves (2n per rotation) are
+        // charged on top of controller messages.
+        assert!(d.messages() > controller_only);
+        d.charge_messages(5);
+        assert_eq!(d.messages(), controller_only + d.aux_messages);
+    }
+
+    #[test]
+    fn submit_validates_against_the_current_tree() {
+        let mut d = driver(4, 5);
+        let root = d.tree().root();
+        assert!(matches!(
+            d.submit(NodeId::from_index(999), RequestKind::AddLeaf),
+            Err(ControllerError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            d.submit(root, RequestKind::RemoveSelf),
+            Err(ControllerError::CannotRemoveRoot)
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_dependent_requests_all_resolve() {
+        let mut d = driver(6, 6);
+        let leaf = d.tree().nodes().find(|&n| n != d.tree().root()).unwrap();
+        // Queue a removal of the leaf twice plus an insertion below it: every
+        // ticket must resolve to a final outcome — none may hang — and the
+        // tree must end up consistent with the leaf gone.
+        let ids = vec![
+            d.submit(leaf, RequestKind::RemoveSelf).unwrap(),
+            d.submit(leaf, RequestKind::RemoveSelf).unwrap(),
+            d.submit(leaf, RequestKind::AddLeaf).unwrap(),
+        ];
+        d.run_to_quiescence().unwrap();
+        for id in &ids {
+            assert!(d.outcome(*id).is_some(), "{id} unresolved");
+        }
+        assert!(!d.tree().contains(leaf));
+        assert!(d.tree().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn run_batch_returns_exactly_this_batch_in_answer_order() {
+        let mut d = driver(8, 7);
+        let root = d.tree().root();
+        let first = d.run_batch(&[(root, RequestKind::AddLeaf); 3]).unwrap();
+        assert_eq!(first.len(), 3);
+        let second = d.run_batch(&[(root, RequestKind::AddLeaf); 2]).unwrap();
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|r| r.outcome.is_granted()));
+        assert_eq!(d.records().len(), 5);
+    }
+}

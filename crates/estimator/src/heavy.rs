@@ -1,7 +1,10 @@
 //! The heavy-child decomposition (Theorem 5.4).
 
+use crate::driver::{AppEvent, Application};
+use crate::invariant::InvariantError;
 use crate::subtree::SubtreeEstimator;
-use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_controller::Progress;
+use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
 use std::collections::HashMap;
@@ -19,9 +22,6 @@ use std::collections::HashMap;
 pub struct HeavyChildDecomposition {
     subtree: SubtreeEstimator,
     heavy: HashMap<NodeId, NodeId>,
-    /// Messages spent informing parents about estimate changes and pointer
-    /// flips (charged on top of the estimator's own cost).
-    pointer_messages: u64,
 }
 
 impl HeavyChildDecomposition {
@@ -35,7 +35,6 @@ impl HeavyChildDecomposition {
         let mut decomposition = HeavyChildDecomposition {
             subtree,
             heavy: HashMap::new(),
-            pointer_messages: 0,
         };
         decomposition.refresh_pointers();
         Ok(decomposition)
@@ -56,9 +55,10 @@ impl HeavyChildDecomposition {
         self.heavy.get(&node).copied()
     }
 
-    /// Total messages so far (estimator messages plus pointer maintenance).
+    /// Total messages so far (estimator messages plus pointer maintenance,
+    /// both charged through the shared driver).
     pub fn messages(&self) -> u64 {
-        self.subtree.messages() + self.pointer_messages
+        self.subtree.messages()
     }
 
     /// Number of *light* ancestors of `node` (ancestors `a` such that the
@@ -91,16 +91,20 @@ impl HeavyChildDecomposition {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violating node.
-    pub fn check_light_depth(&self) -> Result<(), String> {
-        let n = self.tree().node_count().max(2) as f64;
+    /// Returns the violating node.
+    pub fn check_light_depth(&self) -> Result<(), InvariantError> {
+        let nodes = self.tree().node_count();
+        let n = nodes.max(2) as f64;
         let bound = (4.0 * n.log2() + 8.0) as usize;
         for node in self.tree().nodes() {
             let light = self.light_ancestor_count(node);
             if light > bound {
-                return Err(format!(
-                    "node {node} has {light} light ancestors, above the bound {bound} (n = {n})"
-                ));
+                return Err(InvariantError::LightAncestorsExceeded {
+                    node,
+                    light,
+                    bound,
+                    nodes,
+                });
             }
         }
         Ok(())
@@ -108,28 +112,79 @@ impl HeavyChildDecomposition {
 
     /// Recomputes every pointer from the current estimates. A pointer flip (or
     /// a fresh pointer) corresponds to a message from the child that reported
-    /// a new largest estimate, so flips are charged one message each.
+    /// a new largest estimate, so flips are charged one message each through
+    /// the shared driver.
     fn refresh_pointers(&mut self) {
-        let tree = self.subtree.tree();
         let mut flips = 0u64;
         let mut new_heavy = HashMap::new();
-        for node in tree.nodes() {
-            let children = tree.children(node).expect("node exists");
-            if children.is_empty() {
-                continue;
+        {
+            let tree = self.subtree.tree();
+            for node in tree.nodes() {
+                let children = tree.children(node).expect("node exists");
+                if children.is_empty() {
+                    continue;
+                }
+                let best = children
+                    .iter()
+                    .copied()
+                    .max_by_key(|&c| (self.subtree.estimate(c), std::cmp::Reverse(c)))
+                    .expect("non-empty children");
+                if self.heavy.get(&node) != Some(&best) {
+                    flips += 1;
+                }
+                new_heavy.insert(node, best);
             }
-            let best = children
-                .iter()
-                .copied()
-                .max_by_key(|&c| (self.subtree.estimate(c), std::cmp::Reverse(c)))
-                .expect("non-empty children");
-            if self.heavy.get(&node) != Some(&best) {
-                flips += 1;
-            }
-            new_heavy.insert(node, best);
         }
         self.heavy = new_heavy;
-        self.pointer_messages += flips;
+        self.subtree.charge_pointer_messages(flips);
+    }
+
+    /// Submits one request under a stable ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.subtree.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events; the heavy
+    /// pointers are refreshed from the updated estimates once the slice
+    /// reaches quiescence (pointers, like the other §5 guarantees, are only
+    /// owed at quiescent points — refreshing a full-tree scan per bounded
+    /// slice would be pure overhead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let progress = self.subtree.step(budget)?;
+        if progress.quiescent {
+            self.refresh_pointers();
+        }
+        Ok(progress)
+    }
+
+    /// Runs until every submitted ticket has a final answer, then refreshes
+    /// the pointers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.subtree.run_to_quiescence()?;
+        self.refresh_pointers();
+        Ok(())
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.subtree.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.subtree.records()
     }
 
     /// Submits a batch of requests, runs the network, and refreshes the heavy
@@ -145,6 +200,52 @@ impl HeavyChildDecomposition {
         let records = self.subtree.run_batch(ops)?;
         self.refresh_pointers();
         Ok(records)
+    }
+}
+
+impl Application for HeavyChildDecomposition {
+    fn name(&self) -> &'static str {
+        "heavy-child"
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        HeavyChildDecomposition::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        HeavyChildDecomposition::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        HeavyChildDecomposition::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        HeavyChildDecomposition::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        HeavyChildDecomposition::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        HeavyChildDecomposition::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        Application::iterations(&self.subtree)
+    }
+
+    fn changes(&self) -> u64 {
+        Application::changes(&self.subtree)
+    }
+
+    fn messages(&self) -> u64 {
+        HeavyChildDecomposition::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        self.check_light_depth()
     }
 }
 

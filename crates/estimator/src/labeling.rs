@@ -1,7 +1,10 @@
 //! Dynamic ancestry labeling (Corollary 5.7).
 
+use crate::driver::{AppEvent, Application};
+use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
-use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_controller::Progress;
+use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
 use std::collections::HashMap;
@@ -45,7 +48,6 @@ pub struct AncestryLabeling {
     /// The node count at the time of the last re-labeling.
     labeled_at: u64,
     relabels: u32,
-    aux_messages: u64,
 }
 
 impl AncestryLabeling {
@@ -61,7 +63,6 @@ impl AncestryLabeling {
             labels: HashMap::new(),
             labeled_at: 0,
             relabels: 0,
-            aux_messages: 0,
         };
         labeling.relabel();
         Ok(labeling)
@@ -82,9 +83,10 @@ impl AncestryLabeling {
         self.relabels
     }
 
-    /// Total messages so far.
+    /// Total messages so far (size-estimation messages plus re-labeling
+    /// traversals, charged through the shared driver).
     pub fn messages(&self) -> u64 {
-        self.size.messages() + self.aux_messages
+        self.size.messages()
     }
 
     /// Maximum label size over existing nodes, in bits.
@@ -113,13 +115,13 @@ impl AncestryLabeling {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violation.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns the first violation.
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
         let tree = self.tree();
         let nodes: Vec<NodeId> = tree.nodes().collect();
         for &v in &nodes {
             if !self.labels.contains_key(&v) {
-                return Err(format!("node {v} has no label"));
+                return Err(InvariantError::MissingLabel { node: v });
             }
         }
         // Ancestry agreement on a sample of pairs (all pairs for small trees).
@@ -128,55 +130,119 @@ impl AncestryLabeling {
                 let by_label = self.is_ancestor(u, v).expect("both labeled");
                 let by_tree = tree.is_ancestor(u, v);
                 if by_label != by_tree {
-                    return Err(format!(
-                        "ancestry({u}, {v}) disagrees: labels say {by_label}, tree says {by_tree}"
-                    ));
+                    return Err(InvariantError::AncestryMismatch {
+                        ancestor: u,
+                        descendant: v,
+                        by_label,
+                        by_tree,
+                    });
                 }
             }
         }
-        let n = tree.node_count().max(2) as f64;
+        let count = tree.node_count();
+        let n = count.max(2) as f64;
         let max_bits = self.max_label_bits();
         let bound = 2 * (n.log2().ceil() as u32 + 3);
         if max_bits > bound {
-            return Err(format!(
-                "labels use {max_bits} bits, above the O(log n) bound {bound} (n = {n})"
-            ));
+            return Err(InvariantError::LabelTooWide {
+                bits: max_bits,
+                bound,
+                nodes: count,
+            });
         }
         Ok(())
     }
 
     /// Re-labels every existing node with fresh DFS intervals (charged as one
-    /// traversal of the tree).
+    /// traversal of the tree through the shared driver).
     fn relabel(&mut self) {
-        let tree = self.size.tree();
-        self.labels.clear();
-        // Iterative DFS computing [entry, exit] intervals.
-        let mut counter = 0u64;
-        let mut stack: Vec<(NodeId, bool)> = vec![(tree.root(), false)];
-        let mut entry: HashMap<NodeId, u64> = HashMap::new();
-        while let Some((node, expanded)) = stack.pop() {
-            if expanded {
-                let low = entry[&node];
-                self.labels
-                    .insert(node, AncestryLabel { low, high: counter });
-                continue;
+        let charge;
+        {
+            let tree = self.size.tree();
+            self.labels.clear();
+            // Iterative DFS computing [entry, exit] intervals.
+            let mut counter = 0u64;
+            let mut stack: Vec<(NodeId, bool)> = vec![(tree.root(), false)];
+            let mut entry: HashMap<NodeId, u64> = HashMap::new();
+            while let Some((node, expanded)) = stack.pop() {
+                if expanded {
+                    let low = entry[&node];
+                    self.labels
+                        .insert(node, AncestryLabel { low, high: counter });
+                    continue;
+                }
+                counter += 1;
+                entry.insert(node, counter);
+                stack.push((node, true));
+                for &child in tree.children(node).expect("node exists").iter().rev() {
+                    stack.push((child, false));
+                }
             }
-            counter += 1;
-            entry.insert(node, counter);
-            stack.push((node, true));
-            for &child in tree.children(node).expect("node exists").iter().rev() {
-                stack.push((child, false));
-            }
+            self.labeled_at = tree.node_count() as u64;
+            charge = 2 * tree.node_count() as u64;
         }
-        self.labeled_at = tree.node_count() as u64;
         self.relabels += 1;
-        self.aux_messages += 2 * tree.node_count() as u64;
+        self.size.driver_mut().charge_messages(charge);
+    }
+
+    /// Drops labels of deleted nodes and re-labels when the network halved
+    /// since the last labeling (or when new nodes are waiting for a label).
+    fn sync(&mut self) {
+        let existing: std::collections::HashSet<NodeId> = self.tree().nodes().collect();
+        self.labels.retain(|node, _| existing.contains(node));
+        let n = existing.len() as u64;
+        let unlabeled = existing.iter().any(|v| !self.labels.contains_key(v));
+        if n <= self.labeled_at / 2 || unlabeled {
+            self.relabel();
+        }
+    }
+
+    /// Submits one request under a stable ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.size.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events, keeping the
+    /// labeling current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let progress = self.size.step(budget)?;
+        self.sync();
+        Ok(progress)
+    }
+
+    /// Runs until every submitted ticket has a final answer, then brings the
+    /// labeling up to date.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.size.run_to_quiescence()?;
+        self.sync();
+        Ok(())
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.size.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.size.records()
     }
 
     /// Submits a batch of requests (typically deletions, but insertions are
-    /// handled too by labeling new nodes on the next re-label and answering
-    /// conservatively in between), and re-labels when the network has shrunk
-    /// to half the size it had at the last labeling.
+    /// handled too by labeling new nodes as they appear), and re-labels when
+    /// the network has shrunk to half the size it had at the last labeling.
     ///
     /// # Errors
     ///
@@ -186,15 +252,54 @@ impl AncestryLabeling {
         ops: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
         let records = self.size.run_batch(ops)?;
-        // Drop labels of deleted nodes.
-        let existing: Vec<NodeId> = self.tree().nodes().collect();
-        self.labels.retain(|node, _| existing.contains(node));
-        let n = self.tree().node_count() as u64;
-        let unlabeled = existing.iter().any(|v| !self.labels.contains_key(v));
-        if n <= self.labeled_at / 2 || unlabeled {
-            self.relabel();
-        }
+        self.sync();
         Ok(records)
+    }
+}
+
+impl Application for AncestryLabeling {
+    fn name(&self) -> &'static str {
+        "ancestry-labeling"
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        AncestryLabeling::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        AncestryLabeling::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        AncestryLabeling::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        AncestryLabeling::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        AncestryLabeling::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        AncestryLabeling::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        self.size.iterations()
+    }
+
+    fn changes(&self) -> u64 {
+        self.size.changes()
+    }
+
+    fn messages(&self) -> u64 {
+        AncestryLabeling::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        AncestryLabeling::check_invariants(self)
     }
 }
 

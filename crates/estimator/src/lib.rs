@@ -23,6 +23,24 @@
 //!   protocol generalized to churning networks via the size estimator (§1.3,
 //!   §1.4).
 //!
+//! ## The shared iteration runtime
+//!
+//! All six applications run on the same epoch engine, the
+//! [`IterationDriver`]: it owns the inner distributed controller of the
+//! current iteration, detects exhaustion, charges the iteration-boundary
+//! waves and rebuilds the controller with a derived seed, while each
+//! application reduces to an [`IterationPolicy`] (per-iteration α/β budgets,
+//! interval mode, renaming) plus its own invariant bookkeeping. The driver
+//! exposes the same ticket/event/step seam as the controller runtime —
+//! `submit` → [`RequestId`] tickets that survive
+//! iteration rebuilds, bounded `step(budget)`, `drain_events()` streaming
+//! [`AppEvent`]s (including [`AppEvent::IterationStarted`] at every epoch
+//! boundary) and a `records()` history — and every application implements the
+//! uniform [`Application`] trait over it, so the scenario runner and sweep
+//! engine in `dcn-workload` drive the §5 protocols exactly as they drive the
+//! controllers. Invariant violations are reported through the shared typed
+//! [`InvariantError`].
+//!
 //! ## Modelling note
 //!
 //! The iteration bookkeeping that the paper performs with broadcast/upcast
@@ -35,19 +53,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
 mod heavy;
+mod invariant;
 mod labeling;
 mod majority;
 mod names;
 mod size;
 mod subtree;
 
+pub use driver::{AppEvent, Application, IterationDriver, IterationPlan, IterationPolicy};
 pub use heavy::HeavyChildDecomposition;
-pub use labeling::AncestryLabeling;
+pub use invariant::InvariantError;
+pub use labeling::{AncestryLabel, AncestryLabeling};
 pub use majority::{Decision, MajorityCommitment};
 pub use names::NameAssigner;
 pub use size::SizeEstimator;
 pub use subtree::SubtreeEstimator;
 
-pub use dcn_controller::{ControllerError, Outcome, RequestKind};
+pub use dcn_controller::{ControllerError, Outcome, Progress, RequestId, RequestKind};
 pub use dcn_tree::{DynamicTree, NodeId};

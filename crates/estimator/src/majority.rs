@@ -9,14 +9,18 @@
 //! controlled insertions and deletions of leaves and internal nodes.
 //!
 //! [`MajorityCommitment`] implements that generalization: votes travel to the
-//! root along the tree (costing one message per hop), topological changes go
-//! through the size-estimation protocol, and the coordinator commits only when
-//! the number of commit votes reaches `⌈β·ñ/2⌉ + 1`, where `ñ` is the current
-//! size estimate. Since `n ≤ β·ñ` at all times, this threshold guarantees a
-//! strict majority of the *current* network, whatever the churn did.
+//! root along the tree (costing one message per hop, charged through the
+//! shared driver), topological changes go through the size-estimation
+//! protocol, and the coordinator commits only when the number of commit votes
+//! reaches `⌈β·ñ/2⌉ + 1`, where `ñ` is the current size estimate. Since
+//! `n ≤ β·ñ` at all times, this threshold guarantees a strict majority of the
+//! *current* network, whatever the churn did.
 
+use crate::driver::{AppEvent, Application};
+use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
-use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_controller::Progress;
+use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
 use std::collections::HashSet;
@@ -54,7 +58,6 @@ pub struct MajorityCommitment {
     commit_votes: HashSet<NodeId>,
     abort_votes: HashSet<NodeId>,
     decision: Option<Decision>,
-    vote_messages: u64,
 }
 
 impl MajorityCommitment {
@@ -74,7 +77,6 @@ impl MajorityCommitment {
             commit_votes: HashSet::new(),
             abort_votes: HashSet::new(),
             decision: None,
-            vote_messages: 0,
         })
     }
 
@@ -129,9 +131,10 @@ impl MajorityCommitment {
         self.decision
     }
 
-    /// Total messages: size-estimation messages plus vote deliveries.
+    /// Total messages: size-estimation messages plus vote deliveries (both
+    /// charged through the shared driver).
     pub fn messages(&self) -> u64 {
-        self.size.messages() + self.vote_messages
+        self.size.messages()
     }
 
     /// Casts `node`'s vote (`true` = commit). The vote travels to the root,
@@ -148,7 +151,8 @@ impl MajorityCommitment {
         if self.decision.is_some() {
             return Ok(());
         }
-        self.vote_messages += self.tree().depth(node) as u64;
+        let hops = self.tree().depth(node) as u64;
+        self.size.driver_mut().charge_messages(hops);
         if commit {
             self.abort_votes.remove(&node);
             self.commit_votes.insert(node);
@@ -158,6 +162,57 @@ impl MajorityCommitment {
         }
         self.try_decide();
         Ok(())
+    }
+
+    /// Drops votes of departed nodes and re-checks whether a decision can be
+    /// made.
+    fn sync(&mut self) {
+        let existing: HashSet<NodeId> = self.tree().nodes().collect();
+        self.commit_votes.retain(|v| existing.contains(v));
+        self.abort_votes.retain(|v| existing.contains(v));
+        self.try_decide();
+    }
+
+    /// Submits one topological-change request under a stable ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.size.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events, keeping the
+    /// vote tallies consistent with the surviving nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let progress = self.size.step(budget)?;
+        self.sync();
+        Ok(progress)
+    }
+
+    /// Runs until every submitted ticket has a final answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.size.run_to_quiescence()?;
+        self.sync();
+        Ok(())
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.size.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.size.records()
     }
 
     /// Applies a batch of topological-change requests through the underlying
@@ -172,11 +227,7 @@ impl MajorityCommitment {
         ops: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
         let records = self.size.run_batch(ops)?;
-        // Votes of departed nodes no longer count.
-        let existing: HashSet<NodeId> = self.tree().nodes().collect();
-        self.commit_votes.retain(|v| existing.contains(v));
-        self.abort_votes.retain(|v| existing.contains(v));
-        self.try_decide();
+        self.sync();
         Ok(records)
     }
 
@@ -185,15 +236,13 @@ impl MajorityCommitment {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violation.
-    pub fn check_safety(&self) -> Result<(), String> {
+    /// Returns [`InvariantError::UnsafeCommit`] on violation.
+    pub fn check_safety(&self) -> Result<(), InvariantError> {
         if self.decision == Some(Decision::Commit) {
-            let n = self.tree().node_count() as u64;
+            let nodes = self.tree().node_count();
             let commits = self.commit_votes();
-            if 2 * commits <= n {
-                return Err(format!(
-                    "committed with only {commits} commit votes among {n} nodes"
-                ));
+            if 2 * commits <= nodes as u64 {
+                return Err(InvariantError::UnsafeCommit { commits, nodes });
             }
         }
         Ok(())
@@ -220,6 +269,53 @@ impl MajorityCommitment {
 
     fn votes_cast(&self) -> u64 {
         self.commit_votes() + self.abort_votes()
+    }
+}
+
+impl Application for MajorityCommitment {
+    fn name(&self) -> &'static str {
+        "majority-commitment"
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        MajorityCommitment::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        MajorityCommitment::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        MajorityCommitment::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        MajorityCommitment::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        MajorityCommitment::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        MajorityCommitment::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        self.size.iterations()
+    }
+
+    fn changes(&self) -> u64 {
+        self.size.changes()
+    }
+
+    fn messages(&self) -> u64 {
+        MajorityCommitment::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        self.size.check_invariants()?;
+        self.check_safety()
     }
 }
 

@@ -1,21 +1,91 @@
 //! The name-assignment protocol (Theorem 5.2).
 
-use dcn_controller::distributed::DistributedController;
-use dcn_controller::{ControllerError, Outcome, PermitInterval, RequestKind, RequestRecord};
+use crate::driver::{AppEvent, Application, IterationDriver, IterationPlan, IterationPolicy};
+use crate::invariant::InvariantError;
+use dcn_controller::{
+    ControllerError, Outcome, PermitInterval, Progress, RequestId, RequestKind, RequestRecord,
+};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
 use std::collections::HashMap;
+
+/// The iteration policy of Theorem 5.2: each iteration opens with a DFS
+/// renaming (two traversals, charged `4n`) that gives the `N_i` current
+/// nodes the identities `1..=N_i`, and hands new joiners serial numbers
+/// from the interval `(N_i, 3N_i/2]` via the controller's interval mode.
+#[derive(Debug, Default)]
+pub(crate) struct NamePolicy {
+    ids: HashMap<NodeId, u64>,
+    /// Serial numbers granted to insertions but not yet matched to a node
+    /// appearing in the tree (the simulator applies changes with a small
+    /// lag behind the grant answer).
+    pending_serials: Vec<u64>,
+}
+
+impl NamePolicy {
+    pub(crate) fn ids(&self) -> &HashMap<NodeId, u64> {
+        &self.ids
+    }
+}
+
+impl IterationPolicy for NamePolicy {
+    fn plan(&mut self, tree: &DynamicTree) -> IterationPlan {
+        let n = tree.node_count() as u64;
+        // Two DFS traversals re-assign ids 1..=N_i (the paper's two-phase
+        // renaming keeps ids unique throughout; both traversals are charged).
+        self.ids.clear();
+        self.pending_serials.clear();
+        for (i, node) in tree.dfs(tree.root()).enumerate() {
+            self.ids.insert(node, i as u64 + 1);
+        }
+        // New nodes draw identities from (N_i, 3N_i/2].
+        let budget = (n / 2).max(1);
+        IterationPlan {
+            budget,
+            waste: (n / 4).max(1).min(budget),
+            interval: Some(PermitInterval::new(n + 1, n + budget)),
+            announce_messages: 4 * n,
+        }
+    }
+
+    fn absorb(&mut self, tree: &DynamicTree, records: &[RequestRecord]) {
+        // Granted insertions carry their permit's serial number — the new
+        // node's identity — in answer order.
+        for rec in records {
+            if let Outcome::Granted {
+                serial: Some(s), ..
+            } = rec.outcome
+            {
+                if matches!(
+                    rec.kind,
+                    RequestKind::AddLeaf | RequestKind::AddInternalAbove(_)
+                ) {
+                    self.pending_serials.push(s);
+                }
+            }
+        }
+        // Hand the serials to the nodes that appeared since the last absorb
+        // (discovery order), and retire the identities of deleted nodes.
+        let mut fresh: Vec<NodeId> = tree.nodes().filter(|n| !self.ids.contains_key(n)).collect();
+        let take = fresh.len().min(self.pending_serials.len());
+        for (node, serial) in fresh.drain(..take).zip(self.pending_serials.drain(..take)) {
+            self.ids.insert(node, serial);
+        }
+        self.ids.retain(|node, _| tree.contains(*node));
+    }
+}
 
 /// The name-assignment protocol: every node holds a short unique identity —
 /// an integer in `[1, 4n]` where `n` is the *current* number of nodes — under
 /// insertions and deletions of both leaves and internal nodes.
 ///
-/// Iteration `i` starts with a DFS re-numbering that gives the current `N_i`
-/// nodes the identities `1..N_i` (two traversals in the paper, so that the
-/// temporary and final ranges never collide; charged `O(n)` messages). New
-/// nodes joining during the iteration receive identities from the interval
-/// `[N_i + 1, 3N_i/2]`: the controller runs in interval mode, so the permit a
-/// join request consumes *is* the new node's identity.
+/// Iteration `i` (driven by the shared [`IterationDriver`]) starts with a DFS
+/// re-numbering that gives the current `N_i` nodes the identities `1..N_i`
+/// (two traversals in the paper, so that the temporary and final ranges never
+/// collide; charged `O(n)` messages). New nodes joining during the iteration
+/// receive identities from the interval `[N_i + 1, 3N_i/2]`: the controller
+/// runs in interval mode, so the permit a join request consumes *is* the new
+/// node's identity.
 ///
 /// ```
 /// use dcn_estimator::NameAssigner;
@@ -34,13 +104,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct NameAssigner {
-    config: SimConfig,
-    inner: Option<DistributedController>,
-    ids: HashMap<NodeId, u64>,
-    iterations: u32,
-    aux_messages: u64,
-    finished_messages: u64,
-    seed_counter: u64,
+    driver: IterationDriver<NamePolicy>,
 }
 
 impl NameAssigner {
@@ -51,84 +115,39 @@ impl NameAssigner {
     ///
     /// Returns controller construction errors.
     pub fn new(config: SimConfig, tree: DynamicTree) -> Result<Self, ControllerError> {
-        let mut assigner = NameAssigner {
-            config,
-            inner: None,
-            ids: HashMap::new(),
-            iterations: 0,
-            aux_messages: 0,
-            finished_messages: 0,
-            seed_counter: config.seed,
-        };
-        assigner.start_iteration(tree)?;
-        Ok(assigner)
-    }
-
-    fn start_iteration(&mut self, tree: DynamicTree) -> Result<(), ControllerError> {
-        let n = tree.node_count() as u64;
-        self.iterations += 1;
-        // Two DFS traversals re-assign ids 1..=N_i (the paper's two-phase
-        // renaming keeps ids unique throughout; we charge both traversals).
-        self.ids.clear();
-        for (i, node) in tree.dfs(tree.root()).enumerate() {
-            self.ids.insert(node, i as u64 + 1);
-        }
-        self.aux_messages += 4 * n;
-        // New nodes draw identities from (N_i, 3N_i/2].
-        let budget = (n / 2).max(1);
-        let waste = (n / 4).max(1).min(budget);
-        let interval = PermitInterval::new(n + 1, n + budget);
-        let u_bound = tree.node_count() + budget as usize + 1;
-        let mut cfg = self.config;
-        cfg.seed = self.seed_counter;
-        self.seed_counter = self.seed_counter.wrapping_add(1);
-        let inner = DistributedController::with_interval(
-            cfg,
-            tree,
-            budget,
-            waste,
-            u_bound,
-            Some(interval),
-        )?;
-        self.inner = Some(inner);
-        Ok(())
-    }
-
-    fn rotate_iteration(&mut self) -> Result<(), ControllerError> {
-        let inner = self.inner.take().expect("inner controller present");
-        self.finished_messages += inner.messages();
-        let tree = inner.into_tree();
-        self.aux_messages += 2 * tree.node_count() as u64;
-        self.start_iteration(tree)
-    }
-
-    fn inner(&self) -> &DistributedController {
-        self.inner.as_ref().expect("inner controller present")
+        Ok(NameAssigner {
+            driver: IterationDriver::new(config, tree, NamePolicy::default())?,
+        })
     }
 
     /// The current spanning tree.
     pub fn tree(&self) -> &DynamicTree {
-        self.inner().tree()
+        self.driver.tree()
     }
 
     /// The identity currently assigned to `node`, if it exists.
     pub fn id_of(&self, node: NodeId) -> Option<u64> {
-        self.ids.get(&node).copied()
+        self.driver.policy().ids().get(&node).copied()
     }
 
     /// All current `(node, identity)` assignments.
     pub fn ids(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.ids.iter().map(|(&n, &i)| (n, i))
+        self.driver.policy().ids().iter().map(|(&n, &i)| (n, i))
     }
 
     /// Number of iterations (full renamings) performed so far.
     pub fn iterations(&self) -> u32 {
-        self.iterations
+        self.driver.iterations()
     }
 
     /// Total messages so far (controller messages plus renaming traversals).
     pub fn messages(&self) -> u64 {
-        self.finished_messages + self.inner().messages() + self.aux_messages
+        self.driver.messages()
+    }
+
+    /// Number of topological changes granted so far.
+    pub fn changes(&self) -> u64 {
+        self.driver.changes()
     }
 
     /// Checks the protocol invariants: every existing node has an identity,
@@ -136,25 +155,72 @@ impl NameAssigner {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated invariant.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
         let tree = self.tree();
         let n = tree.node_count() as u64;
+        let ids = self.driver.policy().ids();
         let mut seen = HashMap::new();
         for node in tree.nodes() {
-            let Some(id) = self.ids.get(&node) else {
-                return Err(format!("node {node} has no identity"));
+            let Some(&id) = ids.get(&node) else {
+                return Err(InvariantError::MissingIdentity { node });
             };
-            if *id == 0 || *id > 4 * n {
-                return Err(format!(
-                    "node {node} has identity {id} outside [1, 4n] (n = {n})"
-                ));
+            if id == 0 || id > 4 * n {
+                return Err(InvariantError::IdentityOutOfRange {
+                    node,
+                    id,
+                    bound: 4 * n,
+                });
             }
-            if let Some(other) = seen.insert(*id, node) {
-                return Err(format!("identity {id} assigned to both {other} and {node}"));
+            if let Some(first) = seen.insert(id, node) {
+                return Err(InvariantError::DuplicateIdentity {
+                    id,
+                    first,
+                    second: node,
+                });
             }
         }
         Ok(())
+    }
+
+    /// Submits one request under a stable ticket (see
+    /// [`IterationDriver::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.driver.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events, renaming as
+    /// iterations exhaust; identity bookkeeping happens as answers are
+    /// absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        self.driver.step(budget)
+    }
+
+    /// Runs until every submitted ticket has a final answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.driver.run_to_quiescence()
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.driver.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.driver.records()
     }
 
     /// Submits a batch of requests, runs the network, and maintains the
@@ -169,78 +235,53 @@ impl NameAssigner {
         &mut self,
         ops: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
-        let mut pending: Vec<(NodeId, RequestKind)> = ops.to_vec();
-        let mut answered = Vec::new();
-        let mut rounds = 0usize;
-        while !pending.is_empty() {
-            rounds += 1;
-            if rounds > 64 {
-                break;
-            }
-            let known_before: Vec<NodeId> = self.ids.keys().copied().collect();
-            let inner = self.inner.as_mut().expect("inner controller present");
-            for &(at, kind) in &pending {
-                if !inner.tree().contains(at) {
-                    continue;
-                }
-                if matches!(kind, RequestKind::AddInternalAbove(c) if inner.tree().parent(c) != Some(at))
-                {
-                    continue;
-                }
-                if matches!(kind, RequestKind::RemoveSelf) && at == inner.tree().root() {
-                    continue;
-                }
-                inner.submit(at, kind)?;
-            }
-            inner.run()?;
-            let records = inner.take_records();
+        self.driver.run_batch(ops)
+    }
+}
 
-            // Collect the serial numbers of granted insertions, in answer
-            // order; hand them to the new nodes (in discovery order).
-            let mut serials: Vec<u64> = Vec::new();
-            let mut need_new_iteration = false;
-            let mut next_pending = Vec::new();
-            for rec in &records {
-                match rec.outcome {
-                    Outcome::Granted { serial, .. } => {
-                        if matches!(
-                            rec.kind,
-                            RequestKind::AddLeaf | RequestKind::AddInternalAbove(_)
-                        ) {
-                            if let Some(s) = serial {
-                                serials.push(s);
-                            }
-                        }
-                        answered.push(*rec);
-                    }
-                    Outcome::Rejected => {
-                        need_new_iteration = true;
-                        next_pending.push((rec.origin, rec.kind));
-                    }
-                    // The fixed-bound distributed family supports the full
-                    // dynamic model and never refuses.
-                    Outcome::Refused => unreachable!("distributed controller never refuses"),
-                }
-            }
-            let (new_nodes, existing): (Vec<NodeId>, Vec<NodeId>) = {
-                let tree = self.inner().tree();
-                (
-                    tree.nodes().filter(|n| !known_before.contains(n)).collect(),
-                    tree.nodes().collect(),
-                )
-            };
-            for (node, serial) in new_nodes.iter().zip(serials.iter()) {
-                self.ids.insert(*node, *serial);
-            }
-            // Retire identities of deleted nodes.
-            self.ids.retain(|node, _| existing.contains(node));
+impl Application for NameAssigner {
+    fn name(&self) -> &'static str {
+        "name-assigner"
+    }
 
-            pending = next_pending;
-            if need_new_iteration {
-                self.rotate_iteration()?;
-            }
-        }
-        Ok(answered)
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        NameAssigner::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        NameAssigner::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        NameAssigner::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        NameAssigner::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        NameAssigner::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        NameAssigner::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        NameAssigner::iterations(self)
+    }
+
+    fn changes(&self) -> u64 {
+        NameAssigner::changes(self)
+    }
+
+    fn messages(&self) -> u64 {
+        NameAssigner::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        NameAssigner::check_invariants(self)
     }
 }
 
@@ -307,5 +348,19 @@ mod tests {
         assert!(!names.tree().contains(victim));
         assert!(names.id_of(victim).is_none());
         names.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn incremental_stepping_keeps_identities_consistent_at_quiescence() {
+        let tree = DynamicTree::with_initial_star(12);
+        let mut names = NameAssigner::new(SimConfig::new(8), tree).unwrap();
+        let root = names.tree().root();
+        for _ in 0..9 {
+            names.submit(root, RequestKind::AddLeaf).unwrap();
+            // Tiny slices: identities must still be complete once quiescent.
+            while !names.step(3).unwrap().quiescent {}
+            names.check_invariants().unwrap();
+        }
+        assert_eq!(names.tree().node_count(), 22);
     }
 }

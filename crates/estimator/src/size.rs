@@ -1,20 +1,59 @@
 //! The size-estimation protocol (Theorem 5.1).
 
-use dcn_controller::distributed::DistributedController;
-use dcn_controller::{ControllerError, Outcome, RequestKind, RequestRecord};
+use crate::driver::{AppEvent, Application, IterationDriver, IterationPlan, IterationPolicy};
+use crate::invariant::InvariantError;
+use dcn_controller::{ControllerError, Progress, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
+
+/// The iteration policy of Theorem 5.1: iteration `i` announces `N_i` (one
+/// broadcast) and runs an `(α·N_i, α·N_i/2)`-controller with `α = 1 − 1/β`,
+/// capping the drift of `n` away from `N_i`.
+#[derive(Debug)]
+pub(crate) struct SizePolicy {
+    beta: f64,
+}
+
+impl SizePolicy {
+    pub(crate) fn new(beta: f64) -> Self {
+        assert!(beta > 1.0, "the approximation factor must exceed 1");
+        SizePolicy { beta }
+    }
+
+    pub(crate) fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    fn alpha(&self) -> f64 {
+        1.0 - 1.0 / self.beta
+    }
+}
+
+impl IterationPolicy for SizePolicy {
+    fn plan(&mut self, tree: &DynamicTree) -> IterationPlan {
+        let n = tree.node_count() as u64;
+        let budget = ((self.alpha() * n as f64).floor() as u64).max(1);
+        IterationPlan {
+            budget,
+            waste: (budget / 2).max(1),
+            interval: None,
+            // Announcing N_i to all nodes: one broadcast.
+            announce_messages: n,
+        }
+    }
+}
 
 /// The β-size-estimation protocol: all nodes maintain an estimate `ñ` with
 /// `n/β ≤ ñ ≤ β·n` at all times, where `n` is the current number of nodes.
 ///
-/// The protocol runs in iterations. Iteration `i` starts by announcing
-/// `N_i`, the exact number of nodes at that moment, to every node (a
-/// broadcast, charged `O(n)` messages); during the iteration every topological
-/// change must obtain a permit from a terminating
-/// `(α·N_i, α·N_i/2)`-controller with `α = 1 − 1/β`, which caps the drift of
-/// `n` away from `N_i`; when that controller is exhausted a new iteration
-/// starts.
+/// The protocol runs in iterations driven by the shared
+/// [`IterationDriver`]: iteration `i` starts by announcing `N_i`, the exact
+/// number of nodes at that moment, to every node (a broadcast, charged
+/// `O(n)` messages); during the iteration every topological change must
+/// obtain a permit from a terminating `(α·N_i, α·N_i/2)`-controller with
+/// `α = 1 − 1/β`, which caps the drift of `n` away from `N_i`; when that
+/// controller is exhausted a new iteration starts (visible as an
+/// [`AppEvent::IterationStarted`] in the event stream).
 ///
 /// ```
 /// use dcn_estimator::SizeEstimator;
@@ -27,22 +66,13 @@ use dcn_tree::DynamicTree;
 /// let mut est = SizeEstimator::new(SimConfig::new(3), tree, 2.0)?;
 /// let root = est.tree().root();
 /// est.run_batch(&[(root, RequestKind::AddLeaf); 8])?;
-/// assert!(est.estimate_is_valid());
+/// est.check_invariants().unwrap();
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct SizeEstimator {
-    config: SimConfig,
-    beta: f64,
-    inner: Option<DistributedController>,
-    /// The estimate `ñ = N_i` currently held by every node.
-    estimate: u64,
-    iterations: u32,
-    aux_messages: u64,
-    finished_messages: u64,
-    changes_total: u64,
-    seed_counter: u64,
+    driver: IterationDriver<SizePolicy>,
 }
 
 impl SizeEstimator {
@@ -57,116 +87,133 @@ impl SizeEstimator {
     ///
     /// Panics if `beta <= 1`.
     pub fn new(config: SimConfig, tree: DynamicTree, beta: f64) -> Result<Self, ControllerError> {
-        assert!(beta > 1.0, "the approximation factor must exceed 1");
-        let estimate = tree.node_count() as u64;
-        let mut est = SizeEstimator {
-            config,
-            beta,
-            inner: None,
-            estimate,
-            iterations: 0,
-            aux_messages: 0,
-            finished_messages: 0,
-            changes_total: 0,
-            seed_counter: config.seed,
-        };
-        est.start_iteration(tree)?;
-        Ok(est)
+        Ok(SizeEstimator {
+            driver: IterationDriver::new(config, tree, SizePolicy::new(beta))?,
+        })
     }
 
-    fn alpha(&self) -> f64 {
-        1.0 - 1.0 / self.beta
-    }
-
-    fn start_iteration(&mut self, tree: DynamicTree) -> Result<(), ControllerError> {
-        let n = tree.node_count() as u64;
-        self.estimate = n;
-        self.iterations += 1;
-        // Announcing N_i to all nodes: one broadcast.
-        self.aux_messages += n;
-        let budget = ((self.alpha() * n as f64).floor() as u64).max(1);
-        let waste = (budget / 2).max(1).min(budget);
-        let u_bound = tree.node_count() + budget as usize + 1;
-        let mut cfg = self.config;
-        cfg.seed = self.seed_counter;
-        self.seed_counter = self.seed_counter.wrapping_add(1);
-        let inner = DistributedController::new(cfg, tree, budget, waste, u_bound)?;
-        self.inner = Some(inner);
-        Ok(())
-    }
-
-    fn rotate_iteration(&mut self) -> Result<(), ControllerError> {
-        let inner = self.inner.take().expect("inner controller present");
-        self.finished_messages += inner.messages();
-        let tree = inner.into_tree();
-        // Counting the exact size at the iteration boundary: broadcast+upcast.
-        self.aux_messages += 2 * tree.node_count() as u64;
-        self.start_iteration(tree)
-    }
-
-    /// The inner controller of the current iteration (exposed for the
-    /// subtree-estimation and heavy-child layers built on top).
-    pub(crate) fn inner(&self) -> &DistributedController {
-        self.inner.as_ref().expect("inner controller present")
+    /// Mutable access to the shared iteration driver (exposed for the layers
+    /// stacked on top: subtree estimation, heavy-child, labeling, majority
+    /// commitment, which charge their own protocol waves through it).
+    pub(crate) fn driver_mut(&mut self) -> &mut IterationDriver<SizePolicy> {
+        &mut self.driver
     }
 
     /// The current spanning tree.
     pub fn tree(&self) -> &DynamicTree {
-        self.inner().tree()
+        self.driver.tree()
     }
 
-    /// The estimate `ñ` currently held by every node.
+    /// The estimate `ñ = N_i` currently held by every node.
     pub fn estimate(&self) -> u64 {
-        self.estimate
+        self.driver.estimate()
     }
 
     /// The approximation factor β.
     pub fn beta(&self) -> f64 {
-        self.beta
+        self.driver.policy().beta()
     }
 
     /// Number of iterations started so far.
     pub fn iterations(&self) -> u32 {
-        self.iterations
+        self.driver.iterations()
     }
 
     /// Total messages sent so far (controller messages plus the charged
     /// iteration-boundary waves).
     pub fn messages(&self) -> u64 {
-        self.finished_messages + self.inner().messages() + self.aux_messages
+        self.driver.messages()
     }
 
     /// Number of topological changes granted so far.
     pub fn changes(&self) -> u64 {
-        self.changes_total
+        self.driver.changes()
     }
 
     /// Amortized messages per topological change (the quantity Theorem 5.1
     /// bounds by `O(log² n)` when the number of changes is not too small).
     pub fn amortized_messages_per_change(&self) -> f64 {
-        self.messages() as f64 / self.changes_total.max(1) as f64
+        self.driver.amortized_messages_per_change()
     }
 
     /// Checks the β-approximation invariant `n/β ≤ ñ ≤ β·n` against the
     /// current network size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvariantError::EstimateOutOfBand`] when the estimate left
+    /// the band.
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
+        let nodes = self.tree().node_count();
+        let n = nodes as f64;
+        let e = self.estimate() as f64;
+        let beta = self.beta();
+        if e < n / beta - 1e-9 || e > n * beta + 1e-9 {
+            return Err(InvariantError::EstimateOutOfBand {
+                estimate: self.estimate(),
+                nodes,
+                beta,
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` when the β-approximation invariant currently holds
+    /// (convenience wrapper over [`SizeEstimator::check_invariants`]).
     pub fn estimate_is_valid(&self) -> bool {
-        let n = self.tree().node_count() as f64;
-        let e = self.estimate as f64;
-        e >= n / self.beta - 1e-9 && e <= n * self.beta + 1e-9
+        self.check_invariants().is_ok()
     }
 
     /// The number of permits that have passed down through `node` in the
     /// current iteration (used by the subtree estimator).
     pub fn permits_passed_down(&self, node: NodeId) -> u64 {
-        self.inner()
-            .whiteboard(node)
-            .map_or(0, |wb| wb.permits_passed_down)
+        self.driver.permits_passed_down(node)
     }
 
-    /// Submits a batch of topological-change requests (each arriving at the
-    /// node dictated by the paper's conventions), runs the network to
-    /// quiescence and returns the answers. Requests rejected because the
-    /// current iteration's budget ran out are retried in the next iteration.
+    /// Submits one topological-change request under a stable ticket (see
+    /// [`IterationDriver::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.driver.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events, rotating
+    /// iterations as budgets exhaust.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        self.driver.step(budget)
+    }
+
+    /// Runs until every submitted ticket has a final answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.driver.run_to_quiescence()
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.driver.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.driver.records()
+    }
+
+    /// Submits a batch of topological-change requests, runs the network to
+    /// quiescence and returns this batch's answers — the convenience shim
+    /// over the ticketed lifecycle. Requests rejected because an iteration's
+    /// budget ran out are retried in the next iteration under the same
+    /// ticket.
     ///
     /// # Errors
     ///
@@ -175,56 +222,53 @@ impl SizeEstimator {
         &mut self,
         ops: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
-        let mut pending: Vec<(NodeId, RequestKind)> = ops.to_vec();
-        let mut answered = Vec::new();
-        let mut rounds = 0usize;
-        while !pending.is_empty() {
-            rounds += 1;
-            if rounds > 64 {
-                // Safety valve; in practice a fresh iteration always has
-                // budget for at least one request.
-                break;
-            }
-            let inner = self.inner.as_mut().expect("inner controller present");
-            let mut next_pending = Vec::new();
-            for &(at, kind) in &pending {
-                if !inner.tree().contains(at) {
-                    continue; // the target vanished; the request is moot
-                }
-                if matches!(kind, RequestKind::AddInternalAbove(c) if inner.tree().parent(c) != Some(at))
-                {
-                    continue;
-                }
-                if matches!(kind, RequestKind::RemoveSelf) && at == inner.tree().root() {
-                    continue;
-                }
-                inner.submit(at, kind)?;
-            }
-            inner.run()?;
-            let mut need_new_iteration = false;
-            for rec in inner.take_records() {
-                match rec.outcome {
-                    Outcome::Granted { .. } => {
-                        if rec.kind.is_topological() {
-                            self.changes_total += 1;
-                        }
-                        answered.push(rec);
-                    }
-                    Outcome::Rejected => {
-                        need_new_iteration = true;
-                        next_pending.push((rec.origin, rec.kind));
-                    }
-                    // The fixed-bound distributed family supports the full
-                    // dynamic model and never refuses.
-                    Outcome::Refused => unreachable!("distributed controller never refuses"),
-                }
-            }
-            pending = next_pending;
-            if need_new_iteration {
-                self.rotate_iteration()?;
-            }
-        }
-        Ok(answered)
+        self.driver.run_batch(ops)
+    }
+}
+
+impl Application for SizeEstimator {
+    fn name(&self) -> &'static str {
+        "size-estimator"
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        SizeEstimator::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        SizeEstimator::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        SizeEstimator::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        SizeEstimator::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        SizeEstimator::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        SizeEstimator::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        SizeEstimator::iterations(self)
+    }
+
+    fn changes(&self) -> u64 {
+        SizeEstimator::changes(self)
+    }
+
+    fn messages(&self) -> u64 {
+        SizeEstimator::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        SizeEstimator::check_invariants(self)
     }
 }
 
@@ -244,12 +288,9 @@ mod tests {
                 .map(|&n| (n, RequestKind::AddLeaf))
                 .collect();
             est.run_batch(&batch).unwrap();
-            assert!(
-                est.estimate_is_valid(),
-                "estimate {} vs n {}",
-                est.estimate(),
-                est.tree().node_count()
-            );
+            est.check_invariants().unwrap_or_else(|e| {
+                panic!("{e} (n = {})", est.tree().node_count());
+            });
         }
         assert!(est.iterations() > 1, "growth must trigger new iterations");
         assert!(est.tree().node_count() > 50);
@@ -271,12 +312,9 @@ mod tests {
                 break;
             }
             est.run_batch(&victims).unwrap();
-            assert!(
-                est.estimate_is_valid(),
-                "estimate {} vs n {}",
-                est.estimate(),
-                est.tree().node_count()
-            );
+            est.check_invariants().unwrap_or_else(|e| {
+                panic!("{e} (n = {})", est.tree().node_count());
+            });
         }
         assert!(est.tree().node_count() < 60);
     }
@@ -304,6 +342,27 @@ mod tests {
             est.amortized_messages_per_change(),
             n
         );
+    }
+
+    #[test]
+    fn iteration_events_stream_through_the_ticketed_seam() {
+        let tree = DynamicTree::with_initial_star(7);
+        let mut est = SizeEstimator::new(SimConfig::new(4), tree, 2.0).unwrap();
+        let root = est.tree().root();
+        let mut ids = Vec::new();
+        for _ in 0..12 {
+            ids.push(est.submit(root, RequestKind::AddLeaf).unwrap());
+        }
+        est.run_to_quiescence().unwrap();
+        let events = est.drain_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::IterationStarted { .. }))
+            .count();
+        assert_eq!(starts as u32, est.iterations());
+        assert_eq!(events.iter().filter(|e| e.is_answer()).count(), ids.len());
+        assert_eq!(est.records().len(), ids.len());
+        est.check_invariants().unwrap();
     }
 
     #[test]

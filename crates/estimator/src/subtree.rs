@@ -1,7 +1,10 @@
 //! The subtree (super-weight) estimator of Lemma 5.3.
 
+use crate::driver::{AppEvent, Application};
+use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
-use dcn_controller::{ControllerError, RequestKind, RequestRecord};
+use dcn_controller::Progress;
+use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::{DynamicTree, TopologyEvent};
 use std::collections::HashMap;
@@ -14,9 +17,10 @@ use std::collections::HashMap;
 /// The estimate is exactly the quantity a node can observe locally:
 /// `ω̃(v) = ω₀(v) + S(v)`, where `ω₀(v)` is `v`'s subtree size at the start of
 /// the iteration (computed by the iteration's broadcast/upcast and charged as
-/// such) and `S(v)` is the number of permits of the size-estimation controller
-/// that travelled down the tree through `v` during the iteration — read off
-/// the controller's whiteboards.
+/// such through the shared [`IterationDriver`](crate::IterationDriver)) and
+/// `S(v)` is the number of permits of the size-estimation controller that
+/// travelled down the tree through `v` during the iteration — read off the
+/// controller's whiteboards.
 #[derive(Debug)]
 pub struct SubtreeEstimator {
     size: SizeEstimator,
@@ -25,11 +29,14 @@ pub struct SubtreeEstimator {
     /// True super-weights (reference tracker used for validation and
     /// experiments; the protocol itself never needs them).
     super_weight: HashMap<NodeId, u64>,
+    /// Shadow parent pointers replayed alongside the change log, so ancestor
+    /// chains are resolved *as of each event* — a node inserted and removed
+    /// within one sync window still credits the ancestors it had.
+    shadow_parent: HashMap<NodeId, NodeId>,
     /// The iteration for which `omega0` was computed.
     iteration_tag: u32,
     /// Index into the tree change log up to which super-weights are current.
     log_cursor: usize,
-    aux_messages: u64,
 }
 
 impl SubtreeEstimator {
@@ -45,9 +52,9 @@ impl SubtreeEstimator {
             size,
             omega0: HashMap::new(),
             super_weight: HashMap::new(),
+            shadow_parent: HashMap::new(),
             iteration_tag: 0,
             log_cursor: 0,
-            aux_messages: 0,
         };
         est.log_cursor = est.size.tree().change_log().len();
         est.refresh_omega0();
@@ -65,9 +72,15 @@ impl SubtreeEstimator {
     }
 
     /// Total messages so far, including the per-iteration subtree-size
-    /// upcasts.
+    /// upcasts (charged through the shared driver).
     pub fn messages(&self) -> u64 {
-        self.size.messages() + self.aux_messages
+        self.size.messages()
+    }
+
+    /// Charges `messages` pointer-maintenance messages to the shared driver
+    /// counter (used by the heavy-child layer above).
+    pub(crate) fn charge_pointer_messages(&mut self, messages: u64) {
+        self.size.driver_mut().charge_messages(messages);
     }
 
     /// The estimate `ω̃(v) = ω₀(v) + S(v)` held by node `v`.
@@ -88,72 +101,176 @@ impl SubtreeEstimator {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first node whose estimate is out of range.
-    pub fn check_estimates(&self) -> Result<(), String> {
+    /// Returns the first node whose estimate is out of range.
+    pub fn check_estimates(&self) -> Result<(), InvariantError> {
         let beta = self.size.beta();
         let tol = beta * beta;
         for node in self.tree().nodes() {
-            let est = self.estimate(node) as f64;
-            let truth = self.true_super_weight(node) as f64;
-            if est < truth / tol - 1e-9 || est > truth * tol + 1e-9 {
-                return Err(format!(
-                    "estimate {est} for {node} outside [{:.2}, {:.2}] (true super-weight {truth})",
-                    truth / tol,
-                    truth * tol
-                ));
+            let est = self.estimate(node);
+            let truth = self.true_super_weight(node);
+            let estf = est as f64;
+            let truthf = truth as f64;
+            if estf < truthf / tol - 1e-9 || estf > truthf * tol + 1e-9 {
+                return Err(InvariantError::SuperWeightOutOfBand {
+                    node,
+                    estimate: est,
+                    truth,
+                    tolerance: tol,
+                });
             }
         }
         Ok(())
     }
 
     /// Recomputes ω₀ (subtree sizes) for the current iteration and resets the
-    /// super-weight reference; charged as one upcast wave.
+    /// super-weight reference and the shadow parent map; charged as one
+    /// upcast wave through the driver.
     fn refresh_omega0(&mut self) {
-        let tree = self.size.tree();
-        self.omega0.clear();
-        self.super_weight.clear();
-        for node in tree.nodes() {
-            let sz = tree.subtree_size(node).expect("node exists") as u64;
-            self.omega0.insert(node, sz);
-            self.super_weight.insert(node, sz);
+        let charge;
+        {
+            let tree = self.size.tree();
+            self.omega0.clear();
+            self.super_weight.clear();
+            self.shadow_parent.clear();
+            for node in tree.nodes() {
+                let sz = tree.subtree_size(node).expect("node exists") as u64;
+                self.omega0.insert(node, sz);
+                self.super_weight.insert(node, sz);
+                if let Some(parent) = tree.parent(node) {
+                    self.shadow_parent.insert(node, parent);
+                }
+            }
+            charge = 2 * tree.node_count() as u64;
+            self.log_cursor = tree.change_log().len();
         }
-        self.aux_messages += 2 * tree.node_count() as u64;
+        self.size.driver_mut().charge_messages(charge);
         self.iteration_tag = self.size.iterations();
-        self.log_cursor = tree.change_log().len();
+    }
+
+    /// Credits one new descendant to `from` and every shadow ancestor above
+    /// it (walking the parent pointers as they were at event time).
+    fn credit_chain(&mut self, from: NodeId) {
+        let mut cur = Some(from);
+        while let Some(node) = cur {
+            *self.super_weight.entry(node).or_insert(1) += 1;
+            cur = self.shadow_parent.get(&node).copied();
+        }
     }
 
     /// Replays the tree change log to keep the reference super-weights
-    /// current: every inserted node contributes 1 to all its ancestors (and
-    /// deletions do not subtract).
+    /// current: every inserted node contributes 1 to all the ancestors it
+    /// had *at insertion time* (and deletions do not subtract — the
+    /// super-weight counts everything that existed at any point in the
+    /// iteration). The shadow parent map is replayed alongside, so a node
+    /// inserted and deleted within one sync window still credits the right
+    /// chain even though the live tree no longer contains it.
     fn update_super_weights(&mut self) {
-        let tree = self.size.tree();
-        let log: Vec<_> = tree
-            .change_log()
-            .iter()
-            .skip(self.log_cursor)
-            .cloned()
-            .collect();
-        self.log_cursor = tree.change_log().len();
+        let log: Vec<_> = {
+            let tree = self.size.tree();
+            let log = tree
+                .change_log()
+                .iter()
+                .skip(self.log_cursor)
+                .cloned()
+                .collect();
+            self.log_cursor = tree.change_log().len();
+            log
+        };
         for record in log {
             match record.event {
-                TopologyEvent::AddLeaf { child, .. } => {
+                TopologyEvent::AddLeaf { parent, child } => {
                     self.super_weight.insert(child, 1);
-                    for anc in tree.ancestors(child).skip(1) {
-                        *self.super_weight.entry(anc).or_insert(1) += 1;
-                    }
+                    self.shadow_parent.insert(child, parent);
+                    self.credit_chain(parent);
                 }
-                TopologyEvent::AddInternal { node, below, .. } => {
+                TopologyEvent::AddInternal {
+                    parent,
+                    node,
+                    below,
+                } => {
                     // The new internal node inherits the weight below it plus
                     // itself.
                     let below_weight = self.super_weight.get(&below).copied().unwrap_or(1);
                     self.super_weight.insert(node, below_weight + 1);
-                    for anc in tree.ancestors(node).skip(1) {
-                        *self.super_weight.entry(anc).or_insert(1) += 1;
+                    self.shadow_parent.insert(node, parent);
+                    self.shadow_parent.insert(below, node);
+                    // Protocol side: at attach time the new node copies its
+                    // child's current estimate (one message, part of the
+                    // insertion handshake) — without this, a node spliced
+                    // above a large subtree would observe only the permits
+                    // that pass it *after* its insertion and undershoot its
+                    // real super-weight arbitrarily.
+                    let below_estimate = self.omega0.get(&below).copied().unwrap_or(1)
+                        + self.size.permits_passed_down(below);
+                    self.omega0.insert(node, below_estimate + 1);
+                    self.credit_chain(parent);
+                }
+                TopologyEvent::RemoveLeaf { node, .. } => {
+                    self.shadow_parent.remove(&node);
+                }
+                TopologyEvent::RemoveInternal { parent, node } => {
+                    // The removed node's children were adopted by `parent`.
+                    for (_, p) in self.shadow_parent.iter_mut().filter(|(_, p)| **p == node) {
+                        *p = parent;
                     }
+                    self.shadow_parent.remove(&node);
                 }
                 _ => {}
             }
         }
+    }
+
+    /// Brings ω₀ and the reference super-weights up to date after an
+    /// execution slice: a fresh iteration resets them, otherwise the change
+    /// log since the last sync is replayed.
+    fn sync(&mut self) {
+        if self.size.iterations() != self.iteration_tag {
+            self.refresh_omega0();
+        } else {
+            self.update_super_weights();
+        }
+    }
+
+    /// Submits one request under a stable ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the current tree.
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.size.submit(at, kind)
+    }
+
+    /// Advances execution by at most `budget` simulator events, keeping the
+    /// super-weight bookkeeping current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        let progress = self.size.step(budget)?;
+        self.sync();
+        Ok(progress)
+    }
+
+    /// Runs until every submitted ticket has a final answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and rotation errors.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.size.run_to_quiescence()?;
+        self.sync();
+        Ok(())
+    }
+
+    /// Removes and returns the events produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<AppEvent> {
+        self.size.drain_events()
+    }
+
+    /// All resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        self.size.records()
     }
 
     /// Submits a batch of requests through the size-estimation machinery and
@@ -166,15 +283,56 @@ impl SubtreeEstimator {
         &mut self,
         ops: &[(NodeId, RequestKind)],
     ) -> Result<Vec<RequestRecord>, ControllerError> {
-        let before_iteration = self.size.iterations();
         let records = self.size.run_batch(ops)?;
-        if self.size.iterations() != before_iteration {
-            // A new iteration started: ω₀ and the counters were reset.
-            self.refresh_omega0();
-        } else {
-            self.update_super_weights();
-        }
+        self.sync();
         Ok(records)
+    }
+}
+
+impl Application for SubtreeEstimator {
+    fn name(&self) -> &'static str {
+        "subtree-estimator"
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        SubtreeEstimator::submit(self, at, kind)
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        SubtreeEstimator::step(self, budget)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        SubtreeEstimator::run_to_quiescence(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<AppEvent> {
+        SubtreeEstimator::drain_events(self)
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        SubtreeEstimator::records(self)
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        SubtreeEstimator::tree(self)
+    }
+
+    fn iterations(&self) -> u32 {
+        self.size.iterations()
+    }
+
+    fn changes(&self) -> u64 {
+        self.size.changes()
+    }
+
+    fn messages(&self) -> u64 {
+        SubtreeEstimator::messages(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantError> {
+        self.size.check_invariants()?;
+        self.check_estimates()
     }
 }
 

@@ -28,17 +28,22 @@
 //! Concrete controllers are built through the uniform [`ControllerSpec`]
 //! factory ([`Family`] × `M` × `W` × sim-config), which replaces the
 //! per-driver construction match arms; [`family_factory`] adapts it to the
-//! sweep engine's factory hook.
+//! sweep engine's factory hook. The §5 applications have the parallel
+//! [`AppSpec`] factory ([`AppFamily`] × β × sim-config) and run through the
+//! same machinery via [`ScenarioRunner::run_app`], which returns an
+//! [`AppReport`] (amortized messages per change, iteration counts, invariant
+//! violations, latency percentiles).
 //!
 //! Above the runner sits the [`SweepEngine`]: a declarative [`SweepGrid`]
-//! (families × shapes × churn × placement × arrivals × budgets × replicates)
-//! expanded into deterministically-seeded cells, executed over a
+//! (families + apps × shapes × churn × placement × arrivals × budgets ×
+//! replicates) expanded into deterministically-seeded cells, executed over a
 //! worker-thread pool, and aggregated into a [`SweepReport`] whose CSV/JSON
 //! output is byte-identical regardless of the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod appspec;
 mod churn;
 mod json;
 mod placement;
@@ -48,19 +53,22 @@ mod shape;
 mod spec;
 mod sweep;
 
+pub use appspec::{app_factory, AppFamily, AppSpec};
 pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
 pub use json::quote as json_quote;
 pub use placement::Placement;
-pub use runner::{RunReport, ScenarioRunner};
+pub use runner::{AppReport, RunReport, ScenarioRunner};
 pub use scenario::{ArrivalMode, Scenario};
 pub use shape::{build_tree, TreeShape};
 pub use spec::{family_factory, ControllerSpec, Family};
 pub use sweep::{
-    arrival_label, churn_label, placement_label, shape_label, CellResult, ControllerFactory,
-    FamilySummary, MwBudget, SweepCell, SweepEngine, SweepGrid, SweepReport,
+    arrival_label, churn_label, kind_label, placement_label, shape_label, CellKind, CellReport,
+    CellResult, ControllerFactory, FamilySummary, MwBudget, SweepCell, SweepEngine, SweepGrid,
+    SweepReport,
 };
 
 pub use dcn_controller::{
     Controller, ControllerEvent, Progress, RequestId, RequestKind, RequestRecord,
 };
+pub use dcn_estimator::{AppEvent, Application, InvariantError};
 pub use dcn_tree::{DynamicTree, NodeId};

@@ -21,6 +21,7 @@ use crate::scenario::{ArrivalMode, Scenario};
 use crate::shape::build_tree;
 use dcn_controller::verify::{ExecutionSummary, Violation};
 use dcn_controller::{Controller, ControllerError, ControllerEvent};
+use dcn_estimator::{AppEvent, Application};
 use dcn_rng::{DetRng, SeedableRng};
 use dcn_tree::DynamicTree;
 
@@ -107,6 +108,79 @@ impl RunReport {
             });
         }
         self.summary().check()
+    }
+}
+
+/// The uniform result of driving one §5 application through one scenario —
+/// the application-layer counterpart of [`RunReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppReport {
+    /// The application family ([`Application::name`]).
+    pub app: String,
+    /// The scenario name.
+    pub scenario: String,
+    /// Tickets issued to the application.
+    pub submitted: u64,
+    /// Operations that went stale before submission (an earlier grant in the
+    /// same run removed or re-parented the node they referenced).
+    pub dropped: u64,
+    /// Permits granted by the application's inner controllers.
+    pub granted: u64,
+    /// Tickets that resolved to a final reject (iteration budgets kept
+    /// running out, or the request's target vanished while it was retried).
+    pub rejected: u64,
+    /// Iterations (epochs: announcements, renamings) the application ran.
+    pub iterations: u32,
+    /// Topological changes granted — the denominator of the §5 amortized
+    /// bounds.
+    pub changes: u64,
+    /// Total messages: inner controller messages plus every charged
+    /// protocol wave (announcements, renamings, re-labelings, upcasts).
+    pub messages: u64,
+    /// Invariant checks performed during the run (after every quiescent
+    /// point).
+    pub invariant_checks: u64,
+    /// How many of those checks failed. The §5 theorems say this must be 0.
+    pub invariant_violations: u64,
+    /// The first violated invariant, rendered, if any check failed.
+    pub first_violation: Option<String>,
+    /// Median answer latency in virtual time units over this run's answers.
+    pub p50_answer_latency: u64,
+    /// 95th-percentile answer latency in virtual time units.
+    pub p95_answer_latency: u64,
+    /// Network size when the run finished.
+    pub final_nodes: usize,
+}
+
+impl AppReport {
+    /// Amortized messages per granted topological change (the quantity the
+    /// §5 theorems bound, e.g. `O(log² n)` for size estimation).
+    pub fn amortized_messages_per_change(&self) -> f64 {
+        self.messages as f64 / self.changes.max(1) as f64
+    }
+
+    /// Checks the run: every ticket answered, and no invariant violated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem.
+    pub fn check(&self) -> Result<(), String> {
+        if self.granted + self.rejected != self.submitted {
+            return Err(format!(
+                "{} tickets unanswered ({} granted + {} rejected of {} submitted)",
+                self.submitted.saturating_sub(self.granted + self.rejected),
+                self.granted,
+                self.rejected,
+                self.submitted
+            ));
+        }
+        if self.invariant_violations > 0 {
+            return Err(self
+                .first_violation
+                .clone()
+                .unwrap_or_else(|| format!("{} invariant violations", self.invariant_violations)));
+        }
+        Ok(())
     }
 }
 
@@ -310,6 +384,138 @@ impl ScenarioRunner {
                 .unwrap_or(0),
         })
     }
+
+    /// Drives a [`dyn Application`](Application) — one of the §5 protocols —
+    /// through the scenario, mirroring [`ScenarioRunner::run`]: the same
+    /// churn stream, the same placement redraw for non-topological events,
+    /// and the same closed-loop / open-loop [`ArrivalMode`] machinery over
+    /// the ticketed submit/step seam. Invariants are checked at every
+    /// quiescent point (after each batch in the closed loop, at the final
+    /// quiescence in the open loop) and tallied into the report — a §5
+    /// theorem run must report zero violations.
+    ///
+    /// The application should be freshly constructed: the ticket tallies
+    /// and latency columns are scoped to this run, but the iteration,
+    /// change and message columns read the application's cumulative
+    /// counters (like [`ScenarioRunner::run`] does for controllers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and iteration-rotation errors.
+    pub fn run_app(&self, app: &mut dyn Application) -> Result<AppReport, ControllerError> {
+        let scenario = &self.scenario;
+        let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
+        let mut placement_rng =
+            DetRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9).wrapping_add(71));
+        let mut issued = 0u64;
+        let mut dropped = 0u64;
+        let mut stalled_batches = 0u32;
+        let mut invariant_checks = 0u64;
+        let mut invariant_violations = 0u64;
+        let mut first_violation: Option<String> = None;
+        // Events and records from earlier runs over the same application are
+        // not this run's outcomes.
+        app.drain_events();
+        let records_before = app.records().len();
+        let check = |app: &mut dyn Application,
+                     checks: &mut u64,
+                     violations: &mut u64,
+                     first: &mut Option<String>| {
+            *checks += 1;
+            if let Err(e) = app.check_invariants() {
+                *violations += 1;
+                first.get_or_insert_with(|| e.to_string());
+            }
+        };
+
+        while (issued as usize) < scenario.requests {
+            let want = self.batch.min(scenario.requests - issued as usize);
+            let ops = churn.batch(app.tree(), want);
+            if ops.is_empty() {
+                break;
+            }
+            let mut sent_this_batch = 0u64;
+            for op in &ops {
+                let (at, kind) = match op {
+                    ChurnOp::Event { .. } => (
+                        scenario.placement.draw(app.tree(), &mut placement_rng),
+                        dcn_controller::RequestKind::NonTopological,
+                    ),
+                    other => other.to_request(),
+                };
+                // Stale intra-batch operations (the node vanished under an
+                // earlier grant) are dropped, like in the controller path.
+                if app.submit(at, kind).is_err() {
+                    dropped += 1;
+                    continue;
+                }
+                issued += 1;
+                sent_this_batch += 1;
+            }
+            match scenario.arrival {
+                ArrivalMode::Batch => {
+                    app.run_to_quiescence()?;
+                    // A quiescent point: the §5 guarantees must hold.
+                    check(
+                        app,
+                        &mut invariant_checks,
+                        &mut invariant_violations,
+                        &mut first_violation,
+                    );
+                }
+                ArrivalMode::Interleaved { quantum } => {
+                    // A bounded slice: iteration agents stay in flight while
+                    // the next batch is generated and submitted; invariants
+                    // are only owed at quiescence.
+                    app.step(quantum)?;
+                }
+            }
+            if sent_this_batch == 0 {
+                stalled_batches += 1;
+                if stalled_batches > 8 {
+                    break;
+                }
+            } else {
+                stalled_batches = 0;
+            }
+        }
+        app.run_to_quiescence()?;
+        check(
+            app,
+            &mut invariant_checks,
+            &mut invariant_violations,
+            &mut first_violation,
+        );
+
+        let events = app.drain_events();
+        let granted = events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::Controller(ControllerEvent::Granted { .. })))
+            .count() as u64;
+        let rejected = events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::Controller(ControllerEvent::Rejected { .. })))
+            .count() as u64;
+        let (p50_answer_latency, p95_answer_latency) =
+            percentiles(app.records()[records_before..].iter().map(|r| r.latency()));
+        Ok(AppReport {
+            app: app.name().to_string(),
+            scenario: scenario.name.clone(),
+            submitted: issued,
+            dropped,
+            granted,
+            rejected,
+            iterations: app.iterations(),
+            changes: app.changes(),
+            messages: app.messages(),
+            invariant_checks,
+            invariant_violations,
+            first_violation,
+            p50_answer_latency,
+            p95_answer_latency,
+            final_nodes: app.tree().node_count(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -479,6 +685,68 @@ mod tests {
             "moves {} too low for depth-30 requests",
             report.moves
         );
+    }
+
+    #[test]
+    fn runner_drives_an_application_to_a_consistent_report() {
+        use crate::appspec::{AppFamily, AppSpec};
+        let runner = ScenarioRunner::new(scenario(60, 40, 10, 13));
+        let mut app = AppSpec::for_scenario(AppFamily::SizeEstimator, runner.scenario())
+            .build_for(&runner)
+            .unwrap();
+        let report = runner.run_app(app.as_mut()).unwrap();
+        assert_eq!(report.app, "size-estimator");
+        assert_eq!(report.submitted, 60);
+        assert_eq!(report.granted + report.rejected, report.submitted);
+        assert!(report.messages > 0);
+        assert!(report.invariant_checks > 0);
+        assert_eq!(report.invariant_violations, 0);
+        assert_eq!(report.first_violation, None);
+        // The inner controllers run on the simulated network: latency > 0.
+        assert!(report.p95_answer_latency > 0);
+        report.check().unwrap();
+        // Identically-seeded reruns reproduce the report exactly.
+        let mut again = AppSpec::for_scenario(AppFamily::SizeEstimator, runner.scenario())
+            .build_for(&runner)
+            .unwrap();
+        assert_eq!(runner.run_app(again.as_mut()).unwrap(), report);
+    }
+
+    #[test]
+    fn interleaved_arrivals_drive_applications_too() {
+        use crate::appspec::{AppFamily, AppSpec};
+        let mut s = scenario(48, 40, 10, 23);
+        s.arrival = ArrivalMode::Interleaved { quantum: 12 };
+        let runner = ScenarioRunner::new(s);
+        let mut app = AppSpec::for_scenario(AppFamily::NameAssigner, runner.scenario())
+            .build_for(&runner)
+            .unwrap();
+        let report = runner.run_app(app.as_mut()).unwrap();
+        assert_eq!(report.granted + report.rejected, report.submitted);
+        report.check().unwrap();
+        // Reproducible like the closed loop.
+        let mut again = AppSpec::for_scenario(AppFamily::NameAssigner, runner.scenario())
+            .build_for(&runner)
+            .unwrap();
+        assert_eq!(runner.run_app(again.as_mut()).unwrap(), report);
+    }
+
+    #[test]
+    fn app_report_check_flags_violations_and_unanswered_tickets() {
+        use crate::appspec::{AppFamily, AppSpec};
+        let runner = ScenarioRunner::new(scenario(20, 30, 10, 31));
+        let mut app = AppSpec::for_scenario(AppFamily::HeavyChild, runner.scenario())
+            .build_for(&runner)
+            .unwrap();
+        let mut report = runner.run_app(app.as_mut()).unwrap();
+        report.check().unwrap();
+        let clean = report.clone();
+        report.invariant_violations = 1;
+        report.first_violation = Some("node n3 has 40 light ancestors".to_string());
+        assert!(report.check().unwrap_err().contains("light ancestors"));
+        let mut unanswered = clean;
+        unanswered.granted -= 1;
+        assert!(unanswered.check().unwrap_err().contains("unanswered"));
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //!   corresponding cell, so rows compare request-for-request (the T4
 //!   methodology, applied grid-wide).
 
+use crate::appspec::app_factory;
 use crate::churn::ChurnModel;
 use crate::placement::Placement;
-use crate::runner::{percentiles, RunReport, ScenarioRunner};
+use crate::runner::{percentiles, AppReport, RunReport, ScenarioRunner};
 use crate::scenario::{ArrivalMode, Scenario};
 use crate::shape::TreeShape;
 use dcn_controller::Controller;
@@ -54,6 +55,14 @@ pub struct SweepGrid {
     /// [`SweepEngine::run`] (the harness crate maps them to concrete
     /// controllers; `dcn-workload` itself stays family-agnostic).
     pub families: Vec<String>,
+    /// §5 application names (the apps axis), resolved by the canonical
+    /// [`app_factory`](crate::app_factory) and driven through
+    /// [`ScenarioRunner::run_app`]. App cells expand *after* the controller
+    /// cells; their per-cell seeds use the same family-blind derivation, so
+    /// an application cell sees the identical workload stream as the
+    /// controller cell with the same scenario coordinates. Empty for a
+    /// controllers-only grid.
+    pub apps: Vec<String>,
     /// Initial tree shapes.
     pub shapes: Vec<TreeShape>,
     /// Churn models.
@@ -74,9 +83,10 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
-    /// Number of cells the grid expands to.
+    /// Number of cells the grid expands to (controller families and §5
+    /// applications alike).
     pub fn cell_count(&self) -> usize {
-        self.families.len()
+        (self.families.len() + self.apps.len())
             * self.shapes.len()
             * self.churns.len()
             * self.placements.len()
@@ -87,16 +97,24 @@ impl SweepGrid {
 
     /// Expands the grid into its cells, deriving each cell's scenario seed
     /// via SplitMix64 from the base seed and the cell's *scenario*
-    /// coordinates (excluding the family axis, so that every family sees the
-    /// identical workload stream for the same scenario point).
+    /// coordinates (excluding the family and apps axes, so that every
+    /// family — controller or application — sees the identical workload
+    /// stream for the same scenario point). Controller cells come first, in
+    /// family order, followed by the application cells.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         let replicates = self.replicates.max(1);
         let mut index = 0usize;
-        for family in &self.families {
+        let drivers = self
+            .families
+            .iter()
+            .map(|f| (f, CellKind::Controller))
+            .chain(self.apps.iter().map(|a| (a, CellKind::App)));
+        for (family, kind) in drivers {
             // The scenario-point index restarts per family: equal for the
             // same (shape, churn, placement, budget, replicate) across
-            // families, which is what makes the derived seed family-blind.
+            // families and applications, which is what makes the derived
+            // seed family-blind.
             let mut point = 0u64;
             for &shape in &self.shapes {
                 for &churn in &self.churns {
@@ -131,6 +149,7 @@ impl SweepGrid {
                                     cells.push(SweepCell {
                                         index,
                                         family: family.clone(),
+                                        kind,
                                         scenario,
                                     });
                                     index += 1;
@@ -146,15 +165,66 @@ impl SweepGrid {
     }
 }
 
+/// Which runtime a sweep cell exercises: an (M, W)-controller family or a
+/// §5 application.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CellKind {
+    /// A controller family, resolved by the grid's [`ControllerFactory`] and
+    /// driven by [`ScenarioRunner::run`].
+    #[default]
+    Controller,
+    /// A §5 application, resolved by the canonical
+    /// [`app_factory`](crate::app_factory) and driven by
+    /// [`ScenarioRunner::run_app`].
+    App,
+}
+
 /// One cell of an expanded grid: a family driven through one seeded scenario.
 #[derive(Clone, Debug)]
 pub struct SweepCell {
     /// Position in the grid's expansion order (also the output row order).
     pub index: usize,
-    /// Controller family name (resolved by the factory).
+    /// Controller-family or application name (resolved per [`CellKind`]).
     pub family: String,
+    /// Whether this cell drives a controller or a §5 application.
+    pub kind: CellKind,
     /// The fully-specified scenario, including the derived seed.
     pub scenario: Scenario,
+}
+
+/// The report produced by one executed cell, per [`CellKind`].
+#[derive(Clone, Debug)]
+pub enum CellReport {
+    /// A controller cell's [`RunReport`].
+    Controller(RunReport),
+    /// An application cell's [`AppReport`].
+    App(AppReport),
+}
+
+impl CellReport {
+    /// The controller report, if this cell drove a controller.
+    pub fn controller(&self) -> Option<&RunReport> {
+        match self {
+            CellReport::Controller(r) => Some(r),
+            CellReport::App(_) => None,
+        }
+    }
+
+    /// The application report, if this cell drove a §5 application.
+    pub fn app(&self) -> Option<&AppReport> {
+        match self {
+            CellReport::App(r) => Some(r),
+            CellReport::Controller(_) => None,
+        }
+    }
+
+    /// Total messages, uniformly across both kinds.
+    pub fn messages(&self) -> u64 {
+        match self {
+            CellReport::Controller(r) => r.messages,
+            CellReport::App(r) => r.messages,
+        }
+    }
 }
 
 /// The result of one executed cell.
@@ -164,10 +234,23 @@ pub struct CellResult {
     pub cell: SweepCell,
     /// The run's report, or a description of why it could not run (factory
     /// rejection or runner error).
-    pub report: Result<RunReport, String>,
-    /// The first violated §2.2 correctness condition, if any (also set for
-    /// accounting violations such as over-answering).
+    pub report: Result<CellReport, String>,
+    /// The first violated condition, if any: a §2.2
+    /// safety/liveness/accounting violation for controller cells, an
+    /// unanswered ticket or §5 invariant violation for application cells.
     pub violation: Option<String>,
+}
+
+impl CellResult {
+    /// The controller report, if this cell drove a controller and ran.
+    pub fn run_report(&self) -> Option<&RunReport> {
+        self.report.as_ref().ok().and_then(CellReport::controller)
+    }
+
+    /// The application report, if this cell drove an application and ran.
+    pub fn app_report(&self) -> Option<&AppReport> {
+        self.report.as_ref().ok().and_then(CellReport::app)
+    }
 }
 
 /// Aggregated outcome of a sweep: cells in grid order plus per-family
@@ -233,6 +316,7 @@ pub type ControllerFactory<'a> =
 /// let grid = SweepGrid {
 ///     name: "doc".to_string(),
 ///     families: vec!["iterated".to_string()],
+///     apps: vec![],
 ///     shapes: vec![TreeShape::Star { nodes: 12 }],
 ///     churns: vec![ChurnModel::default_mixed()],
 ///     placements: vec![Placement::Uniform],
@@ -331,17 +415,29 @@ impl SweepEngine {
     }
 }
 
-/// Executes one cell: build the controller, drive the scenario, check the
-/// §2.2 conditions.
+/// Executes one cell: build the controller or application, drive the
+/// scenario, check the §2.2 conditions (controllers) or the ticket/invariant
+/// conditions (applications).
 fn run_cell(cell: &SweepCell, factory: &ControllerFactory<'_>) -> CellResult {
     let runner = ScenarioRunner::new(cell.scenario.clone());
-    let report = factory(&cell.family, &cell.scenario)
-        .and_then(|mut ctrl| runner.run(ctrl.as_mut()).map_err(|e| e.to_string()));
-    let violation = report
-        .as_ref()
-        .ok()
-        .and_then(|r| r.check().err())
-        .map(|v| v.to_string());
+    let (report, violation) = match cell.kind {
+        CellKind::Controller => {
+            let report = factory(&cell.family, &cell.scenario)
+                .and_then(|mut ctrl| runner.run(ctrl.as_mut()).map_err(|e| e.to_string()));
+            let violation = report
+                .as_ref()
+                .ok()
+                .and_then(|r| r.check().err())
+                .map(|v| v.to_string());
+            (report.map(CellReport::Controller), violation)
+        }
+        CellKind::App => {
+            let report = app_factory(&cell.family, &cell.scenario)
+                .and_then(|mut app| runner.run_app(app.as_mut()).map_err(|e| e.to_string()));
+            let violation = report.as_ref().ok().and_then(|r| r.check().err());
+            (report.map(CellReport::App), violation)
+        }
+    };
     CellResult {
         cell: cell.clone(),
         report,
@@ -372,7 +468,7 @@ impl SweepReport {
         order
             .into_iter()
             .map(|family| {
-                let reports: Vec<&RunReport> = self
+                let reports: Vec<&CellReport> = self
                     .cells
                     .iter()
                     .filter(|c| c.cell.family == family)
@@ -388,12 +484,31 @@ impl SweepReport {
                     .iter()
                     .filter(|c| c.cell.family == family && c.violation.is_some())
                     .count();
-                let (p50_moves, p95_moves) = percentiles(reports.iter().map(|r| r.moves));
-                let (p50_messages, p95_messages) = percentiles(reports.iter().map(|r| r.messages));
-                let (p50_memory_bits, p95_memory_bits) =
-                    percentiles(reports.iter().map(|r| r.peak_node_memory_bits));
-                let (p50_latency, _) = percentiles(reports.iter().map(|r| r.p50_answer_latency));
-                let (_, p95_latency) = percentiles(reports.iter().map(|r| r.p95_answer_latency));
+                // Moves and memory are controller-side cost measures; an
+                // application family's rows aggregate to 0 there and are
+                // compared on messages and latency instead.
+                let (p50_moves, p95_moves) = percentiles(
+                    reports
+                        .iter()
+                        .filter_map(|r| r.controller())
+                        .map(|r| r.moves),
+                );
+                let (p50_messages, p95_messages) =
+                    percentiles(reports.iter().map(|r| r.messages()));
+                let (p50_memory_bits, p95_memory_bits) = percentiles(
+                    reports
+                        .iter()
+                        .filter_map(|r| r.controller())
+                        .map(|r| r.peak_node_memory_bits),
+                );
+                let (p50_latency, _) = percentiles(reports.iter().map(|r| match r {
+                    CellReport::Controller(r) => r.p50_answer_latency,
+                    CellReport::App(r) => r.p50_answer_latency,
+                }));
+                let (_, p95_latency) = percentiles(reports.iter().map(|r| match r {
+                    CellReport::Controller(r) => r.p95_answer_latency,
+                    CellReport::App(r) => r.p95_answer_latency,
+                }));
                 FamilySummary {
                     family: family.to_string(),
                     cells: attempted,
@@ -413,13 +528,18 @@ impl SweepReport {
     }
 
     /// The full report as CSV: a header line, one row per cell in grid
-    /// order, a blank line, then the per-family summary rows.
+    /// order, a blank line, then the per-family summary rows. Controller
+    /// cells leave the application columns (`iterations`, `changes`,
+    /// `amortized_mpc`, `invariant_violations`) empty, and application cells
+    /// leave the controller-only columns empty, so every row keeps the same
+    /// arity.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "cell,family,scenario,shape,churn,placement,arrival,m,w,requests,seed,status,\
+            "cell,family,kind,scenario,shape,churn,placement,arrival,m,w,requests,seed,status,\
              submitted,refused,dropped,granted,rejected,wasted,moves,messages,\
-             p50_latency,p95_latency,peak_memory_bits,final_nodes,final_max_degree\n",
+             p50_latency,p95_latency,peak_memory_bits,final_nodes,final_max_degree,\
+             iterations,changes,amortized_mpc,invariant_violations\n",
         );
         for c in &self.cells {
             let s = &c.cell.scenario;
@@ -428,9 +548,10 @@ impl SweepReport {
             let status = cell_status(c).replace(',', ";").replace('\n', " ");
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.cell.index,
                 c.cell.family,
+                kind_label(c.cell.kind),
                 s.name,
                 shape_label(&s.shape),
                 churn_label(&s.churn),
@@ -443,10 +564,10 @@ impl SweepReport {
                 status,
             );
             match &c.report {
-                Ok(r) => {
+                Ok(CellReport::Controller(r)) => {
                     let _ = writeln!(
                         out,
-                        ",{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        ",{},{},{},{},{},{},{},{},{},{},{},{},{},,,,",
                         r.submitted,
                         r.refused,
                         r.dropped,
@@ -462,8 +583,26 @@ impl SweepReport {
                         r.final_max_degree,
                     );
                 }
+                Ok(CellReport::App(r)) => {
+                    let _ = writeln!(
+                        out,
+                        ",{},,{},{},{},,,{},{},{},,{},,{},{},{:.2},{}",
+                        r.submitted,
+                        r.dropped,
+                        r.granted,
+                        r.rejected,
+                        r.messages,
+                        r.p50_answer_latency,
+                        r.p95_answer_latency,
+                        r.final_nodes,
+                        r.iterations,
+                        r.changes,
+                        r.amortized_messages_per_change(),
+                        r.invariant_violations,
+                    );
+                }
                 Err(_) => {
-                    out.push_str(",,,,,,,,,,,,,\n");
+                    out.push_str(",,,,,,,,,,,,,,,,,\n");
                 }
             }
         }
@@ -508,14 +647,15 @@ impl SweepReport {
             }
             let _ = write!(
                 out,
-                r#"{{"cell": {}, "family": {}, "scenario": {}, "status": {}, "report": "#,
+                r#"{{"cell": {}, "family": {}, "kind": {}, "scenario": {}, "status": {}, "report": "#,
                 c.cell.index,
                 crate::json::quote(&c.cell.family),
+                crate::json::quote(kind_label(c.cell.kind)),
                 c.cell.scenario.to_json(),
                 crate::json::quote(&cell_status(c)),
             );
             match &c.report {
-                Ok(r) => {
+                Ok(CellReport::Controller(r)) => {
                     let _ = write!(
                         out,
                         r#"{{"submitted": {}, "refused": {}, "dropped": {}, "granted": {}, "rejected": {}, "wasted": {}, "moves": {}, "messages": {}, "p50_latency": {}, "p95_latency": {}, "peak_memory_bits": {}, "final_nodes": {}, "final_max_degree": {}}}"#,
@@ -532,6 +672,25 @@ impl SweepReport {
                         r.peak_node_memory_bits,
                         r.final_nodes,
                         r.final_max_degree,
+                    );
+                }
+                Ok(CellReport::App(r)) => {
+                    let _ = write!(
+                        out,
+                        r#"{{"submitted": {}, "dropped": {}, "granted": {}, "rejected": {}, "iterations": {}, "changes": {}, "messages": {}, "amortized_mpc": {:.2}, "invariant_checks": {}, "invariant_violations": {}, "p50_latency": {}, "p95_latency": {}, "final_nodes": {}}}"#,
+                        r.submitted,
+                        r.dropped,
+                        r.granted,
+                        r.rejected,
+                        r.iterations,
+                        r.changes,
+                        r.messages,
+                        r.amortized_messages_per_change(),
+                        r.invariant_checks,
+                        r.invariant_violations,
+                        r.p50_answer_latency,
+                        r.p95_answer_latency,
+                        r.final_nodes,
                     );
                 }
                 Err(_) => out.push_str("null"),
@@ -570,6 +729,14 @@ fn cell_status(c: &CellResult) -> String {
         (Err(e), _) => format!("error: {e}"),
         (Ok(_), Some(v)) => format!("violation: {v}"),
         (Ok(_), None) => "ok".to_string(),
+    }
+}
+
+/// A short label for a cell kind (used in CSV/JSON rows).
+pub fn kind_label(kind: CellKind) -> &'static str {
+    match kind {
+        CellKind::Controller => "controller",
+        CellKind::App => "app",
     }
 }
 
@@ -646,6 +813,7 @@ mod tests {
         SweepGrid {
             name: "unit".to_string(),
             families: vec!["iterated".to_string()],
+            apps: vec![],
             shapes: vec![TreeShape::Star { nodes: 10 }, TreeShape::Path { nodes: 10 }],
             churns: vec![ChurnModel::default_mixed(), ChurnModel::GrowOnly],
             placements: vec![Placement::Uniform],
@@ -754,6 +922,95 @@ mod tests {
         for row in &lines[1..9] {
             assert_eq!(row.matches(',').count(), arity, "row {row:?}");
         }
+    }
+
+    fn apps_grid() -> SweepGrid {
+        let mut grid = small_grid();
+        grid.apps = vec!["size-estimator".to_string(), "name-assigner".to_string()];
+        grid.requests = 12;
+        grid
+    }
+
+    #[test]
+    fn the_apps_axis_multiplies_the_grid_and_tags_cells() {
+        let grid = apps_grid();
+        // (1 family + 2 apps) × 2 shapes × 2 churns × 2 replicates.
+        assert_eq!(grid.cell_count(), 24);
+        let cells = grid.cells();
+        let controllers = cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Controller)
+            .count();
+        let apps = cells.iter().filter(|c| c.kind == CellKind::App).count();
+        assert_eq!(controllers, 8);
+        assert_eq!(apps, 16);
+        // Controller cells come first; app cells follow in apps order.
+        assert!(cells[..8].iter().all(|c| c.kind == CellKind::Controller));
+        assert_eq!(cells[8].family, "size-estimator");
+        assert_eq!(cells[16].family, "name-assigner");
+    }
+
+    #[test]
+    fn app_cell_seeds_are_family_blind() {
+        let grid = apps_grid();
+        let cells = grid.cells();
+        // Every driver block (1 controller family + 2 apps) sees the same
+        // seed sequence for the same scenario points.
+        for i in 0..8 {
+            assert_eq!(cells[i].scenario.seed, cells[8 + i].scenario.seed);
+            assert_eq!(cells[i].scenario.seed, cells[16 + i].scenario.seed);
+        }
+    }
+
+    #[test]
+    fn app_cells_run_clean_and_deterministically_parallel() {
+        let grid = apps_grid();
+        let serial = SweepEngine::new(1).run(&grid, &iterated_factory);
+        let parallel = SweepEngine::new(4).run(&grid, &iterated_factory);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.error_count(), 0);
+        assert_eq!(serial.violation_count(), 0);
+        // App cells produced app reports with clean invariants.
+        for cell in serial.cells.iter().filter(|c| c.cell.kind == CellKind::App) {
+            let report = cell.app_report().expect("app cell ran");
+            assert_eq!(report.invariant_violations, 0);
+            assert!(report.invariant_checks > 0);
+            assert!(report.messages > 0);
+            assert!(cell.run_report().is_none());
+        }
+        // Summaries cover the app families (messages populated, moves 0).
+        let summaries = serial.summaries();
+        assert_eq!(summaries.len(), 3);
+        let apps: Vec<_> = summaries
+            .iter()
+            .filter(|s| s.family != "iterated")
+            .collect();
+        for s in apps {
+            assert_eq!(s.errors, 0);
+            assert!(s.p95_messages > 0, "{}", s.family);
+            assert_eq!(s.p50_moves, 0, "{}", s.family);
+        }
+        // CSV rows keep one arity across controller rows, app rows and the
+        // kind column tags them.
+        let csv = serial.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        let arity = lines[0].matches(',').count();
+        for row in &lines[1..=24] {
+            assert_eq!(row.matches(',').count(), arity, "row {row:?}");
+        }
+        assert!(csv.contains(",app,"));
+        assert!(serial.to_json().contains(r#""kind": "app""#));
+        assert!(serial.to_json().contains(r#""invariant_violations": 0"#));
+    }
+
+    #[test]
+    fn unknown_app_names_are_reported_per_cell() {
+        let mut grid = small_grid();
+        grid.apps = vec!["martian-estimator".to_string()];
+        let report = SweepEngine::new(2).run(&grid, &iterated_factory);
+        assert_eq!(report.error_count(), 8);
+        assert!(report.to_csv().contains("error: unknown application"));
     }
 
     #[test]

@@ -269,6 +269,66 @@ fn all_section_five_applications_hold_their_invariants_under_one_shared_trace() 
     }
 }
 
+/// The acceptance test of the application-layer refactor: all six §5
+/// applications — built through the *same* `AppSpec` factory — run the same
+/// seeded scenario through the single `ScenarioRunner::run_app` code path,
+/// in both the closed-loop and open-loop arrival modes; every ticket
+/// resolves and every application-specific invariant holds at the quiescent
+/// checkpoints.
+#[test]
+fn all_six_applications_run_through_the_unified_ticketed_runtime() {
+    use dcn::workload::{AppFamily, AppSpec};
+
+    let base = Scenario {
+        name: "e2e-apps".to_string(),
+        shape: TreeShape::RandomRecursive {
+            nodes: 23,
+            seed: 19,
+        },
+        churn: ChurnModel::FullChurn {
+            add_leaf: 40,
+            add_internal: 15,
+            remove: 30,
+        },
+        placement: Placement::Uniform,
+        arrival: ArrivalMode::Batch,
+        requests: 40,
+        m: 40,
+        w: 10,
+        seed: 19,
+    };
+    for family in AppFamily::ALL {
+        for arrival in [ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 16 }] {
+            let mut scenario = base.clone();
+            scenario.arrival = arrival;
+            let runner = ScenarioRunner::new(scenario.clone());
+            let mut app = AppSpec::for_scenario(family, &scenario)
+                .build_for(&runner)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            let report = runner
+                .run_app(app.as_mut())
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert_eq!(report.app, family.name());
+            assert_eq!(
+                report.granted + report.rejected,
+                report.submitted,
+                "{} ({arrival:?}): every ticket must resolve",
+                family.name()
+            );
+            assert!(report.granted > 0, "{}", family.name());
+            assert!(report.messages > 0, "{}", family.name());
+            report
+                .check()
+                .unwrap_or_else(|e| panic!("{} ({arrival:?}): {e}", family.name()));
+            // The run is reproducible ticket-for-ticket.
+            let mut again = AppSpec::for_scenario(family, &scenario)
+                .build_for(&runner)
+                .unwrap();
+            assert_eq!(runner.run_app(again.as_mut()).unwrap(), report);
+        }
+    }
+}
+
 #[test]
 fn baselines_comparison_captures_the_papers_qualitative_claims() {
     // Two claims are checked.
