@@ -17,12 +17,12 @@
 //! [`ControllerError::Sim`]-free, explicit errors so experiment T4 can report
 //! them.
 
+use dcn_collections::FxHashMap;
 use dcn_controller::{
     Controller, ControllerError, ControllerEvent, ControllerMetrics, Outcome, RequestId,
     RequestKind, RequestLedger, RequestRecord,
 };
 use dcn_tree::{DynamicTree, NodeId};
-use std::collections::HashMap;
 
 /// Key of a bin: the node hosting it and its level.
 type BinKey = (NodeId, u32);
@@ -48,8 +48,10 @@ pub struct AapsController {
     phi: u64,
     /// Number of bin levels.
     levels: u32,
-    /// Current contents of each bin.
-    bins: HashMap<BinKey, u64>,
+    /// Current contents of each bin. Keyed by the composite `(host, level)`
+    /// pair, so a hash table is the right shape — but with the in-tree fast
+    /// hasher, not SipHash, since every request walk probes it.
+    bins: FxHashMap<BinKey, u64>,
     /// Permits still in the root's storage.
     storage: u64,
     m: u64,
@@ -87,7 +89,7 @@ impl AapsController {
             tree,
             phi,
             levels,
-            bins: HashMap::new(),
+            bins: FxHashMap::default(),
             storage: m,
             m,
             w,
@@ -292,7 +294,7 @@ impl AapsController {
     /// counter).
     pub fn peak_node_memory_bits(&self) -> u64 {
         let log_m = 64 - self.m.max(1).leading_zeros() as u64;
-        let mut per_node: HashMap<NodeId, u64> = HashMap::new();
+        let mut per_node: FxHashMap<NodeId, u64> = FxHashMap::default();
         for (&(node, _level), &count) in &self.bins {
             if count > 0 {
                 *per_node.entry(node).or_insert(0) += log_m;

@@ -1,0 +1,260 @@
+//! `dcn_perf` — the pinned wall-clock performance suite.
+//!
+//! Every other harness in this crate measures *simulated* cost (messages,
+//! moves, memory bits); this one measures the simulator itself: wall time and
+//! throughput over a fixed scenario suite, so that storage/allocation changes
+//! in the hot paths show up as a recorded trajectory (`BENCH_<pr>.json` at
+//! the repo root, one point per PR).
+//!
+//! The suite is pinned — same shapes, same seeds, same budgets on every run —
+//! and covers all six controller families plus the six §5 applications over
+//! three tree shapes, plus the distributed-family quick-sweep grid (the
+//! scenario the PR-5 throughput target is stated against). Each entry runs
+//! `--reps` times (default 3) and reports the best wall time; the simulated
+//! work per entry is asserted identical across reps, so events/sec ratios
+//! between two builds are pure wall-time ratios.
+//!
+//! "Events" is the unit of simulated work: messages sent plus requests
+//! answered. It is fully determined by the scenario (byte-identical sweeps
+//! guarantee it), which is what makes the throughput comparable across
+//! builds.
+//!
+//! ```text
+//! dcn_perf [--quick] [--reps N] [--out PATH]   # default PATH: BENCH_5.json
+//! ```
+
+use dcn_bench::{
+    quick_grid, run_app_family, run_family, run_grid, AppFamily, Family, DEFAULT_SWEEP_SEED,
+};
+use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepGrid, TreeShape};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One measured row of the suite.
+struct Entry {
+    /// `controller:<family>`, `app:<family>` or `sweep:<grid>`.
+    name: String,
+    /// The shape (or grid) the entry ran over.
+    scenario: String,
+    /// Best wall time over the reps, in milliseconds.
+    wall_ms: f64,
+    /// Simulated work: messages + answered requests (identical across reps).
+    events: u64,
+    /// `events / best wall time`.
+    events_per_sec: f64,
+}
+
+/// Times `work` `reps` times; returns (best wall seconds, events), asserting
+/// the event count is rep-invariant (determinism is what makes the numbers
+/// comparable).
+fn time_best(reps: usize, mut work: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let e = work();
+        let secs = start.elapsed().as_secs_f64();
+        if let Some(prev) = events {
+            assert_eq!(prev, e, "simulated work must be identical across reps");
+        }
+        events = Some(e);
+        best = best.min(secs);
+    }
+    (best, events.unwrap_or(0))
+}
+
+/// The three pinned shapes of the suite.
+fn shapes(quick: bool) -> Vec<(&'static str, TreeShape)> {
+    let n = if quick { 24 } else { 48 };
+    vec![
+        ("star", TreeShape::Star { nodes: n }),
+        ("path", TreeShape::Path { nodes: n }),
+        (
+            "pref-attach",
+            TreeShape::PreferentialAttachment { nodes: n, seed: 7 },
+        ),
+    ]
+}
+
+/// The pinned per-shape scenario (mixed churn, batch arrivals, fixed seed).
+fn scenario(label: &str, shape: TreeShape, quick: bool) -> Scenario {
+    Scenario {
+        name: format!("perf-{label}"),
+        shape,
+        churn: ChurnModel::default_mixed(),
+        placement: Placement::Uniform,
+        arrival: ArrivalMode::Batch,
+        requests: if quick { 24 } else { 64 },
+        m: if quick { 48 } else { 96 },
+        w: if quick { 12 } else { 24 },
+        seed: 5,
+    }
+}
+
+/// The distributed-family quick-sweep grid: the shared
+/// [`dcn_bench::quick_grid`] restricted to the distributed family (the PR-5
+/// throughput target is stated against this grid). Single-worker so the
+/// measurement is a pure hot-loop time, not a scheduling artifact.
+fn distributed_quick_grid() -> SweepGrid {
+    let mut grid = quick_grid(DEFAULT_SWEEP_SEED, 1, false);
+    grid.name = "perf-distributed-quick".to_string();
+    grid.families = vec!["distributed".to_string()];
+    grid
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(entries: &[Entry], reps: usize, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": 5,\n");
+    out.push_str("  \"suite\": \"dcn_perf pinned scenario suite\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    let total_events: u64 = entries.iter().map(|e| e.events).sum();
+    let total_wall: f64 = entries.iter().map(|e| e.wall_ms).sum();
+    out.push_str(&format!("  \"total_wall_ms\": {},\n", json_num(total_wall)));
+    out.push_str(&format!("  \"total_events\": {total_events},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"scenario\": {}, \"wall_ms\": {}, \"events\": {}, \"events_per_sec\": {}}}{}\n",
+            dcn_workload::json_quote(&e.name),
+            dcn_workload::json_quote(&e.scenario),
+            json_num(e.wall_ms),
+            e.events,
+            json_num(e.events_per_sec),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+struct Args {
+    quick: bool,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        reps: 3,
+        out: "BENCH_5.json".to_string(),
+    };
+    // An explicit --reps wins over --quick's reps=1 default regardless of
+    // the order the two flags appear in.
+    let mut reps_explicit = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--quick" => {
+                args.quick = true;
+                if !reps_explicit {
+                    args.reps = 1;
+                }
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                reps_explicit = true;
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!("usage: dcn_perf [--quick] [--reps N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dcn_perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for (label, shape) in shapes(args.quick) {
+        let sc = scenario(label, shape, args.quick);
+        for family in Family::ALL {
+            let (secs, events) = time_best(args.reps, || {
+                let report = run_family(family, &sc);
+                report.messages + report.granted + report.rejected + report.refused
+            });
+            entries.push(Entry {
+                name: format!("controller:{}", family.name()),
+                scenario: label.to_string(),
+                wall_ms: secs * 1e3,
+                events,
+                events_per_sec: events as f64 / secs,
+            });
+        }
+        for family in AppFamily::ALL {
+            let (secs, events) = time_best(args.reps, || {
+                let report = run_app_family(family, &sc);
+                report.messages + report.granted + report.rejected
+            });
+            entries.push(Entry {
+                name: format!("app:{}", family.name()),
+                scenario: label.to_string(),
+                wall_ms: secs * 1e3,
+                events,
+                events_per_sec: events as f64 / secs,
+            });
+        }
+    }
+
+    let grid = distributed_quick_grid();
+    let (secs, events) = time_best(args.reps, || {
+        let report = run_grid(&grid, 1);
+        assert_eq!(report.error_count() + report.violation_count(), 0);
+        report
+            .cells
+            .iter()
+            .filter_map(|c| c.report.as_ref().ok())
+            .filter_map(|r| r.controller())
+            .map(|r| r.messages + r.granted + r.rejected + r.refused)
+            .sum()
+    });
+    entries.push(Entry {
+        name: "sweep:distributed-quick".to_string(),
+        scenario: grid.name.clone(),
+        wall_ms: secs * 1e3,
+        events,
+        events_per_sec: events as f64 / secs,
+    });
+
+    println!(
+        "{:<28} {:<12} {:>10} {:>12} {:>14}",
+        "entry", "scenario", "wall_ms", "events", "events/sec"
+    );
+    for e in &entries {
+        println!(
+            "{:<28} {:<12} {:>10.3} {:>12} {:>14.0}",
+            e.name, e.scenario, e.wall_ms, e.events, e.events_per_sec
+        );
+    }
+
+    let json = to_json(&entries, args.reps, args.quick);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("dcn_perf: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}

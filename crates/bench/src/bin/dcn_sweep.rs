@@ -24,99 +24,8 @@
 //! Exits non-zero if any cell errored or violated a correctness condition
 //! (the CI smoke contract).
 
-use dcn_bench::{default_workers, run_grid};
-use dcn_workload::{ArrivalMode, ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
+use dcn_bench::{default_workers, full_grid, quick_grid, run_grid, DEFAULT_SWEEP_SEED};
 use std::process::ExitCode;
-
-/// The default grid: 4 families × 6 shapes × 3 churn models × 2 arrival
-/// modes (full mode); `with_apps` adds the six §5 applications as a further
-/// axis.
-fn full_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
-    SweepGrid {
-        name: "sweep-full".to_string(),
-        families: families(),
-        apps: apps(with_apps),
-        shapes: vec![
-            TreeShape::Star { nodes: 63 },
-            TreeShape::Path { nodes: 63 },
-            TreeShape::Balanced {
-                nodes: 63,
-                arity: 3,
-            },
-            TreeShape::RandomRecursive { nodes: 63, seed: 7 },
-            TreeShape::PreferentialAttachment { nodes: 63, seed: 7 },
-            TreeShape::Spider {
-                legs: 4,
-                leg_length: 16,
-            },
-        ],
-        churns: churns(),
-        placements: vec![Placement::Uniform],
-        arrivals: arrivals(),
-        budgets: vec![MwBudget { m: 128, w: 32 }],
-        requests: 96,
-        replicates,
-        base_seed: seed,
-    }
-}
-
-/// The `--quick` grid: 4 families × 4 shapes × 3 churn models × 2 arrival
-/// modes = 96 cells, small enough for a CI smoke step; `--apps` adds the six
-/// §5 applications (240 cells total).
-fn quick_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
-    SweepGrid {
-        name: "sweep-quick".to_string(),
-        families: families(),
-        apps: apps(with_apps),
-        shapes: vec![
-            TreeShape::Star { nodes: 23 },
-            TreeShape::Path { nodes: 23 },
-            TreeShape::PreferentialAttachment { nodes: 23, seed: 7 },
-            TreeShape::Spider {
-                legs: 3,
-                leg_length: 8,
-            },
-        ],
-        churns: churns(),
-        placements: vec![Placement::Uniform],
-        arrivals: arrivals(),
-        budgets: vec![MwBudget { m: 48, w: 12 }],
-        requests: 40,
-        replicates,
-        base_seed: seed,
-    }
-}
-
-fn families() -> Vec<String> {
-    ["iterated", "distributed", "trivial", "aaps"]
-        .map(String::from)
-        .to_vec()
-}
-
-/// The §5 applications axis (all six families), when requested.
-fn apps(with_apps: bool) -> Vec<String> {
-    if !with_apps {
-        return Vec::new();
-    }
-    dcn_workload::AppFamily::ALL
-        .map(|f| f.name().to_string())
-        .to_vec()
-}
-
-/// Both arrival modes: the closed-loop batch schedule and the open-loop
-/// interleaved schedule, in which requests are submitted while distributed
-/// agents are still in flight.
-fn arrivals() -> Vec<ArrivalMode> {
-    vec![ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 24 }]
-}
-
-fn churns() -> Vec<ChurnModel> {
-    vec![
-        ChurnModel::GrowOnly,
-        ChurnModel::default_mixed(),
-        ChurnModel::BurstyDeepLeaf { burst: 6 },
-    ]
-}
 
 struct Args {
     quick: bool,
@@ -133,7 +42,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         apps: false,
         workers: default_workers(),
-        seed: 2007,
+        seed: DEFAULT_SWEEP_SEED,
         replicates: 1,
         csv: None,
         json: None,

@@ -39,11 +39,108 @@
 
 use dcn_controller::{Controller, ControllerError};
 use dcn_workload::{
-    AppReport, AppSpec, ControllerSpec, RunReport, Scenario, ScenarioRunner, SweepCell,
-    SweepEngine, SweepGrid, SweepReport,
+    AppReport, AppSpec, ArrivalMode, ChurnModel, ControllerSpec, MwBudget, Placement, RunReport,
+    Scenario, ScenarioRunner, SweepCell, SweepEngine, SweepGrid, SweepReport, TreeShape,
 };
 
 pub use dcn_workload::{app_factory, family_factory, AppFamily, Family};
+
+/// The four controller families the sweep grids compare.
+fn grid_families() -> Vec<String> {
+    ["iterated", "distributed", "trivial", "aaps"]
+        .map(String::from)
+        .to_vec()
+}
+
+/// The §5 applications axis (all six families), when requested.
+fn grid_apps(with_apps: bool) -> Vec<String> {
+    if !with_apps {
+        return Vec::new();
+    }
+    AppFamily::ALL.map(|f| f.name().to_string()).to_vec()
+}
+
+/// Both arrival modes: the closed-loop batch schedule and the open-loop
+/// interleaved schedule, in which requests are submitted while distributed
+/// agents are still in flight.
+fn grid_arrivals() -> Vec<ArrivalMode> {
+    vec![ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 24 }]
+}
+
+fn grid_churns() -> Vec<ChurnModel> {
+    vec![
+        ChurnModel::GrowOnly,
+        ChurnModel::default_mixed(),
+        ChurnModel::BurstyDeepLeaf { burst: 6 },
+    ]
+}
+
+/// The `dcn-sweep` default grid: 4 families × 6 shapes × 3 churn models × 2
+/// arrival modes; `with_apps` adds the six §5 applications as a further
+/// axis. Defined here — not in the CLI — so the CLI, the determinism tests
+/// and the perf harness all sweep the *same* grid.
+pub fn full_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
+    SweepGrid {
+        name: "sweep-full".to_string(),
+        families: grid_families(),
+        apps: grid_apps(with_apps),
+        shapes: vec![
+            TreeShape::Star { nodes: 63 },
+            TreeShape::Path { nodes: 63 },
+            TreeShape::Balanced {
+                nodes: 63,
+                arity: 3,
+            },
+            TreeShape::RandomRecursive { nodes: 63, seed: 7 },
+            TreeShape::PreferentialAttachment { nodes: 63, seed: 7 },
+            TreeShape::Spider {
+                legs: 4,
+                leg_length: 16,
+            },
+        ],
+        churns: grid_churns(),
+        placements: vec![Placement::Uniform],
+        arrivals: grid_arrivals(),
+        budgets: vec![MwBudget { m: 128, w: 32 }],
+        requests: 96,
+        replicates,
+        base_seed: seed,
+    }
+}
+
+/// The `dcn-sweep --quick` grid: 4 families × 4 shapes × 3 churn models × 2
+/// arrival modes = 96 cells, small enough for a CI smoke step; `with_apps`
+/// adds the six §5 applications (240 cells total). The golden-hash
+/// regression tests in `tests/sweep_determinism.rs` pin this grid's exact
+/// CSV/JSON bytes (with the CLI's default seed 2007), so the one definition
+/// here *is* the byte-level contract.
+pub fn quick_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
+    SweepGrid {
+        name: "sweep-quick".to_string(),
+        families: grid_families(),
+        apps: grid_apps(with_apps),
+        shapes: vec![
+            TreeShape::Star { nodes: 23 },
+            TreeShape::Path { nodes: 23 },
+            TreeShape::PreferentialAttachment { nodes: 23, seed: 7 },
+            TreeShape::Spider {
+                legs: 3,
+                leg_length: 8,
+            },
+        ],
+        churns: grid_churns(),
+        placements: vec![Placement::Uniform],
+        arrivals: grid_arrivals(),
+        budgets: vec![MwBudget { m: 48, w: 12 }],
+        requests: 40,
+        replicates,
+        base_seed: seed,
+    }
+}
+
+/// The default `--seed` of the sweep CLI, shared with the golden-hash tests
+/// and the perf harness's distributed-quick entry.
+pub const DEFAULT_SWEEP_SEED: u64 = 2007;
 
 /// One output row of an experiment.
 #[derive(Clone, Debug)]

@@ -5,6 +5,17 @@
 use dcn_bench::run_grid;
 use dcn_workload::{ArrivalMode, ChurnModel, MwBudget, Placement, SweepGrid, TreeShape};
 
+/// FNV-1a over the report bytes: the golden-hash fingerprint used to pin the
+/// exact CSV/JSON output across storage-layer changes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn grid() -> SweepGrid {
     SweepGrid {
         name: "determinism".to_string(),
@@ -132,6 +143,33 @@ fn apps_grid_reports_are_byte_identical_across_worker_counts() {
         assert_eq!(s.errors, 0, "{}", s.family);
         assert!(s.p95_messages > 0, "{}", s.family);
     }
+}
+
+/// Golden-hash regression: the `dcn-sweep --quick` CSV/JSON bytes (the
+/// shared [`dcn_bench::quick_grid`] with the CLI's default seed) are pinned
+/// to the fingerprints recorded *before* the PR-5 storage migration
+/// (HashMap → SecondaryMap/FxHashMap). Any change to iteration order, seed
+/// derivation, rng consumption or report formatting moves these hashes; a
+/// storage layer swap must not.
+#[test]
+fn quick_sweep_output_matches_the_pre_migration_golden_hashes() {
+    let report = run_grid(
+        &dcn_bench::quick_grid(dcn_bench::DEFAULT_SWEEP_SEED, 1, false),
+        4,
+    );
+    assert_eq!(fnv1a(report.to_csv().as_bytes()), 0x5f11_4439_3da3_8ffb);
+    assert_eq!(fnv1a(report.to_json().as_bytes()), 0x145f_ad9c_a905_130d);
+}
+
+/// Same pin for the apps axis (`dcn-sweep --quick --apps`).
+#[test]
+fn quick_apps_sweep_output_matches_the_pre_migration_golden_hashes() {
+    let report = run_grid(
+        &dcn_bench::quick_grid(dcn_bench::DEFAULT_SWEEP_SEED, 1, true),
+        4,
+    );
+    assert_eq!(fnv1a(report.to_csv().as_bytes()), 0x28f8_1db0_2517_7e1e);
+    assert_eq!(fnv1a(report.to_json().as_bytes()), 0x044f_0be1_1db2_f5d2);
 }
 
 /// Every cell of the grid runs clean over the real families: no build/run

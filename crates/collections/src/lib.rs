@@ -1,0 +1,77 @@
+//! # dcn-collections — entity-keyed storage for the hot paths
+//!
+//! The workspace's entity identifiers — `NodeId`, `AgentId`, `RequestId` —
+//! are dense arena indices: allocated sequentially, never reused. Storing
+//! per-entity state in a general-purpose `std::collections::HashMap` pays a
+//! SipHash round per access for keys that are already perfect array indices.
+//! On the simulator's event loop that hashing dominates the profile, so this
+//! crate provides the two storage shapes the hot paths actually need:
+//!
+//! * [`SecondaryMap`] — a dense `Vec<Option<V>>` slot map keyed by any
+//!   [`EntityKey`]. O(1) access with no hashing at all, and iteration in
+//!   **index order**, which makes every loop over it deterministic by
+//!   construction (a property the byte-identical sweep reports rely on).
+//!   Use it whenever the key is one of the workspace's dense entity ids.
+//! * [`FxHashMap`] / [`FxHashSet`] — `std` hash containers with the
+//!   [`FxHasher`], an in-tree implementation of the Firefox/rustc
+//!   multiply-rotate hash. For keys that are *not* dense indices (composite
+//!   tuples, foreign u64 counters) where a hash table is still the right
+//!   shape but SipHash is overkill. The hasher is fixed-seed and therefore
+//!   deterministic across runs and platforms — but iteration order is still
+//!   unspecified, so hot-path loops over these must not let the order
+//!   escape into outputs (sort first, or aggregate order-insensitively).
+//!
+//! The storage policy for the workspace (DESIGN.md "Performance model"):
+//! dense entity key → [`SecondaryMap`]; sparse or composite key →
+//! [`FxHashMap`]; `std` SipHash maps only in cold paths, justified by a
+//! `// perf: cold` comment.
+//!
+//! ```
+//! use dcn_collections::{EntityKey, SecondaryMap};
+//!
+//! #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+//! struct Id(u32);
+//! impl EntityKey for Id {
+//!     fn index(self) -> usize {
+//!         self.0 as usize
+//!     }
+//!     fn from_index(index: usize) -> Self {
+//!         Id(index as u32)
+//!     }
+//! }
+//!
+//! let mut map: SecondaryMap<Id, &str> = SecondaryMap::new();
+//! map.insert(Id(3), "three");
+//! map.insert(Id(1), "one");
+//! assert_eq!(map.get(Id(3)), Some(&"three"));
+//! // Iteration is in index order, not insertion order.
+//! let keys: Vec<Id> = map.keys().collect();
+//! assert_eq!(keys, vec![Id(1), Id(3)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fx;
+mod secondary;
+
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use secondary::SecondaryMap;
+
+/// A dense entity identifier: a copyable key that is (reversibly) a plain
+/// array index.
+///
+/// Implemented by the workspace's arena ids (`NodeId`, `AgentId`,
+/// `RequestId`), whose values are allocated sequentially and never reused.
+/// The contract is `from_index(k.index()) == k` for every key handed to a
+/// [`SecondaryMap`]; indices should be dense (small relative to the number
+/// of live entities), since a `SecondaryMap` allocates up to the largest
+/// index it has seen.
+pub trait EntityKey: Copy + Eq {
+    /// The raw array index of this key.
+    fn index(self) -> usize;
+
+    /// Rebuilds the key from a raw index (the inverse of
+    /// [`EntityKey::index`]).
+    fn from_index(index: usize) -> Self;
+}

@@ -1,0 +1,112 @@
+//! Seeded case-loop property test: a [`SecondaryMap`] must behave exactly
+//! like a `BTreeMap<usize, V>` — same contents, same lengths, and the same
+//! (ascending-key) iteration order — under arbitrary interleavings of
+//! insert / remove / get / retain / clear, including re-insertion into slots
+//! vacated by a removal.
+
+use dcn_collections::{EntityKey, SecondaryMap};
+use dcn_rng::{DetRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Id(usize);
+
+impl EntityKey for Id {
+    fn index(self) -> usize {
+        self.0
+    }
+    fn from_index(index: usize) -> Self {
+        Id(index)
+    }
+}
+
+/// Compares every observable of the map against the model.
+fn assert_matches_model(map: &SecondaryMap<Id, u64>, model: &BTreeMap<usize, u64>) {
+    assert_eq!(map.len(), model.len());
+    assert_eq!(map.is_empty(), model.is_empty());
+    // Full iteration agrees pairwise — BTreeMap iterates in ascending key
+    // order, which is exactly the SecondaryMap iteration contract.
+    let got: Vec<(usize, u64)> = map.iter().map(|(k, &v)| (k.index(), v)).collect();
+    let want: Vec<(usize, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(got, want);
+    // keys() / values() are consistent projections of iter().
+    assert_eq!(
+        map.keys().map(Id::index).collect::<Vec<_>>(),
+        want.iter().map(|&(k, _)| k).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        map.values().copied().collect::<Vec<_>>(),
+        want.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn secondary_map_matches_a_btreemap_model() {
+    for case in 0..300u64 {
+        let mut rng = DetRng::seed_from_u64(0x5ec0_0000 + case);
+        let key_space = 1 + rng.gen_range(0usize..48);
+        let mut map: SecondaryMap<Id, u64> = SecondaryMap::new();
+        let mut model: BTreeMap<usize, u64> = BTreeMap::new();
+        let ops = rng.gen_range(20usize..160);
+        for op in 0..ops {
+            let key = rng.gen_range(0usize..key_space);
+            match rng.gen_range(0u32..100) {
+                // Insert dominates so slots get filled, vacated and refilled.
+                0..=44 => {
+                    let value = rng.gen::<u64>();
+                    assert_eq!(map.insert(Id(key), value), model.insert(key, value));
+                }
+                45..=69 => {
+                    assert_eq!(map.remove(Id(key)), model.remove(&key));
+                }
+                70..=84 => {
+                    assert_eq!(map.get(Id(key)), model.get(&key));
+                    assert_eq!(map.contains_key(Id(key)), model.contains_key(&key));
+                }
+                85..=89 => {
+                    let add = rng.gen_range(1u64..10);
+                    let got = map.get_or_insert_with(Id(key), || 1000);
+                    *got += add;
+                    let want = model.entry(key).or_insert(1000);
+                    *want += add;
+                }
+                90..=94 => {
+                    let cutoff = rng.gen::<u64>();
+                    map.retain(|_, v| *v >= cutoff);
+                    model.retain(|_, v| *v >= cutoff);
+                }
+                95..=97 => {
+                    if let (Some(v), Some(w)) = (map.get_mut(Id(key)), model.get_mut(&key)) {
+                        *v = v.wrapping_add(op as u64);
+                        *w = w.wrapping_add(op as u64);
+                    }
+                }
+                _ => {
+                    map.clear();
+                    model.clear();
+                }
+            }
+            assert_matches_model(&map, &model);
+        }
+    }
+}
+
+#[test]
+fn vacated_slots_are_reused_without_ghosts() {
+    // Directed slot-reuse scenario: fill, empty, refill the same indices and
+    // check no stale value or length drift survives the churn.
+    let mut map: SecondaryMap<Id, u64> = SecondaryMap::new();
+    let mut model: BTreeMap<usize, u64> = BTreeMap::new();
+    for round in 0..10u64 {
+        for k in 0..32usize {
+            map.insert(Id(k), round * 100 + k as u64);
+            model.insert(k, round * 100 + k as u64);
+        }
+        for k in (0..32usize).step_by(2) {
+            map.remove(Id(k));
+            model.remove(&k);
+        }
+        assert_matches_model(&map, &model);
+    }
+    assert_eq!(map.len(), 16);
+}

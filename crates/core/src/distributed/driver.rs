@@ -9,8 +9,8 @@ use crate::params::Params;
 use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
 use crate::verify::ExecutionSummary;
 use crate::ControllerError;
+use dcn_collections::SecondaryMap;
 use dcn_simnet::{DynamicTree, Metrics, NodeId, SimConfig, Simulator};
-use std::collections::HashMap;
 
 /// The distributed (M, W)-Controller over a simulated asynchronous network,
 /// for a known bound `U` on the number of nodes ever to exist (§4.3).
@@ -44,10 +44,12 @@ pub struct DistributedController {
     sim: Simulator<ControllerProtocol>,
     next_request: u64,
     records: Vec<RequestRecord>,
-    index: HashMap<RequestId, usize>,
+    /// Ticket ids are issued densely from 0, so both per-ticket indexes are
+    /// index-keyed (no hashing on the answer-collection path).
+    index: SecondaryMap<RequestId, usize>,
     /// Virtual arrival time per in-flight ticket, consumed when the answer is
     /// collected (the protocol only knows the answer time).
-    submit_times: HashMap<RequestId, u64>,
+    submit_times: SecondaryMap<RequestId, u64>,
     events: Vec<ControllerEvent>,
     submitted: u64,
     m: u64,
@@ -104,8 +106,8 @@ impl DistributedController {
             sim,
             next_request: 0,
             records: Vec::new(),
-            index: HashMap::new(),
-            submit_times: HashMap::new(),
+            index: SecondaryMap::new(),
+            submit_times: SecondaryMap::new(),
             events: Vec::new(),
             submitted: 0,
             m,
@@ -281,7 +283,7 @@ impl DistributedController {
     /// history, stamping submit times and emitting per-request events.
     fn collect_answers(&mut self) {
         for mut record in self.sim.drain_outputs() {
-            record.submitted_at = self.submit_times.remove(&record.id).unwrap_or(0);
+            record.submitted_at = self.submit_times.remove(record.id).unwrap_or(0);
             ControllerEvent::push_for_record(&record, &mut self.events);
             self.index.insert(record.id, self.records.len());
             self.records.push(record);
@@ -307,7 +309,7 @@ impl DistributedController {
 
     /// The outcome of a specific request, if it has been answered.
     pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
-        self.index.get(&id).map(|&i| self.records[i].outcome)
+        self.index.get(id).map(|&i| self.records[i].outcome)
     }
 
     /// A correctness summary of the execution so far (see

@@ -26,8 +26,8 @@ use crate::api::ControllerEvent;
 use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
 use crate::verify::ExecutionSummary;
 use crate::ControllerError;
+use dcn_collections::SecondaryMap;
 use dcn_simnet::{DynamicTree, NodeId, SimConfig};
-use std::collections::HashMap;
 
 /// Summary of one adaptive (multi-epoch) distributed execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,7 +62,7 @@ pub struct AdaptiveDistributedController {
     epoch_changes_at_start: usize,
     exhausted: bool,
     records: Vec<RequestRecord>,
-    index: HashMap<RequestId, usize>,
+    index: SecondaryMap<RequestId, usize>,
     events: Vec<ControllerEvent>,
     /// Outer tickets: the inner controller is rebuilt at every epoch boundary
     /// and restarts its ids at 0, so the driver issues its own stable ids and
@@ -114,7 +114,7 @@ impl AdaptiveDistributedController {
             epoch_changes_at_start,
             exhausted: false,
             records: Vec::new(),
-            index: HashMap::new(),
+            index: SecondaryMap::new(),
             events: Vec::new(),
             next_ticket: 0,
             time_base: 0,
@@ -198,7 +198,7 @@ impl AdaptiveDistributedController {
 
     /// The outcome of a specific ticket, if it has been answered.
     pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
-        self.index.get(&id).map(|&i| self.records[i].outcome)
+        self.index.get(id).map(|&i| self.records[i].outcome)
     }
 
     /// Removes and returns the per-request events produced since the last
@@ -297,8 +297,9 @@ impl AdaptiveDistributedController {
             let time_base = self.time_base;
             let inner = self.inner.as_mut().expect("inner controller present");
             // Inner ids restart at 0 per epoch; map them back to the stable
-            // outer tickets round by round.
-            let mut ticket_of: HashMap<RequestId, (RequestId, u64)> = HashMap::new();
+            // outer tickets round by round (inner ids are dense, so the
+            // mapping is index-keyed).
+            let mut ticket_of: SecondaryMap<RequestId, (RequestId, u64)> = SecondaryMap::new();
             let mut skipped: Vec<PendingRequest> = Vec::new();
             for &(id, origin, kind, submitted_at) in &pending {
                 if !inner.tree().contains(origin) {
@@ -320,7 +321,7 @@ impl AdaptiveDistributedController {
             let mut saw_reject = false;
             for mut rec in round_records {
                 let (outer, submitted_at) = ticket_of
-                    .remove(&rec.id)
+                    .remove(rec.id)
                     .expect("every inner answer maps to an outer ticket");
                 rec.id = outer;
                 rec.submitted_at = submitted_at;

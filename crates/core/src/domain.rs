@@ -25,8 +25,8 @@
 //!    a child of the package's host node.
 
 use crate::params::Params;
+use dcn_collections::{FxHashMap, FxHashSet};
 use dcn_tree::{DynamicTree, NodeId};
-use std::collections::{HashMap, HashSet};
 
 /// The domain of one mobile package.
 #[derive(Clone, Debug)]
@@ -45,7 +45,7 @@ struct Domain {
 /// can check the three domain invariants at any time.
 #[derive(Clone, Debug, Default)]
 pub struct DomainAuditor {
-    domains: HashMap<u64, Domain>,
+    domains: FxHashMap<u64, Domain>,
 }
 
 impl DomainAuditor {
@@ -156,7 +156,7 @@ impl DomainAuditor {
             }
         }
         // Invariant 2: per-level disjointness.
-        let mut seen_per_level: HashMap<u32, HashSet<NodeId>> = HashMap::new();
+        let mut seen_per_level: FxHashMap<u32, FxHashSet<NodeId>> = FxHashMap::default();
         for (id, d) in &self.domains {
             let seen = seen_per_level.entry(d.level).or_default();
             for &m in &d.members {

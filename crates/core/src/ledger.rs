@@ -21,8 +21,8 @@
 
 use crate::api::ControllerEvent;
 use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
+use dcn_collections::SecondaryMap;
 use dcn_tree::NodeId;
-use std::collections::HashMap;
 
 /// Ticket issuing, event buffering and request history for a synchronous
 /// controller family.
@@ -48,7 +48,7 @@ pub struct RequestLedger {
     clock: u64,
     events: Vec<ControllerEvent>,
     records: Vec<RequestRecord>,
-    index: HashMap<RequestId, usize>,
+    index: SecondaryMap<RequestId, usize>,
 }
 
 impl RequestLedger {
@@ -111,7 +111,7 @@ impl RequestLedger {
 
     /// The outcome of a specific request, if it has been answered.
     pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
-        self.index.get(&id).map(|&i| self.records[i].outcome)
+        self.index.get(id).map(|&i| self.records[i].outcome)
     }
 }
 

@@ -23,6 +23,7 @@
 //! the next one; their ticket resolves only when a final answer exists.
 
 use crate::invariant::InvariantError;
+use dcn_collections::SecondaryMap;
 use dcn_controller::distributed::DistributedController;
 use dcn_controller::{
     ControllerError, ControllerEvent, Outcome, PermitInterval, Progress, RequestId, RequestKind,
@@ -30,7 +31,6 @@ use dcn_controller::{
 };
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
-use std::collections::HashMap;
 
 /// The parameters an [`IterationPolicy`] chooses for one iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -147,13 +147,13 @@ pub struct IterationDriver<P> {
     /// iteration, so global times are `time_base + inner time`.
     time_base: u64,
     records: Vec<RequestRecord>,
-    index: HashMap<RequestId, usize>,
+    index: SecondaryMap<RequestId, usize>,
     events: Vec<AppEvent>,
     /// Outer tickets submitted but not yet handed to the inner controller.
     queued: Vec<PendingRequest>,
     /// Inner ticket → outer ticket mapping for the in-flight requests of the
-    /// current iteration.
-    ticket_of: HashMap<RequestId, (RequestId, u64)>,
+    /// current iteration (inner ids are dense, so it is index-keyed).
+    ticket_of: SecondaryMap<RequestId, (RequestId, u64)>,
     /// Requests rejected by an exhausted iteration, waiting for the rotation
     /// that retries them.
     retry: Vec<PendingRequest>,
@@ -181,10 +181,10 @@ impl<P: IterationPolicy> IterationDriver<P> {
             next_ticket: 0,
             time_base: 0,
             records: Vec::new(),
-            index: HashMap::new(),
+            index: SecondaryMap::new(),
             events: Vec::new(),
             queued: Vec::new(),
-            ticket_of: HashMap::new(),
+            ticket_of: SecondaryMap::new(),
             retry: Vec::new(),
             stalled_rotations: 0,
         };
@@ -269,7 +269,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
 
     /// The outcome of a specific ticket, if it has been answered.
     pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
-        self.index.get(&id).map(|&i| self.records[i].outcome)
+        self.index.get(id).map(|&i| self.records[i].outcome)
     }
 
     /// Removes and returns the events produced since the last drain, in
@@ -410,7 +410,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
         for mut rec in round {
             let (outer, submitted_at) = self
                 .ticket_of
-                .remove(&rec.id)
+                .remove(rec.id)
                 .expect("every inner answer maps to an outer ticket");
             rec.id = outer;
             rec.submitted_at = submitted_at;

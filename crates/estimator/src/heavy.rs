@@ -3,11 +3,11 @@
 use crate::driver::{AppEvent, Application};
 use crate::invariant::InvariantError;
 use crate::subtree::SubtreeEstimator;
+use dcn_collections::SecondaryMap;
 use dcn_controller::Progress;
 use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
-use std::collections::HashMap;
 
 /// A dynamically maintained heavy-child decomposition: every internal node `v`
 /// holds a pointer `µ(v)` to one of its children (its *heavy* child); all
@@ -21,7 +21,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct HeavyChildDecomposition {
     subtree: SubtreeEstimator,
-    heavy: HashMap<NodeId, NodeId>,
+    heavy: SecondaryMap<NodeId, NodeId>,
 }
 
 impl HeavyChildDecomposition {
@@ -34,7 +34,7 @@ impl HeavyChildDecomposition {
         let subtree = SubtreeEstimator::new(config, tree, f64::sqrt(3.0))?;
         let mut decomposition = HeavyChildDecomposition {
             subtree,
-            heavy: HashMap::new(),
+            heavy: SecondaryMap::new(),
         };
         decomposition.refresh_pointers();
         Ok(decomposition)
@@ -52,7 +52,7 @@ impl HeavyChildDecomposition {
 
     /// The heavy child of `node`, if `node` is internal.
     pub fn heavy_child(&self, node: NodeId) -> Option<NodeId> {
-        self.heavy.get(&node).copied()
+        self.heavy.get(node).copied()
     }
 
     /// Total messages so far (estimator messages plus pointer maintenance,
@@ -68,7 +68,7 @@ impl HeavyChildDecomposition {
         let mut count = 0;
         let mut cur = node;
         while let Some(parent) = tree.parent(cur) {
-            if self.heavy.get(&parent) != Some(&cur) {
+            if self.heavy.get(parent) != Some(&cur) {
                 count += 1;
             }
             cur = parent;
@@ -116,7 +116,7 @@ impl HeavyChildDecomposition {
     /// the shared driver.
     fn refresh_pointers(&mut self) {
         let mut flips = 0u64;
-        let mut new_heavy = HashMap::new();
+        let mut new_heavy = SecondaryMap::new();
         {
             let tree = self.subtree.tree();
             for node in tree.nodes() {
@@ -129,7 +129,7 @@ impl HeavyChildDecomposition {
                     .copied()
                     .max_by_key(|&c| (self.subtree.estimate(c), std::cmp::Reverse(c)))
                     .expect("non-empty children");
-                if self.heavy.get(&node) != Some(&best) {
+                if self.heavy.get(node) != Some(&best) {
                     flips += 1;
                 }
                 new_heavy.insert(node, best);

@@ -3,11 +3,11 @@
 use crate::driver::{AppEvent, Application};
 use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
+use dcn_collections::SecondaryMap;
 use dcn_controller::Progress;
 use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
-use std::collections::HashMap;
 
 /// An interval label: `u` is an ancestor of `v` iff `u`'s interval contains
 /// `v`'s interval.
@@ -44,7 +44,7 @@ impl AncestryLabel {
 #[derive(Debug)]
 pub struct AncestryLabeling {
     size: SizeEstimator,
-    labels: HashMap<NodeId, AncestryLabel>,
+    labels: SecondaryMap<NodeId, AncestryLabel>,
     /// The node count at the time of the last re-labeling.
     labeled_at: u64,
     relabels: u32,
@@ -60,7 +60,7 @@ impl AncestryLabeling {
         let size = SizeEstimator::new(config, tree, 2.0)?;
         let mut labeling = AncestryLabeling {
             size,
-            labels: HashMap::new(),
+            labels: SecondaryMap::new(),
             labeled_at: 0,
             relabels: 0,
         };
@@ -75,7 +75,7 @@ impl AncestryLabeling {
 
     /// The label of `node`, if it exists and has been labeled.
     pub fn label(&self, node: NodeId) -> Option<AncestryLabel> {
-        self.labels.get(&node).copied()
+        self.labels.get(node).copied()
     }
 
     /// Number of global re-labelings performed so far.
@@ -93,7 +93,7 @@ impl AncestryLabeling {
     pub fn max_label_bits(&self) -> u32 {
         self.tree()
             .nodes()
-            .filter_map(|n| self.labels.get(&n))
+            .filter_map(|n| self.labels.get(n))
             .map(AncestryLabel::bits)
             .max()
             .unwrap_or(0)
@@ -101,11 +101,7 @@ impl AncestryLabeling {
 
     /// Answers an ancestry query purely from the two labels.
     pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> Option<bool> {
-        Some(
-            self.labels
-                .get(&anc)?
-                .is_ancestor_of(self.labels.get(&desc)?),
-        )
+        Some(self.labels.get(anc)?.is_ancestor_of(self.labels.get(desc)?))
     }
 
     /// Checks that every existing node is labeled, that label-based ancestry
@@ -120,7 +116,7 @@ impl AncestryLabeling {
         let tree = self.tree();
         let nodes: Vec<NodeId> = tree.nodes().collect();
         for &v in &nodes {
-            if !self.labels.contains_key(&v) {
+            if !self.labels.contains_key(v) {
                 return Err(InvariantError::MissingLabel { node: v });
             }
         }
@@ -163,10 +159,10 @@ impl AncestryLabeling {
             // Iterative DFS computing [entry, exit] intervals.
             let mut counter = 0u64;
             let mut stack: Vec<(NodeId, bool)> = vec![(tree.root(), false)];
-            let mut entry: HashMap<NodeId, u64> = HashMap::new();
+            let mut entry: SecondaryMap<NodeId, u64> = SecondaryMap::new();
             while let Some((node, expanded)) = stack.pop() {
                 if expanded {
-                    let low = entry[&node];
+                    let low = *entry.get(node).expect("entry recorded on first visit");
                     self.labels
                         .insert(node, AncestryLabel { low, high: counter });
                     continue;
@@ -188,10 +184,12 @@ impl AncestryLabeling {
     /// Drops labels of deleted nodes and re-labels when the network halved
     /// since the last labeling (or when new nodes are waiting for a label).
     fn sync(&mut self) {
-        let existing: std::collections::HashSet<NodeId> = self.tree().nodes().collect();
-        self.labels.retain(|node, _| existing.contains(node));
-        let n = existing.len() as u64;
-        let unlabeled = existing.iter().any(|v| !self.labels.contains_key(v));
+        // Probe the tree arena directly — membership is an O(1) slot check,
+        // so no snapshot set of all nodes is materialised per sync.
+        let tree = self.size.tree();
+        self.labels.retain(|node, _| tree.contains(node));
+        let n = tree.node_count() as u64;
+        let unlabeled = tree.nodes().any(|v| !self.labels.contains_key(v));
         if n <= self.labeled_at / 2 || unlabeled {
             self.relabel();
         }

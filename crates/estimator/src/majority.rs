@@ -19,11 +19,11 @@
 use crate::driver::{AppEvent, Application};
 use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
+use dcn_collections::SecondaryMap;
 use dcn_controller::Progress;
 use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
-use std::collections::HashSet;
 
 /// The coordinator's decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,8 +55,10 @@ pub enum Decision {
 #[derive(Debug)]
 pub struct MajorityCommitment {
     size: SizeEstimator,
-    commit_votes: HashSet<NodeId>,
-    abort_votes: HashSet<NodeId>,
+    // Vote sets are node-keyed, so they are dense secondary maps (the unit
+    // value makes them sets); membership is an O(1) slot probe.
+    commit_votes: SecondaryMap<NodeId, ()>,
+    abort_votes: SecondaryMap<NodeId, ()>,
     decision: Option<Decision>,
 }
 
@@ -74,8 +76,8 @@ impl MajorityCommitment {
     pub fn new(config: SimConfig, tree: DynamicTree, beta: f64) -> Result<Self, ControllerError> {
         Ok(MajorityCommitment {
             size: SizeEstimator::new(config, tree, beta)?,
-            commit_votes: HashSet::new(),
-            abort_votes: HashSet::new(),
+            commit_votes: SecondaryMap::new(),
+            abort_votes: SecondaryMap::new(),
             decision: None,
         })
     }
@@ -113,16 +115,16 @@ impl MajorityCommitment {
     /// Number of commit votes received from nodes that still exist.
     pub fn commit_votes(&self) -> u64 {
         self.commit_votes
-            .iter()
-            .filter(|&&v| self.tree().contains(v))
+            .keys()
+            .filter(|&v| self.tree().contains(v))
             .count() as u64
     }
 
     /// Number of abort votes received from nodes that still exist.
     pub fn abort_votes(&self) -> u64 {
         self.abort_votes
-            .iter()
-            .filter(|&&v| self.tree().contains(v))
+            .keys()
+            .filter(|&v| self.tree().contains(v))
             .count() as u64
     }
 
@@ -154,11 +156,11 @@ impl MajorityCommitment {
         let hops = self.tree().depth(node) as u64;
         self.size.driver_mut().charge_messages(hops);
         if commit {
-            self.abort_votes.remove(&node);
-            self.commit_votes.insert(node);
+            self.abort_votes.remove(node);
+            self.commit_votes.insert(node, ());
         } else {
-            self.commit_votes.remove(&node);
-            self.abort_votes.insert(node);
+            self.commit_votes.remove(node);
+            self.abort_votes.insert(node, ());
         }
         self.try_decide();
         Ok(())
@@ -167,9 +169,11 @@ impl MajorityCommitment {
     /// Drops votes of departed nodes and re-checks whether a decision can be
     /// made.
     fn sync(&mut self) {
-        let existing: HashSet<NodeId> = self.tree().nodes().collect();
-        self.commit_votes.retain(|v| existing.contains(v));
-        self.abort_votes.retain(|v| existing.contains(v));
+        // Probe the tree arena directly instead of materialising the full
+        // node set on every sync — membership is an O(1) slot check.
+        let tree = self.size.tree();
+        self.commit_votes.retain(|v, _| tree.contains(v));
+        self.abort_votes.retain(|v, _| tree.contains(v));
         self.try_decide();
     }
 

@@ -2,12 +2,12 @@
 
 use crate::driver::{AppEvent, Application, IterationDriver, IterationPlan, IterationPolicy};
 use crate::invariant::InvariantError;
+use dcn_collections::{FxHashMap, SecondaryMap};
 use dcn_controller::{
     ControllerError, Outcome, PermitInterval, Progress, RequestId, RequestKind, RequestRecord,
 };
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::DynamicTree;
-use std::collections::HashMap;
 
 /// The iteration policy of Theorem 5.2: each iteration opens with a DFS
 /// renaming (two traversals, charged `4n`) that gives the `N_i` current
@@ -15,7 +15,7 @@ use std::collections::HashMap;
 /// from the interval `(N_i, 3N_i/2]` via the controller's interval mode.
 #[derive(Debug, Default)]
 pub(crate) struct NamePolicy {
-    ids: HashMap<NodeId, u64>,
+    ids: SecondaryMap<NodeId, u64>,
     /// Serial numbers granted to insertions but not yet matched to a node
     /// appearing in the tree (the simulator applies changes with a small
     /// lag behind the grant answer).
@@ -23,7 +23,7 @@ pub(crate) struct NamePolicy {
 }
 
 impl NamePolicy {
-    pub(crate) fn ids(&self) -> &HashMap<NodeId, u64> {
+    pub(crate) fn ids(&self) -> &SecondaryMap<NodeId, u64> {
         &self.ids
     }
 }
@@ -66,12 +66,15 @@ impl IterationPolicy for NamePolicy {
         }
         // Hand the serials to the nodes that appeared since the last absorb
         // (discovery order), and retire the identities of deleted nodes.
-        let mut fresh: Vec<NodeId> = tree.nodes().filter(|n| !self.ids.contains_key(n)).collect();
+        let mut fresh: Vec<NodeId> = tree
+            .nodes()
+            .filter(|&n| !self.ids.contains_key(n))
+            .collect();
         let take = fresh.len().min(self.pending_serials.len());
         for (node, serial) in fresh.drain(..take).zip(self.pending_serials.drain(..take)) {
             self.ids.insert(node, serial);
         }
-        self.ids.retain(|node, _| tree.contains(*node));
+        self.ids.retain(|node, _| tree.contains(node));
     }
 }
 
@@ -127,12 +130,12 @@ impl NameAssigner {
 
     /// The identity currently assigned to `node`, if it exists.
     pub fn id_of(&self, node: NodeId) -> Option<u64> {
-        self.driver.policy().ids().get(&node).copied()
+        self.driver.policy().ids().get(node).copied()
     }
 
-    /// All current `(node, identity)` assignments.
+    /// All current `(node, identity)` assignments, in node-index order.
     pub fn ids(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.driver.policy().ids().iter().map(|(&n, &i)| (n, i))
+        self.driver.policy().ids().iter().map(|(n, &i)| (n, i))
     }
 
     /// Number of iterations (full renamings) performed so far.
@@ -160,9 +163,9 @@ impl NameAssigner {
         let tree = self.tree();
         let n = tree.node_count() as u64;
         let ids = self.driver.policy().ids();
-        let mut seen = HashMap::new();
+        let mut seen: FxHashMap<u64, NodeId> = FxHashMap::default();
         for node in tree.nodes() {
-            let Some(&id) = ids.get(&node) else {
+            let Some(&id) = ids.get(node) else {
                 return Err(InvariantError::MissingIdentity { node });
             };
             if id == 0 || id > 4 * n {

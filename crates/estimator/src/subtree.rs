@@ -3,11 +3,11 @@
 use crate::driver::{AppEvent, Application};
 use crate::invariant::InvariantError;
 use crate::size::SizeEstimator;
+use dcn_collections::SecondaryMap;
 use dcn_controller::Progress;
 use dcn_controller::{ControllerError, RequestId, RequestKind, RequestRecord};
 use dcn_simnet::{NodeId, SimConfig};
 use dcn_tree::{DynamicTree, TopologyEvent};
-use std::collections::HashMap;
 
 /// The subtree estimator: every node `v` maintains an estimate `ω̃(v)` that is
 /// a β-approximation of its *super-weight* — the number of descendants of `v`
@@ -25,14 +25,14 @@ use std::collections::HashMap;
 pub struct SubtreeEstimator {
     size: SizeEstimator,
     /// ω₀: subtree sizes at the start of the current iteration.
-    omega0: HashMap<NodeId, u64>,
+    omega0: SecondaryMap<NodeId, u64>,
     /// True super-weights (reference tracker used for validation and
     /// experiments; the protocol itself never needs them).
-    super_weight: HashMap<NodeId, u64>,
+    super_weight: SecondaryMap<NodeId, u64>,
     /// Shadow parent pointers replayed alongside the change log, so ancestor
     /// chains are resolved *as of each event* — a node inserted and removed
     /// within one sync window still credits the ancestors it had.
-    shadow_parent: HashMap<NodeId, NodeId>,
+    shadow_parent: SecondaryMap<NodeId, NodeId>,
     /// The iteration for which `omega0` was computed.
     iteration_tag: u32,
     /// Index into the tree change log up to which super-weights are current.
@@ -50,9 +50,9 @@ impl SubtreeEstimator {
         let size = SizeEstimator::new(config, tree, beta)?;
         let mut est = SubtreeEstimator {
             size,
-            omega0: HashMap::new(),
-            super_weight: HashMap::new(),
-            shadow_parent: HashMap::new(),
+            omega0: SecondaryMap::new(),
+            super_weight: SecondaryMap::new(),
+            shadow_parent: SecondaryMap::new(),
             iteration_tag: 0,
             log_cursor: 0,
         };
@@ -85,13 +85,13 @@ impl SubtreeEstimator {
 
     /// The estimate `ω̃(v) = ω₀(v) + S(v)` held by node `v`.
     pub fn estimate(&self, node: NodeId) -> u64 {
-        let base = self.omega0.get(&node).copied().unwrap_or(1);
+        let base = self.omega0.get(node).copied().unwrap_or(1);
         base + self.size.permits_passed_down(node)
     }
 
     /// The true super-weight of `v` (reference value, for validation).
     pub fn true_super_weight(&self, node: NodeId) -> u64 {
-        self.super_weight.get(&node).copied().unwrap_or(1)
+        self.super_weight.get(node).copied().unwrap_or(1)
     }
 
     /// Checks the β²-approximation of the estimates against the true
@@ -152,8 +152,8 @@ impl SubtreeEstimator {
     fn credit_chain(&mut self, from: NodeId) {
         let mut cur = Some(from);
         while let Some(node) = cur {
-            *self.super_weight.entry(node).or_insert(1) += 1;
-            cur = self.shadow_parent.get(&node).copied();
+            *self.super_weight.get_or_insert_with(node, || 1) += 1;
+            cur = self.shadow_parent.get(node).copied();
         }
     }
 
@@ -190,7 +190,7 @@ impl SubtreeEstimator {
                 } => {
                     // The new internal node inherits the weight below it plus
                     // itself.
-                    let below_weight = self.super_weight.get(&below).copied().unwrap_or(1);
+                    let below_weight = self.super_weight.get(below).copied().unwrap_or(1);
                     self.super_weight.insert(node, below_weight + 1);
                     self.shadow_parent.insert(node, parent);
                     self.shadow_parent.insert(below, node);
@@ -200,20 +200,20 @@ impl SubtreeEstimator {
                     // above a large subtree would observe only the permits
                     // that pass it *after* its insertion and undershoot its
                     // real super-weight arbitrarily.
-                    let below_estimate = self.omega0.get(&below).copied().unwrap_or(1)
+                    let below_estimate = self.omega0.get(below).copied().unwrap_or(1)
                         + self.size.permits_passed_down(below);
                     self.omega0.insert(node, below_estimate + 1);
                     self.credit_chain(parent);
                 }
                 TopologyEvent::RemoveLeaf { node, .. } => {
-                    self.shadow_parent.remove(&node);
+                    self.shadow_parent.remove(node);
                 }
                 TopologyEvent::RemoveInternal { parent, node } => {
                     // The removed node's children were adopted by `parent`.
                     for (_, p) in self.shadow_parent.iter_mut().filter(|(_, p)| **p == node) {
                         *p = parent;
                     }
-                    self.shadow_parent.remove(&node);
+                    self.shadow_parent.remove(node);
                 }
                 _ => {}
             }

@@ -7,13 +7,17 @@
 //! confirm the protocol does not accidentally rely on a friendly numbering.
 
 use crate::NodeId;
+use dcn_collections::{FxHashMap, FxHashSet};
 use dcn_rng::Rng;
-use std::collections::HashMap;
 
 /// Port numbers of a single node: one distinct number per incident tree edge.
 #[derive(Clone, Debug, Default)]
 pub struct PortMap {
-    ports: HashMap<NodeId, u32>,
+    ports: FxHashMap<NodeId, u32>,
+    /// Reverse view of `ports`' values, so uniqueness of a fresh candidate is
+    /// one probe instead of a scan over every assigned port (the scan made
+    /// wiring a high-degree star O(deg²) in rejected candidates checked).
+    used: FxHashSet<u32>,
 }
 
 impl PortMap {
@@ -27,8 +31,14 @@ impl PortMap {
     pub fn assign<R: Rng>(&mut self, neighbor: NodeId, rng: &mut R) -> u32 {
         loop {
             let candidate: u32 = rng.gen();
-            if !self.ports.values().any(|&p| p == candidate) {
-                self.ports.insert(neighbor, candidate);
+            // A candidate colliding with *any* currently assigned port — the
+            // neighbor's own old port included — is redrawn, exactly as the
+            // historical scan did, so recorded rng streams replay unchanged.
+            if !self.used.contains(&candidate) {
+                if let Some(old) = self.ports.insert(neighbor, candidate) {
+                    self.used.remove(&old);
+                }
+                self.used.insert(candidate);
                 return candidate;
             }
         }
@@ -41,7 +51,9 @@ impl PortMap {
 
     /// Removes the port of the edge towards `neighbor` (the edge disappeared).
     pub fn remove(&mut self, neighbor: NodeId) {
-        self.ports.remove(&neighbor);
+        if let Some(old) = self.ports.remove(&neighbor) {
+            self.used.remove(&old);
+        }
     }
 
     /// Number of assigned ports.
@@ -79,6 +91,26 @@ mod tests {
         assert!(pm.all_distinct());
         assert!(pm.port_to(NodeId::from_index(42)).is_some());
         assert!(pm.port_to(NodeId::from_index(1000)).is_none());
+    }
+
+    #[test]
+    fn reassigning_a_neighbor_retires_the_old_port_number() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let mut pm = PortMap::new();
+        let neighbor = NodeId::from_index(1);
+        let first = pm.assign(neighbor, &mut rng);
+        let second = pm.assign(neighbor, &mut rng);
+        assert_ne!(first, second);
+        assert_eq!(pm.len(), 1);
+        assert_eq!(pm.port_to(neighbor), Some(second));
+        assert!(pm.all_distinct());
+        // The old number is free again: a map filled to the same size stays
+        // consistent (used set mirrors the live values exactly).
+        for i in 2..200 {
+            pm.assign(NodeId::from_index(i), &mut rng);
+        }
+        assert_eq!(pm.len(), 199);
+        assert!(pm.all_distinct());
     }
 
     #[test]

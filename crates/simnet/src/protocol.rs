@@ -15,6 +15,16 @@ impl AgentId {
     }
 }
 
+impl dcn_collections::EntityKey for AgentId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        AgentId(index as u64)
+    }
+}
+
 impl fmt::Debug for AgentId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "a{}", self.0)
@@ -76,7 +86,9 @@ pub(crate) enum Effect<P: Protocol> {
 pub struct NodeCtx<'a, P: Protocol> {
     pub(crate) node: NodeId,
     pub(crate) parent: Option<NodeId>,
-    pub(crate) children: Vec<NodeId>,
+    /// Borrowed straight from the tree arena — the hot loop never copies a
+    /// child list.
+    pub(crate) children: &'a [NodeId],
     pub(crate) node_count: usize,
     pub(crate) total_created: usize,
     pub(crate) time: u64,
@@ -107,7 +119,7 @@ impl<'a, P: Protocol> NodeCtx<'a, P> {
 
     /// The children of this node (a node knows its ports to its children).
     pub fn children(&self) -> &[NodeId] {
-        &self.children
+        self.children
     }
 
     /// The child-degree `deg(v)` of this node.

@@ -9,8 +9,8 @@ use crate::protocol::{Action, AgentId, Effect, NodeCtx, Protocol};
 use crate::taxi::{AgentTaxi, NodeTaxi};
 use crate::topology::{PendingChange, TopologyChange, MAX_CHANGE_ATTEMPTS};
 use crate::{DynamicTree, NodeId};
+use dcn_collections::{FxHashMap, SecondaryMap};
 use dcn_rng::{DetRng, SeedableRng};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -62,15 +62,30 @@ pub struct Simulator<P: Protocol> {
     tree: DynamicTree,
     rng: DetRng,
     queue: EventQueue,
-    whiteboards: HashMap<NodeId, P::Whiteboard>,
-    node_taxi: HashMap<NodeId, NodeTaxi>,
-    ports: HashMap<NodeId, PortMap>,
-    agents: HashMap<AgentId, AgentEntry<P>>,
+    // Per-entity state is keyed by dense arena ids, so it lives in
+    // index-keyed SecondaryMaps: a step() pays array probes, not SipHash
+    // rounds, and every iteration over node/agent state is index-ordered
+    // (deterministic) by construction.
+    whiteboards: SecondaryMap<NodeId, P::Whiteboard>,
+    node_taxi: SecondaryMap<NodeId, NodeTaxi>,
+    ports: SecondaryMap<NodeId, PortMap>,
+    /// Agent ids are never reused, so this map's backing store grows with
+    /// the number of agents ever created — the same growth law as the tree
+    /// arena (and the node-keyed maps above) under node ids. That is the
+    /// model's own memory law, and every long-running driver (epochs,
+    /// iterations) rebuilds its simulator periodically, which resets it.
+    agents: SecondaryMap<AgentId, AgentEntry<P>>,
     next_agent: u64,
-    pending_changes: HashMap<ChangeId, PendingChange>,
+    pending_changes: FxHashMap<ChangeId, PendingChange>,
     next_change: u64,
     outputs: Vec<P::Output>,
     metrics: Metrics,
+    /// Scratch buffer for the effects of one activation, reused across
+    /// events so the hot loop does not allocate per event.
+    effects_scratch: Vec<Effect<P>>,
+    /// Scratch buffer for child lists copied out of the tree while it is
+    /// being mutated (topology changes only).
+    children_scratch: Vec<NodeId>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -84,22 +99,28 @@ impl<P: Protocol> Simulator<P> {
     /// its parent's (the paper's parameter hand-off).
     pub fn with_tree(config: SimConfig, mut protocol: P, tree: DynamicTree) -> Self {
         let mut rng = DetRng::seed_from_u64(config.seed);
-        let mut whiteboards = HashMap::new();
-        let mut node_taxi = HashMap::new();
-        let mut ports: HashMap<NodeId, PortMap> = HashMap::new();
+        let capacity = tree.total_created();
+        let mut whiteboards: SecondaryMap<NodeId, P::Whiteboard> =
+            SecondaryMap::with_capacity(capacity);
+        let mut node_taxi: SecondaryMap<NodeId, NodeTaxi> = SecondaryMap::with_capacity(capacity);
+        let mut ports: SecondaryMap<NodeId, PortMap> = SecondaryMap::with_capacity(capacity);
         let order: Vec<NodeId> = tree.dfs(tree.root()).collect();
         for &node in &order {
             let parent = tree.parent(node);
             let wb = {
-                let parent_wb = parent.and_then(|p| whiteboards.get(&p));
+                let parent_wb = parent.and_then(|p| whiteboards.get(p));
                 protocol.make_whiteboard(node, parent_wb)
             };
             whiteboards.insert(node, wb);
             node_taxi.insert(node, NodeTaxi::new());
-            ports.entry(node).or_default();
+            ports.get_or_insert_with(node, PortMap::default);
             if let Some(p) = parent {
-                let port_at_parent = ports.entry(p).or_default().assign(node, &mut rng);
-                let port_at_child = ports.entry(node).or_default().assign(p, &mut rng);
+                let port_at_parent = ports
+                    .get_or_insert_with(p, PortMap::default)
+                    .assign(node, &mut rng);
+                let port_at_child = ports
+                    .get_or_insert_with(node, PortMap::default)
+                    .assign(p, &mut rng);
                 debug_assert_ne!((port_at_parent, p), (port_at_child, node));
             }
         }
@@ -112,12 +133,14 @@ impl<P: Protocol> Simulator<P> {
             whiteboards,
             node_taxi,
             ports,
-            agents: HashMap::new(),
+            agents: SecondaryMap::new(),
             next_agent: 0,
-            pending_changes: HashMap::new(),
+            pending_changes: FxHashMap::default(),
             next_change: 0,
             outputs: Vec::new(),
             metrics: Metrics::new(),
+            effects_scratch: Vec::new(),
+            children_scratch: Vec::new(),
         }
     }
 
@@ -168,27 +191,28 @@ impl<P: Protocol> Simulator<P> {
 
     /// The whiteboard of `node`, if the node exists.
     pub fn whiteboard(&self, node: NodeId) -> Option<&P::Whiteboard> {
-        self.whiteboards.get(&node)
+        self.whiteboards.get(node)
     }
 
     /// Mutable whiteboard access (driver-side initialisation only).
     pub fn whiteboard_mut(&mut self, node: NodeId) -> Option<&mut P::Whiteboard> {
-        self.whiteboards.get_mut(&node)
+        self.whiteboards.get_mut(node)
     }
 
-    /// Iterates over the whiteboards of all currently existing nodes.
+    /// Iterates over the whiteboards of all currently existing nodes, in
+    /// node-index order.
     pub fn whiteboards(&self) -> impl Iterator<Item = (NodeId, &P::Whiteboard)> {
-        self.whiteboards.iter().map(|(k, v)| (*k, v))
+        self.whiteboards.iter()
     }
 
     /// The adversarially assigned port numbers of `node`.
     pub fn ports(&self, node: NodeId) -> Option<&PortMap> {
-        self.ports.get(&node)
+        self.ports.get(node)
     }
 
     /// Returns `true` if `node` is currently locked by some agent.
     pub fn is_locked(&self, node: NodeId) -> bool {
-        self.node_taxi.get(&node).is_some_and(NodeTaxi::is_locked)
+        self.node_taxi.get(node).is_some_and(NodeTaxi::is_locked)
     }
 
     /// Number of agents currently alive (travelling, active or queued).
@@ -317,7 +341,7 @@ impl<P: Protocol> Simulator<P> {
     // ------------------------------------------------------------------
 
     fn schedule_activation(&mut self, agent: AgentId, at: NodeId, delay: Time) {
-        if let Some(t) = self.node_taxi.get_mut(&at) {
+        if let Some(t) = self.node_taxi.get_mut(at) {
             t.inbound += 1;
         }
         self.queue
@@ -325,10 +349,10 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn process_activation(&mut self, agent: AgentId, at: NodeId) -> Result<(), SimError> {
-        if let Some(t) = self.node_taxi.get_mut(&at) {
+        if let Some(t) = self.node_taxi.get_mut(at) {
             t.inbound = t.inbound.saturating_sub(1);
         }
-        let Some(mut entry) = self.agents.remove(&agent) else {
+        let Some(mut entry) = self.agents.remove(agent) else {
             return Ok(());
         };
         if !self.tree.contains(at) {
@@ -341,19 +365,19 @@ impl<P: Protocol> Simulator<P> {
         entry.taxi.location = at;
 
         let parent = self.tree.parent(at);
-        let children: Vec<NodeId> = self
-            .tree
-            .children(at)
-            .map(|c| c.to_vec())
-            .unwrap_or_default();
-        let locked_by = self.node_taxi.get(&at).and_then(|t| t.locked_by);
+        // The child list is borrowed straight from the tree arena (nothing
+        // mutates the tree during an activation) and the effects vector is
+        // the reusable scratch buffer: one activation allocates nothing.
+        let effects = std::mem::take(&mut self.effects_scratch);
+        let children: &[NodeId] = self.tree.children(at).unwrap_or(&[]);
+        let locked_by = self.node_taxi.get(at).and_then(|t| t.locked_by);
         let node_count = self.tree.node_count();
         let total_created = self.tree.total_created();
         let time = self.queue.now();
 
         let whiteboard = self
             .whiteboards
-            .get_mut(&at)
+            .get_mut(at)
             .expect("existing node has a whiteboard");
         let protocol = &mut self.protocol;
         let mut ctx: NodeCtx<'_, P> = NodeCtx {
@@ -369,13 +393,15 @@ impl<P: Protocol> Simulator<P> {
             dist_to_top: entry.taxi.dist_to_top,
             locked_by,
             whiteboard,
-            effects: Vec::new(),
+            effects,
         };
         let action = protocol.on_activate(&mut ctx, &mut entry.state);
-        let effects = std::mem::take(&mut ctx.effects);
+        let mut effects = std::mem::take(&mut ctx.effects);
         drop(ctx);
 
-        self.apply_effects(agent, at, &mut entry, effects);
+        self.apply_effects(agent, at, &mut entry, &mut effects);
+        effects.clear();
+        self.effects_scratch = effects;
         self.apply_action(agent, at, entry, action)
     }
 
@@ -384,16 +410,16 @@ impl<P: Protocol> Simulator<P> {
         agent: AgentId,
         at: NodeId,
         entry: &mut AgentEntry<P>,
-        effects: Vec<Effect<P>>,
+        effects: &mut Vec<Effect<P>>,
     ) {
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Lock => {
                     let arrived_from = entry.taxi.arrived_from;
                     let is_child = arrived_from
                         .map(|c| self.tree.parent(c) == Some(at))
                         .unwrap_or(false);
-                    if let Some(t) = self.node_taxi.get_mut(&at) {
+                    if let Some(t) = self.node_taxi.get_mut(at) {
                         t.locked_by = Some(agent);
                         if is_child {
                             t.down_child = arrived_from;
@@ -403,7 +429,7 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
                 Effect::Unlock => {
-                    let dequeued = if let Some(t) = self.node_taxi.get_mut(&at) {
+                    let dequeued = if let Some(t) = self.node_taxi.get_mut(at) {
                         t.locked_by = None;
                         t.queue.pop_front()
                     } else {
@@ -455,7 +481,7 @@ impl<P: Protocol> Simulator<P> {
                 Ok(())
             }
             Action::Down => {
-                let target = self.node_taxi.get(&at).and_then(|t| t.down_child);
+                let target = self.node_taxi.get(at).and_then(|t| t.down_child);
                 let Some(target) = target else {
                     return Err(SimError::ProtocolViolation(format!(
                         "agent {agent} issued Down at {at} with no descent pointer"
@@ -482,7 +508,7 @@ impl<P: Protocol> Simulator<P> {
                 Ok(())
             }
             Action::WaitForUnlock => {
-                if let Some(t) = self.node_taxi.get_mut(&at) {
+                if let Some(t) = self.node_taxi.get_mut(at) {
                     t.queue.push_back(agent);
                     self.metrics.waits += 1;
                     self.metrics.max_queue_len = self.metrics.max_queue_len.max(t.queue.len());
@@ -557,12 +583,12 @@ impl<P: Protocol> Simulator<P> {
                 // edge must stay intact until that agent releases it.
                 let below_locked = self
                     .node_taxi
-                    .get(&below)
+                    .get(below)
                     .map(NodeTaxi::is_locked)
                     .unwrap_or(false);
                 let crossing = self
                     .node_taxi
-                    .get(&parent)
+                    .get(parent)
                     .map(|t| t.is_locked() && t.down_child == Some(below))
                     .unwrap_or(false);
                 if crossing || below_locked {
@@ -574,25 +600,22 @@ impl<P: Protocol> Simulator<P> {
                     .expect("below exists and is not the root");
                 self.init_new_node(node, parent);
                 // Re-wire adversarial ports for the changed incident edges.
-                if let Some(pm) = self.ports.get_mut(&parent) {
+                if let Some(pm) = self.ports.get_mut(parent) {
                     pm.remove(below);
                 }
-                if let Some(pm) = self.ports.get_mut(&below) {
+                if let Some(pm) = self.ports.get_mut(below) {
                     pm.remove(parent);
                 }
                 let pp = self
                     .ports
-                    .entry(parent)
-                    .or_default()
+                    .get_or_insert_with(parent, PortMap::default)
                     .assign(node, &mut self.rng);
                 let _ = pp;
                 self.ports
-                    .entry(node)
-                    .or_default()
+                    .get_or_insert_with(node, PortMap::default)
                     .assign(below, &mut self.rng);
                 self.ports
-                    .entry(below)
-                    .or_default()
+                    .get_or_insert_with(below, PortMap::default)
                     .assign(node, &mut self.rng);
                 ChangeOutcome::Applied
             }
@@ -605,45 +628,42 @@ impl<P: Protocol> Simulator<P> {
                 }
                 let busy = self
                     .node_taxi
-                    .get(&node)
+                    .get(node)
                     .map(|t| t.is_locked() || !t.queue.is_empty() || t.inbound > 0)
                     .unwrap_or(false);
                 if busy {
                     return ChangeOutcome::Busy;
                 }
                 let parent = self.tree.parent(node).expect("non-root node has a parent");
-                let children: Vec<NodeId> = self
-                    .tree
-                    .children(node)
-                    .map(|c| c.to_vec())
-                    .unwrap_or_default();
+                let mut children = std::mem::take(&mut self.children_scratch);
+                children.clear();
+                children.extend_from_slice(self.tree.children(node).unwrap_or(&[]));
                 // Hand the whiteboard contents to the parent ("graceful" rule).
-                if let Some(removed_wb) = self.whiteboards.remove(&node) {
+                if let Some(removed_wb) = self.whiteboards.remove(node) {
                     let parent_wb = self
                         .whiteboards
-                        .get_mut(&parent)
+                        .get_mut(parent)
                         .expect("parent has a whiteboard");
                     let aux = self.protocol.merge_whiteboard(removed_wb, parent_wb);
                     self.metrics.aux_messages += aux;
                 }
-                self.node_taxi.remove(&node);
-                self.ports.remove(&node);
-                if let Some(pm) = self.ports.get_mut(&parent) {
+                self.node_taxi.remove(node);
+                self.ports.remove(node);
+                if let Some(pm) = self.ports.get_mut(parent) {
                     pm.remove(node);
                 }
                 for &c in &children {
-                    if let Some(pm) = self.ports.get_mut(&c) {
+                    if let Some(pm) = self.ports.get_mut(c) {
                         pm.remove(node);
                     }
                     self.ports
-                        .entry(c)
-                        .or_default()
+                        .get_or_insert_with(c, PortMap::default)
                         .assign(parent, &mut self.rng);
                     self.ports
-                        .entry(parent)
-                        .or_default()
+                        .get_or_insert_with(parent, PortMap::default)
                         .assign(c, &mut self.rng);
                 }
+                self.children_scratch = children;
                 self.tree.remove(node).expect("checked above");
                 ChangeOutcome::Applied
             }
@@ -662,18 +682,16 @@ impl<P: Protocol> Simulator<P> {
 
     fn init_new_node(&mut self, node: NodeId, parent: NodeId) {
         let wb = {
-            let parent_wb = self.whiteboards.get(&parent);
+            let parent_wb = self.whiteboards.get(parent);
             self.protocol.make_whiteboard(node, parent_wb)
         };
         self.whiteboards.insert(node, wb);
         self.node_taxi.insert(node, NodeTaxi::new());
         self.ports
-            .entry(parent)
-            .or_default()
+            .get_or_insert_with(parent, PortMap::default)
             .assign(node, &mut self.rng);
         self.ports
-            .entry(node)
-            .or_default()
+            .get_or_insert_with(node, PortMap::default)
             .assign(parent, &mut self.rng);
     }
 }

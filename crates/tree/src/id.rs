@@ -36,6 +36,16 @@ impl NodeId {
     }
 }
 
+impl dcn_collections::EntityKey for NodeId {
+    fn index(self) -> usize {
+        NodeId::index(self)
+    }
+
+    fn from_index(index: usize) -> Self {
+        NodeId::from_index(index)
+    }
+}
+
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
