@@ -19,10 +19,20 @@
 //! guarantee it), which is what makes the throughput comparable across
 //! builds.
 //!
+//! A prior snapshot can be diffed against the fresh run with `--compare`:
+//! per-entry speedup ratios are printed (matched on name and scenario), any
+//! entry more than 10% slower than the baseline — beyond a 0.25ms absolute
+//! noise floor that keeps sub-100µs entries from flagging on timer jitter —
+//! is flagged as a regression, and the process exits non-zero if one is
+//! found — before/after claims in EXPERIMENTS.md are mechanically produced,
+//! not hand-computed.
+//!
 //! ```text
-//! dcn_perf [--quick] [--reps N] [--out PATH]   # default PATH: BENCH_5.json
+//! dcn_perf [--quick] [--reps N] [--out PATH] [--compare BASELINE.json]
+//! # default PATH: BENCH_6.json
 //! ```
 
+use dcn_bench::compare::{compare, parse_bench, BenchEntry, BenchFile};
 use dcn_bench::{
     quick_grid, run_app_family, run_family, run_grid, AppFamily, Family, DEFAULT_SWEEP_SEED,
 };
@@ -113,7 +123,7 @@ fn json_num(x: f64) -> String {
 fn to_json(entries: &[Entry], reps: usize, quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": 5,\n");
+    out.push_str("  \"bench\": 6,\n");
     out.push_str("  \"suite\": \"dcn_perf pinned scenario suite\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -141,13 +151,15 @@ struct Args {
     quick: bool,
     reps: usize,
     out: String,
+    compare: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_5.json".to_string(),
+        out: "BENCH_6.json".to_string(),
+        compare: None,
     };
     // An explicit --reps wins over --quick's reps=1 default regardless of
     // the order the two flags appear in.
@@ -169,8 +181,11 @@ fn parse_args() -> Result<Args, String> {
                 reps_explicit = true;
             }
             "--out" => args.out = value("--out")?,
+            "--compare" => args.compare = Some(value("--compare")?),
             "--help" | "-h" => {
-                println!("usage: dcn_perf [--quick] [--reps N] [--out PATH]");
+                println!(
+                    "usage: dcn_perf [--quick] [--reps N] [--out PATH] [--compare BASELINE.json]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -256,5 +271,62 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", args.out);
+
+    if let Some(baseline_path) = &args.compare {
+        let baseline = match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_bench(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dcn_perf: reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = BenchFile {
+            bench: 6,
+            entries: entries
+                .iter()
+                .map(|e| BenchEntry {
+                    name: e.name.clone(),
+                    scenario: e.scenario.clone(),
+                    wall_ms: e.wall_ms,
+                    events: e.events,
+                    events_per_sec: e.events_per_sec,
+                })
+                .collect(),
+        };
+        let cmp = compare(&baseline, &current);
+        println!();
+        println!(
+            "vs {baseline_path} (bench {}): {:<28} {:<12} {:>10} {:>10} {:>8}",
+            baseline.bench, "entry", "scenario", "old_ms", "new_ms", "speedup"
+        );
+        for d in &cmp.deltas {
+            println!(
+                "{:<28} {:<12} {:>10.3} {:>10.3} {:>7.2}x{}",
+                d.name,
+                d.scenario,
+                d.old_wall_ms,
+                d.new_wall_ms,
+                d.speedup,
+                if d.regression { "  REGRESSION" } else { "" },
+            );
+        }
+        for name in &cmp.only_old {
+            println!("only in baseline: {name}");
+        }
+        for name in &cmp.only_new {
+            println!("only in this run: {name}");
+        }
+        if let Some(geomean) = cmp.geomean_speedup() {
+            println!("geomean speedup: {geomean:.2}x");
+        }
+        let regressions = cmp.regressions().count();
+        if regressions > 0 {
+            eprintln!("dcn_perf: {regressions} entr(y/ies) regressed by more than 10% (beyond the noise floor)");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

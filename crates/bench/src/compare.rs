@@ -1,0 +1,514 @@
+//! Comparing two pinned-bench snapshots (`dcn_perf --compare`).
+//!
+//! A `BENCH_<pr>.json` file is a flat object with an `entries` array (see
+//! `dcn_perf`'s emitter); this module parses that shape and diffs two
+//! snapshots entry by entry, so before/after claims in EXPERIMENTS.md are
+//! mechanically produced instead of hand-computed. The parser is local
+//! because the workspace is dependency-free and `dcn-workload`'s scenario
+//! parser deliberately supports neither arrays nor booleans.
+
+/// One `entries[]` element of a bench file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// `controller:<family>`, `app:<family>` or `sweep:<grid>`.
+    pub name: String,
+    /// The shape or grid label the entry ran over.
+    pub scenario: String,
+    /// Best wall time over the reps, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated work (messages + answered requests).
+    pub events: u64,
+    /// `events / best wall seconds`.
+    pub events_per_sec: f64,
+}
+
+/// A parsed bench snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// The PR number the snapshot was recorded for (`"bench"`).
+    pub bench: u64,
+    /// All measured entries, in file order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// The per-entry outcome of a comparison.
+#[derive(Clone, Debug)]
+pub struct EntryDelta {
+    /// Entry name (matched on `(name, scenario)`).
+    pub name: String,
+    /// Entry scenario label.
+    pub scenario: String,
+    /// Baseline wall time, ms.
+    pub old_wall_ms: f64,
+    /// Current wall time, ms.
+    pub new_wall_ms: f64,
+    /// `old / new` — above 1.0 is a speedup.
+    pub speedup: f64,
+    /// `true` when the entry got more than [`REGRESSION_TOLERANCE`] slower
+    /// *and* the slowdown clears the [`REGRESSION_NOISE_FLOOR_MS`].
+    pub regression: bool,
+}
+
+/// A full comparison of two snapshots.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Entries present in both snapshots, in the *current* snapshot's order.
+    pub deltas: Vec<EntryDelta>,
+    /// Entries of the baseline missing from the current snapshot.
+    pub only_old: Vec<String>,
+    /// Entries of the current snapshot missing from the baseline.
+    pub only_new: Vec<String>,
+}
+
+/// An entry counts as regressed when it is more than 10% slower than the
+/// baseline — wide enough to ignore wall-clock noise on a shared machine,
+/// tight enough to catch a real hot-path slip.
+pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Absolute slack added on top of [`REGRESSION_TOLERANCE`]: sub-100µs
+/// entries routinely move tens of µs between back-to-back single-rep runs
+/// (warm-up, timer granularity), which is far beyond 10% *relative* but
+/// meaningless in absolute terms. A real hot-path slip on any entry large
+/// enough to measure reliably clears this floor easily.
+pub const REGRESSION_NOISE_FLOOR_MS: f64 = 0.25;
+
+impl Comparison {
+    /// The deltas that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &EntryDelta> {
+        self.deltas.iter().filter(|d| d.regression)
+    }
+
+    /// Geometric-mean speedup over the matched entries (the natural average
+    /// for ratios), or `None` when nothing matched.
+    pub fn geomean_speedup(&self) -> Option<f64> {
+        if self.deltas.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = self.deltas.iter().map(|d| d.speedup.ln()).sum();
+        Some((log_sum / self.deltas.len() as f64).exp())
+    }
+}
+
+/// Diffs `new` against the `old` baseline, matching entries on
+/// `(name, scenario)`.
+pub fn compare(old: &BenchFile, new: &BenchFile) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut only_new = Vec::new();
+    for e in &new.entries {
+        match old
+            .entries
+            .iter()
+            .find(|o| o.name == e.name && o.scenario == e.scenario)
+        {
+            Some(o) => {
+                let speedup = o.wall_ms / e.wall_ms;
+                deltas.push(EntryDelta {
+                    name: e.name.clone(),
+                    scenario: e.scenario.clone(),
+                    old_wall_ms: o.wall_ms,
+                    new_wall_ms: e.wall_ms,
+                    speedup,
+                    regression: e.wall_ms
+                        > o.wall_ms * (1.0 + REGRESSION_TOLERANCE) + REGRESSION_NOISE_FLOOR_MS,
+                });
+            }
+            None => only_new.push(format!("{} [{}]", e.name, e.scenario)),
+        }
+    }
+    let only_old = old
+        .entries
+        .iter()
+        .filter(|o| {
+            !new.entries
+                .iter()
+                .any(|e| e.name == o.name && e.scenario == o.scenario)
+        })
+        .map(|o| format!("{} [{}]", o.name, o.scenario))
+        .collect();
+    Comparison {
+        deltas,
+        only_old,
+        only_new,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A micro JSON reader for exactly the bench-file shape: objects, arrays,
+// strings (with the escapes `json_quote` emits), numbers, true/false/null.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Result<&Value, String> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key {key:?}")),
+            _ => Err(format!("expected an object while looking up {key:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected a string, found {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            other => Err(format!("expected a number, found {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("expected an unsigned integer, found {x}"));
+        }
+        Ok(x as u64)
+    }
+}
+
+/// Parses a `BENCH_<pr>.json` document.
+pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
+    let value = parse_json(text)?;
+    let bench = value.get("bench")?.as_u64()?;
+    let Value::Array(items) = value.get("entries")? else {
+        return Err("\"entries\" must be an array".to_string());
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for item in items {
+        entries.push(BenchEntry {
+            name: item.get("name")?.as_str()?.to_string(),
+            scenario: item.get("scenario")?.as_str()?.to_string(),
+            wall_ms: item.get("wall_ms")?.as_f64()?,
+            events: item.get("events")?.as_u64()?,
+            events_per_sec: item.get("events_per_sec")?.as_f64()?,
+        });
+    }
+    Ok(BenchFile { bench, entries })
+}
+
+fn parse_json(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}, found {:?}",
+            c as char,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        other => Err(format!(
+            "unexpected {:?} at byte {pos}",
+            other.map(|&b| b as char)
+        )),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {pos}, found {:?}",
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at byte {pos}, found {:?}",
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u codepoint at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unsupported escape {:?} at byte {pos}",
+                            other.map(|&b| b as char)
+                        ))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let start = *pos;
+                while matches!(bytes.get(*pos), Some(&b) if b != b'"' && b != b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
+                );
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: &[(&str, &str, f64)]) -> BenchFile {
+        BenchFile {
+            bench: 6,
+            entries: entries
+                .iter()
+                .map(|&(name, scenario, wall_ms)| BenchEntry {
+                    name: name.to_string(),
+                    scenario: scenario.to_string(),
+                    wall_ms,
+                    events: 1000,
+                    events_per_sec: 1000.0 / (wall_ms / 1e3),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_emitter_shape() {
+        let text = r#"{
+  "bench": 5,
+  "suite": "dcn_perf pinned scenario suite",
+  "quick": false,
+  "reps": 3,
+  "total_wall_ms": 12.500,
+  "total_events": 3000,
+  "entries": [
+    {"name": "controller:distributed", "scenario": "star", "wall_ms": 4.500, "events": 2000, "events_per_sec": 444444.444},
+    {"name": "sweep:distributed-quick", "scenario": "perf-distributed-quick", "wall_ms": 8.000, "events": 1000, "events_per_sec": 125000.000}
+  ]
+}
+"#;
+        let file = parse_bench(text).expect("parses");
+        assert_eq!(file.bench, 5);
+        assert_eq!(file.entries.len(), 2);
+        assert_eq!(file.entries[0].name, "controller:distributed");
+        assert_eq!(file.entries[0].events, 2000);
+        assert!((file.entries[1].wall_ms - 8.0).abs() < 1e-9);
+        assert_eq!(file.entries[1].scenario, "perf-distributed-quick");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_bench("").is_err());
+        assert!(parse_bench("{\"bench\": 5}").is_err()); // no entries
+        assert!(parse_bench("{\"bench\": 5, \"entries\": [}").is_err());
+        assert!(parse_bench("{\"bench\": 5, \"entries\": []} x").is_err());
+        // An entry missing a field is an error, not a silent default.
+        assert!(
+            parse_bench(r#"{"bench": 5, "entries": [{"name": "a", "scenario": "s"}]}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let quoted = dcn_workload::json_quote("a\"b\\c\nd\te\u{1}");
+        let text = format!(
+            r#"{{"bench": 1, "entries": [{{"name": {quoted}, "scenario": "s", "wall_ms": 1.0, "events": 1, "events_per_sec": 1.0}}]}}"#
+        );
+        let file = parse_bench(&text).expect("parses");
+        assert_eq!(file.entries[0].name, "a\"b\\c\nd\te\u{1}");
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_tolerance() {
+        let old = snapshot(&[
+            ("controller:a", "star", 10.0),
+            ("controller:b", "star", 10.0),
+            ("controller:c", "star", 10.0),
+        ]);
+        let new = snapshot(&[
+            ("controller:a", "star", 5.0),  // 2x speedup
+            ("controller:b", "star", 10.5), // 5% slower: inside tolerance
+            ("controller:c", "star", 12.0), // 20% slower and >0.25ms: regression
+        ]);
+        let cmp = compare(&old, &new);
+        assert_eq!(cmp.deltas.len(), 3);
+        assert!(!cmp.deltas[0].regression);
+        assert!((cmp.deltas[0].speedup - 2.0).abs() < 1e-9);
+        assert!(!cmp.deltas[1].regression);
+        assert!(cmp.deltas[2].regression);
+        assert_eq!(cmp.regressions().count(), 1);
+    }
+
+    #[test]
+    fn sub_floor_slowdowns_are_noise_not_regressions() {
+        // 0.089ms → 0.143ms is 60% slower in relative terms but only 54µs in
+        // absolute terms — observed between two back-to-back single-rep runs
+        // of the same binary, i.e. pure timer/warm-up noise.
+        let old = snapshot(&[("controller:tiny", "star", 0.089), ("sweep:big", "g", 4.0)]);
+        let new = snapshot(&[("controller:tiny", "star", 0.143), ("sweep:big", "g", 4.7)]);
+        let cmp = compare(&old, &new);
+        assert!(!cmp.deltas[0].regression);
+        // A 0.7ms slip on a 4ms entry clears both the tolerance and the floor.
+        assert!(cmp.deltas[1].regression);
+    }
+
+    #[test]
+    fn compare_reports_unmatched_entries_on_both_sides() {
+        let old = snapshot(&[("controller:a", "star", 10.0), ("app:x", "path", 3.0)]);
+        let new = snapshot(&[("controller:a", "star", 9.0), ("app:y", "path", 3.0)]);
+        let cmp = compare(&old, &new);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.only_old, vec!["app:x [path]".to_string()]);
+        assert_eq!(cmp.only_new, vec!["app:y [path]".to_string()]);
+    }
+
+    #[test]
+    fn geomean_speedup_averages_ratios() {
+        let old = snapshot(&[("a", "s", 8.0), ("b", "s", 2.0)]);
+        let new = snapshot(&[("a", "s", 2.0), ("b", "s", 2.0)]);
+        // Ratios 4.0 and 1.0 → geometric mean 2.0.
+        let cmp = compare(&old, &new);
+        assert!((cmp.geomean_speedup().expect("non-empty") - 2.0).abs() < 1e-9);
+        let empty = compare(&snapshot(&[]), &snapshot(&[]));
+        assert!(empty.geomean_speedup().is_none());
+    }
+}

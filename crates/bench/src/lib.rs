@@ -45,6 +45,8 @@ use dcn_workload::{
 
 pub use dcn_workload::{app_factory, family_factory, AppFamily, Family};
 
+pub mod compare;
+
 /// The four controller families the sweep grids compare.
 fn grid_families() -> Vec<String> {
     ["iterated", "distributed", "trivial", "aaps"]

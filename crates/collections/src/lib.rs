@@ -12,6 +12,12 @@
 //!   **index order**, which makes every loop over it deterministic by
 //!   construction (a property the byte-identical sweep reports rely on).
 //!   Use it whenever the key is one of the workspace's dense entity ids.
+//! * [`CalendarQueue`] — a timing-wheel priority queue for bounded-delay
+//!   discrete-event scheduling: O(1) schedule/pop through a width-1 bucket
+//!   wheel for the near horizon, a binary-heap overflow tier for far-future
+//!   items, popping in the exact `(time, insertion)` order a
+//!   `BinaryHeap<Reverse<_>>` would produce — but without the O(log n)
+//!   sift per event.
 //! * [`FxHashMap`] / [`FxHashSet`] — `std` hash containers with the
 //!   [`FxHasher`], an in-tree implementation of the Firefox/rustc
 //!   multiply-rotate hash. For keys that are *not* dense indices (composite
@@ -52,9 +58,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod fx;
 mod secondary;
 
+pub use calendar::CalendarQueue;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use secondary::SecondaryMap;
 

@@ -268,10 +268,10 @@ impl DistributedController {
     /// [`DistributedController::run`], the caller owns the budget, so the
     /// configured `max_events` safety net does not apply here.
     pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
-        let mut processed = 0u64;
-        while processed < budget && self.sim.step()? {
-            processed += 1;
-        }
+        // run_events serves whole same-timestamp cohorts out of the
+        // simulator's batch buffer, so the budget loop probes the event
+        // queue once per cohort instead of once per event.
+        let processed = self.sim.run_events(budget)?;
         self.collect_answers();
         Ok(Progress {
             processed,

@@ -1,9 +1,18 @@
 //! The discrete-event core: a time-ordered, deterministic event queue.
+//!
+//! Since PR 6 the queue is a thin wrapper over
+//! [`dcn_collections::CalendarQueue`] — a timing wheel exploiting the
+//! bounded-delay distributions of [`SimConfig`](crate::SimConfig) for O(1)
+//! schedule/pop — instead of a `BinaryHeap` paying O(log n) per event. The
+//! observable contract is unchanged: events pop in ascending `(time, seq)`
+//! order (seq = insertion order), `now()` is the timestamp of the last
+//! popped event, and past-dated absolute schedules are clamped to `now` and
+//! counted. The wheel is property-tested against the old heap as a model in
+//! `dcn-collections/tests/prop_calendar.rs`.
 
 use crate::protocol::AgentId;
 use crate::NodeId;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use dcn_collections::CalendarQueue;
 
 /// Simulated time, in abstract units.
 pub type Time = u64;
@@ -20,36 +29,18 @@ pub(crate) enum EventKind {
     AttemptChange { change: ChangeId },
 }
 
+/// A popped event: its fire time and payload.
+#[cfg(test)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Event {
     pub time: Time,
-    pub seq: u64,
     pub kind: EventKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by (time, seq) via Reverse in the queue.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Deterministic time-ordered queue; ties broken by insertion order.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<Event>>,
-    next_seq: u64,
-    now: Time,
-    /// Number of absolute-time schedules that pointed into the past and were
-    /// clamped to `now`. Always 0 in a correct driver; surfaced so tests and
-    /// debug assertions can detect would-be time travel.
-    clamped: u64,
+    calendar: CalendarQueue<EventKind>,
 }
 
 impl EventQueue {
@@ -58,23 +49,30 @@ impl EventQueue {
     }
 
     /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
     pub fn now(&self) -> Time {
-        self.now
+        self.calendar.now()
     }
 
     /// Number of events still pending.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.calendar.len()
     }
 
+    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.calendar.is_empty()
     }
 
     /// Schedules `kind` to fire `delay` units after the current time and
-    /// returns the event's absolute fire time.
+    /// returns the event's absolute fire time. A fire time past `Time::MAX`
+    /// saturates there and is counted ([`EventQueue::saturated_count`]) —
+    /// saturation silently collapses distinct delays onto one instant, so
+    /// debug builds assert on it.
+    #[inline]
     pub fn schedule(&mut self, delay: Time, kind: EventKind) -> Time {
-        self.schedule_at(self.now.saturating_add(delay), kind)
+        self.calendar.schedule(delay, kind)
     }
 
     /// Schedules `kind` at the absolute time `at` and returns the actual fire
@@ -85,44 +83,49 @@ impl EventQueue {
     /// rather than accepted verbatim; the clamp is counted
     /// ([`EventQueue::clamped_count`]) so drivers and tests can treat it as
     /// the bug it indicates.
+    #[cfg(test)]
     pub fn schedule_at(&mut self, at: Time, kind: EventKind) -> Time {
-        let time = if at < self.now {
-            self.clamped += 1;
-            self.now
-        } else {
-            at
-        };
-        let event = Event {
-            time,
-            seq: self.next_seq,
-            kind,
-        };
-        self.next_seq += 1;
-        self.heap.push(Reverse(event));
-        time
+        self.calendar.schedule_at(at, kind)
     }
 
     /// Number of past-dated schedules that were clamped to `now` (0 in a
     /// correct execution).
     pub fn clamped_count(&self) -> u64 {
-        self.clamped
+        self.calendar.clamped_count()
+    }
+
+    /// Number of relative schedules whose fire time saturated at
+    /// `Time::MAX` (0 in a correct execution).
+    pub fn saturated_count(&self) -> u64 {
+        self.calendar.saturated_count()
     }
 
     /// The absolute fire time of the next pending event, without popping it.
     /// Lets drivers batch-poll ("is anything due before t?") without
     /// disturbing the queue.
+    #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(event)| event.time)
+        self.calendar.peek_time()
     }
 
-    /// Pops the next event and advances the clock to its timestamp. The clock
-    /// is monotone by construction (every insertion point is `≥ now`), and
-    /// `max` keeps it monotone even against a future bug in the queue itself.
+    /// Pops the next event and advances the clock to its timestamp. The
+    /// simulator itself drains by cohort ([`EventQueue::pop_batch`]); the
+    /// single-event pop remains as the reference for the queue's contract
+    /// tests.
+    #[cfg(test)]
     pub fn pop(&mut self) -> Option<Event> {
-        let Reverse(event) = self.heap.pop()?;
-        debug_assert!(event.time >= self.now, "time must not run backwards");
-        self.now = self.now.max(event.time);
-        Some(event)
+        self.calendar.pop().map(|(time, kind)| Event { time, kind })
+    }
+
+    /// Pops **every** event sharing the earliest timestamp into `out` (in
+    /// seq order) and advances the clock to that timestamp, which is
+    /// returned. One queue probe serves the whole same-time cohort; events
+    /// scheduled at that same timestamp while the cohort is being processed
+    /// form the next cohort (larger seqs), reproducing the exact per-event
+    /// pop order.
+    #[inline]
+    pub fn pop_batch(&mut self, out: &mut Vec<EventKind>) -> Option<Time> {
+        self.calendar.pop_batch(out)
     }
 }
 
@@ -178,8 +181,30 @@ mod tests {
         // Relative delays resolve against the advanced clock.
         assert_eq!(q.schedule(5, activate(2)), 15);
         assert_eq!(q.schedule(0, activate(3)), 10);
-        // Saturation guard: a huge delay must not wrap around.
-        assert_eq!(q.schedule(Time::MAX, activate(4)), Time::MAX);
+    }
+
+    #[test]
+    fn saturating_delays_are_counted_as_the_bug_they_are() {
+        // At now = 0, a delay of Time::MAX fires exactly at Time::MAX — no
+        // information is lost and nothing saturates.
+        let mut q = EventQueue::new();
+        assert_eq!(q.schedule(Time::MAX, activate(1)), Time::MAX);
+        assert_eq!(q.saturated_count(), 0);
+        // Once the clock has advanced, a near-MAX delay overflows the fire
+        // time: distinct delays silently collapse onto Time::MAX. Release
+        // builds saturate-and-count; debug builds additionally assert.
+        let mut q = EventQueue::new();
+        q.schedule(10, activate(1));
+        q.pop();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(Time::MAX - 5, activate(2))
+        }));
+        if cfg!(debug_assertions) {
+            assert!(outcome.is_err(), "debug builds assert on saturation");
+        } else {
+            assert_eq!(outcome.unwrap(), Time::MAX);
+        }
+        assert_eq!(q.saturated_count(), 1);
     }
 
     #[test]
@@ -248,5 +273,26 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp_per_call() {
+        let mut q = EventQueue::new();
+        q.schedule(4, activate(1));
+        q.schedule(4, activate(2));
+        q.schedule(9, activate(3));
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(4));
+        assert_eq!(batch, vec![activate(1), activate(2)]);
+        assert_eq!(q.now(), 4);
+        // Same-time events scheduled during processing form the next cohort.
+        q.schedule(0, activate(4));
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(4));
+        assert_eq!(batch, vec![activate(4)]);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(9));
+        assert_eq!(batch, vec![activate(3)]);
+        assert_eq!(q.pop_batch(&mut batch), None);
     }
 }

@@ -36,6 +36,7 @@
 
 mod config;
 mod engine;
+mod hot;
 mod metrics;
 mod ports;
 mod protocol;

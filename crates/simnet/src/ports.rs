@@ -7,17 +7,20 @@
 //! confirm the protocol does not accidentally rely on a friendly numbering.
 
 use crate::NodeId;
-use dcn_collections::{FxHashMap, FxHashSet};
 use dcn_rng::Rng;
 
 /// Port numbers of a single node: one distinct number per incident tree edge.
+///
+/// Stored as a flat `(neighbor, port)` list sized by the node's degree.
+/// Tree degrees in the simulated workloads are tens at most, so a linear
+/// scan beats a hash table on every axis that matters here: no allocation
+/// for the (very common) empty map, one compact cache line or two when
+/// populated, and no hashing on the wiring path. The rejection loop in
+/// [`PortMap::assign`] asks exactly the same membership question a hash set
+/// would answer, so recorded rng streams replay unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct PortMap {
-    ports: FxHashMap<NodeId, u32>,
-    /// Reverse view of `ports`' values, so uniqueness of a fresh candidate is
-    /// one probe instead of a scan over every assigned port (the scan made
-    /// wiring a high-degree star O(deg²) in rejected candidates checked).
-    used: FxHashSet<u32>,
+    entries: Vec<(NodeId, u32)>,
 }
 
 impl PortMap {
@@ -33,43 +36,46 @@ impl PortMap {
             let candidate: u32 = rng.gen();
             // A candidate colliding with *any* currently assigned port — the
             // neighbor's own old port included — is redrawn, exactly as the
-            // historical scan did, so recorded rng streams replay unchanged.
-            if !self.used.contains(&candidate) {
-                if let Some(old) = self.ports.insert(neighbor, candidate) {
-                    self.used.remove(&old);
-                }
-                self.used.insert(candidate);
-                return candidate;
+            // historical hash-set probe did, so recorded rng streams replay
+            // unchanged.
+            if self.entries.iter().any(|&(_, p)| p == candidate) {
+                continue;
             }
+            if let Some(entry) = self.entries.iter_mut().find(|e| e.0 == neighbor) {
+                entry.1 = candidate;
+            } else {
+                self.entries.push((neighbor, candidate));
+            }
+            return candidate;
         }
     }
 
     /// Port number of the edge towards `neighbor`, if assigned.
     pub fn port_to(&self, neighbor: NodeId) -> Option<u32> {
-        self.ports.get(&neighbor).copied()
+        self.entries.iter().find(|e| e.0 == neighbor).map(|e| e.1)
     }
 
     /// Removes the port of the edge towards `neighbor` (the edge disappeared).
     pub fn remove(&mut self, neighbor: NodeId) {
-        if let Some(old) = self.ports.remove(&neighbor) {
-            self.used.remove(&old);
+        if let Some(i) = self.entries.iter().position(|e| e.0 == neighbor) {
+            self.entries.swap_remove(i);
         }
     }
 
     /// Number of assigned ports.
     pub fn len(&self) -> usize {
-        self.ports.len()
+        self.entries.len()
     }
 
     /// Returns `true` when no port is assigned.
     pub fn is_empty(&self) -> bool {
-        self.ports.is_empty()
+        self.entries.is_empty()
     }
 
     /// Returns `true` if all port numbers at this node are pairwise distinct
     /// (an invariant the paper requires at all times).
     pub fn all_distinct(&self) -> bool {
-        let mut seen: Vec<u32> = self.ports.values().copied().collect();
+        let mut seen: Vec<u32> = self.entries.iter().map(|e| e.1).collect();
         seen.sort_unstable();
         seen.windows(2).all(|w| w[0] != w[1])
     }

@@ -3,13 +3,13 @@
 
 use crate::config::SimConfig;
 use crate::engine::{ChangeId, EventKind, EventQueue, Time};
+use crate::hot::{AgentTable, HotNodeState};
 use crate::metrics::Metrics;
 use crate::ports::PortMap;
 use crate::protocol::{Action, AgentId, Effect, NodeCtx, Protocol};
-use crate::taxi::{AgentTaxi, NodeTaxi};
+use crate::taxi::NodeTaxi;
 use crate::topology::{PendingChange, TopologyChange, MAX_CHANGE_ATTEMPTS};
 use crate::{DynamicTree, NodeId};
-use dcn_collections::{FxHashMap, SecondaryMap};
 use dcn_rng::{DetRng, SeedableRng};
 use std::error::Error;
 use std::fmt;
@@ -42,11 +42,6 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-struct AgentEntry<P: Protocol> {
-    state: P::Agent,
-    taxi: AgentTaxi,
-}
-
 /// The asynchronous-network / mobile-agent simulator.
 ///
 /// See the crate-level documentation for the model. Typical usage:
@@ -62,24 +57,31 @@ pub struct Simulator<P: Protocol> {
     tree: DynamicTree,
     rng: DetRng,
     queue: EventQueue,
-    // Per-entity state is keyed by dense arena ids, so it lives in
-    // index-keyed SecondaryMaps: a step() pays array probes, not SipHash
-    // rounds, and every iteration over node/agent state is index-ordered
-    // (deterministic) by construction.
-    whiteboards: SecondaryMap<NodeId, P::Whiteboard>,
-    node_taxi: SecondaryMap<NodeId, NodeTaxi>,
-    ports: SecondaryMap<NodeId, PortMap>,
-    /// Agent ids are never reused, so this map's backing store grows with
-    /// the number of agents ever created — the same growth law as the tree
-    /// arena (and the node-keyed maps above) under node ids. That is the
-    /// model's own memory law, and every long-running driver (epochs,
-    /// iterations) rebuilds its simulator periodically, which resets it.
-    agents: SecondaryMap<AgentId, AgentEntry<P>>,
-    next_agent: u64,
-    pending_changes: FxHashMap<ChangeId, PendingChange>,
-    next_change: u64,
+    /// Per-node hot state (whiteboards / taxi / ports) as struct-of-arrays
+    /// over the dense node-arena index: a step() pays direct array indexing
+    /// behind a single liveness check, and every iteration over node state
+    /// is index-ordered (deterministic) by construction.
+    nodes: HotNodeState<P::Whiteboard>,
+    /// Agent ids are never reused, so the table grows with the number of
+    /// agents ever created — the same growth law as the tree arena under
+    /// node ids. That is the model's own memory law, and every long-running
+    /// driver (epochs, iterations) rebuilds its simulator periodically,
+    /// which resets it.
+    agents: AgentTable<P::Agent>,
+    /// Granted changes awaiting graceful application, slot-indexed by their
+    /// (densely issued) `ChangeId` — a change's id is its index, so the retry
+    /// loop pays a direct index instead of two hashed probes per attempt.
+    /// Resolved slots are `None`; `live_changes` tracks how many remain.
+    pending_changes: Vec<Option<PendingChange>>,
+    live_changes: usize,
     outputs: Vec<P::Output>,
     metrics: Metrics,
+    /// The same-timestamp cohort currently being dispatched: `step()` drains
+    /// the engine one *bucket* at a time into this reusable buffer and then
+    /// serves events from it by cursor, so a cohort of k same-time events
+    /// costs one queue probe instead of k.
+    batch: Vec<EventKind>,
+    batch_cursor: usize,
     /// Scratch buffer for the effects of one activation, reused across
     /// events so the hot loop does not allocate per event.
     effects_scratch: Vec<Effect<P>>,
@@ -99,28 +101,18 @@ impl<P: Protocol> Simulator<P> {
     /// its parent's (the paper's parameter hand-off).
     pub fn with_tree(config: SimConfig, mut protocol: P, tree: DynamicTree) -> Self {
         let mut rng = DetRng::seed_from_u64(config.seed);
-        let capacity = tree.total_created();
-        let mut whiteboards: SecondaryMap<NodeId, P::Whiteboard> =
-            SecondaryMap::with_capacity(capacity);
-        let mut node_taxi: SecondaryMap<NodeId, NodeTaxi> = SecondaryMap::with_capacity(capacity);
-        let mut ports: SecondaryMap<NodeId, PortMap> = SecondaryMap::with_capacity(capacity);
-        let order: Vec<NodeId> = tree.dfs(tree.root()).collect();
-        for &node in &order {
+        let mut nodes: HotNodeState<P::Whiteboard> =
+            HotNodeState::with_capacity(tree.total_created());
+        for node in tree.dfs(tree.root()) {
             let parent = tree.parent(node);
             let wb = {
-                let parent_wb = parent.and_then(|p| whiteboards.get(p));
+                let parent_wb = parent.and_then(|p| nodes.whiteboard(p));
                 protocol.make_whiteboard(node, parent_wb)
             };
-            whiteboards.insert(node, wb);
-            node_taxi.insert(node, NodeTaxi::new());
-            ports.get_or_insert_with(node, PortMap::default);
+            nodes.insert(node, wb);
             if let Some(p) = parent {
-                let port_at_parent = ports
-                    .get_or_insert_with(p, PortMap::default)
-                    .assign(node, &mut rng);
-                let port_at_child = ports
-                    .get_or_insert_with(node, PortMap::default)
-                    .assign(p, &mut rng);
+                let port_at_parent = nodes.ports_raw_mut(p).assign(node, &mut rng);
+                let port_at_child = nodes.ports_raw_mut(node).assign(p, &mut rng);
                 debug_assert_ne!((port_at_parent, p), (port_at_child, node));
             }
         }
@@ -130,15 +122,14 @@ impl<P: Protocol> Simulator<P> {
             tree,
             rng,
             queue: EventQueue::new(),
-            whiteboards,
-            node_taxi,
-            ports,
-            agents: SecondaryMap::new(),
-            next_agent: 0,
-            pending_changes: FxHashMap::default(),
-            next_change: 0,
+            nodes,
+            agents: AgentTable::new(),
+            pending_changes: Vec::new(),
+            live_changes: 0,
             outputs: Vec::new(),
             metrics: Metrics::new(),
+            batch: Vec::new(),
+            batch_cursor: 0,
             effects_scratch: Vec::new(),
             children_scratch: Vec::new(),
         }
@@ -178,6 +169,13 @@ impl<P: Protocol> Simulator<P> {
         self.queue.clamped_count()
     }
 
+    /// Number of relative schedules whose fire time saturated at
+    /// `Time::MAX`, collapsing distinct delays onto one instant. Always 0 in
+    /// a correct execution.
+    pub fn saturated_event_count(&self) -> u64 {
+        self.queue.saturated_count()
+    }
+
     /// Cost counters accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -191,28 +189,28 @@ impl<P: Protocol> Simulator<P> {
 
     /// The whiteboard of `node`, if the node exists.
     pub fn whiteboard(&self, node: NodeId) -> Option<&P::Whiteboard> {
-        self.whiteboards.get(node)
+        self.nodes.whiteboard(node)
     }
 
     /// Mutable whiteboard access (driver-side initialisation only).
     pub fn whiteboard_mut(&mut self, node: NodeId) -> Option<&mut P::Whiteboard> {
-        self.whiteboards.get_mut(node)
+        self.nodes.whiteboard_mut(node)
     }
 
     /// Iterates over the whiteboards of all currently existing nodes, in
     /// node-index order.
     pub fn whiteboards(&self) -> impl Iterator<Item = (NodeId, &P::Whiteboard)> {
-        self.whiteboards.iter()
+        self.nodes.iter_whiteboards()
     }
 
     /// The adversarially assigned port numbers of `node`.
     pub fn ports(&self, node: NodeId) -> Option<&PortMap> {
-        self.ports.get(node)
+        self.nodes.ports(node)
     }
 
     /// Returns `true` if `node` is currently locked by some agent.
     pub fn is_locked(&self, node: NodeId) -> bool {
-        self.node_taxi.get(node).is_some_and(NodeTaxi::is_locked)
+        self.nodes.taxi(node).is_some_and(NodeTaxi::is_locked)
     }
 
     /// Number of agents currently alive (travelling, active or queued).
@@ -223,24 +221,30 @@ impl<P: Protocol> Simulator<P> {
     /// Number of granted topological changes still awaiting graceful
     /// application.
     pub fn pending_change_count(&self) -> usize {
-        self.pending_changes.len()
+        self.live_changes
     }
 
-    /// Number of events currently scheduled in the engine. Zero means the
-    /// execution is quiescent.
+    /// Number of events currently scheduled (including the not-yet-served
+    /// remainder of the batch being dispatched). Zero means the execution is
+    /// quiescent.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + (self.batch.len() - self.batch_cursor)
     }
 
     /// Returns `true` when no events are scheduled (nothing left to simulate).
     pub fn is_quiescent(&self) -> bool {
-        self.queue.is_empty()
+        self.pending_events() == 0
     }
 
     /// The absolute simulated time of the next scheduled event, if any.
     /// Drivers can batch-poll ("run until t") without popping events.
     pub fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek_time()
+        if self.batch_cursor < self.batch.len() {
+            // The rest of the current same-timestamp cohort fires "now".
+            Some(self.queue.now())
+        } else {
+            self.queue.peek_time()
+        }
     }
 
     /// Removes and returns all protocol outputs emitted so far.
@@ -271,15 +275,7 @@ impl<P: Protocol> Simulator<P> {
         if !self.tree.contains(node) {
             return Err(SimError::UnknownNode(node));
         }
-        let id = AgentId(self.next_agent);
-        self.next_agent += 1;
-        self.agents.insert(
-            id,
-            AgentEntry {
-                state,
-                taxi: AgentTaxi::new(node),
-            },
-        );
+        let id = self.agents.create(state, node);
         self.metrics.agents_created += 1;
         self.metrics.max_live_agents = self.metrics.max_live_agents.max(self.agents.len());
         self.schedule_activation(id, node, delay);
@@ -290,9 +286,9 @@ impl<P: Protocol> Simulator<P> {
     /// the protocol schedules changes through
     /// [`NodeCtx::schedule_change`](crate::NodeCtx::schedule_change)).
     pub fn schedule_change(&mut self, change: TopologyChange) {
-        let id = self.next_change;
-        self.next_change += 1;
-        self.pending_changes.insert(id, PendingChange::new(change));
+        let id = self.pending_changes.len() as ChangeId;
+        self.pending_changes.push(Some(PendingChange::new(change)));
+        self.live_changes += 1;
         self.queue.schedule(
             self.config.change_delay,
             EventKind::AttemptChange { change: id },
@@ -302,19 +298,45 @@ impl<P: Protocol> Simulator<P> {
     /// Processes a single event. Returns `Ok(false)` when the event queue is
     /// empty.
     ///
+    /// Events are pulled from the engine one same-timestamp *cohort* at a
+    /// time (`pop_batch`) and served from the reusable batch buffer, so k
+    /// simultaneous events cost one queue probe. Per-event semantics are
+    /// unchanged: each `step()` dispatches exactly one event, in the global
+    /// `(time, seq)` order.
+    ///
     /// # Errors
     ///
     /// Propagates protocol violations; see [`SimError`].
     pub fn step(&mut self) -> Result<bool, SimError> {
-        let Some(event) = self.queue.pop() else {
-            return Ok(false);
-        };
+        if self.batch_cursor >= self.batch.len() {
+            self.batch.clear();
+            self.batch_cursor = 0;
+            if self.queue.pop_batch(&mut self.batch).is_none() {
+                return Ok(false);
+            }
+        }
+        let kind = self.batch[self.batch_cursor];
+        self.batch_cursor += 1;
         self.metrics.events_processed += 1;
-        match event.kind {
+        match kind {
             EventKind::Activate { agent, at } => self.process_activation(agent, at)?,
             EventKind::AttemptChange { change } => self.process_change_attempt(change),
         }
         Ok(true)
+    }
+
+    /// Processes up to `budget` events and returns the number actually
+    /// processed (fewer only when the queue drained first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol violations; see [`SimError`].
+    pub fn run_events(&mut self, budget: u64) -> Result<u64, SimError> {
+        let mut processed = 0;
+        while processed < budget && self.step()? {
+            processed += 1;
+        }
+        Ok(processed)
     }
 
     /// Runs until no events remain (all agents terminated or queued forever
@@ -341,7 +363,7 @@ impl<P: Protocol> Simulator<P> {
     // ------------------------------------------------------------------
 
     fn schedule_activation(&mut self, agent: AgentId, at: NodeId, delay: Time) {
-        if let Some(t) = self.node_taxi.get_mut(at) {
+        if let Some(t) = self.nodes.taxi_mut(at) {
             t.inbound += 1;
         }
         self.queue
@@ -349,10 +371,10 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn process_activation(&mut self, agent: AgentId, at: NodeId) -> Result<(), SimError> {
-        if let Some(t) = self.node_taxi.get_mut(at) {
+        if let Some(t) = self.nodes.taxi_mut(at) {
             t.inbound = t.inbound.saturating_sub(1);
         }
-        let Some(mut entry) = self.agents.remove(agent) else {
+        let Some(mut state) = self.agents.take_state(agent) else {
             return Ok(());
         };
         if !self.tree.contains(at) {
@@ -362,7 +384,11 @@ impl<P: Protocol> Simulator<P> {
             return Ok(());
         }
         self.metrics.activations += 1;
-        entry.taxi.location = at;
+        let (origin, dist_from_origin, dist_to_top) = {
+            let taxi = self.agents.taxi_mut(agent);
+            taxi.location = at;
+            (taxi.origin, taxi.dist_from_origin, taxi.dist_to_top)
+        };
 
         let parent = self.tree.parent(at);
         // The child list is borrowed straight from the tree arena (nothing
@@ -370,14 +396,14 @@ impl<P: Protocol> Simulator<P> {
         // the reusable scratch buffer: one activation allocates nothing.
         let effects = std::mem::take(&mut self.effects_scratch);
         let children: &[NodeId] = self.tree.children(at).unwrap_or(&[]);
-        let locked_by = self.node_taxi.get(at).and_then(|t| t.locked_by);
+        let locked_by = self.nodes.taxi(at).and_then(|t| t.locked_by);
         let node_count = self.tree.node_count();
         let total_created = self.tree.total_created();
         let time = self.queue.now();
 
         let whiteboard = self
-            .whiteboards
-            .get_mut(at)
+            .nodes
+            .whiteboard_mut(at)
             .expect("existing node has a whiteboard");
         let protocol = &mut self.protocol;
         let mut ctx: NodeCtx<'_, P> = NodeCtx {
@@ -388,38 +414,32 @@ impl<P: Protocol> Simulator<P> {
             total_created,
             time,
             agent_id: agent,
-            origin: entry.taxi.origin,
-            dist_from_origin: entry.taxi.dist_from_origin,
-            dist_to_top: entry.taxi.dist_to_top,
+            origin,
+            dist_from_origin,
+            dist_to_top,
             locked_by,
             whiteboard,
             effects,
         };
-        let action = protocol.on_activate(&mut ctx, &mut entry.state);
+        let action = protocol.on_activate(&mut ctx, &mut state);
         let mut effects = std::mem::take(&mut ctx.effects);
         drop(ctx);
 
-        self.apply_effects(agent, at, &mut entry, &mut effects);
+        self.apply_effects(agent, at, &mut effects);
         effects.clear();
         self.effects_scratch = effects;
-        self.apply_action(agent, at, entry, action)
+        self.apply_action(agent, at, state, action)
     }
 
-    fn apply_effects(
-        &mut self,
-        agent: AgentId,
-        at: NodeId,
-        entry: &mut AgentEntry<P>,
-        effects: &mut Vec<Effect<P>>,
-    ) {
+    fn apply_effects(&mut self, agent: AgentId, at: NodeId, effects: &mut Vec<Effect<P>>) {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Lock => {
-                    let arrived_from = entry.taxi.arrived_from;
+                    let arrived_from = self.agents.taxi_mut(agent).arrived_from;
                     let is_child = arrived_from
                         .map(|c| self.tree.parent(c) == Some(at))
                         .unwrap_or(false);
-                    if let Some(t) = self.node_taxi.get_mut(at) {
+                    if let Some(t) = self.nodes.taxi_mut(at) {
                         t.locked_by = Some(agent);
                         if is_child {
                             t.down_child = arrived_from;
@@ -429,7 +449,7 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
                 Effect::Unlock => {
-                    let dequeued = if let Some(t) = self.node_taxi.get_mut(at) {
+                    let dequeued = if let Some(t) = self.nodes.taxi_mut(at) {
                         t.locked_by = None;
                         t.queue.pop_front()
                     } else {
@@ -439,18 +459,11 @@ impl<P: Protocol> Simulator<P> {
                         self.schedule_activation(next, at, 0);
                     }
                 }
-                Effect::MarkTop => entry.taxi.mark_top(),
+                Effect::MarkTop => self.agents.taxi_mut(agent).mark_top(),
                 Effect::Spawn(state) => {
-                    let id = AgentId(self.next_agent);
-                    self.next_agent += 1;
-                    self.agents.insert(
-                        id,
-                        AgentEntry {
-                            state,
-                            taxi: AgentTaxi::new(at),
-                        },
-                    );
+                    let id = self.agents.create(state, at);
                     self.metrics.agents_created += 1;
+                    // +1 for the active agent whose state is checked out.
                     self.metrics.max_live_agents =
                         self.metrics.max_live_agents.max(self.agents.len() + 1);
                     self.schedule_activation(id, at, 0);
@@ -466,7 +479,7 @@ impl<P: Protocol> Simulator<P> {
         &mut self,
         agent: AgentId,
         at: NodeId,
-        mut entry: AgentEntry<P>,
+        state: P::Agent,
         action: Action,
     ) -> Result<(), SimError> {
         match action {
@@ -476,12 +489,12 @@ impl<P: Protocol> Simulator<P> {
                         "agent {agent} issued Up at the root"
                     )));
                 };
-                entry.taxi.hop_up(at, target);
-                self.dispatch_move(agent, entry, target);
+                self.agents.taxi_mut(agent).hop_up(at, target);
+                self.dispatch_move(agent, state, target);
                 Ok(())
             }
             Action::Down => {
-                let target = self.node_taxi.get(at).and_then(|t| t.down_child);
+                let target = self.nodes.taxi(at).and_then(|t| t.down_child);
                 let Some(target) = target else {
                     return Err(SimError::ProtocolViolation(format!(
                         "agent {agent} issued Down at {at} with no descent pointer"
@@ -492,8 +505,8 @@ impl<P: Protocol> Simulator<P> {
                         "descent pointer of {at} references removed node {target}"
                     )));
                 }
-                entry.taxi.hop_down(at, target);
-                self.dispatch_move(agent, entry, target);
+                self.agents.taxi_mut(agent).hop_down(at, target);
+                self.dispatch_move(agent, state, target);
                 Ok(())
             }
             Action::MoveToChild(child) => {
@@ -503,53 +516,59 @@ impl<P: Protocol> Simulator<P> {
                     self.metrics.agents_dropped += 1;
                     return Ok(());
                 }
-                entry.taxi.hop_to_child(at, child);
-                self.dispatch_move(agent, entry, child);
+                self.agents.taxi_mut(agent).hop_to_child(at, child);
+                self.dispatch_move(agent, state, child);
                 Ok(())
             }
             Action::WaitForUnlock => {
-                if let Some(t) = self.node_taxi.get_mut(at) {
+                if let Some(t) = self.nodes.taxi_mut(at) {
                     t.queue.push_back(agent);
                     self.metrics.waits += 1;
                     self.metrics.max_queue_len = self.metrics.max_queue_len.max(t.queue.len());
                 }
-                self.agents.insert(agent, entry);
+                self.agents.put_state(agent, state);
                 Ok(())
             }
             Action::Again => {
                 self.schedule_activation(agent, at, 0);
-                self.agents.insert(agent, entry);
+                self.agents.put_state(agent, state);
                 Ok(())
             }
             Action::Terminate => Ok(()),
         }
     }
 
-    fn dispatch_move(&mut self, agent: AgentId, entry: AgentEntry<P>, target: NodeId) {
+    fn dispatch_move(&mut self, agent: AgentId, state: P::Agent, target: NodeId) {
         self.metrics.agent_hops += 1;
         let delay = self.config.delay.sample(&mut self.rng);
-        self.agents.insert(agent, entry);
+        self.agents.put_state(agent, state);
         self.schedule_activation(agent, target, delay);
     }
 
     fn process_change_attempt(&mut self, change_id: ChangeId) {
-        let Some(mut pending) = self.pending_changes.remove(&change_id) else {
+        let Some(slot) = self.pending_changes.get_mut(change_id as usize) else {
+            return;
+        };
+        let Some(mut pending) = slot.take() else {
             return;
         };
         match self.try_apply_change(pending.change) {
             ChangeOutcome::Applied => {
+                self.live_changes -= 1;
                 self.metrics.topology_changes_applied += 1;
             }
             ChangeOutcome::Dropped => {
+                self.live_changes -= 1;
                 self.metrics.topology_changes_dropped += 1;
             }
             ChangeOutcome::Busy => {
                 pending.attempts += 1;
                 self.metrics.change_retries += 1;
                 if pending.attempts >= MAX_CHANGE_ATTEMPTS {
+                    self.live_changes -= 1;
                     self.metrics.topology_changes_dropped += 1;
                 } else {
-                    self.pending_changes.insert(change_id, pending);
+                    self.pending_changes[change_id as usize] = Some(pending);
                     self.queue.schedule(
                         self.config.change_retry_delay,
                         EventKind::AttemptChange { change: change_id },
@@ -582,13 +601,13 @@ impl<P: Protocol> Simulator<P> {
                 // will later record it as its parent's descent target, so the
                 // edge must stay intact until that agent releases it.
                 let below_locked = self
-                    .node_taxi
-                    .get(below)
+                    .nodes
+                    .taxi(below)
                     .map(NodeTaxi::is_locked)
                     .unwrap_or(false);
                 let crossing = self
-                    .node_taxi
-                    .get(parent)
+                    .nodes
+                    .taxi(parent)
                     .map(|t| t.is_locked() && t.down_child == Some(below))
                     .unwrap_or(false);
                 if crossing || below_locked {
@@ -600,23 +619,12 @@ impl<P: Protocol> Simulator<P> {
                     .expect("below exists and is not the root");
                 self.init_new_node(node, parent);
                 // Re-wire adversarial ports for the changed incident edges.
-                if let Some(pm) = self.ports.get_mut(parent) {
-                    pm.remove(below);
-                }
-                if let Some(pm) = self.ports.get_mut(below) {
-                    pm.remove(parent);
-                }
-                let pp = self
-                    .ports
-                    .get_or_insert_with(parent, PortMap::default)
-                    .assign(node, &mut self.rng);
+                self.nodes.ports_raw_mut(parent).remove(below);
+                self.nodes.ports_raw_mut(below).remove(parent);
+                let pp = self.nodes.ports_raw_mut(parent).assign(node, &mut self.rng);
                 let _ = pp;
-                self.ports
-                    .get_or_insert_with(node, PortMap::default)
-                    .assign(below, &mut self.rng);
-                self.ports
-                    .get_or_insert_with(below, PortMap::default)
-                    .assign(node, &mut self.rng);
+                self.nodes.ports_raw_mut(node).assign(below, &mut self.rng);
+                self.nodes.ports_raw_mut(below).assign(node, &mut self.rng);
                 ChangeOutcome::Applied
             }
             TopologyChange::Remove { node } => {
@@ -627,8 +635,8 @@ impl<P: Protocol> Simulator<P> {
                     return ChangeOutcome::Dropped;
                 }
                 let busy = self
-                    .node_taxi
-                    .get(node)
+                    .nodes
+                    .taxi(node)
                     .map(|t| t.is_locked() || !t.queue.is_empty() || t.inbound > 0)
                     .unwrap_or(false);
                 if busy {
@@ -638,30 +646,21 @@ impl<P: Protocol> Simulator<P> {
                 let mut children = std::mem::take(&mut self.children_scratch);
                 children.clear();
                 children.extend_from_slice(self.tree.children(node).unwrap_or(&[]));
-                // Hand the whiteboard contents to the parent ("graceful" rule).
-                if let Some(removed_wb) = self.whiteboards.remove(node) {
+                // Hand the whiteboard contents to the parent ("graceful"
+                // rule); removal also resets the node's taxi and port state.
+                if let Some(removed_wb) = self.nodes.remove(node) {
                     let parent_wb = self
-                        .whiteboards
-                        .get_mut(parent)
+                        .nodes
+                        .whiteboard_mut(parent)
                         .expect("parent has a whiteboard");
                     let aux = self.protocol.merge_whiteboard(removed_wb, parent_wb);
                     self.metrics.aux_messages += aux;
                 }
-                self.node_taxi.remove(node);
-                self.ports.remove(node);
-                if let Some(pm) = self.ports.get_mut(parent) {
-                    pm.remove(node);
-                }
+                self.nodes.ports_raw_mut(parent).remove(node);
                 for &c in &children {
-                    if let Some(pm) = self.ports.get_mut(c) {
-                        pm.remove(node);
-                    }
-                    self.ports
-                        .get_or_insert_with(c, PortMap::default)
-                        .assign(parent, &mut self.rng);
-                    self.ports
-                        .get_or_insert_with(parent, PortMap::default)
-                        .assign(c, &mut self.rng);
+                    self.nodes.ports_raw_mut(c).remove(node);
+                    self.nodes.ports_raw_mut(c).assign(parent, &mut self.rng);
+                    self.nodes.ports_raw_mut(parent).assign(c, &mut self.rng);
                 }
                 self.children_scratch = children;
                 self.tree.remove(node).expect("checked above");
@@ -682,17 +681,12 @@ impl<P: Protocol> Simulator<P> {
 
     fn init_new_node(&mut self, node: NodeId, parent: NodeId) {
         let wb = {
-            let parent_wb = self.whiteboards.get(parent);
+            let parent_wb = self.nodes.whiteboard(parent);
             self.protocol.make_whiteboard(node, parent_wb)
         };
-        self.whiteboards.insert(node, wb);
-        self.node_taxi.insert(node, NodeTaxi::new());
-        self.ports
-            .get_or_insert_with(parent, PortMap::default)
-            .assign(node, &mut self.rng);
-        self.ports
-            .get_or_insert_with(node, PortMap::default)
-            .assign(parent, &mut self.rng);
+        self.nodes.insert(node, wb);
+        self.nodes.ports_raw_mut(parent).assign(node, &mut self.rng);
+        self.nodes.ports_raw_mut(node).assign(parent, &mut self.rng);
     }
 }
 
@@ -708,7 +702,7 @@ impl<P: Protocol> fmt::Debug for Simulator<P> {
             .field("time", &self.queue.now())
             .field("nodes", &self.tree.node_count())
             .field("live_agents", &self.agents.len())
-            .field("pending_changes", &self.pending_changes.len())
+            .field("pending_changes", &self.live_changes)
             .field("metrics", &self.metrics)
             .finish()
     }
