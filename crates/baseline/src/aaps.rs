@@ -183,6 +183,7 @@ impl AapsController {
         let Some(&(node, level)) = donors.first() else {
             return false;
         };
+        // lint: allow(unwrap) the key was collected from the bins scan above
         *self.bins.get_mut(&(node, level)).expect("donor exists") -= 1;
         let cost = (self.tree.depth(node) + self.tree.depth(to)) as u64;
         self.moves += cost;
@@ -225,6 +226,7 @@ impl AapsController {
         if take == 0 {
             return false;
         }
+        // lint: allow(unwrap) `available > 0` proves the key is present
         *self.bins.get_mut(&sup_key).expect("supervisor bin exists") -= take;
         *self.bins.entry(key).or_insert(0) += take;
         self.moves += sup_dist;
@@ -268,6 +270,7 @@ impl AapsController {
             self.messages += dist;
             return Ok(Outcome::Rejected);
         }
+        // lint: allow(unwrap) refill()/recall_permit() returning true stocked the bin
         let bin = self.bins.get_mut(&(host, 0)).expect("bin was refilled");
         *bin -= 1;
         self.granted += 1;

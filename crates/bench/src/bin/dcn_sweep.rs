@@ -1,6 +1,6 @@
 //! `dcn-sweep` — the parallel grid-sweep CLI.
 //!
-//! Expands a diversified [`SweepGrid`] (controller families × tree shapes ×
+//! Expands a diversified [`SweepGrid`](dcn_workload::SweepGrid) (controller families × tree shapes ×
 //! churn models × placement distributions × (M, W) budgets × seed
 //! replicates), fans the cells out over a worker pool, checks every cell
 //! against the §2.2 safety/liveness/accounting conditions, and emits the

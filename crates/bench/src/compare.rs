@@ -385,6 +385,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     ) {
         *pos += 1;
     }
+    // lint: allow(unwrap) the scan above only accepted single-byte ASCII
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
     text.parse::<f64>()
         .map(Value::Num)

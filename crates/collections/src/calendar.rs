@@ -330,6 +330,8 @@ impl<T> CalendarQueue<T> {
         let time = if self.wheel_len > 0 {
             self.wheel_min()
         } else {
+            // lint: allow(unwrap) advance() is only called when len > 0, and
+            // an empty wheel with a non-zero len means items sit in overflow
             self.overflow.peek().expect("queue is non-empty").time
         };
         self.now = time;
@@ -342,6 +344,7 @@ impl<T> CalendarQueue<T> {
             if far.time >= horizon {
                 break;
             }
+            // lint: allow(unwrap) peek() just returned Some on this heap
             let Far { time, item, .. } = self.overflow.pop().expect("peeked");
             self.push_wheel(time, item);
         }
@@ -361,6 +364,8 @@ impl<T> CalendarQueue<T> {
         let idx = self.head[b];
         debug_assert!(idx != NONE_SLOT);
         let slot = &mut self.slab[idx as usize];
+        // lint: allow(unwrap) every slot on a bucket list holds an item; only
+        // free-list slots are empty, and `head[b]` never points at those
         let item = slot.item.take().expect("linked cells hold items");
         let next = slot.next;
         slot.next = self.free_head;

@@ -46,6 +46,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // lint: allow(unwrap) chunks_exact(8) yields exactly 8-byte chunks
             let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
             self.add_to_hash(word);
         }

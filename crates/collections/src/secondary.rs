@@ -125,6 +125,7 @@ impl<K: EntityKey, V> SecondaryMap<K, V> {
             *slot = Some(default());
             self.len += 1;
         }
+        // lint: allow(unwrap) the branch above filled the slot if it was empty
         slot.as_mut().expect("slot was just filled")
     }
 

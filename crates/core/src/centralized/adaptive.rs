@@ -110,12 +110,16 @@ impl AdaptiveController {
     fn inner(&self) -> &IteratedController {
         self.inner
             .as_ref()
+            // lint: allow(unwrap) the Option is None only inside refresh(),
+            // which restores it before returning
             .expect("inner controller always present")
     }
 
     fn inner_mut(&mut self) -> &mut IteratedController {
         self.inner
             .as_mut()
+            // lint: allow(unwrap) the Option is None only inside refresh(),
+            // which restores it before returning
             .expect("inner controller always present")
     }
 
@@ -200,6 +204,8 @@ impl AdaptiveController {
         if !due {
             return Ok(());
         }
+        // lint: allow(unwrap) take() is the only place the Option empties,
+        // and a fresh controller is installed below before any early return
         let inner = self.inner.take().expect("inner controller present");
         let granted_this_epoch = inner.granted();
         let moves_this_epoch = inner.moves();

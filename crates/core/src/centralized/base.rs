@@ -304,6 +304,8 @@ impl CentralizedController {
                 let pkg = self
                     .store_mut(host)
                     .take_mobile(level)
+                    // lint: allow(unwrap) find_filler() returned this (host,
+                    // level) from the live store an instant ago
                     .expect("filler level was just observed");
                 if let Some(aud) = &mut self.auditor {
                     aud.package_consumed(pkg.id);
@@ -415,6 +417,8 @@ impl CentralizedController {
                 let serial = self
                     .store_mut(at)
                     .grant_static()
+                    // lint: allow(unwrap) add_static() above deposited a
+                    // level-0 package, whose size is at least one permit
                     .expect("the freshly converted static package holds at least one permit");
                 return serial;
             }
@@ -424,6 +428,8 @@ impl CentralizedController {
             let target = self
                 .tree
                 .ancestor_at_distance(at, target_dist as usize)
+                // lint: allow(unwrap) target_dist < current_dist ≤ depth(at),
+                // so the ancestor at that distance exists
                 .expect("deposit point lies on the path between the request and the host");
             self.moves += current_dist - target_dist;
             let (stay, carry) = current.split(self.fresh_package_id(), self.fresh_package_id());
@@ -431,6 +437,8 @@ impl CentralizedController {
                 let path = self
                     .tree
                     .path_between(at, target)
+                    // lint: allow(unwrap) `target` was produced by
+                    // ancestor_at_distance(at, ..) just above
                     .expect("target is an ancestor of the requesting node");
                 aud.package_deposited(stay.id, stay.level, target, &path, &self.params);
             }
@@ -465,6 +473,8 @@ impl CentralizedController {
                 let parent = self
                     .tree
                     .parent(at)
+                    // lint: allow(unwrap) validate() refuses Remove at the
+                    // root, so `at` has a parent
                     .expect("validate() rejected root removal");
                 if let Some(removed_store) = self.stores.remove(&at) {
                     if !removed_store.is_empty() {

@@ -142,6 +142,8 @@ impl AdaptiveDistributedController {
     }
 
     fn inner(&self) -> &DistributedController {
+        // lint: allow(unwrap) None only transiently inside rebuild(), which
+        // reinstalls a fresh controller before returning
         self.inner.as_ref().expect("inner controller present")
     }
 
@@ -295,6 +297,7 @@ impl AdaptiveDistributedController {
                 break;
             }
             let time_base = self.time_base;
+            // lint: allow(unwrap) None only transiently inside rebuild()
             let inner = self.inner.as_mut().expect("inner controller present");
             // Inner ids restart at 0 per epoch; map them back to the stable
             // outer tickets round by round (inner ids are dense, so the
@@ -322,6 +325,8 @@ impl AdaptiveDistributedController {
             for mut rec in round_records {
                 let (outer, submitted_at) = ticket_of
                     .remove(rec.id)
+                    // lint: allow(unwrap) the map entry was inserted when this
+                    // inner id was submitted, and each id is answered once
                     .expect("every inner answer maps to an outer ticket");
                 rec.id = outer;
                 rec.submitted_at = submitted_at;
@@ -392,6 +397,8 @@ impl AdaptiveDistributedController {
     /// `new_epoch` is true the bound `U` is re-estimated from the current
     /// network size.
     fn rebuild(&mut self, new_epoch: bool) -> Result<(), ControllerError> {
+        // lint: allow(unwrap) take() here is the only drain of the Option and
+        // a replacement is installed below before any early return
         let inner = self.inner.take().expect("inner controller present");
         self.granted_total += inner.granted();
         self.messages_total += inner.messages();

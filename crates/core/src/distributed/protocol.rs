@@ -120,6 +120,8 @@ impl ControllerProtocol {
                 .whiteboard_mut()
                 .store
                 .take_mobile(level)
+                // lint: allow(unwrap) the agent only walks down to a level it
+                // saw in this whiteboard, and nothing drains it in between
                 .expect("filler level was observed in this whiteboard");
             ctx.mark_top();
             agent.phase = Phase::Distribute {
@@ -198,6 +200,8 @@ impl ControllerProtocol {
                         wb.store.add_static(size, interval);
                         wb.store
                             .grant_static()
+                            // lint: allow(unwrap) add_static() above deposited
+                            // a package holding at least one permit
                             .expect("freshly converted static package is non-empty")
                     };
                     self.grant(ctx, agent, serial);

@@ -193,6 +193,8 @@ impl<P: IterationPolicy> IterationDriver<P> {
     }
 
     fn inner(&self) -> &DistributedController {
+        // lint: allow(unwrap) None only transiently inside rotate(), which
+        // reinstalls a fresh controller before returning
         self.inner.as_ref().expect("inner controller present")
     }
 
@@ -323,6 +325,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
         let mut processed = 0u64;
         loop {
             self.flush_queued()?;
+            // lint: allow(unwrap) None only transiently inside rotate()
             let inner = self.inner.as_mut().expect("inner controller present");
             let slice = inner.step(budget - processed)?;
             processed += slice.processed;
@@ -344,6 +347,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
                 let tree = self
                     .inner
                     .as_ref()
+                    // lint: allow(unwrap) None only transiently inside rotate()
                     .expect("inner controller present")
                     .tree();
                 self.policy.absorb(tree, &[]);
@@ -382,6 +386,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
         let mut waiting = std::mem::take(&mut self.retry);
         waiting.append(&mut self.queued);
         for (id, origin, kind, submitted_at) in waiting {
+            // lint: allow(unwrap) None only transiently inside rotate()
             let inner = self.inner.as_mut().expect("inner controller present");
             if validate(inner.tree(), origin, kind).is_err() {
                 // The request went stale while it waited (its target
@@ -400,6 +405,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
     /// the next iteration.
     fn collect_answers(&mut self) {
         let time_base = self.time_base;
+        // lint: allow(unwrap) None only transiently inside rotate()
         let inner = self.inner.as_mut().expect("inner controller present");
         let round = inner.take_records();
         if round.is_empty() {
@@ -411,6 +417,8 @@ impl<P: IterationPolicy> IterationDriver<P> {
             let (outer, submitted_at) = self
                 .ticket_of
                 .remove(rec.id)
+                // lint: allow(unwrap) the entry was inserted when this inner
+                // id was submitted, and each id is answered exactly once
                 .expect("every inner answer maps to an outer ticket");
             rec.id = outer;
             rec.submitted_at = submitted_at;
@@ -434,6 +442,7 @@ impl<P: IterationPolicy> IterationDriver<P> {
             }
         }
         if !absorbed.is_empty() {
+            // lint: allow(unwrap) None only transiently inside rotate()
             let inner = self.inner.as_ref().expect("inner controller present");
             self.policy.absorb(inner.tree(), &absorbed);
         }
@@ -474,6 +483,8 @@ impl<P: IterationPolicy> IterationDriver<P> {
     /// closing count wave (broadcast + upcast, `2n`) — and starts the next
     /// iteration.
     fn rotate(&mut self) -> Result<(), ControllerError> {
+        // lint: allow(unwrap) take() here is the only drain of the Option and
+        // a replacement is installed below before any early return
         let inner = self.inner.take().expect("inner controller present");
         self.finished_messages += inner.messages();
         self.time_base += inner.sim().time();

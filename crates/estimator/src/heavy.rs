@@ -120,6 +120,7 @@ impl HeavyChildDecomposition {
         {
             let tree = self.subtree.tree();
             for node in tree.nodes() {
+                // lint: allow(unwrap) `node` was yielded by tree.nodes()
                 let children = tree.children(node).expect("node exists");
                 if children.is_empty() {
                     continue;
@@ -128,6 +129,7 @@ impl HeavyChildDecomposition {
                     .iter()
                     .copied()
                     .max_by_key(|&c| (self.subtree.estimate(c), std::cmp::Reverse(c)))
+                    // lint: allow(unwrap) the is_empty() branch above returned
                     .expect("non-empty children");
                 if self.heavy.get(node) != Some(&best) {
                     flips += 1;

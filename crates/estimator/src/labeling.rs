@@ -123,6 +123,8 @@ impl AncestryLabeling {
         // Ancestry agreement on a sample of pairs (all pairs for small trees).
         for &u in nodes.iter().step_by(1 + nodes.len() / 32) {
             for &v in nodes.iter().step_by(1 + nodes.len() / 32) {
+                // lint: allow(unwrap) u and v come from the freshly labeled
+                // node list, so both lookups succeed
                 let by_label = self.is_ancestor(u, v).expect("both labeled");
                 let by_tree = tree.is_ancestor(u, v);
                 if by_label != by_tree {
@@ -162,6 +164,8 @@ impl AncestryLabeling {
             let mut entry: SecondaryMap<NodeId, u64> = SecondaryMap::new();
             while let Some((node, expanded)) = stack.pop() {
                 if expanded {
+                    // lint: allow(unwrap) the first-visit arm below inserts
+                    // the entry before pushing the expanded marker
                     let low = *entry.get(node).expect("entry recorded on first visit");
                     self.labels
                         .insert(node, AncestryLabel { low, high: counter });
@@ -170,6 +174,7 @@ impl AncestryLabeling {
                 counter += 1;
                 entry.insert(node, counter);
                 stack.push((node, true));
+                // lint: allow(unwrap) the stack only holds live tree nodes
                 for &child in tree.children(node).expect("node exists").iter().rev() {
                     stack.push((child, false));
                 }

@@ -1,0 +1,137 @@
+//! `dcn-lint` — run the workspace's static-analysis rules from the shell.
+//!
+//! ```text
+//! dcn-lint [--root DIR] [--rule ID]… [--json] [--ci] [--list-rules]
+//! ```
+//!
+//! * `--root DIR`    lint the tree rooted at DIR (default: `.`); rule
+//!   scopes are matched against paths relative to this root, so point it
+//!   at the workspace root (or at a fixture tree that mirrors one).
+//! * `--rule ID`     run only the named rule(s); repeatable.
+//! * `--json`        emit the findings as a JSON array instead of
+//!   `file:line:col: [rule] message` lines.
+//! * `--ci`          exit non-zero when there is any finding (the default
+//!   mode always exits 0 so the report can be paged through in a pipe).
+//! * `--list-rules`  print the rule table (id, scope, summary) and exit.
+//!
+//! CI runs `dcn-lint --ci` from the workspace root in place of the old
+//! grep steps, and `dcn-lint --ci --root crates/lint/tests/fixtures/firing`
+//! as the linter-not-silently-broken smoke (that tree must keep failing).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcn_lint::diag::to_json;
+use dcn_lint::engine::lint_with_rules;
+use dcn_lint::rules::{all_rules, rule_by_id};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut ci = false;
+    let mut rule_ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory argument"),
+            },
+            "--rule" => match args.next() {
+                Some(id) => rule_ids.push(id),
+                None => return usage_error("--rule needs a rule id argument"),
+            },
+            "--json" => json = true,
+            "--ci" => ci = true,
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!(
+                        "{:<22} {:<40} {}",
+                        rule.id,
+                        rule.scope.join(","),
+                        rule.summary
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dcn-lint: token-level static analysis for the dcn workspace\n\n\
+                     usage: dcn-lint [--root DIR] [--rule ID]... [--json] [--ci] [--list-rules]\n\n\
+                     Enforces the DESIGN.md section 7/8 determinism and hot-path invariants.\n\
+                     Suppress a finding with `// lint: allow(<rule>) <reason>` on its line or\n\
+                     the comment block directly above (rule-specific forms: `// perf: cold`,\n\
+                     `// perf: ...`, `// SAFETY: ...`, `// determinism: ...`)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let selected: Vec<_> = if rule_ids.is_empty() {
+        all_rules().iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for id in &rule_ids {
+            match rule_by_id(id) {
+                Some(rule) => picked.push(rule),
+                None => return usage_error(&format!("unknown rule `{id}` (see --list-rules)")),
+            }
+        }
+        picked
+    };
+    let diags = match run(&root, &selected) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("dcn-lint: error walking {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("dcn-lint: clean ({} rules)", selected.len());
+        } else {
+            eprintln!("dcn-lint: {} finding(s)", diags.len());
+        }
+    }
+
+    if ci && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run(
+    root: &std::path::Path,
+    selected: &[&'static dcn_lint::rules::Rule],
+) -> std::io::Result<Vec<dcn_lint::Diagnostic>> {
+    // The engine API takes `&[Rule]`; when the full set is selected, pass
+    // the static table straight through, otherwise lint per rule and let
+    // the engine's final sort interleave the findings deterministically.
+    if selected.len() == all_rules().len() {
+        lint_with_rules(root, all_rules())
+    } else {
+        let mut out = Vec::new();
+        for rule in selected {
+            out.extend(lint_with_rules(root, std::slice::from_ref(*rule))?);
+        }
+        out.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        Ok(out)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dcn-lint: {msg}\nusage: dcn-lint [--root DIR] [--rule ID]... [--json] [--ci] [--list-rules]");
+    ExitCode::from(2)
+}

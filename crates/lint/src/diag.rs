@@ -1,0 +1,102 @@
+//! Diagnostics and their two renderings: the human `file:line:col` form
+//! and a hand-rolled JSON array (the workspace is dependency-free, so the
+//! escaping lives here rather than in serde).
+
+use std::fmt;
+
+/// One finding: a rule firing at a position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Id of the rule that fired (e.g. `unwrap`, `hot-std-hash`).
+    pub rule: &'static str,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based byte column of the offending token.
+    pub col: u32,
+    /// What is wrong and how to fix or suppress it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Render `diags` as a JSON array of objects with `rule`, `path`, `line`,
+/// `col` and `message` fields, one object per line for greppability.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_string(d.rule),
+            json_string(&d.path),
+            d.line,
+            d.col,
+            json_string(&d.message)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Escape `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let d = Diagnostic {
+            rule: "unwrap",
+            path: "a/b.rs".to_string(),
+            line: 3,
+            col: 9,
+            message: "call `.unwrap()` on \"x\"\nhere".to_string(),
+        };
+        let json = to_json(std::slice::from_ref(&d));
+        assert!(json.contains(r#""rule": "unwrap""#));
+        assert!(json.contains(r#"\"x\"\nhere"#));
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn display_is_file_line_col() {
+        let d = Diagnostic {
+            rule: "determinism",
+            path: "crates/x/src/y.rs".to_string(),
+            line: 12,
+            col: 5,
+            message: "m".to_string(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/y.rs:12:5: [determinism] m");
+    }
+}

@@ -1,0 +1,110 @@
+//! The driver: walk a tree of `.rs` files, run every in-scope rule over
+//! each, and return the findings in a deterministic order (path, then
+//! line/column) — the linter's own output feeds byte-compared CI logs, so
+//! it follows the same determinism discipline it enforces.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::rules::{all_rules, Rule};
+use crate::source::SourceFile;
+
+/// Directories never walked: build output, VCS internals, and the lint
+/// fixture corpus (whose files *intentionally* violate every rule; the
+/// fixture tests lint them with an explicit root instead).
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/tests/fixtures"];
+
+/// Lint every `.rs` file under `root` with the full rule set.
+pub fn lint_root(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    lint_with_rules(root, all_rules())
+}
+
+/// Lint every `.rs` file under `root` with a chosen rule subset.
+pub fn lint_with_rules(root: &Path, rules: &[Rule]) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    // Walk order is OS-dependent; the report is not.
+    files.sort();
+
+    let mut diags = Vec::new();
+    for rel in &files {
+        let applicable: Vec<&Rule> = rules.iter().filter(|r| r.applies_to(rel)).collect();
+        if applicable.is_empty() {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::parse(rel.clone(), &text);
+        for rule in applicable {
+            rule.check(&file, &mut diags);
+        }
+    }
+    // Findings for one file arrive rule-by-rule; present them in source
+    // order instead.
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(diags)
+}
+
+/// Recursively gather `.rs` paths under `dir`, as `/`-separated strings
+/// relative to `root`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(rel) = relative_slash_path(root, &path) else {
+            continue;
+        };
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if SKIP_PREFIXES.iter().any(|p| rel == *p) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated; `None` if not under `root`
+/// or not valid UTF-8.
+fn relative_slash_path(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let s = rel.to_str()?;
+    Some(s.replace(std::path::MAIN_SEPARATOR, "/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_skips_fixtures() {
+        // Run over this crate's own workspace root; the fixture corpus
+        // (which violates every rule on purpose) must not contribute.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/lint has a workspace root two levels up");
+        let mut files = Vec::new();
+        collect_rs_files(root, root, &mut files).expect("walk");
+        files.sort();
+        assert!(files.iter().any(|f| f == "crates/lint/src/engine.rs"));
+        assert!(
+            !files
+                .iter()
+                .any(|f| f.starts_with("crates/lint/tests/fixtures/")),
+            "fixture corpus must be excluded from workspace walks"
+        );
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+    }
+}

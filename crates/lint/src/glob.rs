@@ -1,0 +1,113 @@
+//! A small `/`-separated glob matcher for rule scopes: `*` matches within
+//! a path segment, `**` matches zero or more whole segments. No character
+//! classes, no brace expansion — rule scopes list alternatives explicitly.
+
+/// Match `path` (relative, `/`-separated) against `pattern`.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pats: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_parts(&pats, &segs)
+}
+
+fn match_parts(pats: &[&str], segs: &[&str]) -> bool {
+    match pats.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // Zero segments …
+            if match_parts(&pats[1..], segs) {
+                return true;
+            }
+            // … or swallow one and retry.
+            !segs.is_empty() && match_parts(pats, &segs[1..])
+        }
+        Some(p) => match segs.first() {
+            None => false,
+            Some(s) => seg_match(p, s) && match_parts(&pats[1..], &segs[1..]),
+        },
+    }
+}
+
+/// Match one segment against a pattern where `*` matches any (possibly
+/// empty) run of characters.
+fn seg_match(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    // Classic two-pointer wildcard matching with backtracking to the last
+    // `*`.
+    let (mut pi, mut si) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::glob_match;
+
+    #[test]
+    fn double_star_spans_zero_or_more_segments() {
+        assert!(glob_match(
+            "crates/simnet/src/**",
+            "crates/simnet/src/sim.rs"
+        ));
+        assert!(glob_match(
+            "crates/simnet/src/**",
+            "crates/simnet/src/sub/deep.rs"
+        ));
+        assert!(!glob_match(
+            "crates/simnet/src/**",
+            "crates/core/src/api.rs"
+        ));
+        // Zero segments: `**/tests/**` matches a top-level `tests/` dir.
+        assert!(glob_match("**/tests/**", "tests/end_to_end.rs"));
+        assert!(glob_match("**/tests/**", "crates/core/tests/x.rs"));
+        assert!(!glob_match("**/tests/**", "crates/core/src/tests.rs"));
+    }
+
+    #[test]
+    fn single_star_stays_within_a_segment() {
+        assert!(glob_match("crates/*/src/**", "crates/core/src/api.rs"));
+        assert!(!glob_match("crates/*/src/**", "crates/core/benches/b.rs"));
+        assert!(glob_match(
+            "crates/simnet/src/*.rs",
+            "crates/simnet/src/sim.rs"
+        ));
+        assert!(!glob_match(
+            "crates/simnet/src/*.rs",
+            "crates/simnet/src/sub/deep.rs"
+        ));
+    }
+
+    #[test]
+    fn exact_and_everything() {
+        assert!(glob_match("src/lib.rs", "src/lib.rs"));
+        assert!(!glob_match("src/lib.rs", "src/lib2.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("**", "top.rs"));
+    }
+
+    #[test]
+    fn star_backtracking() {
+        assert!(glob_match("*_test.rs", "lexer_test.rs"));
+        assert!(glob_match("a*b*c", "aXbYbZc"));
+        assert!(!glob_match("a*b*c", "aXbYb"));
+    }
+}

@@ -1,0 +1,484 @@
+//! A hand-rolled, lossless Rust lexer good enough for policy linting.
+//!
+//! The whole point of `dcn-lint` over the `grep` steps it replaces is
+//! knowing *what kind of text* a match sits in: `HashMap` inside a string
+//! literal, `unsafe` inside a doc comment, or a `BinaryHeap` mention in a
+//! module header must never fire a rule, while the same bytes in code must.
+//! That requires a lexer — but not a full one. This module tokenizes the
+//! subset of Rust that matters for that distinction:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   including Rust's **nested** block comments),
+//! * string literals with escapes, raw strings `r#"…"#` with arbitrary
+//!   hash fences, byte/C-string variants (`b"…"`, `br#"…"#`, `c"…"`),
+//! * char literals vs lifetimes (`'a'` is a char, `'a` is a lifetime,
+//!   `'\''` is a char; the classic ambiguity),
+//! * identifiers/keywords (one token kind — rules match on text),
+//! * numbers (only far enough to not swallow `.unwrap` in `x.0.unwrap()`),
+//! * everything else as single-character punctuation.
+//!
+//! Tokens are *lossless*: every one carries its line/column (1-based) and
+//! byte span, and comments are real tokens rather than discarded, because
+//! the suppression grammar (`// lint: allow(rule) reason`, `// SAFETY:`,
+//! `// perf: cold`, …) lives in comments and rules must find them.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `std`, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char or number.
+    /// Rules never look inside literals — that is the point.
+    Literal,
+    /// A single punctuation character (`:`, `.`, `(`, `{`, `#`, …).
+    Punct,
+    /// A `//` comment, text running to end of line (newline excluded).
+    LineComment,
+    /// A `/* … */` comment, possibly spanning lines, nesting respected.
+    BlockComment,
+}
+
+/// One lexeme with its position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Which kind of lexeme this is.
+    pub kind: TokenKind,
+    /// The raw source text of the token (including quotes/comment markers).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for the code kinds (not comments): rules that ban constructs
+    /// scan only these.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenize `src`. The lexer never fails: unterminated strings or block
+/// comments simply extend to end of input (the compiler will reject the
+/// file anyway; the linter's job is to not panic and not misclassify what
+/// comes before).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, maintaining the line/column counters. Multi-byte
+    /// UTF-8 continuation bytes advance the column too (columns are byte
+    /// columns, matching what editors and `grep -n` report closely enough
+    /// for diagnostics).
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                b'r' | b'b' | b'c' if self.raw_or_byte_literal() => {
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.bump();
+                    while self.is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn is_ident_continue(&self, c: u8) -> bool {
+        c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+    }
+
+    /// Consume a `/* … */` block comment honoring Rust's nesting.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a `"…"` string literal with backslash escapes.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// At a `'`: decide char literal vs lifetime and consume it.
+    ///
+    /// The rule mirrors rustc's: `'` followed by an identifier char that is
+    /// *not* closed by another `'` is a lifetime (`'a`, `'static`, `'_`);
+    /// anything else (`'x'`, `'\n'`, `'\u{1F980}'`) is a char literal.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // '
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume escape then to closing quote.
+            self.bump_n(2);
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.pos < self.src.len() {
+                self.bump(); // closing '
+            }
+            return TokenKind::Literal;
+        }
+        if self.is_ident_continue(self.peek(0)) && !self.peek(0).is_ascii_digit() {
+            // Could be `'a'` (char) or `'a` / `'abc` (lifetime): look past
+            // the identifier tail for a closing quote.
+            let mut ahead = 1;
+            while self.is_ident_continue(self.peek(ahead)) {
+                ahead += 1;
+            }
+            if self.peek(ahead) == b'\'' {
+                self.bump_n(ahead + 1);
+                return TokenKind::Literal;
+            }
+            self.bump_n(ahead);
+            return TokenKind::Lifetime;
+        }
+        // `'1'`, `' '`, `'('` … one char then the closing quote.
+        if self.pos < self.src.len() {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        TokenKind::Literal
+    }
+
+    /// If positioned at the start of a raw/byte/C string literal
+    /// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"`), consume it
+    /// and return true. Otherwise consume nothing and return false (the
+    /// caller lexes the `r`/`b`/`c` as a plain identifier).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let c0 = self.peek(0);
+        // Byte char literal: b'x'
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.bump(); // b
+            self.char_or_lifetime();
+            return true;
+        }
+        // Plain byte/C string: b"…" or c"…"
+        if (c0 == b'b' || c0 == b'c') && self.peek(1) == b'"' {
+            self.bump();
+            self.string_literal();
+            return true;
+        }
+        // Raw forms: r"…", r#"…"#, br#"…"#, cr#"…"# — find the `r`, count
+        // hashes, then match the fence. `r#ident` (raw identifier) has no
+        // quote after the hashes and is NOT a literal.
+        let r_at = if c0 == b'r' {
+            0
+        } else if (c0 == b'b' || c0 == b'c') && self.peek(1) == b'r' {
+            1
+        } else {
+            return false;
+        };
+        let mut hashes = 0usize;
+        while self.peek(r_at + 1 + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(r_at + 1 + hashes) != b'"' {
+            return false;
+        }
+        self.bump_n(r_at + 1 + hashes + 1); // prefix, hashes, opening quote
+                                            // Scan for `"` followed by `hashes` `#`s. No escapes in raw strings.
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return true;
+                }
+            }
+            self.bump();
+        }
+        true
+    }
+
+    /// Consume a numeric literal. Precision only matters in one place: a
+    /// trailing `.` must be left alone when it starts a method call or
+    /// tuple field (`0.unwrap()`, `x.0.1`), so `.` is consumed only when a
+    /// digit follows.
+    fn number(&mut self) {
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump_n(2);
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent and/or type suffix (e3, e-3, f64, u32, usize …).
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            self.bump_n(2);
+        }
+        while self.is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_in_string_is_a_literal() {
+        let src = r#"let s = "std::collections::HashMap is banned";"#;
+        assert!(!code_idents(src).contains(&"HashMap".to_string()));
+        assert!(code_idents(src).contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn unsafe_in_comments_is_not_code() {
+        let src = "// unsafe here\n/* unsafe there */\nfn safe() {}";
+        let idents = code_idents(src);
+        assert!(!idents.contains(&"unsafe".to_string()));
+        assert!(idents.contains(&"safe".to_string()));
+        // And a real one is.
+        assert!(code_idents("unsafe fn f() {}").contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner BinaryHeap */ still comment */ fn f() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner BinaryHeap"));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"quote " and HashMap inside"#; let t = 1;"##;
+        assert!(!code_idents(src).contains(&"HashMap".to_string()));
+        // The lexer resumes correctly after the fence.
+        assert!(code_idents(src).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        for src in [
+            "let s = b\"HashMap\";",
+            "let s = br#\"HashMap\"#;",
+            "let s = c\"HashMap\";",
+            "let c = b'H';",
+        ] {
+            assert!(!code_idents(src).contains(&"HashMap".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+        // Escaped quote char, then a lifetime right after.
+        let toks = kinds(r"let c = '\''; struct S<'s>(&'s str);");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == r"'\''"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'s"));
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = kinds("&'static str; &'_ str");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'_"));
+    }
+
+    #[test]
+    fn tuple_field_unwrap_stays_separate() {
+        // `0.unwrap` must lex as Literal(0) Punct(.) Ident(unwrap), not as a
+        // float literal swallowing the method name.
+        let toks = kinds("x.0.unwrap()");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "0"));
+        // But real floats are one token.
+        let toks = kinds("let f = 1.5e-3f64;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "1.5e-3f64"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = kinds("let r#type = 1;");
+        // `r` then `#` then `type`: the r#… raw-identifier form must not be
+        // mistaken for an unterminated raw string.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "1"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn hex_literals() {
+        let toks = kinds("let x = 0xDEAD_beef_u64;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "0xDEAD_beef_u64"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Per-file analysis context: the token stream plus the line-level facts
+//! rules need — which lines are comments, what those comments say, and
+//! which token ranges are `#[cfg(test)]` / `#[test]` code.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed source file with the derived per-line and per-region facts the
+/// rule engine queries.
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated (used for scope globs
+    /// and reported in diagnostics).
+    pub rel_path: String,
+    /// The full lossless token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the code tokens (comments filtered out),
+    /// in order. Sequence-matching rules walk this.
+    pub code: Vec<usize>,
+    /// `comment_by_line[l - 1]` is the concatenated comment text on line
+    /// `l` (block comments contribute the slice of their text that falls
+    /// on each line they span). Empty string when the line has no comment.
+    comment_by_line: Vec<String>,
+    /// `line_has_code[l - 1]` is true when any code token starts on or
+    /// spans line `l`.
+    line_has_code: Vec<bool>,
+    /// Inclusive token-index ranges lexically inside `#[cfg(test)]` or
+    /// `#[test]` items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex `text` and derive the line/region facts.
+    pub fn parse(rel_path: String, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let n_lines = text.lines().count().max(1);
+        let mut comment_by_line = vec![String::new(); n_lines];
+        let mut line_has_code = vec![false; n_lines];
+        let mut code = Vec::new();
+
+        for (i, tok) in tokens.iter().enumerate() {
+            let first = (tok.line as usize - 1).min(n_lines - 1);
+            if tok.is_code() {
+                code.push(i);
+                let last = (first + tok.text.matches('\n').count()).min(n_lines - 1);
+                for flag in &mut line_has_code[first..=last] {
+                    *flag = true;
+                }
+            } else {
+                for (off, piece) in tok.text.split('\n').enumerate() {
+                    let at = (first + off).min(n_lines - 1);
+                    if !comment_by_line[at].is_empty() {
+                        comment_by_line[at].push(' ');
+                    }
+                    comment_by_line[at].push_str(piece);
+                }
+            }
+        }
+
+        let test_spans = find_test_spans(&tokens, &code);
+        SourceFile {
+            rel_path,
+            tokens,
+            code,
+            comment_by_line,
+            line_has_code,
+            test_spans,
+        }
+    }
+
+    /// Comment text on 1-based line `line` (empty if none).
+    pub fn comment_on_line(&self, line: u32) -> &str {
+        self.comment_by_line
+            .get(line as usize - 1)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// True when 1-based `line` carries any code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        *self.line_has_code.get(line as usize - 1).unwrap_or(&false)
+    }
+
+    /// The suppression-comment grammar: a finding on `line` is suppressed
+    /// when any of `needles` occurs in a comment **on the same line** or in
+    /// the **contiguous run of comment-only lines immediately above** it.
+    ///
+    /// "Comment-only" is judged from tokens, not text, so a needle inside a
+    /// string literal or a line that mixes code and comment above the
+    /// finding never extends the run.
+    pub fn suppressed(&self, line: u32, needles: &[&str]) -> bool {
+        let hit = |l: u32| {
+            let text = self.comment_on_line(l);
+            !text.is_empty() && needles.iter().any(|n| text.contains(n))
+        };
+        if hit(line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.line_has_code(l) || self.comment_on_line(l).is_empty() {
+                return false;
+            }
+            if hit(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when `tokens[idx]` lies inside a `#[cfg(test)]` or `#[test]`
+    /// item (attribute through closing brace/semicolon).
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= idx && idx <= b)
+    }
+}
+
+/// Scan the code tokens for `#[cfg(test)]` / `#[test]` attributes and
+/// return the token-index span of each attributed item.
+///
+/// The span starts at the `#` and runs through the item's closing `}` (for
+/// brace items: `mod`, `fn`, `impl`, …) or `;` (for brace-less items such
+/// as `#[cfg(test)] use …;`). Attribute arguments are matched structurally:
+/// `#[test]` exactly, or `#[cfg(…)]` whose argument tokens include the
+/// ident `test` (covering `cfg(test)`, `cfg(any(test, …))`,
+/// `cfg(all(test, …))`; a `"test"` *string* does not count — it is a
+/// literal token, not an ident).
+fn find_test_spans(tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let tok = |ci: usize| -> &Token { &tokens[code[ci]] };
+    let is_punct = |ci: usize, p: &str| tok(ci).kind == TokenKind::Punct && tok(ci).text == p;
+    let is_ident = |ci: usize, id: &str| tok(ci).kind == TokenKind::Ident && tok(ci).text == id;
+
+    let mut spans = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        // An outer attribute: `#` `[` … `]` (inner `#![…]` is skipped — it
+        // configures the enclosing module, and `#![cfg(test)]` does not
+        // occur in this workspace's style).
+        if !(is_punct(ci, "#") && ci + 1 < code.len() && is_punct(ci + 1, "[")) {
+            ci += 1;
+            continue;
+        }
+        let attr_start = ci;
+        // Find the matching `]`, tracking bracket depth.
+        let mut j = ci + 2;
+        let mut depth = 1i32;
+        let body_start = j;
+        while j < code.len() && depth > 0 {
+            if is_punct(j, "[") {
+                depth += 1;
+            } else if is_punct(j, "]") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let body_end = j.saturating_sub(1); // index of `]`
+        let body = body_start..body_end;
+
+        let is_test_attr = {
+            let len = body.len();
+            (len == 1 && is_ident(body_start, "test"))
+                || (len > 1
+                    && is_ident(body_start, "cfg")
+                    && body.clone().any(|k| is_ident(k, "test")))
+        };
+        if !is_test_attr {
+            ci = j;
+            continue;
+        }
+
+        // Skip any further attributes stacked on the same item.
+        let mut k = j;
+        while k + 1 < code.len() && is_punct(k, "#") && is_punct(k + 1, "[") {
+            let mut d = 1i32;
+            let mut m = k + 2;
+            while m < code.len() && d > 0 {
+                if is_punct(m, "[") {
+                    d += 1;
+                } else if is_punct(m, "]") {
+                    d -= 1;
+                }
+                m += 1;
+            }
+            k = m;
+        }
+
+        // The item body: up to the matching `}` of the first `{`, or a `;`
+        // at brace depth zero for brace-less items.
+        let mut brace = 0i32;
+        let mut end = k;
+        while end < code.len() {
+            if is_punct(end, "{") {
+                brace += 1;
+            } else if is_punct(end, "}") {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if is_punct(end, ";") && brace == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let end = end.min(code.len() - 1);
+        spans.push((code[attr_start], code[end]));
+        ci = end + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".to_string(), src)
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_span() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let f = sf(src);
+        let unwraps: Vec<(usize, bool)> = f
+            .code
+            .iter()
+            .copied()
+            .filter(|&i| f.tokens[i].text == "unwrap")
+            .map(|i| (i, f.in_test_code(i)))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "unwrap in live code must not be test-scoped");
+        assert!(
+            unwraps[1].1,
+            "unwrap under #[cfg(test)] must be test-scoped"
+        );
+        // Code after the module is live again.
+        let live2 = f
+            .code
+            .iter()
+            .copied()
+            .find(|&i| f.tokens[i].text == "live2")
+            .expect("live2 token");
+        assert!(!f.in_test_code(live2));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() { a.unwrap(); }\nfn live() { b.unwrap(); }\n";
+        let f = sf(src);
+        let unwraps: Vec<bool> = f
+            .code
+            .iter()
+            .copied()
+            .filter(|&i| f.tokens[i].text == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_counts_but_feature_string_does_not() {
+        let f = sf("#[cfg(any(test, debug_assertions))]\nfn t() { a.unwrap(); }\n");
+        let i = f
+            .code
+            .iter()
+            .copied()
+            .find(|&i| f.tokens[i].text == "unwrap")
+            .unwrap();
+        assert!(f.in_test_code(i));
+
+        let f = sf("#[cfg(feature = \"test\")]\nfn t() { a.unwrap(); }\n");
+        let i = f
+            .code
+            .iter()
+            .copied()
+            .find(|&i| f.tokens[i].text == "unwrap")
+            .unwrap();
+        assert!(
+            !f.in_test_code(i),
+            "a \"test\" string literal is not the test cfg"
+        );
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let f = sf("#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { a.unwrap(); }\n");
+        let i = f
+            .code
+            .iter()
+            .copied()
+            .find(|&i| f.tokens[i].text == "unwrap")
+            .unwrap();
+        assert!(!f.in_test_code(i));
+        let h = f
+            .code
+            .iter()
+            .copied()
+            .find(|&i| f.tokens[i].text == "HashMap")
+            .unwrap();
+        assert!(f.in_test_code(h));
+    }
+
+    #[test]
+    fn suppression_same_line_and_block_above() {
+        let src = "// lint: allow(unwrap) infallible\nx.unwrap();\n\
+                   y.unwrap(); // lint: allow(unwrap) also fine\n\
+                   z.unwrap();\n";
+        let f = sf(src);
+        assert!(f.suppressed(2, &["lint: allow(unwrap)"]));
+        assert!(f.suppressed(3, &["lint: allow(unwrap)"]));
+        assert!(!f.suppressed(4, &["lint: allow(unwrap)"]));
+    }
+
+    #[test]
+    fn suppression_does_not_cross_code_lines() {
+        let src = "// SAFETY: fine\nlet a = 1;\nunsafe { x() };\n";
+        let f = sf(src);
+        assert!(
+            !f.suppressed(3, &["SAFETY:"]),
+            "a code line breaks the comment run"
+        );
+    }
+
+    #[test]
+    fn needle_in_string_is_not_a_comment() {
+        let f = sf("let s = \"SAFETY: not a comment\";\nunsafe { x() };\n");
+        assert!(!f.suppressed(2, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn multi_line_block_comment_lines_count_as_comment_only() {
+        let src = "/* start\n   SAFETY: justified here\n   end */\nunsafe { x() };\n";
+        let f = sf(src);
+        assert!(f.suppressed(4, &["SAFETY:"]));
+    }
+}

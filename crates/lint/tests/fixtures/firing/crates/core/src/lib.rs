@@ -1,0 +1,23 @@
+// Fixture: nondeterminism, missing-safety-note and unwrap violations in a
+// library crate. Every construct here must FIRE. (Lint corpus, never
+// compiled.)
+
+use std::time::{Instant, SystemTime}; // two wall clocks
+
+pub fn configured() -> Option<String> {
+    std::env::var("DCN_MODE").ok() // environment read
+}
+
+pub fn hashed() -> std::collections::hash_map::RandomState {
+    RandomState::new() // randomly seeded hasher
+}
+
+pub fn read(ptr: *const u64) -> u64 {
+    unsafe { ptr.read() } // no safety note anywhere near
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap(); // no annotation
+    xs.iter().copied().max().expect("non-empty") // expect form, no annotation
+        + head
+}

@@ -1,0 +1,13 @@
+// Fixture: hot-path violations in a simnet hot file. Every construct in
+// this file must FIRE — the fixture test and the CI smoke assert it.
+// (This file is lint corpus, never compiled.)
+
+use std::collections::HashMap; // fires hot-std-hash at the import
+use std::collections::{BinaryHeap, HashSet}; // fires hot-std-hash and hot-binary-heap
+
+pub struct Hot {
+    state: SecondaryMap<NodeId, u64>,
+    by_name: HashMap<String, u64>, // fires hot-std-hash at the use site
+    queue: BinaryHeap<Event>,      // fires hot-binary-heap at the use site
+    seen: HashSet<u64>,
+}

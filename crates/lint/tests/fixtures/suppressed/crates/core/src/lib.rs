@@ -1,0 +1,42 @@
+// Fixture: the same library-crate constructs as the firing corpus, each
+// suppressed the documented way, plus the cfg(test) exemptions. This whole
+// tree must produce ZERO findings. (Lint corpus, never compiled.)
+
+// determinism: feeds an operator log line, never a sweep report
+use std::time::{Instant, SystemTime};
+
+pub fn configured() -> Option<String> {
+    // lint: allow(determinism) read once at startup, not during a sweep
+    std::env::var("DCN_MODE").ok()
+}
+
+pub fn read(ptr: *const u64) -> u64 {
+    // SAFETY: the caller hands us a pointer into its own live arena slot,
+    // non-null and aligned for u64.
+    unsafe { ptr.read() }
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    // lint: allow(unwrap) callers uphold non-emptiness; checked at the API rim
+    let head = xs.first().unwrap();
+    xs.iter().copied().max().expect("non-empty") // lint: allow(unwrap) same invariant
+        + head
+}
+
+pub fn lifetimes<'a>(x: &'a str) -> (&'a str, char) {
+    // A lifetime is not a char literal; 'a above must not confuse the lexer.
+    (x, 'u')
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from the unwrap and determinism rules.
+    use std::time::Instant;
+
+    #[test]
+    fn exempt() {
+        let t = Instant::now();
+        let v = [1u64].first().unwrap();
+        assert_eq!(*v + (t.elapsed().as_nanos() as u64 * 0), 1);
+    }
+}

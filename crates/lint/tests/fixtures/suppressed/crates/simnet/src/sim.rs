@@ -1,0 +1,28 @@
+// Fixture: the same hot-path constructs as the firing corpus, each carrying
+// a valid justification — plus the lexer traps (strings, comments) that a
+// grep would misfire on. This whole tree must produce ZERO findings.
+// (Lint corpus, never compiled.)
+
+use std::collections::HashMap; // perf: cold — config parsing, never per-event
+// lint: allow(hot-std-hash) cold startup path, uniform form also accepted
+use std::collections::HashSet;
+// lint: allow(hot-binary-heap) scratch model used only by a debug assertion
+use std::collections::BinaryHeap;
+
+pub struct Hot {
+    // perf: degree-sized side table rebuilt per drain; a SoA column would
+    // stay 99% empty
+    state: SecondaryMap<NodeId, u64>,
+}
+
+/// Doc comments may discuss `HashMap`, `BinaryHeap`, `SecondaryMap` or even
+/// `unsafe` freely — the old grep could not tell, the lexer can.
+pub fn describe() -> &'static str {
+    "std::collections::HashMap and BinaryHeap in a string are data, not code"
+}
+
+/* A block comment mentioning HashMap<NodeId, u64>, SecondaryMap and
+   /* a nested one mentioning BinaryHeap */ stays invisible too. */
+pub fn raw() -> &'static str {
+    r#"raw string with "quotes" and a HashSet mention"#
+}

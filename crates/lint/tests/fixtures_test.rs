@@ -1,0 +1,77 @@
+//! The fixture corpus keeps every rule demonstrably alive: the `firing`
+//! tree must raise at least one finding per rule, and the `suppressed`
+//! tree — the same constructs carrying valid justifications, plus the
+//! string/comment traps a grep would misfire on — must be spotless.
+//!
+//! CI runs the same corpus through the binary
+//! (`dcn-lint --ci --root crates/lint/tests/fixtures/firing` must exit
+//! non-zero), so a silently broken linter fails the build twice.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dcn_lint::engine::lint_root;
+use dcn_lint::rules::all_rules;
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+#[test]
+fn every_rule_fires_on_the_firing_tree() {
+    let diags = lint_root(&fixture_root("firing")).expect("fixture tree readable");
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &diags {
+        *by_rule.entry(d.rule).or_insert(0) += 1;
+    }
+    for rule in all_rules() {
+        assert!(
+            by_rule.get(rule.id).copied().unwrap_or(0) >= 1,
+            "rule `{}` raised no finding on the firing corpus; findings: {:#?}",
+            rule.id,
+            diags
+        );
+    }
+}
+
+#[test]
+fn firing_counts_are_pinned() {
+    // Pinning the exact counts catches both directions of drift: a rule
+    // that stops seeing a construct (count drops) and a rule that starts
+    // double-reporting (count rises). Update deliberately when the corpus
+    // changes.
+    let diags = lint_root(&fixture_root("firing")).expect("fixture tree readable");
+    let count = |id: &str| diags.iter().filter(|d| d.rule == id).count();
+    assert_eq!(count("hot-std-hash"), 4, "{diags:#?}");
+    assert_eq!(count("hot-binary-heap"), 2, "{diags:#?}");
+    assert_eq!(count("secondary-map-justify"), 1, "{diags:#?}");
+    assert_eq!(count("safety-comment"), 1, "{diags:#?}");
+    assert_eq!(count("determinism"), 5, "{diags:#?}");
+    assert_eq!(count("unwrap"), 2, "{diags:#?}");
+}
+
+#[test]
+fn findings_carry_positions_and_sort_deterministically() {
+    let diags = lint_root(&fixture_root("firing")).expect("fixture tree readable");
+    assert!(!diags.is_empty());
+    for d in &diags {
+        assert!(d.line >= 1 && d.col >= 1, "1-based positions: {d}");
+        assert!(d.path.starts_with("crates/"), "root-relative path: {d}");
+    }
+    let mut sorted = diags.clone();
+    sorted.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    assert_eq!(diags, sorted, "engine output must already be sorted");
+}
+
+#[test]
+fn suppressed_tree_is_spotless() {
+    let diags = lint_root(&fixture_root("suppressed")).expect("fixture tree readable");
+    assert!(
+        diags.is_empty(),
+        "suppressed corpus must lint clean, got: {diags:#?}"
+    );
+}

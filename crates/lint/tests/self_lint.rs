@@ -1,0 +1,37 @@
+//! The workspace self-lint: run the full rule set over the real tree as
+//! part of `cargo test`, so Tier-1 itself gates the determinism and
+//! hot-path invariants — CI's `dcn-lint --ci` step is then a cheap
+//! re-statement, not the only line of defense.
+//!
+//! If this test fails, either fix the finding or suppress it the
+//! documented way (`// lint: allow(<rule>) <reason>`, `// perf: cold`,
+//! `// SAFETY: …`, `// determinism: …`) — see DESIGN.md §8.
+
+use std::path::Path;
+
+use dcn_lint::engine::lint_root;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    // Sanity: we really are looking at the workspace, not some stray dir.
+    assert!(
+        root.join("Cargo.toml").exists() && root.join("crates/simnet").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = lint_root(root).expect("workspace tree readable");
+    if !diags.is_empty() {
+        let listing: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        panic!(
+            "dcn-lint found {} violation(s) in the workspace:\n{}\n\
+             fix the code or add the documented justification comment \
+             (DESIGN.md §8)",
+            diags.len(),
+            listing.join("\n")
+        );
+    }
+}

@@ -401,10 +401,12 @@ impl<P: Protocol> Simulator<P> {
         let total_created = self.tree.total_created();
         let time = self.queue.now();
 
-        let whiteboard = self
-            .nodes
-            .whiteboard_mut(at)
-            .expect("existing node has a whiteboard");
+        // `contains(at)` held above, so a missing whiteboard means the node
+        // bookkeeping diverged from the tree arena; surface it to the driver
+        // instead of panicking mid-drain.
+        let Some(whiteboard) = self.nodes.whiteboard_mut(at) else {
+            return Err(SimError::UnknownNode(at));
+        };
         let protocol = &mut self.protocol;
         let mut ctx: NodeCtx<'_, P> = NodeCtx {
             node: at,
@@ -584,7 +586,11 @@ impl<P: Protocol> Simulator<P> {
                 if !self.tree.contains(parent) {
                     return ChangeOutcome::Dropped;
                 }
-                let child = self.tree.add_leaf(parent).expect("parent exists");
+                // `contains(parent)` held above; if the arena still refuses
+                // the change treat it as malformed and drop it gracefully.
+                let Ok(child) = self.tree.add_leaf(parent) else {
+                    return ChangeOutcome::Dropped;
+                };
                 self.init_new_node(child, parent);
                 ChangeOutcome::Applied
             }
@@ -613,10 +619,11 @@ impl<P: Protocol> Simulator<P> {
                 if crossing || below_locked {
                     return ChangeOutcome::Busy;
                 }
-                let node = self
-                    .tree
-                    .add_internal_above(below)
-                    .expect("below exists and is not the root");
+                // `below` exists and has a parent (checked above), so the
+                // split cannot fail; a malformed change degrades to Dropped.
+                let Ok(node) = self.tree.add_internal_above(below) else {
+                    return ChangeOutcome::Dropped;
+                };
                 self.init_new_node(node, parent);
                 // Re-wire adversarial ports for the changed incident edges.
                 self.nodes.ports_raw_mut(parent).remove(below);
@@ -642,19 +649,24 @@ impl<P: Protocol> Simulator<P> {
                 if busy {
                     return ChangeOutcome::Busy;
                 }
-                let parent = self.tree.parent(node).expect("non-root node has a parent");
+                // Non-root (checked above), so a parent exists; a node the
+                // arena disowns anyway is a malformed change, not a panic.
+                let Some(parent) = self.tree.parent(node) else {
+                    return ChangeOutcome::Dropped;
+                };
                 let mut children = std::mem::take(&mut self.children_scratch);
                 children.clear();
                 children.extend_from_slice(self.tree.children(node).unwrap_or(&[]));
                 // Hand the whiteboard contents to the parent ("graceful"
                 // rule); removal also resets the node's taxi and port state.
                 if let Some(removed_wb) = self.nodes.remove(node) {
-                    let parent_wb = self
-                        .nodes
-                        .whiteboard_mut(parent)
-                        .expect("parent has a whiteboard");
-                    let aux = self.protocol.merge_whiteboard(removed_wb, parent_wb);
-                    self.metrics.aux_messages += aux;
+                    // The parent always has a whiteboard while its child
+                    // existed; if not, the merge is skipped rather than
+                    // panicking (the removed contents are lost either way).
+                    if let Some(parent_wb) = self.nodes.whiteboard_mut(parent) {
+                        let aux = self.protocol.merge_whiteboard(removed_wb, parent_wb);
+                        self.metrics.aux_messages += aux;
+                    }
                 }
                 self.nodes.ports_raw_mut(parent).remove(node);
                 for &c in &children {
@@ -663,6 +675,9 @@ impl<P: Protocol> Simulator<P> {
                     self.nodes.ports_raw_mut(parent).assign(c, &mut self.rng);
                 }
                 self.children_scratch = children;
+                // lint: allow(unwrap) contains(node) and node != root were
+                // both checked above, and ports/whiteboard state is already
+                // torn down — failing here must be loud, not recoverable.
                 self.tree.remove(node).expect("checked above");
                 ChangeOutcome::Applied
             }

@@ -81,6 +81,7 @@ impl DynamicTree {
     pub fn with_initial_star(extra: usize) -> Self {
         let mut t = Self::new();
         for _ in 0..extra {
+            // lint: allow(unwrap) the root was created by Self::new() above
             t.add_leaf_unlogged(t.root).expect("root exists");
         }
         t
@@ -94,6 +95,7 @@ impl DynamicTree {
     /// the whole ancestor chain per node and make this `O(len²)`.
     pub fn with_initial_path(len: usize) -> Self {
         let mut t = Self::new();
+        // lint: allow(unwrap) slot 0 is the root created by Self::new()
         t.slots[0].as_mut().expect("root exists").subtree = len + 1;
         for d in 1..=len {
             let parent = NodeId((d - 1) as u32);
@@ -105,6 +107,8 @@ impl DynamicTree {
                 subtree: len + 1 - d,
             });
             t.data_mut(parent)
+                // lint: allow(unwrap) `parent` was pushed in the previous
+                // loop iteration (or is the root)
                 .expect("previous path node exists")
                 .children
                 .push(child);
@@ -379,6 +383,7 @@ impl DynamicTree {
             ));
         }
         for id in self.nodes().collect::<Vec<_>>() {
+            // lint: allow(unwrap) `id` was yielded by nodes() on this tree
             let data = self.data(id).expect("id from nodes()");
             let true_depth = {
                 let mut d = 0usize;
@@ -415,7 +420,10 @@ impl DynamicTree {
     fn adjust_ancestor_sizes(&mut self, from: NodeId, delta: isize) {
         let mut cur = Some(from);
         while let Some(c) = cur {
+            // lint: allow(unwrap) parent links always point at live slots
             let d = self.data_mut(c).expect("ancestor chain exists");
+            // lint: allow(unwrap) an underflow means a corrupted arena; the
+            // cached sizes are load-bearing, so fail loud rather than wrap
             d.subtree = d.subtree.checked_add_signed(delta).expect("size underflow");
             cur = d.parent;
         }
@@ -427,7 +435,10 @@ impl DynamicTree {
     fn shift_subtree_depths(&mut self, top: NodeId, delta: isize) {
         let ids: Vec<NodeId> = self.dfs(top).collect();
         for id in ids {
+            // lint: allow(unwrap) dfs() only yields live slots
             let d = self.data_mut(id).expect("dfs yields existing nodes");
+            // lint: allow(unwrap) a depth underflow means a corrupted arena;
+            // fail loud rather than wrap
             d.depth = d.depth.checked_add_signed(delta).expect("depth underflow");
         }
     }
@@ -442,6 +453,7 @@ impl DynamicTree {
             subtree: 1,
         });
         self.data_mut(parent)
+            // lint: allow(unwrap) contains(parent) was checked at entry
             .expect("parent checked above")
             .children
             .push(child);
@@ -480,9 +492,11 @@ impl DynamicTree {
         if !data.children.is_empty() {
             return Err(TreeError::NotALeaf(node));
         }
+        // lint: allow(unwrap) the root was rejected at entry
         let parent = data.parent.expect("non-root node has a parent");
         let before = self.node_count;
         self.detach_non_tree_edges(node);
+        // lint: allow(unwrap) a live node's parent link points at a live slot
         let pd = self.data_mut(parent).expect("parent exists");
         pd.children.retain(|&c| c != node);
         self.slots[node.index()] = None;
@@ -520,14 +534,18 @@ impl DynamicTree {
             subtree: node_subtree,
         });
         {
+            // lint: allow(unwrap) a live node's parent link points at a live slot
             let pd = self.data_mut(parent).expect("parent exists");
             let pos = pd
                 .children
                 .iter()
                 .position(|&c| c == below)
+                // lint: allow(unwrap) `parent` was read from `below`'s own
+                // parent link, so the back-edge exists
                 .expect("below is a child of parent");
             pd.children[pos] = node;
         }
+        // lint: allow(unwrap) `below` was validated live at entry
         self.data_mut(below).expect("below exists").parent = Some(node);
         self.shift_subtree_depths(below, 1);
         self.adjust_ancestor_sizes(parent, 1);
@@ -563,20 +581,25 @@ impl DynamicTree {
         if data.children.is_empty() {
             return Err(TreeError::NotInternal(node));
         }
+        // lint: allow(unwrap) the root was rejected at entry
         let parent = data.parent.expect("non-root node has a parent");
         let children = data.children.clone();
         let before = self.node_count;
         self.detach_non_tree_edges(node);
         {
+            // lint: allow(unwrap) a live node's parent link points at a live slot
             let pd = self.data_mut(parent).expect("parent exists");
             let pos = pd
                 .children
                 .iter()
                 .position(|&c| c == node)
+                // lint: allow(unwrap) `parent` was read from `node`'s own
+                // parent link, so the back-edge exists
                 .expect("node is a child of its parent");
             pd.children.splice(pos..=pos, children.iter().copied());
         }
         for &c in &children {
+            // lint: allow(unwrap) child links of a live node are live
             self.data_mut(c).expect("child exists").parent = Some(parent);
             self.shift_subtree_depths(c, -1);
         }

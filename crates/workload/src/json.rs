@@ -199,6 +199,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (multi-byte sequences included).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                // lint: allow(unwrap) the Some(_) arm guarantees bytes remain
                 let c = rest.chars().next().expect("non-empty by construction");
                 out.push(c);
                 *pos += c.len_utf8();

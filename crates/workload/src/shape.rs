@@ -100,6 +100,7 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
                         if created == nodes {
                             break 'outer;
                         }
+                        // lint: allow(unwrap) frontier nodes are live
                         let child = tree.add_leaf(parent).expect("parent exists");
                         next_frontier.push(child);
                         created += 1;
@@ -118,7 +119,9 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             let mut tree = DynamicTree::new();
             let mut existing: Vec<NodeId> = vec![tree.root()];
             for _ in 0..nodes {
+                // lint: allow(unwrap) `existing` starts with the root
                 let parent = *existing.choose(&mut rng).expect("non-empty");
+                // lint: allow(unwrap) every entry in `existing` is live
                 let child = tree.add_leaf(parent).expect("parent exists");
                 existing.push(child);
             }
@@ -129,8 +132,10 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             let mut tree = DynamicTree::new();
             let mut cur = tree.root();
             for _ in 0..spine {
+                // lint: allow(unwrap) `cur` is the root or a node just added
                 cur = tree.add_leaf(cur).expect("node exists");
                 for _ in 0..legs {
+                    // lint: allow(unwrap) `cur` was just added above
                     tree.add_leaf(cur).expect("node exists");
                 }
             }
@@ -144,7 +149,9 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             // from this list is a draw proportional to `1 + child-degree`.
             let mut endpoints: Vec<NodeId> = vec![tree.root()];
             for _ in 0..nodes {
+                // lint: allow(unwrap) `endpoints` starts with the root
                 let parent = *endpoints.choose(&mut rng).expect("non-empty");
+                // lint: allow(unwrap) every endpoint is a live node
                 let child = tree.add_leaf(parent).expect("parent exists");
                 endpoints.push(parent);
                 endpoints.push(child);
@@ -157,6 +164,7 @@ pub fn build_tree(shape: TreeShape) -> DynamicTree {
             for _ in 0..legs {
                 let mut cur = tree.root();
                 for _ in 0..leg_length {
+                    // lint: allow(unwrap) `cur` is the root or a node just added
                     cur = tree.add_leaf(cur).expect("node exists");
                 }
             }

@@ -399,6 +399,8 @@ impl SweepEngine {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(unwrap) a panicking worker must propagate; the
+                // sweep's byte-identical contract leaves nothing to salvage
                 .map(|h| h.join().expect("sweep worker panicked"))
                 .collect()
         });
@@ -409,6 +411,7 @@ impl SweepEngine {
             grid: grid_name,
             cells: results
                 .into_iter()
+                // lint: allow(unwrap) the workers above filled every slot
                 .map(|r| r.expect("every cell executed"))
                 .collect(),
         }
