@@ -19,6 +19,16 @@
 //! guarantee it), which is what makes the throughput comparable across
 //! builds.
 //!
+//! Two entries cover the `dcn-serve` wire-protocol stack. `serve:loopback`
+//! drives the full protocol path — line parsing, frame dispatch, ticket
+//! routing, event streaming — through the deterministic loopback transport,
+//! so protocol overhead is measured on the same wall-clock footing as the
+//! controller hot loops (and sits under the same regression gate). With
+//! `--serve-report PATH`, a `dcn-load` report from a real TCP run is
+//! ingested as a `serve:tcp-load` entry and embedded verbatim under the
+//! snapshot's `"serve"` key — that one is wall-clock of a socketed system
+//! under load, recorded for the trajectory rather than gated.
+//!
 //! A prior snapshot can be diffed against the fresh run with `--compare`:
 //! per-entry speedup ratios are printed (matched on name and scenario), any
 //! entry more than 10% slower than the baseline — beyond a 0.25ms absolute
@@ -29,13 +39,16 @@
 //!
 //! ```text
 //! dcn_perf [--quick] [--reps N] [--out PATH] [--compare BASELINE.json]
-//! # default PATH: BENCH_6.json
+//!          [--serve-report LOAD.json]
+//! # default PATH: BENCH_8.json
 //! ```
 
 use dcn_bench::compare::{compare, parse_bench, BenchEntry, BenchFile};
 use dcn_bench::{
     quick_grid, run_app_family, run_family, run_grid, AppFamily, Family, DEFAULT_SWEEP_SEED,
 };
+use dcn_server::{Loopback, ServeConfig};
+use dcn_workload::json::{self, Value};
 use dcn_workload::{ArrivalMode, ChurnModel, Placement, Scenario, SweepGrid, TreeShape};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -112,6 +125,78 @@ fn distributed_quick_grid() -> SweepGrid {
     grid
 }
 
+/// Drives `requests` tagged permit submissions through the full wire
+/// protocol over the loopback transport — encode, length-check, parse,
+/// dispatch, ticket-route, pump, stream — and returns the protocol work
+/// done (request lines handled plus reply/event frames produced). All the
+/// work is deterministic, so the count is rep-invariant like every other
+/// entry.
+fn serve_loopback_events(requests: u64) -> u64 {
+    // Budget == request count: every submission grants, so the measured
+    // path is the steady serving state, not the reject tail. Events are
+    // non-topological, so the 48-leaf star (and the node bound) is static.
+    let config = ServeConfig::new(Family::Centralized, requests, 64)
+        .with_shape(TreeShape::Star { nodes: 48 })
+        .with_u_bound(64);
+    let mut lb = Loopback::new(config).expect("loopback server");
+    let client = lb.connect();
+    lb.send(client, r#"{"op": "hello", "proto": 1}"#);
+    lb.send(client, r#"{"op": "subscribe"}"#);
+    let mut frames = lb.recv(client).len() as u64;
+    for i in 0..requests {
+        let node = i % 49;
+        lb.send(
+            client,
+            &format!(r#"{{"op": "submit", "kind": "event", "node": {node}, "tag": {i}}}"#),
+        );
+        // Pump in slices like the TCP engine thread does between inbox
+        // drains, rather than once at the end.
+        if i % 64 == 63 {
+            lb.run_to_quiescence();
+            frames += lb.recv(client).len() as u64;
+        }
+    }
+    lb.run_to_quiescence();
+    frames += lb.recv(client).len() as u64;
+    let stats = lb.engine().stats();
+    assert_eq!(stats.granted, requests, "every submission grants");
+    assert_eq!(stats.protocol_errors, 0);
+    // Lines handled (hello + subscribe + submits) plus frames out.
+    2 + requests + frames
+}
+
+/// A numeric field of the `dcn-load` report (integers and floats both
+/// appear: counters vs. the elapsed/throughput columns).
+fn report_num(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key)? {
+        Value::Int(n) => Ok(*n as f64),
+        Value::Num(x) => Ok(*x),
+        other => Err(format!(
+            "report field {key}: expected a number, found {other:?}"
+        )),
+    }
+}
+
+/// Ingests a `dcn-load --report` file as the `serve:tcp-load` entry.
+fn serve_report_entry(text: &str) -> Result<Entry, String> {
+    let v = json::parse(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+    let tool = v.get("tool")?.as_str()?;
+    if tool != "dcn-load" {
+        return Err(format!("expected a dcn-load report, found tool {tool:?}"));
+    }
+    let clients = v.get("clients")?.as_u64()?;
+    let answered = v.get("answered")?.as_u64()?;
+    let wall_ms = report_num(&v, "elapsed_ms")?;
+    let rps = report_num(&v, "requests_per_sec")?;
+    Ok(Entry {
+        name: "serve:tcp-load".to_string(),
+        scenario: format!("{clients}-client"),
+        wall_ms,
+        events: answered,
+        events_per_sec: rps,
+    })
+}
+
 fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -120,10 +205,10 @@ fn json_num(x: f64) -> String {
     }
 }
 
-fn to_json(entries: &[Entry], reps: usize, quick: bool) -> String {
+fn to_json(entries: &[Entry], reps: usize, quick: bool, serve_report: Option<&str>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": 6,\n");
+    out.push_str("  \"bench\": 8,\n");
     out.push_str("  \"suite\": \"dcn_perf pinned scenario suite\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -143,7 +228,14 @@ fn to_json(entries: &[Entry], reps: usize, quick: bool) -> String {
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(report) = serve_report {
+        // The raw dcn-load report, embedded verbatim (it is validated
+        // JSON): the snapshot records exactly what was measured.
+        out.push_str(",\n  \"serve\": ");
+        out.push_str(report.trim());
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -152,14 +244,16 @@ struct Args {
     reps: usize,
     out: String,
     compare: Option<String>,
+    serve_report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_8.json".to_string(),
         compare: None,
+        serve_report: None,
     };
     // An explicit --reps wins over --quick's reps=1 default regardless of
     // the order the two flags appear in.
@@ -182,9 +276,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--compare" => args.compare = Some(value("--compare")?),
+            "--serve-report" => args.serve_report = Some(value("--serve-report")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: dcn_perf [--quick] [--reps N] [--out PATH] [--compare BASELINE.json]"
+                    "usage: dcn_perf [--quick] [--reps N] [--out PATH] \
+                     [--compare BASELINE.json] [--serve-report LOAD.json]"
                 );
                 std::process::exit(0);
             }
@@ -254,6 +350,36 @@ fn main() -> ExitCode {
         events_per_sec: events as f64 / secs,
     });
 
+    // The wire-protocol stack, on the same deterministic footing: 120k
+    // requests through the loopback server (4k in quick mode).
+    let serve_requests: u64 = if args.quick { 4_000 } else { 120_000 };
+    let (secs, events) = time_best(args.reps, || serve_loopback_events(serve_requests));
+    entries.push(Entry {
+        name: "serve:loopback".to_string(),
+        scenario: format!("{serve_requests}-req"),
+        wall_ms: secs * 1e3,
+        events,
+        events_per_sec: events as f64 / secs,
+    });
+
+    // A recorded TCP load run, if one was handed in.
+    let serve_report_text = match &args.serve_report {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serve_report_entry(&text).map(|entry| (text, entry)))
+        {
+            Ok((text, entry)) => {
+                entries.push(entry);
+                Some(text)
+            }
+            Err(e) => {
+                eprintln!("dcn_perf: reading serve report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     println!(
         "{:<28} {:<12} {:>10} {:>12} {:>14}",
         "entry", "scenario", "wall_ms", "events", "events/sec"
@@ -265,7 +391,12 @@ fn main() -> ExitCode {
         );
     }
 
-    let json = to_json(&entries, args.reps, args.quick);
+    let json = to_json(
+        &entries,
+        args.reps,
+        args.quick,
+        serve_report_text.as_deref(),
+    );
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("dcn_perf: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
@@ -284,7 +415,7 @@ fn main() -> ExitCode {
             }
         };
         let current = BenchFile {
-            bench: 6,
+            bench: 8,
             entries: entries
                 .iter()
                 .map(|e| BenchEntry {

@@ -3,9 +3,11 @@
 //! A `BENCH_<pr>.json` file is a flat object with an `entries` array (see
 //! `dcn_perf`'s emitter); this module parses that shape and diffs two
 //! snapshots entry by entry, so before/after claims in EXPERIMENTS.md are
-//! mechanically produced instead of hand-computed. The parser is local
-//! because the workspace is dependency-free and `dcn-workload`'s scenario
-//! parser deliberately supports neither arrays nor booleans.
+//! mechanically produced instead of hand-computed. The parser is local and
+//! shape-specific: it scans the flat entry fields it needs and skips every
+//! unknown top-level key (newer bench files embed extra sections, e.g. the
+//! `"serve"` load report), so old binaries keep reading new snapshots. The
+//! general-purpose JSON layer lives in [`dcn_workload::json`].
 
 /// One `entries[]` element of a bench file.
 #[derive(Clone, Debug, PartialEq)]

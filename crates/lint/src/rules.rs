@@ -254,6 +254,16 @@ fn check_safety_comment(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic
 /// (`env::var`). The sweep's golden-hash bytes only stay byte-identical
 /// because none of these feed the simulation; timing belongs in
 /// `crates/bench`, configuration in explicit CLI flags.
+///
+/// `crates/server` is **not** carved out of scope, deliberately. The serve
+/// engine is a pure state machine on the controller's virtual clock — any
+/// wall-clock read there would be a real determinism bug, and the rule must
+/// keep catching it. Only the measurement edges of the transport (the
+/// `dcn-load` latency stamps, socket timeouts in clients) legitimately
+/// touch `Instant`/`Duration`, and each such site carries a
+/// `// determinism: …` annotation explaining why the value cannot reach a
+/// protocol outcome. A new unannotated wall-clock read in the server crate
+/// fails `--ci` like anywhere else.
 fn check_determinism(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let banned = ["SystemTime", "Instant", "RandomState"];
     for (ci, &ti) in file.code.iter().enumerate() {

@@ -1,0 +1,17 @@
+//! Fixture: wall-clock reads inside the serve transport without the
+//! required `// determinism:` justification. The engine runs on the
+//! controller's virtual clock, so each of these is a real bug the rule
+//! must keep catching — crates/server is deliberately NOT carved out of
+//! the determinism rule's scope.
+
+/// A latency stamp taken straight from the monotonic clock.
+pub fn elapsed_us() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}
+
+/// A wall-clock read that could leak into a reply frame.
+pub fn wall_clock_moved() -> bool {
+    let now = std::time::SystemTime::now();
+    now.elapsed().is_ok()
+}

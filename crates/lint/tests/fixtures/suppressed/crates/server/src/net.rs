@@ -1,0 +1,29 @@
+//! Fixture: the transport's measurement edges carrying the justifications
+//! the determinism rule requires — and the string trap a naive grep would
+//! flag.
+
+/// The load generator's latency stamp: measurement of the system, never an
+/// input to it.
+pub fn elapsed_us() -> u64 {
+    // determinism: client-side latency stamp; the value is only reported,
+    // determinism: it never reaches a protocol outcome or a golden hash
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}
+
+/// Socket-level timeout plumbing (bounds waiting, not behaviour).
+pub fn read_timeout_ms() -> u64 {
+    // determinism: wall-clock timeout only bounds how long a client waits
+    let now = std::time::SystemTime::now();
+    if now.elapsed().is_ok() {
+        2_000
+    } else {
+        0
+    }
+}
+
+/// A grep for banned identifiers must not fire on string payloads: frames
+/// may legitimately *mention* clock types.
+pub fn error_detail() -> &'static str {
+    "server rejected frame: Instant and SystemTime are banned in engine code"
+}

@@ -48,7 +48,7 @@ fn firing_counts_are_pinned() {
     assert_eq!(count("hot-binary-heap"), 2, "{diags:#?}");
     assert_eq!(count("secondary-map-justify"), 1, "{diags:#?}");
     assert_eq!(count("safety-comment"), 1, "{diags:#?}");
-    assert_eq!(count("determinism"), 5, "{diags:#?}");
+    assert_eq!(count("determinism"), 7, "{diags:#?}");
     assert_eq!(count("unwrap"), 2, "{diags:#?}");
 }
 

@@ -1,0 +1,129 @@
+//! The deterministic in-process loopback transport.
+//!
+//! Same [`EngineCore`], no sockets: clients are small handles into an
+//! in-memory queue table, and "time" is purely the controller's virtual
+//! clock. Two loopback sessions fed the same frame sequence produce
+//! byte-identical reply sequences — which is what lets the protocol state
+//! machine (and its parity with the batch
+//! [`ScenarioRunner`](dcn_workload::ScenarioRunner)) be pinned by ordinary
+//! unit tests even though the real TCP server is wall-clock and thread
+//! nondeterministic.
+//!
+//! The transport mirrors the TCP framing rules exactly: one request line in,
+//! zero or more reply/event lines out, oversized lines answered with a
+//! `line-too-long` error frame — both paths go through
+//! [`EngineCore::handle_line`] and [`protocol::parse_frame`].
+
+use crate::engine::{ClientId, EngineCore, ServeConfig};
+use crate::protocol;
+use dcn_collections::FxHashMap;
+use dcn_controller::ControllerError;
+use std::collections::VecDeque;
+
+/// An in-process server: the engine plus per-client reply queues.
+pub struct Loopback {
+    engine: EngineCore,
+    next_client: ClientId,
+    queues: FxHashMap<ClientId, VecDeque<String>>,
+    scratch: Vec<(ClientId, String)>,
+}
+
+impl Loopback {
+    /// Builds a loopback server over a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction errors (see [`EngineCore::new`]).
+    pub fn new(config: ServeConfig) -> Result<Self, ControllerError> {
+        Ok(Loopback {
+            engine: EngineCore::new(config)?,
+            next_client: 0,
+            queues: FxHashMap::default(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Opens a connection and returns its id.
+    pub fn connect(&mut self) -> ClientId {
+        self.next_client += 1;
+        let client = self.next_client;
+        self.queues.insert(client, VecDeque::new());
+        self.engine.client_connected(client);
+        client
+    }
+
+    /// Closes a connection, dropping any undelivered frames.
+    pub fn disconnect(&mut self, client: ClientId) {
+        self.queues.remove(&client);
+        self.engine.client_disconnected(client);
+    }
+
+    /// Sends one request line; direct replies land in the recipients'
+    /// queues immediately. Outcome events flow on the next
+    /// [`Loopback::pump_slice`] / [`Loopback::run_to_quiescence`] — the
+    /// loopback analogue of the TCP engine thread pumping between inbox
+    /// reads, kept explicit here so tests control the submit/pump
+    /// interleaving exactly (the parity tests replicate
+    /// [`ScenarioRunner`](dcn_workload::ScenarioRunner)'s batch semantics
+    /// with it).
+    pub fn send(&mut self, client: ClientId, line: &str) {
+        self.scratch.clear();
+        if line.len() > protocol::MAX_LINE_BYTES {
+            // The TCP reader answers oversized lines before they reach the
+            // engine; mirror that here so framing behaviour is identical.
+            self.scratch.push((
+                client,
+                protocol::error_frame(
+                    "line-too-long",
+                    &format!(
+                        "lines are capped at {} bytes, got {}",
+                        protocol::MAX_LINE_BYTES,
+                        line.len()
+                    ),
+                    None,
+                ),
+            ));
+        } else {
+            self.engine.handle_line(client, line, &mut self.scratch);
+        }
+        self.deliver();
+    }
+
+    /// Pumps one bounded step slice (at most the config's `step_budget`
+    /// simulator events), delivering whatever resolved.
+    pub fn pump_slice(&mut self) {
+        self.scratch.clear();
+        self.engine.pump(&mut self.scratch);
+        self.deliver();
+    }
+
+    /// Pumps the engine until quiescent (the loopback analogue of the TCP
+    /// engine thread spinning while work is in flight), delivering all
+    /// streamed events.
+    pub fn run_to_quiescence(&mut self) {
+        self.scratch.clear();
+        while self.engine.pump(&mut self.scratch) {}
+        self.deliver();
+    }
+
+    /// Drains every frame queued for `client`, in delivery order.
+    pub fn recv(&mut self, client: ClientId) -> Vec<String> {
+        self.queues
+            .get_mut(&client)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// The engine, for stats and parity assertions.
+    pub fn engine(&self) -> &EngineCore {
+        &self.engine
+    }
+
+    fn deliver(&mut self) {
+        for (client, frame) in self.scratch.drain(..) {
+            if let Some(q) = self.queues.get_mut(&client) {
+                q.push_back(frame);
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The TCP transport: `TcpListener`, a thread per connection direction, and
+//! one single-writer engine thread.
+//!
+//! ```text
+//!  accept thread ──spawns──► reader thread ──(bounded inbox)──► engine thread
+//!                            writer thread ◄──(bounded outbox)──┘
+//! ```
+//!
+//! The engine thread is the only thread that touches the controller (a
+//! `Box<dyn Controller>` is not `Send`, so it is *constructed* there from
+//! the `Send`-able [`ServeConfig`]). Readers decode nothing: they split the
+//! byte stream into length-capped lines and forward them; all protocol
+//! logic lives in [`EngineCore`], shared verbatim with the deterministic
+//! loopback transport.
+//!
+//! Backpressure is bounded at both ends and degrades to protocol-level
+//! rejection rather than unbounded queueing:
+//!
+//! * **inbox** — each connection may have at most
+//!   [`NetOptions::inbox_limit`] lines in flight toward the engine; past
+//!   that the reader immediately answers `{"error": "overloaded"}` and
+//!   drops the line.
+//! * **outbox** — each connection's reply queue holds at most
+//!   [`NetOptions::outbox_limit`] frames; a slow reader loses further
+//!   frames, which the engine counts and reports as `dropped_frames` in
+//!   `stats`.
+//!
+//! Shutdown (a `shutdown` frame, or [`ServerHandle::shutdown`]) lets the
+//! engine finish all in-flight work, then stops the accept loop and drops
+//! every outbox; writer threads drain what is queued, shut their sockets
+//! down, and the readers unwind on the resulting EOF.
+
+use crate::engine::{ClientId, EngineCore, Outgoing, ServeConfig};
+use crate::protocol;
+use dcn_collections::FxHashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+/// Transport tuning knobs (the protocol itself has no options).
+#[derive(Clone, Copy, Debug)]
+pub struct NetOptions {
+    /// Most request lines one connection may have queued toward the engine
+    /// before further lines are answered with an `overloaded` error frame.
+    pub inbox_limit: usize,
+    /// Most reply/event frames queued toward one connection before further
+    /// frames for it are dropped (counted in `stats.dropped_frames`).
+    pub outbox_limit: usize,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            inbox_limit: 256,
+            outbox_limit: 8192,
+        }
+    }
+}
+
+enum EngineMsg {
+    Connect {
+        client: ClientId,
+        outbox: SyncSender<String>,
+    },
+    Line {
+        client: ClientId,
+        line: String,
+        inflight: Arc<AtomicUsize>,
+    },
+    Disconnect {
+        client: ClientId,
+    },
+    Stop,
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or send a `shutdown` frame) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    local: SocketAddr,
+    tx: Sender<EngineMsg>,
+    engine: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Requests a drain-and-exit, like a client's `shutdown` frame.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(EngineMsg::Stop);
+    }
+
+    /// Waits for the engine and accept threads to finish (connection
+    /// reader/writer threads unwind on their own once their sockets close).
+    pub fn join(mut self) {
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+/// `config`.
+///
+/// # Errors
+///
+/// Socket errors from bind/accept setup, plus controller construction
+/// failures surfaced as [`io::ErrorKind::InvalidInput`].
+pub fn serve(config: ServeConfig, addr: &str, options: NetOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let (tx, rx) = mpsc::channel::<EngineMsg>();
+    let (ready_tx, ready_rx) = mpsc::sync_channel::<Result<(), String>>(1);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let engine_stop = Arc::clone(&stop);
+    let engine = thread::Builder::new()
+        .name("dcn-serve-engine".to_string())
+        .spawn(move || {
+            // Built here, not in `serve`: the controller must live and die
+            // on the engine thread.
+            let engine = match EngineCore::new(config) {
+                Ok(engine) => {
+                    let _ = ready_tx.send(Ok(()));
+                    engine
+                }
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e.to_string()));
+                    return;
+                }
+            };
+            engine_loop(engine, rx, &engine_stop, local);
+        })?;
+    match ready_rx.recv() {
+        Ok(Ok(())) => {}
+        Ok(Err(msg)) => {
+            let _ = engine.join();
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+        }
+        Err(_) => {
+            let _ = engine.join();
+            return Err(io::Error::other("engine thread died during startup"));
+        }
+    }
+
+    let accept_tx = tx.clone();
+    let accept_stop = Arc::clone(&stop);
+    let accept = thread::Builder::new()
+        .name("dcn-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_tx, &accept_stop, options))?;
+
+    Ok(ServerHandle {
+        local,
+        tx,
+        engine: Some(engine),
+        accept: Some(accept),
+    })
+}
+
+fn engine_loop(
+    mut engine: EngineCore,
+    rx: Receiver<EngineMsg>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) {
+    let mut outboxes: FxHashMap<ClientId, SyncSender<String>> = FxHashMap::default();
+    let mut out: Vec<Outgoing> = Vec::new();
+    loop {
+        // Block for input only while the controller has nothing in flight;
+        // otherwise poll the inbox and keep pumping.
+        if engine.is_quiescent() {
+            match rx.recv() {
+                Ok(msg) => handle_msg(&mut engine, &mut outboxes, msg, &mut out),
+                Err(_) => break,
+            }
+        }
+        // Drain whatever queued meanwhile, boundedly, so a steady request
+        // stream cannot starve the pump below.
+        for _ in 0..128 {
+            match rx.try_recv() {
+                Ok(msg) => handle_msg(&mut engine, &mut outboxes, msg, &mut out),
+                Err(_) => break,
+            }
+        }
+        if !engine.is_quiescent() {
+            engine.pump(&mut out);
+        }
+        let mut dropped = 0u64;
+        for (client, frame) in out.drain(..) {
+            // A client absent from `outboxes` vanished between submit and
+            // answer; its frames simply have nowhere to go.
+            if let Some(outbox) = outboxes.get(&client) {
+                match outbox.try_send(frame) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => dropped += 1,
+                    Err(TrySendError::Disconnected(_)) => {
+                        outboxes.remove(&client);
+                    }
+                }
+            }
+        }
+        if dropped > 0 {
+            engine.note_dropped_frames(dropped);
+        }
+        if engine.is_shutting_down() && engine.is_quiescent() {
+            break;
+        }
+    }
+    // Stop accepting: raise the flag, then poke the (blocking) accept loop
+    // with a throwaway connection so it observes the flag.
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(local);
+    // `outboxes` drops here: writers drain their queues, close their
+    // sockets, and the readers unwind on EOF.
+}
+
+fn handle_msg(
+    engine: &mut EngineCore,
+    outboxes: &mut FxHashMap<ClientId, SyncSender<String>>,
+    msg: EngineMsg,
+    out: &mut Vec<Outgoing>,
+) {
+    match msg {
+        EngineMsg::Connect { client, outbox } => {
+            outboxes.insert(client, outbox);
+            engine.client_connected(client);
+        }
+        EngineMsg::Line {
+            client,
+            line,
+            inflight,
+        } => {
+            engine.handle_line(client, &line, out);
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        EngineMsg::Disconnect { client } => {
+            outboxes.remove(&client);
+            engine.client_disconnected(client);
+        }
+        EngineMsg::Stop => engine.begin_shutdown(),
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &Sender<EngineMsg>,
+    stop: &AtomicBool,
+    options: NetOptions,
+) {
+    let mut next_client: ClientId = 0;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        next_client += 1;
+        if spawn_connection(stream, next_client, tx.clone(), options).is_err() {
+            // A failed clone/spawn closes this connection; the server
+            // itself keeps accepting.
+            continue;
+        }
+    }
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    client: ClientId,
+    tx: Sender<EngineMsg>,
+    options: NetOptions,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let write_half = stream.try_clone()?;
+    let (out_tx, out_rx) = mpsc::sync_channel::<String>(options.outbox_limit);
+    if tx
+        .send(EngineMsg::Connect {
+            client,
+            outbox: out_tx.clone(),
+        })
+        .is_err()
+    {
+        // Engine already gone (shutdown race): drop the connection.
+        return Ok(());
+    }
+    thread::Builder::new()
+        .name(format!("dcn-serve-write-{client}"))
+        .spawn(move || writer_loop(write_half, &out_rx))?;
+    thread::Builder::new()
+        .name(format!("dcn-serve-read-{client}"))
+        .spawn(move || reader_loop(stream, client, &tx, &out_tx, options))?;
+    Ok(())
+}
+
+fn writer_loop(stream: TcpStream, out_rx: &Receiver<String>) {
+    let mut w = BufWriter::new(&stream);
+    while let Ok(first) = out_rx.recv() {
+        let mut write_one = |line: String| -> io::Result<()> {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")
+        };
+        if write_one(first).is_err() {
+            break;
+        }
+        // Batch whatever else is queued before the flush.
+        let mut dead = false;
+        while let Ok(more) = out_rx.try_recv() {
+            if write_one(more).is_err() {
+                dead = true;
+                break;
+            }
+        }
+        if dead || w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One length-capped line from the byte stream.
+enum LineRead {
+    /// A complete line (without the newline; a trailing `\r` is stripped).
+    Line(String),
+    /// The line exceeded the cap; it was discarded up to the next newline.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Oversized lines
+/// are consumed (so framing resynchronises at the next newline) but their
+/// bytes are not buffered — a hostile megabyte line costs its socket reads
+/// and nothing more.
+fn read_limited_line(r: &mut impl BufRead, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overlong = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a final unterminated line is delivered as-is.
+            return Ok(match (overlong, buf.is_empty()) {
+                (true, _) => LineRead::TooLong,
+                (false, true) => LineRead::Eof,
+                (false, false) => finish_line(buf),
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if !overlong {
+                    buf.extend_from_slice(&chunk[..nl]);
+                }
+                r.consume(nl + 1);
+                if overlong || buf.len() > max {
+                    return Ok(LineRead::TooLong);
+                }
+                return Ok(finish_line(buf));
+            }
+            None => {
+                if !overlong {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max {
+                        overlong = true;
+                        buf = Vec::new();
+                    }
+                }
+                let n = chunk.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> LineRead {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => LineRead::Line(line),
+        Err(_) => LineRead::BadUtf8,
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    client: ClientId,
+    tx: &Sender<EngineMsg>,
+    out_tx: &SyncSender<String>,
+    options: NetOptions,
+) {
+    let mut reader = BufReader::new(stream);
+    let inflight = Arc::new(AtomicUsize::new(0));
+    loop {
+        match read_limited_line(&mut reader, protocol::MAX_LINE_BYTES) {
+            Ok(LineRead::Line(line)) => {
+                // Per-connection inbox bound: past it, overload degrades to
+                // a protocol-level rejection the client can react to, not
+                // an ever-growing queue. (If even the error frame does not
+                // fit in the outbox, it is dropped like any other frame to
+                // a slow reader.)
+                if inflight.load(Ordering::SeqCst) >= options.inbox_limit {
+                    let _ = out_tx.try_send(protocol::error_frame(
+                        "overloaded",
+                        "per-connection inbox is full; back off and retry",
+                        None,
+                    ));
+                    continue;
+                }
+                inflight.fetch_add(1, Ordering::SeqCst);
+                if tx
+                    .send(EngineMsg::Line {
+                        client,
+                        line,
+                        inflight: Arc::clone(&inflight),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                let _ = out_tx.try_send(protocol::error_frame(
+                    "line-too-long",
+                    &format!("lines are capped at {} bytes", protocol::MAX_LINE_BYTES),
+                    None,
+                ));
+            }
+            Ok(LineRead::BadUtf8) => {
+                let _ = out_tx.try_send(protocol::error_frame(
+                    "bad-utf8",
+                    "request lines must be UTF-8",
+                    None,
+                ));
+            }
+            Ok(LineRead::Eof) | Err(_) => break,
+        }
+    }
+    let _ = tx.send(EngineMsg::Disconnect { client });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<String> {
+        let mut r = BufReader::new(Cursor::new(input.to_vec()));
+        let mut out = Vec::new();
+        loop {
+            match read_limited_line(&mut r, max).unwrap() {
+                LineRead::Line(l) => out.push(l),
+                LineRead::TooLong => out.push("<too-long>".to_string()),
+                LineRead::BadUtf8 => out.push("<bad-utf8>".to_string()),
+                LineRead::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn splits_caps_and_resynchronises() {
+        assert_eq!(read_all(b"a\nbb\r\nccc", 10), ["a", "bb", "ccc"]);
+        // The oversized middle line is discarded to its newline; framing
+        // recovers on the next line.
+        assert_eq!(
+            read_all(b"ok\nxxxxxxxxxxxxxxxx\nagain\n", 8),
+            ["ok", "<too-long>", "again"]
+        );
+        // Oversized final line without newline.
+        assert_eq!(read_all(b"xxxxxxxxxxxxxxxx", 8), ["<too-long>"]);
+        assert_eq!(read_all(b"", 8), Vec::<String>::new());
+        assert_eq!(read_all(b"\xff\xfe\n", 8), ["<bad-utf8>"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Protocol state-machine coverage over the deterministic loopback
+//! transport: handshake, ticket lifecycle, subscription routing and
+//! shutdown for all six controller families, plus the parity test pinning
+//! the serve path against the batch [`ScenarioRunner`] — same scenario,
+//! same grant/reject sequence, same `records()`.
+
+use dcn_server::{Loopback, ServeConfig};
+use dcn_workload::json::{self, Value};
+use dcn_workload::{
+    ArrivalMode, ChurnModel, ControllerSpec, Family, Placement, RequestKind, Scenario,
+    ScenarioRunner, TreeShape,
+};
+
+/// Parses a reply line and returns (kind-key, kind-value) where kind-key is
+/// `ok`, `event` or `error`.
+fn frame_kind(line: &str) -> (String, String) {
+    let v = json::parse(line).expect("server frames are valid JSON");
+    for key in ["ok", "event", "error"] {
+        if let Ok(val) = v.get(key) {
+            return (key.to_string(), val.as_str().unwrap().to_string());
+        }
+    }
+    panic!("frame without ok/event/error: {line}");
+}
+
+fn parse(line: &str) -> Value {
+    json::parse(line).expect("server frames are valid JSON")
+}
+
+fn recv_one(lb: &mut Loopback, client: u64) -> String {
+    let mut frames = lb.recv(client);
+    assert_eq!(
+        frames.len(),
+        1,
+        "expected exactly one frame, got {frames:?}"
+    );
+    frames.pop().unwrap()
+}
+
+#[test]
+fn hello_is_required_and_negotiates_the_actual_config() {
+    let mut lb = Loopback::new(ServeConfig::new(Family::Centralized, 16, 4)).unwrap();
+    let c = lb.connect();
+
+    // Anything before hello is refused, but the connection stays usable.
+    lb.send(c, r#"{"op": "stats"}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "hello-required");
+
+    // Wrong protocol version.
+    lb.send(c, r#"{"op": "hello", "proto": 99}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "unsupported-proto");
+
+    // Asserting a different family/m/w is a mismatch, not a reconfigure.
+    lb.send(c, r#"{"op": "hello", "family": "distributed"}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "config-mismatch");
+    lb.send(c, r#"{"op": "hello", "m": 999}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "config-mismatch");
+
+    // A bare hello (or one asserting the true config) is welcomed with the
+    // server's actual parameters.
+    lb.send(
+        c,
+        r#"{"op": "hello", "proto": 1, "family": "centralized", "m": 16, "w": 4}"#,
+    );
+    let welcome = parse(&recv_one(&mut lb, c));
+    assert_eq!(welcome.get("ok").unwrap().as_str().unwrap(), "welcome");
+    assert_eq!(
+        welcome.get("family").unwrap().as_str().unwrap(),
+        "centralized"
+    );
+    assert_eq!(welcome.get("m").unwrap().as_u64().unwrap(), 16);
+    assert_eq!(welcome.get("w").unwrap().as_u64().unwrap(), 4);
+    // The default shape is an 8-leaf star: 9 nodes including the root.
+    assert_eq!(welcome.get("nodes").unwrap().as_u64().unwrap(), 9);
+}
+
+#[test]
+fn full_round_trip_for_all_six_families() {
+    for family in Family::ALL {
+        let mut lb = Loopback::new(ServeConfig::new(family, 16, 4)).unwrap();
+        let c = lb.connect();
+        lb.send(c, r#"{"op": "hello", "proto": 1}"#);
+        assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "welcome", "{family:?}");
+        lb.send(c, r#"{"op": "subscribe"}"#);
+        assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "subscribed");
+
+        // submit: a permit request at the root.
+        lb.send(
+            c,
+            r#"{"op": "submit", "kind": "event", "node": 0, "tag": 7}"#,
+        );
+        let ticket_frame = parse(&recv_one(&mut lb, c));
+        assert_eq!(ticket_frame.get("ok").unwrap().as_str().unwrap(), "ticket");
+        assert_eq!(ticket_frame.get("tag").unwrap().as_u64().unwrap(), 7);
+        let ticket = ticket_frame.get("ticket").unwrap().as_u64().unwrap();
+
+        // Until the engine pumps, the honest poll answer is pending.
+        lb.send(
+            c,
+            format!(r#"{{"op": "poll", "ticket": {ticket}}}"#).as_str(),
+        );
+        let pending = parse(&recv_one(&mut lb, c));
+        assert_eq!(pending.get("status").unwrap().as_str().unwrap(), "pending");
+
+        lb.run_to_quiescence();
+        let events = lb.recv(c);
+        assert!(
+            events.iter().any(|f| {
+                let (k, v) = frame_kind(f);
+                k == "event" && v == "granted"
+            }),
+            "{family:?}: expected a granted event, got {events:?}"
+        );
+
+        lb.send(
+            c,
+            format!(r#"{{"op": "poll", "ticket": {ticket}}}"#).as_str(),
+        );
+        let outcome = parse(&recv_one(&mut lb, c));
+        assert_eq!(outcome.get("status").unwrap().as_str().unwrap(), "granted");
+        assert_eq!(outcome.get("kind").unwrap().as_str().unwrap(), "event");
+
+        // topology: grow a leaf under the root via the alias op.
+        lb.send(
+            c,
+            r#"{"op": "topology", "change": "insert", "node": 0, "tag": 8}"#,
+        );
+        let t = parse(&recv_one(&mut lb, c));
+        assert_eq!(t.get("ok").unwrap().as_str().unwrap(), "ticket");
+        let grow = t.get("ticket").unwrap().as_u64().unwrap();
+        lb.run_to_quiescence();
+        let _ = lb.recv(c);
+        lb.send(c, format!(r#"{{"op": "poll", "ticket": {grow}}}"#).as_str());
+        let outcome = parse(&recv_one(&mut lb, c));
+        let status = outcome.get("status").unwrap().as_str().unwrap().to_string();
+        assert!(
+            status == "granted" || status == "rejected",
+            "{family:?}: topology insert resolved to {status}"
+        );
+
+        // topology delete: outside the AAPS baseline's grow-only model —
+        // it must refuse (not crash, not grant); other families answer.
+        lb.send(
+            c,
+            r#"{"op": "topology", "change": "delete", "node": 3, "tag": 9}"#,
+        );
+        let reply = recv_one(&mut lb, c);
+        let (kind, _) = frame_kind(&reply);
+        if kind == "ok" {
+            let del = parse(&reply).get("ticket").unwrap().as_u64().unwrap();
+            lb.run_to_quiescence();
+            let _ = lb.recv(c);
+            lb.send(c, format!(r#"{{"op": "poll", "ticket": {del}}}"#).as_str());
+            let status = parse(&recv_one(&mut lb, c))
+                .get("status")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            if family == Family::Aaps {
+                assert_eq!(status, "refused", "AAPS is grow-only");
+            } else {
+                assert!(
+                    status == "granted" || status == "rejected",
+                    "{family:?}: {status}"
+                );
+            }
+        }
+
+        // Unknown tickets are a protocol error, not a crash.
+        lb.send(c, r#"{"op": "poll", "ticket": 424242}"#);
+        assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "unknown-ticket");
+
+        // stats reflect the traffic.
+        lb.send(c, r#"{"op": "stats"}"#);
+        let stats = parse(&recv_one(&mut lb, c));
+        assert!(stats.get("granted").unwrap().as_u64().unwrap() >= 1);
+        assert!(stats.get("submitted").unwrap().as_u64().unwrap() >= 2);
+        assert_eq!(stats.get("clients").unwrap().as_u64().unwrap(), 1);
+        assert!(!stats.get("shutting_down").unwrap().as_bool().unwrap());
+
+        // shutdown: acknowledged, flagged, and stats say so.
+        lb.send(c, r#"{"op": "shutdown"}"#);
+        assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "shutting-down");
+        assert!(lb.engine().is_shutting_down());
+    }
+}
+
+#[test]
+fn events_stream_only_to_the_submitting_client() {
+    let mut lb = Loopback::new(ServeConfig::new(Family::Centralized, 16, 4)).unwrap();
+    let a = lb.connect();
+    let b = lb.connect();
+    for c in [a, b] {
+        lb.send(c, r#"{"op": "hello", "proto": 1}"#);
+        lb.send(c, r#"{"op": "subscribe"}"#);
+        let _ = lb.recv(c);
+    }
+    lb.send(
+        a,
+        r#"{"op": "submit", "kind": "event", "node": 0, "tag": 1}"#,
+    );
+    let _ = lb.recv(a);
+    lb.run_to_quiescence();
+    assert!(!lb.recv(a).is_empty(), "submitter streams its outcome");
+    assert!(lb.recv(b).is_empty(), "bystander sees nothing");
+
+    // An unsubscribed client polls instead; it never receives streamed
+    // frames even for its own tickets.
+    let d = lb.connect();
+    lb.send(d, r#"{"op": "hello", "proto": 1}"#);
+    let _ = lb.recv(d);
+    lb.send(d, r#"{"op": "submit", "kind": "event", "node": 0}"#);
+    let ticket = parse(&recv_one(&mut lb, d))
+        .get("ticket")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    lb.run_to_quiescence();
+    assert!(lb.recv(d).is_empty(), "no subscription, no stream");
+    lb.send(
+        d,
+        format!(r#"{{"op": "poll", "ticket": {ticket}}}"#).as_str(),
+    );
+    assert_ne!(
+        parse(&recv_one(&mut lb, d))
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "pending"
+    );
+}
+
+#[test]
+fn loopback_sessions_are_byte_identical() {
+    let script: &[&str] = &[
+        r#"{"op": "hello", "proto": 1}"#,
+        r#"{"op": "subscribe"}"#,
+        r#"{"op": "submit", "kind": "event", "node": 2, "tag": 1}"#,
+        r#"{"op": "submit", "kind": "add-leaf", "node": 0, "tag": 2}"#,
+        r#"{"op": "poll", "ticket": 0}"#,
+        r#"{"op": "topology", "change": "insert", "node": 1, "tag": 3}"#,
+        r#"{"op": "stats"}"#,
+    ];
+    let run = || {
+        let mut lb =
+            Loopback::new(ServeConfig::new(Family::Distributed, 16, 4).with_seed(7)).unwrap();
+        let c = lb.connect();
+        let mut transcript = Vec::new();
+        for line in script {
+            lb.send(c, line);
+            transcript.extend(lb.recv(c));
+            lb.run_to_quiescence();
+            transcript.extend(lb.recv(c));
+        }
+        transcript
+    };
+    assert_eq!(run(), run());
+}
+
+/// Drives a loopback server through the exact submission stream of a
+/// [`ScenarioRunner`] and returns the engine for comparison.
+fn drive_loopback(scenario: &Scenario) -> Loopback {
+    let runner = ScenarioRunner::new(scenario.clone());
+    let family = Family::from_name(
+        // The parity scenarios name their family in the scenario name.
+        scenario.name.split('/').next().unwrap(),
+    )
+    .unwrap();
+    let step_budget = match scenario.arrival {
+        ArrivalMode::Batch => 4096,
+        ArrivalMode::Interleaved { quantum } => quantum,
+    };
+    let config = ServeConfig::new(family, scenario.m, scenario.w)
+        .with_shape(scenario.shape)
+        .with_seed(scenario.seed)
+        .with_step_budget(step_budget)
+        .with_u_bound(runner.suggested_u_bound());
+    let mut lb = Loopback::new(config).unwrap();
+    let c = lb.connect();
+    lb.send(c, r#"{"op": "hello", "proto": 1}"#);
+    let _ = lb.recv(c);
+
+    let mut stream = runner.op_stream();
+    let mut issued = 0usize;
+    let mut stalled = 0u32;
+    while issued < scenario.requests {
+        let want = runner.batch().min(scenario.requests - issued);
+        let ops = stream.next_batch(lb.engine().controller().tree(), want);
+        if ops.is_empty() {
+            break;
+        }
+        let mut sent_this_batch = 0usize;
+        for op in &ops {
+            // Placement resolves against the served controller's tree at
+            // submit time, exactly as the runner resolves against its own.
+            let (at, kind) = stream.place(lb.engine().controller().tree(), op);
+            let frame = match kind {
+                RequestKind::AddLeaf => format!(
+                    r#"{{"op": "submit", "kind": "add-leaf", "node": {}}}"#,
+                    at.index()
+                ),
+                RequestKind::AddInternalAbove(child) => format!(
+                    r#"{{"op": "submit", "kind": "add-internal-above", "node": {}, "child": {}}}"#,
+                    at.index(),
+                    child.index()
+                ),
+                RequestKind::RemoveSelf => format!(
+                    r#"{{"op": "submit", "kind": "remove-self", "node": {}}}"#,
+                    at.index()
+                ),
+                RequestKind::NonTopological => {
+                    format!(
+                        r#"{{"op": "submit", "kind": "event", "node": {}}}"#,
+                        at.index()
+                    )
+                }
+            };
+            lb.send(c, &frame);
+            let (kind_key, _) = frame_kind(&recv_one(&mut lb, c));
+            // Stale ops surface as submit-rejected error frames — the
+            // protocol twin of the runner's dropped counter.
+            if kind_key == "ok" {
+                issued += 1;
+                sent_this_batch += 1;
+            }
+        }
+        match scenario.arrival {
+            ArrivalMode::Batch => lb.run_to_quiescence(),
+            ArrivalMode::Interleaved { .. } => lb.pump_slice(),
+        }
+        if sent_this_batch == 0 {
+            stalled += 1;
+            if stalled > 8 {
+                break;
+            }
+        } else {
+            stalled = 0;
+        }
+    }
+    lb.run_to_quiescence();
+    lb
+}
+
+#[test]
+fn loopback_matches_scenario_runner_for_every_family() {
+    for family in Family::ALL {
+        for arrival in [ArrivalMode::Batch, ArrivalMode::Interleaved { quantum: 64 }] {
+            let scenario = Scenario {
+                name: format!("{}/parity", family.name()),
+                shape: TreeShape::Star { nodes: 12 },
+                churn: ChurnModel::FullChurn {
+                    add_leaf: 50,
+                    add_internal: 20,
+                    remove: 10,
+                },
+                placement: Placement::Uniform,
+                arrival,
+                requests: 64,
+                m: 48,
+                w: 8,
+                seed: 1234,
+            };
+
+            // Reference: the batch driver over the plain Controller API.
+            let runner = ScenarioRunner::new(scenario.clone());
+            let mut ctrl = ControllerSpec::for_scenario(family, &scenario)
+                .build_for(&runner)
+                .unwrap();
+            let report = runner.run(ctrl.as_mut()).unwrap();
+            report.check().unwrap();
+
+            // Same scenario through the wire protocol.
+            let lb = drive_loopback(&scenario);
+            let served = lb.engine().controller();
+
+            assert_eq!(
+                served.records(),
+                ctrl.records(),
+                "{family:?}/{arrival:?}: record history diverged"
+            );
+            assert_eq!(served.granted(), report.granted, "{family:?}/{arrival:?}");
+            assert_eq!(served.rejected(), report.rejected, "{family:?}/{arrival:?}");
+            let stats = lb.engine().stats();
+            assert_eq!(
+                stats.refused, report.refused,
+                "{family:?}/{arrival:?}: refusal count diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end exercise of the real TCP transport: an in-process
+//! [`serve`] on an ephemeral port, several concurrent clients speaking the
+//! line protocol over actual sockets, a protocol-level shutdown, and a
+//! clean join. Wall-clock timing here only bounds how long the test waits —
+//! every protocol outcome asserted is deterministic.
+
+use dcn_server::{serve, NetOptions, ServeConfig};
+use dcn_workload::json;
+use dcn_workload::Family;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+// determinism: test-only socket timeouts bounding how long a hung server
+// determinism: could stall the suite; no protocol behaviour depends on them.
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read frame");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+}
+
+#[test]
+fn tcp_clients_submit_poll_and_shut_the_server_down() {
+    let config = ServeConfig::new(Family::Distributed, 256, 16);
+    let handle = serve(config, "127.0.0.1:0", NetOptions::default()).expect("bind");
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (0..3u64)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.send(r#"{"op": "hello", "proto": 1, "family": "distributed"}"#);
+                let welcome = json::parse(&c.recv()).unwrap();
+                assert_eq!(welcome.get("ok").unwrap().as_str().unwrap(), "welcome");
+                let nodes = welcome.get("nodes").unwrap().as_u64().unwrap();
+
+                c.send(r#"{"op": "subscribe"}"#);
+                assert!(c.recv().contains("subscribed"));
+
+                // Submit a handful of permit requests, each tagged, and wait
+                // for the streamed outcome of every ticket.
+                let mut tickets = Vec::new();
+                for i in 0..8u64 {
+                    let node = (w * 3 + i) % nodes;
+                    c.send(&format!(
+                        r#"{{"op": "submit", "kind": "event", "node": {node}, "tag": {i}}}"#
+                    ));
+                }
+                let mut outcomes = 0;
+                while outcomes < 8 {
+                    let frame = c.recv();
+                    let v = json::parse(&frame).unwrap();
+                    if let Ok(ok) = v.get("ok") {
+                        assert_eq!(ok.as_str().unwrap(), "ticket", "{frame}");
+                        tickets.push(v.get("ticket").unwrap().as_u64().unwrap());
+                    } else if v.get("event").is_ok() {
+                        outcomes += 1;
+                    } else {
+                        panic!("unexpected frame {frame}");
+                    }
+                }
+                assert_eq!(tickets.len(), 8);
+
+                // Every ticket polls back resolved (budget 256 >> 24 total
+                // requests, so they all granted).
+                for t in tickets {
+                    c.send(&format!(r#"{{"op": "poll", "ticket": {t}}}"#));
+                    let v = json::parse(&c.recv()).unwrap();
+                    assert_eq!(v.get("status").unwrap().as_str().unwrap(), "granted");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client worker");
+    }
+
+    // A final client checks the totals and asks the server to stop.
+    let mut c = Client::connect(addr);
+    c.send(r#"{"op": "hello", "proto": 1}"#);
+    assert!(c.recv().contains("welcome"));
+    c.send(r#"{"op": "stats"}"#);
+    let stats = json::parse(&c.recv()).unwrap();
+    assert_eq!(stats.get("submitted").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(stats.get("granted").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(stats.get("rejected").unwrap().as_u64().unwrap(), 0);
+    c.send(r#"{"op": "shutdown"}"#);
+    assert!(c.recv().contains("shutting-down"));
+
+    handle.join();
+}

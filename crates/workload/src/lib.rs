@@ -45,7 +45,7 @@
 
 mod appspec;
 mod churn;
-mod json;
+pub mod json;
 mod placement;
 mod runner;
 mod scenario;
@@ -57,7 +57,7 @@ pub use appspec::{app_factory, AppFamily, AppSpec};
 pub use churn::{ChurnGenerator, ChurnModel, ChurnOp};
 pub use json::quote as json_quote;
 pub use placement::Placement;
-pub use runner::{AppReport, RunReport, ScenarioRunner};
+pub use runner::{AppReport, OpStream, RunReport, ScenarioRunner};
 pub use scenario::{ArrivalMode, Scenario};
 pub use shape::{build_tree, TreeShape};
 pub use spec::{family_factory, ControllerSpec, Family};

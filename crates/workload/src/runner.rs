@@ -17,13 +17,14 @@
 //! setting); a final [`Controller::run_to_quiescence`] answers everything.
 
 use crate::churn::{ChurnGenerator, ChurnOp};
+use crate::placement::Placement;
 use crate::scenario::{ArrivalMode, Scenario};
 use crate::shape::build_tree;
 use dcn_controller::verify::{ExecutionSummary, Violation};
-use dcn_controller::{Controller, ControllerError, ControllerEvent};
+use dcn_controller::{Controller, ControllerError, ControllerEvent, RequestKind};
 use dcn_estimator::{AppEvent, Application};
 use dcn_rng::{DetRng, SeedableRng};
-use dcn_tree::DynamicTree;
+use dcn_tree::{DynamicTree, NodeId};
 
 /// The uniform result of driving one controller through one scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -231,6 +232,51 @@ pub struct ScenarioRunner {
     batch: usize,
 }
 
+/// The deterministic request stream a [`ScenarioRunner`] submits: the
+/// scenario's churn generator plus the placement redraw for non-topological
+/// events, seeded exactly as [`ScenarioRunner::run`] seeds them.
+///
+/// This is the runner's submission seam made public so *other* drivers — the
+/// `dcn-serve` loopback transport's parity tests in particular — can replay
+/// the identical `(node, kind)` sequence against the identical tree states
+/// without duplicating the seed-derivation constants. Any change to the
+/// stream derivation here changes every consumer in lockstep, keeping
+/// "same scenario ⇒ same requests" a structural property rather than a
+/// convention.
+pub struct OpStream {
+    churn: ChurnGenerator,
+    placement: Placement,
+    placement_rng: DetRng,
+}
+
+impl OpStream {
+    /// The next batch of up to `want` raw churn operations against the
+    /// current `tree`. An empty batch means the generator has run dry (e.g.
+    /// a grow-only model with nothing left to insert under). Placement is
+    /// *not* drawn here: resolve each op with [`OpStream::place`] right
+    /// before submitting it, so event placement sees the tree as it stands
+    /// at submit time — synchronous families apply grants mid-batch, and
+    /// drawing against the batch-start tree would change every placement
+    /// after the first mid-batch grant (and with it the pinned sweep bytes).
+    pub fn next_batch(&mut self, tree: &DynamicTree, want: usize) -> Vec<ChurnOp> {
+        self.churn.batch(tree, want)
+    }
+
+    /// Resolves one churn op to the `(node, kind)` actually submitted,
+    /// drawing the scenario's placement distribution against the tree at
+    /// submit time for non-topological events — the request arrives where
+    /// the placement says, not where the churn generator happened to land.
+    pub fn place(&mut self, tree: &DynamicTree, op: &ChurnOp) -> (NodeId, RequestKind) {
+        match op {
+            ChurnOp::Event { .. } => (
+                self.placement.draw(tree, &mut self.placement_rng),
+                RequestKind::NonTopological,
+            ),
+            other => other.to_request(),
+        }
+    }
+}
+
 impl ScenarioRunner {
     /// Creates a runner for `scenario` with the default batch size of 16
     /// concurrent requests.
@@ -252,6 +298,29 @@ impl ScenarioRunner {
     /// The scenario this runner drives.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The number of requests submitted per batch (see
+    /// [`ScenarioRunner::with_batch`]).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The deterministic submission stream this runner will drive — the
+    /// exact `(node, kind)` sequence of [`ScenarioRunner::run`] /
+    /// [`ScenarioRunner::run_app`], freshly seeded. Each call returns an
+    /// independent stream starting from the beginning.
+    pub fn op_stream(&self) -> OpStream {
+        OpStream {
+            churn: ChurnGenerator::new(self.scenario.churn, self.scenario.seed.wrapping_add(17)),
+            placement: self.scenario.placement,
+            placement_rng: DetRng::seed_from_u64(
+                self.scenario
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(71),
+            ),
+        }
     }
 
     /// Builds the scenario's initial tree (construct the controller over
@@ -280,9 +349,7 @@ impl ScenarioRunner {
     /// [`Controller::run_to_quiescence`].
     pub fn run(&self, ctrl: &mut dyn Controller) -> Result<RunReport, ControllerError> {
         let scenario = &self.scenario;
-        let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
-        let mut placement_rng =
-            DetRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9).wrapping_add(71));
+        let mut stream = self.op_stream();
         let mut issued = 0u64;
         let mut dropped = 0u64;
         let mut stalled_batches = 0u32;
@@ -293,22 +360,13 @@ impl ScenarioRunner {
 
         while (issued as usize) < scenario.requests {
             let want = self.batch.min(scenario.requests - issued as usize);
-            let ops = churn.batch(ctrl.tree(), want);
+            let ops = stream.next_batch(ctrl.tree(), want);
             if ops.is_empty() {
                 break;
             }
             let mut sent_this_batch = 0u64;
             for op in &ops {
-                let (at, kind) = match op {
-                    // Non-topological requests arrive where the scenario's
-                    // placement distribution says, not where the churn
-                    // generator happened to land.
-                    ChurnOp::Event { .. } => (
-                        scenario.placement.draw(ctrl.tree(), &mut placement_rng),
-                        dcn_controller::RequestKind::NonTopological,
-                    ),
-                    other => other.to_request(),
-                };
+                let (at, kind) = stream.place(ctrl.tree(), op);
                 // Synchronous families apply granted changes immediately, so
                 // a later op of the same batch may reference a node an
                 // earlier grant just removed; such stale ops are dropped.
@@ -404,9 +462,7 @@ impl ScenarioRunner {
     /// Propagates simulator and iteration-rotation errors.
     pub fn run_app(&self, app: &mut dyn Application) -> Result<AppReport, ControllerError> {
         let scenario = &self.scenario;
-        let mut churn = ChurnGenerator::new(scenario.churn, scenario.seed.wrapping_add(17));
-        let mut placement_rng =
-            DetRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9).wrapping_add(71));
+        let mut stream = self.op_stream();
         let mut issued = 0u64;
         let mut dropped = 0u64;
         let mut stalled_batches = 0u32;
@@ -430,19 +486,13 @@ impl ScenarioRunner {
 
         while (issued as usize) < scenario.requests {
             let want = self.batch.min(scenario.requests - issued as usize);
-            let ops = churn.batch(app.tree(), want);
+            let ops = stream.next_batch(app.tree(), want);
             if ops.is_empty() {
                 break;
             }
             let mut sent_this_batch = 0u64;
             for op in &ops {
-                let (at, kind) = match op {
-                    ChurnOp::Event { .. } => (
-                        scenario.placement.draw(app.tree(), &mut placement_rng),
-                        dcn_controller::RequestKind::NonTopological,
-                    ),
-                    other => other.to_request(),
-                };
+                let (at, kind) = stream.place(app.tree(), op);
                 // Stale intra-batch operations (the node vanished under an
                 // earlier grant) are dropped, like in the controller path.
                 if app.submit(at, kind).is_err() {

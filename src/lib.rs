@@ -11,7 +11,9 @@
 //! * [`estimator`] — size estimation, name assignment, heavy-child
 //!   decomposition, dynamic ancestry labeling;
 //! * [`baseline`] — the AAPS-style and trivial comparison controllers;
-//! * [`workload`] — topology, churn and request generators.
+//! * [`workload`] — topology, churn and request generators;
+//! * [`server`] — `dcn-serve`: the controller as a long-running TCP
+//!   admission-control service (line-JSON protocol, DESIGN.md §9).
 //!
 //! ```
 //! use dcn::controller::distributed::DistributedController;
@@ -36,6 +38,7 @@
 pub use dcn_baseline as baseline;
 pub use dcn_controller as controller;
 pub use dcn_estimator as estimator;
+pub use dcn_server as server;
 pub use dcn_simnet as simnet;
 pub use dcn_tree as tree;
 pub use dcn_workload as workload;
