@@ -128,6 +128,7 @@ fn bench_sweep_grid() {
             },
         ],
         arrivals: vec![ArrivalMode::Batch],
+        shards: vec![],
         churns: vec![
             ChurnModel::GrowOnly,
             ChurnModel::BurstyDeepLeaf { burst: 5 },

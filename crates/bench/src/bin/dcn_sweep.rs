@@ -11,8 +11,8 @@
 //! recorded sweep reproduces exactly regardless of the machine it ran on.
 //!
 //! ```text
-//! dcn-sweep [--quick] [--apps] [--workers N] [--seed S] [--replicates R]
-//!           [--csv PATH] [--json PATH]
+//! dcn-sweep [--quick] [--apps] [--shards K1[,K2,...]] [--workers N]
+//!           [--seed S] [--replicates R] [--csv PATH] [--json PATH]
 //! ```
 //!
 //! `--apps` adds the §5 application axis to the grid: all six applications
@@ -20,6 +20,13 @@
 //! decomposition, ancestry labeling, majority commitment) run through the
 //! same `ScenarioRunner`/`SweepEngine` machinery as the controllers, and any
 //! §5 invariant violation fails the sweep.
+//!
+//! `--shards` adds the sharded-controller axis: each listed shard count `k`
+//! expands to a `sharded:k<k>` driver (the k-region `ShardedController`
+//! over the distributed family) at every scenario point, with the same
+//! family-blind seeds — so its outcome columns can be diffed against the
+//! plain families or across shard counts. Omitted, the grids are exactly
+//! the pre-axis grids (the golden-hash contract).
 //!
 //! Exits non-zero if any cell errored or violated a correctness condition
 //! (the CI smoke contract).
@@ -30,6 +37,7 @@ use std::process::ExitCode;
 struct Args {
     quick: bool,
     apps: bool,
+    shards: Vec<usize>,
     workers: usize,
     seed: u64,
     replicates: usize,
@@ -41,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         apps: false,
+        shards: Vec::new(),
         workers: default_workers(),
         seed: DEFAULT_SWEEP_SEED,
         replicates: 1,
@@ -53,6 +62,18 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--apps" => args.apps = true,
+            "--shards" => {
+                for part in value("--shards")?.split(',') {
+                    let k: usize = part
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--shards {part:?}: {e}"))?;
+                    if k == 0 {
+                        return Err("--shards: shard counts must be >= 1".to_string());
+                    }
+                    args.shards.push(k);
+                }
+            }
             "--workers" => {
                 args.workers = value("--workers")?
                     .parse()
@@ -72,8 +93,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: dcn-sweep [--quick] [--apps] [--workers N] [--seed S] \
-                     [--replicates R] [--csv PATH] [--json PATH]"
+                    "usage: dcn-sweep [--quick] [--apps] [--shards K1[,K2,...]] \
+                     [--workers N] [--seed S] [--replicates R] [--csv PATH] \
+                     [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -91,16 +113,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let grid = if args.quick {
+    let mut grid = if args.quick {
         quick_grid(args.seed, args.replicates, args.apps)
     } else {
         full_grid(args.seed, args.replicates, args.apps)
     };
+    grid.shards = args.shards;
     println!(
-        "== dcn-sweep: grid {:?} — {} cells ({} families + {} apps × {} shapes × {} churns × {} placements × {} arrivals × {} budgets × {} replicates) on {} workers ==",
+        "== dcn-sweep: grid {:?} — {} cells ({} families + {} shard counts + {} apps × {} shapes × {} churns × {} placements × {} arrivals × {} budgets × {} replicates) on {} workers ==",
         grid.name,
         grid.cell_count(),
         grid.families.len(),
+        grid.shards.len(),
         grid.apps.len(),
         grid.shapes.len(),
         grid.churns.len(),

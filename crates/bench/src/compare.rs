@@ -505,6 +505,26 @@ mod tests {
     }
 
     #[test]
+    fn an_empty_baseline_marks_every_entry_as_new_without_regressions() {
+        // The shape `dcn_perf --compare` substitutes for a missing baseline
+        // file: nothing matches, nothing regresses, the exit stays green.
+        let old = snapshot(&[]);
+        let new = snapshot(&[("controller:a", "star", 10.0), ("app:x", "path", 3.0)]);
+        let cmp = compare(&old, &new);
+        assert!(cmp.deltas.is_empty());
+        assert_eq!(cmp.regressions().count(), 0);
+        assert!(cmp.only_old.is_empty());
+        assert_eq!(
+            cmp.only_new,
+            vec![
+                "controller:a [star]".to_string(),
+                "app:x [path]".to_string()
+            ]
+        );
+        assert!(cmp.geomean_speedup().is_none());
+    }
+
+    #[test]
     fn geomean_speedup_averages_ratios() {
         let old = snapshot(&[("a", "s", 8.0), ("b", "s", 2.0)]);
         let new = snapshot(&[("a", "s", 2.0), ("b", "s", 2.0)]);

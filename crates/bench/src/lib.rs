@@ -100,6 +100,7 @@ pub fn full_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
                 leg_length: 16,
             },
         ],
+        shards: vec![],
         churns: grid_churns(),
         placements: vec![Placement::Uniform],
         arrivals: grid_arrivals(),
@@ -130,6 +131,7 @@ pub fn quick_grid(seed: u64, replicates: usize, with_apps: bool) -> SweepGrid {
                 leg_length: 8,
             },
         ],
+        shards: vec![],
         churns: grid_churns(),
         placements: vec![Placement::Uniform],
         arrivals: grid_arrivals(),

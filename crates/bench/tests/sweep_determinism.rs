@@ -31,6 +31,7 @@ fn grid() -> SweepGrid {
                 leg_length: 5,
             },
         ],
+        shards: vec![],
         churns: vec![
             ChurnModel::GrowOnly,
             ChurnModel::default_mixed(),
@@ -170,6 +171,114 @@ fn quick_apps_sweep_output_matches_the_pre_migration_golden_hashes() {
     );
     assert_eq!(fnv1a(report.to_csv().as_bytes()), 0x28f8_1db0_2517_7e1e);
     assert_eq!(fnv1a(report.to_json().as_bytes()), 0x044f_0be1_1db2_f5d2);
+}
+
+/// The sharded-controller grid: the `distributed` family side by side with
+/// `sharded:k1`, `sharded:k2` and `sharded:k8` on the same scenario points.
+/// The low-M budget forces per-shard slice exhaustion, so the k ≥ 2 cells
+/// actually run cross-shard permit-exchange waves inside the sweep.
+fn sharded_grid() -> SweepGrid {
+    let mut grid = grid();
+    grid.name = "determinism-sharded".to_string();
+    grid.families = vec!["distributed".to_string()];
+    grid.shards = vec![1, 2, 8];
+    grid.budgets = vec![MwBudget { m: 32, w: 8 }, MwBudget { m: 10, w: 3 }];
+    grid
+}
+
+/// Satellite of the sharded controller: the `shards` axis emits
+/// byte-identical CSV/JSON across 1, 4 and 16 sweep workers (the per-shard
+/// worker threads nest inside the sweep's worker pool), and re-running
+/// reproduces the bytes.
+#[test]
+fn sharded_grid_reports_are_byte_identical_across_worker_counts() {
+    let grid = sharded_grid();
+    assert_eq!(grid.cell_count(), 288);
+    let serial = run_grid(&grid, 1);
+    let serial_csv = serial.to_csv();
+    let serial_json = serial.to_json();
+    for workers in [4, 16] {
+        let parallel = run_grid(&grid, workers);
+        assert_eq!(
+            serial_csv,
+            parallel.to_csv(),
+            "CSV diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_json,
+            parallel.to_json(),
+            "JSON diverged at {workers} workers"
+        );
+    }
+    let again = run_grid(&grid, 1);
+    assert_eq!(serial_csv, again.to_csv());
+    // Every sharded cell ran clean: built, answered every ticket, and kept
+    // the global §2.2 safety/liveness conditions across shards.
+    for cell in &serial.cells {
+        assert!(
+            cell.report.is_ok(),
+            "cell {} ({}): {:?}",
+            cell.cell.index,
+            cell.cell.scenario.name,
+            cell.report
+        );
+        assert!(
+            cell.violation.is_none(),
+            "cell {} ({} / {}): {:?}",
+            cell.cell.index,
+            cell.cell.family,
+            cell.cell.scenario.name,
+            cell.violation
+        );
+    }
+    let summaries = serial.summaries();
+    assert_eq!(summaries.len(), 4);
+    for s in &summaries {
+        assert_eq!(s.cells, 72, "{}", s.family);
+        assert_eq!(s.errors, 0, "{}", s.family);
+        assert!(s.p95_messages > 0, "{}", s.family);
+    }
+}
+
+/// Property over the whole grid: `sharded:k1` is a strict pass-through of
+/// the `distributed` family. Because the sweep's per-cell seeds are
+/// family-blind, the two drivers meet the identical workload at every
+/// scenario point, so their outcome columns must agree row for row.
+#[test]
+fn sharded_k1_rows_match_the_distributed_family_rows() {
+    let report = run_grid(&sharded_grid(), 4);
+    let distributed: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.cell.family == "distributed")
+        .collect();
+    let k1: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.cell.family == "sharded:k1")
+        .collect();
+    assert_eq!(distributed.len(), 72);
+    assert_eq!(distributed.len(), k1.len());
+    for (d, s) in distributed.iter().zip(&k1) {
+        assert_eq!(d.cell.scenario.seed, s.cell.scenario.seed);
+        let (dr, sr) = (
+            d.run_report().expect("distributed cell ran"),
+            s.run_report().expect("sharded:k1 cell ran"),
+        );
+        for (label, a, b) in [
+            ("submitted", dr.submitted, sr.submitted),
+            ("granted", dr.granted, sr.granted),
+            ("rejected", dr.rejected, sr.rejected),
+            ("wasted", dr.wasted, sr.wasted),
+            ("moves", dr.moves, sr.moves),
+            ("messages", dr.messages, sr.messages),
+            ("p50_latency", dr.p50_answer_latency, sr.p50_answer_latency),
+            ("p95_latency", dr.p95_answer_latency, sr.p95_answer_latency),
+            ("final_nodes", dr.final_nodes as u64, sr.final_nodes as u64),
+        ] {
+            assert_eq!(a, b, "{} diverged on {}", label, d.cell.scenario.name);
+        }
+    }
 }
 
 /// Every cell of the grid runs clean over the real families: no build/run

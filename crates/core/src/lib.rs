@@ -79,6 +79,7 @@ mod ledger;
 mod package;
 mod params;
 mod request;
+pub mod sharded;
 pub mod verify;
 
 pub use api::{Controller, ControllerEvent, ControllerMetrics, Progress};
@@ -87,5 +88,6 @@ pub use ledger::RequestLedger;
 pub use package::{MobilePackage, PackageStore, PermitInterval};
 pub use params::Params;
 pub use request::{Outcome, RequestId, RequestKind, RequestRecord};
+pub use sharded::ShardedController;
 
 pub use dcn_tree::{DynamicTree, NodeId};

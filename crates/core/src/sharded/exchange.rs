@@ -1,0 +1,108 @@
+//! Deterministic budget-slice assignment for the cross-shard permit exchange.
+//!
+//! The sharded controller treats its shards like the paper's AAPS bins: each
+//! shard grants locally against a slice `(M_i, W_i)` of the global budget and,
+//! when slices run dry, a deterministic *exchange wave* recomputes every slice
+//! from the unspent global pool (see [`crate::sharded`] and DESIGN.md §10).
+//! This module holds the pure arithmetic of that recomputation so it can be
+//! unit-tested in isolation.
+
+/// Splits `pool` permits into `k` slices `(m_i, w_i)`.
+///
+/// The split is even (`pool / k` each, remainder distributed one permit at a
+/// time), with *requesters first*: shards flagged in `pending` receive the
+/// remainder permits before the others, in ascending shard order, so every
+/// wave hands at least one permit to a shard with starved requests whenever
+/// the pool allows it. Each non-empty slice gets a waste bound
+/// `w_i = clamp(w / k, 1, m_i)`; empty slices are `(0, 0)`.
+///
+/// Invariant: `Σ m_i == pool` — a wave can never hand out more than the
+/// unspent global budget, which is what keeps `Σ granted ≤ M` across shards.
+pub(crate) fn slices(pool: u64, w: u64, k: usize, pending: &[bool]) -> Vec<(u64, u64)> {
+    debug_assert_eq!(pending.len(), k);
+    let base = pool / k as u64;
+    let mut rem = (pool % k as u64) as usize;
+    let mut shares = vec![base; k];
+    // Remainder permits: pending shards first (ascending), then the rest.
+    let order = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p)
+        .map(|(i, _)| i)
+        .chain(
+            pending
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| !p)
+                .map(|(i, _)| i),
+        );
+    for i in order {
+        if rem == 0 {
+            break;
+        }
+        shares[i] += 1;
+        rem -= 1;
+    }
+    let w_share = (w / k as u64).max(1);
+    shares
+        .into_iter()
+        .map(|m_i| {
+            if m_i == 0 {
+                (0, 0)
+            } else {
+                (m_i, w_share.min(m_i))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(slices: &[(u64, u64)]) -> u64 {
+        slices.iter().map(|&(m, _)| m).sum()
+    }
+
+    #[test]
+    fn slices_conserve_the_pool_exactly() {
+        for pool in [0u64, 1, 5, 7, 48, 1000] {
+            for k in [1usize, 2, 3, 8] {
+                let s = slices(pool, 4, k, &vec![false; k]);
+                assert_eq!(total(&s), pool, "pool={pool} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pending_shards_receive_remainder_first() {
+        // pool=5, k=4: base 1, remainder 1 goes to the pending shard 2.
+        let s = slices(5, 4, 4, &[false, false, true, false]);
+        assert_eq!(s.iter().map(|&(m, _)| m).collect::<Vec<_>>(), [1, 1, 2, 1]);
+        // With a starved pool the pending shards get the only permits.
+        let s = slices(2, 4, 4, &[false, true, false, true]);
+        assert_eq!(s.iter().map(|&(m, _)| m).collect::<Vec<_>>(), [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn waste_bounds_stay_within_params_constraints() {
+        // Params requires 1 <= w_i <= m_i for every non-empty slice.
+        for pool in [1u64, 3, 9, 100] {
+            for w in [1u64, 2, 64] {
+                let s = slices(pool, w, 4, &[true, false, true, false]);
+                for &(m_i, w_i) in &s {
+                    if m_i == 0 {
+                        assert_eq!(w_i, 0);
+                    } else {
+                        assert!((1..=m_i).contains(&w_i), "m_i={m_i} w_i={w_i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pool_yields_all_empty_slices() {
+        assert_eq!(slices(0, 8, 3, &[true, true, true]), [(0, 0); 3]);
+    }
+}

@@ -1,0 +1,945 @@
+//! The sharded (M, W)-controller: k independent per-region distributed
+//! controllers federated by a cross-shard permit exchange.
+//!
+//! The paper's AAPS bin hierarchy and iterated construction already describe a
+//! federation scheme — bins hold budget slices and rebalance them in charged
+//! exchange waves — and [`ShardedController`] applies it to whole controllers:
+//!
+//! 1. the spanning tree is carved into `k` regions behind the
+//!    [`RegionMap`] addressing seam (global `NodeId` →
+//!    `(shard, local NodeId)`);
+//! 2. each region runs its own
+//!    [`DistributedController`]
+//!    over its own simulated network, granting locally against a budget slice
+//!    `(M_i, W_i)` with `Σ M_i ≤ M`; with more than one shard, execution
+//!    slices run on one worker thread per shard
+//!    ([`std::thread::scope`] — results are merged in shard order, so output
+//!    is byte-identical however the threads interleave);
+//! 3. a shard that exhausts its slice *parks* the rejected ticket instead of
+//!    surfacing the rejection; once every shard is quiescent a deterministic
+//!    **exchange wave** recomputes all slices from the unspent global pool
+//!    (`M − Σ granted`, requesters first — see the `exchange` submodule) and
+//!    resubmits
+//!    the parked tickets. Only when the pool itself is empty are rejections
+//!    surfaced globally, so the federation preserves the paper's liveness
+//!    shape: a surfaced rejection implies `granted == M ≥ M − W`.
+//!
+//! Each wave is charged `k` messages (one slice announcement per shard) in
+//! [`Controller::metrics`], the `O(k)` exchange cost of the bin hierarchy.
+//!
+//! With `k = 1` the controller is a strict pass-through: same tree, same
+//! seed, same `U` bound, no rejection interception — records, events and
+//! metrics are identical to driving the distributed family directly (a
+//! property test in dcn-bench pins this). Shard seeds for `k ≥ 2` are derived
+//! family-blind (`split_mix64(seed ^ split_mix64(shard))`), so results never
+//! depend on worker-thread count or scheduling.
+//!
+//! DESIGN.md §10 documents the addressing scheme, the wave protocol and the
+//! global-invariant argument.
+
+pub(crate) mod exchange;
+
+use crate::api::{Controller, ControllerEvent, ControllerMetrics, Progress};
+use crate::distributed::DistributedController;
+use crate::request::{Outcome, RequestId, RequestKind, RequestRecord};
+use crate::verify::ExecutionSummary;
+use crate::ControllerError;
+use dcn_collections::SecondaryMap;
+use dcn_rng::split_mix64;
+use dcn_simnet::SimConfig;
+use dcn_tree::{DynamicTree, LocalMap, NodeId, RegionMap, TopologyEvent};
+
+/// Execution slices at least this large are worth fanning out to the
+/// per-shard worker threads; smaller slices run the shards sequentially
+/// (identical results — threading is purely a wall-clock optimisation).
+const THREAD_SLICE_FLOOR: u64 = 256;
+
+/// Safety valve: consecutive exchange waves without a single grant before the
+/// controller reports a livelock instead of spinning.
+const MAX_BARREN_WAVES: u64 = 8;
+
+/// Per-ticket routing and bookkeeping state (dense by global ticket id).
+#[derive(Clone, Copy, Debug)]
+struct Ticket {
+    /// Global node the request arrived at.
+    origin: NodeId,
+    /// Global request kind.
+    kind: RequestKind,
+    /// Shard the request is routed to (fixed: regions never migrate).
+    shard: u32,
+    /// Global virtual time of the first submission (preserved across
+    /// exchange-wave resubmissions).
+    submitted_at: u64,
+}
+
+/// One shard: an optional live controller (absent while its slice is empty),
+/// its address map, and accumulators carried across exchange epochs.
+#[derive(Debug)]
+struct Shard {
+    /// The live controller for the current epoch, if the slice is non-empty.
+    ctrl: Option<DistributedController>,
+    /// The region tree, parked here whenever `ctrl` is `None`.
+    parked: Option<DynamicTree>,
+    /// Local → global address map for this region.
+    map: LocalMap,
+    /// Base seed for this shard; per-epoch seeds are derived from it.
+    seed: u64,
+    /// Replay cursor into the region tree's change log.
+    log_cursor: usize,
+    /// Collection cursor into the current controller's records.
+    rec_cursor: usize,
+    /// Global ticket id per local ticket id of the current epoch.
+    ticket_of_local: Vec<u64>,
+    /// Virtual time accumulated by retired epochs.
+    time_base: u64,
+    /// Agent hops accumulated by retired epochs.
+    hops_base: u64,
+    /// Messages accumulated by retired epochs.
+    msgs_base: u64,
+    /// Peak per-node memory over retired epochs.
+    peak_mem: u64,
+    /// Result of the last parallel execution slice, harvested in shard order.
+    step_out: Option<Result<Progress, ControllerError>>,
+}
+
+impl Shard {
+    /// The shard's current virtual time on the global clock.
+    fn now(&self) -> u64 {
+        self.time_base + self.ctrl.as_ref().map_or(0, |c| c.sim().time())
+    }
+
+    /// Immutable view of the region tree, live or parked.
+    fn tree(&self) -> &DynamicTree {
+        match &self.ctrl {
+            Some(c) => c.tree(),
+            // lint: allow(unwrap) exactly one of ctrl/parked is always Some
+            None => self.parked.as_ref().unwrap(),
+        }
+    }
+}
+
+/// A federation of per-region distributed controllers behind the single
+/// [`Controller`] interface (see the [module docs](self)).
+///
+/// ```
+/// use dcn_controller::sharded::ShardedController;
+/// use dcn_controller::{Controller, RequestKind};
+/// use dcn_simnet::SimConfig;
+/// use dcn_tree::DynamicTree;
+///
+/// # fn main() -> Result<(), dcn_controller::ControllerError> {
+/// let tree = DynamicTree::with_initial_star(15);
+/// let mut ctrl = ShardedController::new(SimConfig::new(7), tree, 8, 4, 64, 4)?;
+/// let leaves: Vec<_> = ctrl.tree().nodes().skip(1).take(4).collect();
+/// for leaf in leaves {
+///     ctrl.submit(leaf, RequestKind::AddLeaf)?;
+/// }
+/// ctrl.run_to_quiescence()?;
+/// assert_eq!(ctrl.granted(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedController {
+    k: usize,
+    m: u64,
+    w: u64,
+    /// Authoritative global tree: submit-time validation runs against it and
+    /// per-shard change logs are replayed into it in shard order.
+    mirror: DynamicTree,
+    map: RegionMap,
+    shards: Vec<Shard>,
+    tickets: Vec<Ticket>,
+    records: Vec<RequestRecord>,
+    index: SecondaryMap<RequestId, usize>,
+    events: Vec<ControllerEvent>,
+    /// Parked tickets awaiting the next exchange wave (FIFO).
+    pending: Vec<u64>,
+    granted_total: u64,
+    rejected_total: u64,
+    epoch: u64,
+    waves: u64,
+    exchange_messages: u64,
+    barren_waves: u64,
+    /// The caller's simulator configuration; per-shard configs reuse its
+    /// delay model and event valve with derived seeds.
+    base_config: SimConfig,
+}
+
+impl ShardedController {
+    /// Creates a sharded (m, w)-controller over `tree`, carved into `shards`
+    /// regions. `config.seed` seeds shard 0 directly and every further shard
+    /// through one `split_mix64` derivation; `u_bound` is the global bound on
+    /// nodes ever to exist (passed through verbatim when `shards == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Same parameter validation as
+    /// [`DistributedController::new`], plus `shards ≥ 1`.
+    pub fn new(
+        config: SimConfig,
+        tree: DynamicTree,
+        m: u64,
+        w: u64,
+        u_bound: usize,
+        shards: usize,
+    ) -> Result<Self, ControllerError> {
+        if shards == 0 {
+            return Err(ControllerError::Sim(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        if u_bound < tree.node_count() {
+            return Err(ControllerError::BoundTooSmall {
+                u: u_bound,
+                nodes: tree.node_count(),
+            });
+        }
+        // Validate (m, w) once globally, before slicing.
+        crate::params::Params::new(m, w, u_bound as u64)?;
+
+        let mut shard_vec = Vec::with_capacity(shards);
+        let (mirror, map) = if shards == 1 {
+            // Strict pass-through: the single shard owns the caller's tree,
+            // seed and bound unchanged.
+            let mirror = tree.clone();
+            let map = RegionMap::identity(&tree);
+            let local = LocalMap::identity(&tree);
+            let log_cursor = tree.change_log().len();
+            let ctrl = DistributedController::new(config, tree, m, w, u_bound)?;
+            shard_vec.push(Shard {
+                ctrl: Some(ctrl),
+                parked: None,
+                map: local,
+                seed: config.seed,
+                log_cursor,
+                rec_cursor: 0,
+                ticket_of_local: Vec::new(),
+                time_base: 0,
+                hops_base: 0,
+                msgs_base: 0,
+                peak_mem: 0,
+                step_out: None,
+            });
+            (mirror, map)
+        } else {
+            let (map, regions) = RegionMap::carve(&tree, shards);
+            let slices = exchange::slices(m, w, shards, &vec![false; shards]);
+            for (i, region) in regions.into_iter().enumerate() {
+                let seed = split_mix64(config.seed ^ split_mix64(i as u64));
+                let (m_i, w_i) = slices[i];
+                let mut shard = Shard {
+                    ctrl: None,
+                    parked: Some(region.tree),
+                    map: region.map,
+                    seed,
+                    log_cursor: 0,
+                    rec_cursor: 0,
+                    ticket_of_local: Vec::new(),
+                    time_base: 0,
+                    hops_base: 0,
+                    msgs_base: 0,
+                    peak_mem: 0,
+                    step_out: None,
+                };
+                if m_i > 0 {
+                    shard.build_ctrl(&config, seed, m_i, w_i)?;
+                }
+                shard_vec.push(shard);
+            }
+            (tree, map)
+        };
+        Ok(ShardedController {
+            k: shards,
+            m,
+            w,
+            mirror,
+            map,
+            shards: shard_vec,
+            tickets: Vec::new(),
+            records: Vec::new(),
+            index: SecondaryMap::new(),
+            events: Vec::new(),
+            pending: Vec::new(),
+            granted_total: 0,
+            rejected_total: 0,
+            epoch: 0,
+            waves: 0,
+            exchange_messages: 0,
+            barren_waves: 0,
+            base_config: config,
+        })
+    }
+
+    /// Number of shards (regions) the controller runs.
+    pub fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    /// Number of exchange waves run so far.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Messages charged to the permit exchange so far (`k` per wave).
+    pub fn exchange_messages(&self) -> u64 {
+        self.exchange_messages
+    }
+
+    /// Number of requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.tickets.len() as u64
+    }
+
+    /// A correctness summary of the execution so far, aggregated across
+    /// shards (see [`ExecutionSummary`]).
+    pub fn summary(&self) -> ExecutionSummary {
+        let refused = self
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_refused())
+            .count() as u64;
+        ExecutionSummary {
+            m: self.m,
+            w: self.w,
+            granted: self.granted_total,
+            rejected: self.rejected_total,
+            unanswered: self.submitted() - refused - self.granted_total - self.rejected_total,
+        }
+    }
+
+    /// Validates a request against the global mirror (the same three checks
+    /// as [`DistributedController::submit`]).
+    fn validate(&self, at: NodeId, kind: RequestKind) -> Result<(), ControllerError> {
+        if !self.mirror.contains(at) {
+            return Err(ControllerError::UnknownNode(at));
+        }
+        match kind {
+            RequestKind::AddInternalAbove(child) if self.mirror.parent(child) != Some(at) => {
+                Err(ControllerError::NotParentOf { at, child })
+            }
+            RequestKind::RemoveSelf if at == self.mirror.root() => {
+                Err(ControllerError::CannotRemoveRoot)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Translates a validated global request into its shard-local form:
+    /// `(shard, local arrival node, local kind)`.
+    fn route(
+        &self,
+        at: NodeId,
+        kind: RequestKind,
+    ) -> Result<(usize, NodeId, RequestKind), ControllerError> {
+        let unmapped = |node: NodeId| ControllerError::Sim(format!("node {node} has no shard"));
+        match kind {
+            RequestKind::AddInternalAbove(child) => {
+                // Route to the child's shard; locally the request arrives at
+                // the child's local parent (a mapped node when the edge is
+                // region-internal, the proxy root when `at` lives elsewhere).
+                let (shard, lchild) = self.map.locate(child).ok_or(unmapped(child))?;
+                let lat = self.shards[shard]
+                    .tree()
+                    .parent(lchild)
+                    .ok_or_else(|| unmapped(child))?;
+                Ok((shard, lat, RequestKind::AddInternalAbove(lchild)))
+            }
+            _ => {
+                let (shard, lat) = self.map.locate(at).ok_or(unmapped(at))?;
+                Ok((shard, lat, kind))
+            }
+        }
+    }
+
+    /// Hands a routed ticket to its shard's live controller, or parks it for
+    /// the next exchange wave when the shard currently has no slice.
+    fn dispatch(
+        &mut self,
+        gid: u64,
+        shard: usize,
+        lat: NodeId,
+        lkind: RequestKind,
+    ) -> Result<(), ControllerError> {
+        let sh = &mut self.shards[shard];
+        match sh.ctrl.as_mut() {
+            Some(ctrl) => {
+                let lid = ctrl.submit(lat, lkind)?;
+                debug_assert_eq!(lid.0 as usize, sh.ticket_of_local.len());
+                sh.ticket_of_local.push(gid);
+            }
+            None => self.pending.push(gid),
+        }
+        Ok(())
+    }
+
+    /// Submits a request arriving at global node `at` (see
+    /// [`Controller::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`DistributedController::submit`].
+    pub fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.validate(at, kind)?;
+        let (shard, lat, lkind) = self.route(at, kind)?;
+        let gid = self.tickets.len() as u64;
+        self.tickets.push(Ticket {
+            origin: at,
+            kind,
+            shard: shard as u32,
+            submitted_at: self.shards[shard].now(),
+        });
+        self.dispatch(gid, shard, lat, lkind)?;
+        Ok(RequestId(gid))
+    }
+
+    /// Appends a globally resolved record: translates bookkeeping, updates
+    /// the grant/reject totals and emits the per-request events.
+    fn resolve(&mut self, gid: u64, outcome: Outcome, answered_at: u64) {
+        let t = self.tickets[gid as usize];
+        match outcome {
+            Outcome::Granted { .. } => {
+                self.granted_total += 1;
+                self.barren_waves = 0;
+            }
+            Outcome::Rejected => self.rejected_total += 1,
+            Outcome::Refused => {}
+        }
+        let record = RequestRecord {
+            id: RequestId(gid),
+            origin: t.origin,
+            kind: t.kind,
+            outcome,
+            submitted_at: t.submitted_at,
+            answered_at,
+        };
+        ControllerEvent::push_for_record(&record, &mut self.events);
+        self.index.insert(record.id, self.records.len());
+        self.records.push(record);
+    }
+
+    /// Replays shard `i`'s fresh change-log entries into the global mirror
+    /// (in log order) and translates its fresh records into global ones.
+    /// Called in ascending shard order after every execution slice, which
+    /// fixes the global interleaving independently of thread scheduling.
+    fn collect_shard(&mut self, i: usize) -> Result<(), ControllerError> {
+        let corrupt = || ControllerError::Sim("shard address maps out of sync".to_string());
+        // Phase 1: replay topology changes, learning new node addresses.
+        {
+            let sh = &mut self.shards[i];
+            let Some(ctrl) = sh.ctrl.as_ref() else {
+                return Ok(());
+            };
+            let log = ctrl.tree().change_log();
+            for entry in log.iter().skip(sh.log_cursor) {
+                match entry.event {
+                    TopologyEvent::AddLeaf { parent, child } => {
+                        let gparent = sh.map.to_global(parent).ok_or_else(corrupt)?;
+                        let gchild = self
+                            .mirror
+                            .add_leaf(gparent)
+                            .map_err(ControllerError::Tree)?;
+                        sh.map.bind(child, gchild);
+                        self.map.bind(gchild, i, child);
+                    }
+                    TopologyEvent::AddInternal { node, below, .. } => {
+                        let gbelow = sh.map.to_global(below).ok_or_else(corrupt)?;
+                        let gnode = self
+                            .mirror
+                            .add_internal_above(gbelow)
+                            .map_err(ControllerError::Tree)?;
+                        sh.map.bind(node, gnode);
+                        self.map.bind(gnode, i, node);
+                    }
+                    TopologyEvent::RemoveLeaf { node, .. }
+                    | TopologyEvent::RemoveInternal { node, .. } => {
+                        // A locally-leaf node may be internal globally (its
+                        // global children can live in other regions), so the
+                        // mirror uses the generic dispatching removal.
+                        let gnode = sh.map.to_global(node).ok_or_else(corrupt)?;
+                        self.mirror.remove(gnode).map_err(ControllerError::Tree)?;
+                    }
+                    // The controller protocol never touches non-tree edges.
+                    TopologyEvent::AddNonTreeEdge { .. }
+                    | TopologyEvent::RemoveNonTreeEdge { .. } => {}
+                }
+            }
+            sh.log_cursor = log.len();
+        }
+        // Phase 2: translate fresh records. Local rejections are intercepted
+        // and parked for the exchange wave (k ≥ 2 only — with one shard the
+        // slice IS the global budget and the rejection is final).
+        let sh = &self.shards[i];
+        // lint: allow(unwrap) phase 1 returned early when ctrl is None
+        let ctrl = sh.ctrl.as_ref().unwrap();
+        let fresh: Vec<RequestRecord> = ctrl.records()[sh.rec_cursor..].to_vec();
+        let time_base = sh.time_base;
+        self.shards[i].rec_cursor += fresh.len();
+        for r in fresh {
+            let gid = self.shards[i]
+                .ticket_of_local
+                .get(r.id.0 as usize)
+                .copied()
+                .ok_or_else(corrupt)?;
+            match r.outcome {
+                Outcome::Rejected if self.k > 1 => self.pending.push(gid),
+                Outcome::Granted { serial, new_node } => {
+                    let gnew = new_node.and_then(|l| self.shards[i].map.to_global(l));
+                    let outcome = Outcome::Granted {
+                        serial,
+                        new_node: gnew,
+                    };
+                    self.resolve(gid, outcome, time_base + r.answered_at);
+                }
+                outcome => self.resolve(gid, outcome, time_base + r.answered_at),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one exchange wave at a global quiescence point: recomputes every
+    /// slice from the unspent pool (requesters first), rebuilds the shard
+    /// controllers on fresh epoch seeds, and resubmits the parked tickets —
+    /// or surfaces them as rejections once the pool is empty. Charged `k`
+    /// messages.
+    fn exchange_wave(&mut self) -> Result<(), ControllerError> {
+        self.waves += 1;
+        self.exchange_messages += self.k as u64;
+        let pool = self.m - self.granted_total;
+        if pool == 0 {
+            // The global budget is spent: every parked ticket is rejected.
+            // Liveness holds trivially — granted == M ≥ M − W.
+            for gid in std::mem::take(&mut self.pending) {
+                let at = self.shards[self.tickets[gid as usize].shard as usize].now();
+                self.resolve(gid, Outcome::Rejected, at);
+            }
+            return Ok(());
+        }
+        self.barren_waves += 1;
+        if self.barren_waves > self.k as u64 + MAX_BARREN_WAVES {
+            return Err(ControllerError::Sim(format!(
+                "cross-shard permit exchange stalled: {} waves without a grant",
+                self.barren_waves
+            )));
+        }
+        self.epoch += 1;
+        let mut wants = vec![false; self.k];
+        for &gid in &self.pending {
+            wants[self.tickets[gid as usize].shard as usize] = true;
+        }
+        let slices = exchange::slices(pool, self.w, self.k, &wants);
+        let base_config = self.base_config;
+        let epoch = self.epoch;
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            // Retire the current epoch's controller into the accumulators.
+            if let Some(ctrl) = sh.ctrl.take() {
+                sh.time_base += ctrl.sim().time();
+                sh.hops_base += ctrl.metrics().agent_hops;
+                sh.msgs_base += ctrl.messages();
+                sh.peak_mem = sh.peak_mem.max(ctrl.peak_node_memory_bits());
+                sh.parked = Some(ctrl.into_tree());
+            }
+            sh.ticket_of_local.clear();
+            sh.rec_cursor = 0;
+            let (m_i, w_i) = slices[i];
+            if m_i > 0 {
+                let seed = split_mix64(sh.seed ^ split_mix64(epoch));
+                sh.build_ctrl(&base_config, seed, m_i, w_i)?;
+            }
+        }
+        // Resubmit parked tickets in arrival order; shards still without a
+        // slice keep theirs parked for the next wave.
+        for gid in std::mem::take(&mut self.pending) {
+            let t = self.tickets[gid as usize];
+            if self.validate(t.origin, t.kind).is_err() {
+                // The wave outlived the request's target (e.g. the node was
+                // removed by a grant while the ticket was parked): outside
+                // the dynamic model by the time it could run, so it is
+                // refused — no permit is consumed, liveness is untouched.
+                let at = self.shards[t.shard as usize].now();
+                self.resolve(gid, Outcome::Refused, at);
+                continue;
+            }
+            let (shard, lat, lkind) = self.route(t.origin, t.kind)?;
+            debug_assert_eq!(shard as u32, t.shard);
+            self.dispatch(gid, shard, lat, lkind)?;
+        }
+        Ok(())
+    }
+
+    /// Advances every shard by an equal share of `budget` (on worker threads
+    /// when the share is large enough to pay for the spawn), then merges
+    /// results in shard order and runs an exchange wave if the federation is
+    /// quiescent with parked tickets (see [`Controller::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard simulator errors (first shard wins) and exchange
+    /// livelock errors.
+    pub fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        if self.k == 1 {
+            // lint: allow(unwrap) the single shard always has a controller
+            let progress = self.shards[0].ctrl.as_mut().unwrap().step(budget)?;
+            self.collect_shard(0)?;
+            return Ok(progress);
+        }
+        let slice = (budget / self.k as u64).max(1);
+        if slice >= THREAD_SLICE_FLOOR {
+            std::thread::scope(|scope| {
+                for sh in self.shards.iter_mut() {
+                    if sh.ctrl.is_some() {
+                        scope.spawn(move || {
+                            sh.step_out = sh.ctrl.as_mut().map(|c| c.step(slice));
+                        });
+                    }
+                }
+            });
+        } else {
+            for sh in self.shards.iter_mut() {
+                sh.step_out = sh.ctrl.as_mut().map(|c| c.step(slice));
+            }
+        }
+        let mut processed = 0;
+        for i in 0..self.k {
+            if let Some(result) = self.shards[i].step_out.take() {
+                processed += result?.processed;
+            }
+            self.collect_shard(i)?;
+        }
+        let all_quiescent = self
+            .shards
+            .iter()
+            .all(|sh| sh.ctrl.as_ref().map_or(true, |c| c.sim().is_quiescent()));
+        if all_quiescent && !self.pending.is_empty() {
+            self.exchange_wave()?;
+        }
+        let quiescent = self.pending.is_empty()
+            && self
+                .shards
+                .iter()
+                .all(|sh| sh.ctrl.as_ref().map_or(true, |c| c.sim().is_quiescent()));
+        Ok(Progress {
+            processed,
+            quiescent,
+        })
+    }
+
+    /// Runs until every shard is quiescent and no tickets are parked (see
+    /// [`Controller::run_to_quiescence`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedController::step`].
+    pub fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        loop {
+            let progress = self.step(self.base_config.max_events)?;
+            if progress.quiescent {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Removes and returns the per-request events produced since the last
+    /// drain, in answer order.
+    pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// All globally resolved requests so far, in answer order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The outcome of a specific ticket, if it has been answered.
+    pub fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.index.get(id).map(|&i| self.records[i].outcome)
+    }
+
+    /// Permits granted across all shards.
+    pub fn granted(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Requests rejected globally (surfaced rejections only — locally parked
+    /// rejections that a later wave turns into grants never count).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_total
+    }
+
+    /// The global spanning tree (the mirror every shard's changes replay
+    /// into).
+    pub fn tree(&self) -> &DynamicTree {
+        &self.mirror
+    }
+
+    /// Aggregated cost counters (see [`Controller::metrics`]): sums over all
+    /// shard epochs, plus `k` messages per exchange wave.
+    pub fn metrics(&self) -> ControllerMetrics {
+        let mut moves = 0;
+        let mut messages = self.exchange_messages;
+        let mut peak = 0;
+        for sh in &self.shards {
+            moves += sh.hops_base;
+            messages += sh.msgs_base;
+            peak = peak.max(sh.peak_mem);
+            if let Some(ctrl) = sh.ctrl.as_ref() {
+                moves += ctrl.metrics().agent_hops;
+                messages += ctrl.messages();
+                peak = peak.max(ctrl.peak_node_memory_bits());
+            }
+        }
+        ControllerMetrics {
+            moves,
+            messages,
+            peak_node_memory_bits: peak,
+        }
+    }
+}
+
+impl Shard {
+    /// Builds this shard's controller for a new epoch over the parked region
+    /// tree, with slice `(m_i, w_i)` and the given epoch seed. The `U` bound
+    /// is re-derived per epoch: current region nodes plus at most `m_i`
+    /// insertions (one per granted permit) plus slack for the proxy root.
+    fn build_ctrl(
+        &mut self,
+        base: &SimConfig,
+        seed: u64,
+        m_i: u64,
+        w_i: u64,
+    ) -> Result<(), ControllerError> {
+        // lint: allow(unwrap) exactly one of ctrl/parked is always Some
+        let tree = self.parked.take().unwrap();
+        let u_bound = tree.node_count() + m_i as usize + 2;
+        let config = SimConfig { seed, ..*base };
+        self.ctrl = Some(DistributedController::new(config, tree, m_i, w_i, u_bound)?);
+        Ok(())
+    }
+}
+
+impl Controller for ShardedController {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn budget(&self) -> u64 {
+        self.m
+    }
+
+    fn waste_bound(&self) -> u64 {
+        self.w
+    }
+
+    fn submit(&mut self, at: NodeId, kind: RequestKind) -> Result<RequestId, ControllerError> {
+        self.submit(at, kind)
+    }
+
+    fn run_to_quiescence(&mut self) -> Result<(), ControllerError> {
+        self.run_to_quiescence()
+    }
+
+    fn step(&mut self, budget: u64) -> Result<Progress, ControllerError> {
+        self.step(budget)
+    }
+
+    fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.drain_events()
+    }
+
+    fn records(&self) -> &[RequestRecord] {
+        self.records()
+    }
+
+    fn outcome(&self, id: RequestId) -> Option<Outcome> {
+        self.outcome(id)
+    }
+
+    fn granted(&self) -> u64 {
+        self.granted()
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected()
+    }
+
+    fn tree(&self) -> &DynamicTree {
+        self.tree()
+    }
+
+    fn metrics(&self) -> ControllerMetrics {
+        self.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_tree(extra: usize) -> DynamicTree {
+        DynamicTree::with_initial_star(extra)
+    }
+
+    fn deep_tree(levels: usize, arity: usize) -> DynamicTree {
+        let mut tree = DynamicTree::new();
+        let mut frontier = vec![tree.root()];
+        for _ in 0..levels {
+            let mut next = Vec::new();
+            for p in frontier {
+                for _ in 0..arity {
+                    next.push(tree.add_leaf(p).unwrap());
+                }
+            }
+            frontier = next;
+        }
+        tree
+    }
+
+    /// Drives a controller with a deterministic mixed workload and returns
+    /// its records.
+    fn drive(ctrl: &mut dyn Controller, requests: usize) -> Vec<RequestRecord> {
+        for i in 0..requests {
+            let nodes: Vec<NodeId> = ctrl.tree().nodes().collect();
+            let at = nodes[(i * 7 + 3) % nodes.len()];
+            let kind = match i % 3 {
+                0 => RequestKind::AddLeaf,
+                1 => RequestKind::NonTopological,
+                _ => RequestKind::AddLeaf,
+            };
+            ctrl.submit(at, kind).unwrap();
+            if i % 5 == 4 {
+                ctrl.step(64).unwrap();
+            }
+        }
+        ctrl.run_to_quiescence().unwrap();
+        ctrl.records().to_vec()
+    }
+
+    #[test]
+    fn one_shard_is_a_strict_pass_through_of_the_distributed_family() {
+        for seed in [1u64, 7, 42] {
+            let mut plain =
+                DistributedController::new(SimConfig::new(seed), deep_tree(3, 2), 24, 6, 120)
+                    .unwrap();
+            let mut sharded =
+                ShardedController::new(SimConfig::new(seed), deep_tree(3, 2), 24, 6, 120, 1)
+                    .unwrap();
+            let a = drive(&mut plain, 18);
+            let b = drive(&mut sharded, 18);
+            assert_eq!(a, b, "seed={seed}");
+            assert_eq!(
+                Controller::metrics(&plain),
+                ShardedController::metrics(&sharded)
+            );
+            assert_eq!(plain.granted(), sharded.granted());
+            assert_eq!(plain.rejected(), sharded.rejected());
+            // The mirror evolved through replay yet matches node for node.
+            assert_eq!(
+                plain.tree().node_count(),
+                ShardedController::tree(&sharded).node_count()
+            );
+            for node in plain.tree().nodes() {
+                assert_eq!(
+                    plain.tree().parent(node),
+                    ShardedController::tree(&sharded).parent(node)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_preserves_global_safety_and_liveness() {
+        for k in [2usize, 3, 8] {
+            let mut ctrl =
+                ShardedController::new(SimConfig::new(11), deep_tree(3, 3), 10, 3, 400, k).unwrap();
+            let records = drive(&mut ctrl, 30);
+            assert_eq!(records.len(), 30, "k={k}: every ticket answered");
+            let summary = ctrl.summary();
+            assert!(summary.granted <= 10, "safety: {summary:?}");
+            if summary.rejected > 0 {
+                // Rejections only surface once the pool is spent.
+                assert_eq!(summary.granted, 10, "liveness: {summary:?}");
+            }
+            assert_eq!(summary.unanswered, 0);
+            ctrl.tree().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn exhaustion_triggers_exchange_waves_and_charges_o_k_messages() {
+        // M = 4 permits over 2 shards, 12 add-leaf requests: the slices run
+        // dry, waves rebalance, and the 8 surplus requests reject globally.
+        let mut ctrl =
+            ShardedController::new(SimConfig::new(5), star_tree(11), 4, 2, 200, 2).unwrap();
+        let nodes: Vec<NodeId> = ShardedController::tree(&ctrl).nodes().skip(1).collect();
+        for i in 0..12 {
+            ctrl.submit(nodes[i % nodes.len()], RequestKind::AddLeaf)
+                .unwrap();
+        }
+        ctrl.run_to_quiescence().unwrap();
+        assert_eq!(ctrl.granted(), 4);
+        assert_eq!(ctrl.rejected(), 8);
+        assert!(ctrl.waves() >= 1, "exchange waves ran");
+        assert_eq!(ctrl.exchange_messages(), ctrl.waves() * 2);
+        // The charged wave cost is part of the uniform metrics.
+        let without_waves: u64 = ShardedController::metrics(&ctrl).messages;
+        assert!(without_waves >= ctrl.exchange_messages());
+    }
+
+    #[test]
+    fn sharded_output_is_independent_of_thread_interleaving() {
+        // Identical runs (same seed) must produce identical records and
+        // events whether slices are large (threaded) or small (sequential).
+        let run = |quantum: u64| {
+            let mut ctrl =
+                ShardedController::new(SimConfig::new(23), deep_tree(4, 2), 16, 4, 300, 4).unwrap();
+            let nodes: Vec<NodeId> = ShardedController::tree(&ctrl).nodes().collect();
+            for i in 0..20 {
+                ctrl.submit(
+                    nodes[(i * 5 + 1) % nodes.len()],
+                    RequestKind::NonTopological,
+                )
+                .unwrap();
+                ctrl.step(quantum).unwrap();
+            }
+            ctrl.run_to_quiescence().unwrap();
+            ctrl.records().to_vec()
+        };
+        // 4 shards: quantum 64 -> slice 16 (sequential); 4096 -> 1024 (threads).
+        assert_eq!(run(64), run(64));
+        let seq: Vec<RequestId> = run(64).iter().map(|r| r.id).collect();
+        let par: Vec<RequestId> = run(4096).iter().map(|r| r.id).collect();
+        assert_eq!(seq.len(), par.len());
+    }
+
+    #[test]
+    fn cross_region_add_internal_routes_through_the_proxy() {
+        // A deep path tree carved into 2 shards guarantees a cross-region
+        // parent edge somewhere along the path.
+        let mut tree = DynamicTree::new();
+        let mut prev = tree.root();
+        let mut chain = vec![prev];
+        for _ in 0..16 {
+            prev = tree.add_leaf(prev).unwrap();
+            chain.push(prev);
+        }
+        let mut ctrl = ShardedController::new(SimConfig::new(3), tree, 8, 2, 200, 2).unwrap();
+        // Submit AddInternalAbove for every parent/child pair on the path;
+        // at least one pair straddles the region boundary.
+        for pair in chain.windows(2).take(6) {
+            ctrl.submit(pair[0], RequestKind::AddInternalAbove(pair[1]))
+                .unwrap();
+        }
+        ctrl.run_to_quiescence().unwrap();
+        assert_eq!(ctrl.granted(), 6);
+        ctrl.tree().check_invariants().unwrap();
+        // Every new internal node took effect on the global mirror.
+        assert_eq!(ShardedController::tree(&ctrl).node_count(), 17 + 6);
+    }
+
+    #[test]
+    fn zero_shards_and_bad_params_are_rejected() {
+        assert!(ShardedController::new(SimConfig::new(0), star_tree(3), 8, 4, 64, 0).is_err());
+        assert!(ShardedController::new(SimConfig::new(0), star_tree(3), 4, 8, 64, 2).is_err());
+        assert!(ShardedController::new(SimConfig::new(0), star_tree(3), 8, 4, 1, 2).is_err());
+    }
+}

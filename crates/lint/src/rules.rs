@@ -97,8 +97,13 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
 static RULES: [Rule; 6] = [
     Rule {
         id: "hot-std-hash",
-        summary: "no std SipHash HashMap/HashSet in simnet (DESIGN.md §7 storage policy)",
-        scope: &["crates/simnet/src/**"],
+        summary: "no std SipHash HashMap/HashSet in simnet or the sharded hot path \
+                  (DESIGN.md §7 storage policy)",
+        scope: &[
+            "crates/simnet/src/**",
+            "crates/core/src/sharded/**",
+            "crates/tree/src/region.rs",
+        ],
         exclude: &[],
         skip_test_code: false,
         extra_needles: &["perf: cold"],

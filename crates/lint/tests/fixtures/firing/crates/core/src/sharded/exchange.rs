@@ -1,0 +1,9 @@
+// Fixture: the sharded permit-exchange hot path is in hot-std-hash scope
+// since PR 9 — a std SipHash map here must fire. (Lint corpus, never
+// compiled.)
+
+use std::collections::HashMap;
+
+pub struct ExchangeLedger {
+    granted_by_shard: HashMap<u32, u64>,
+}

@@ -1,0 +1,9 @@
+// Fixture: the region-addressing seam is in hot-std-hash scope since PR 9
+// — locate() runs per submission, so a SipHash set must fire. (Lint
+// corpus, never compiled.)
+
+use std::collections::HashSet;
+
+pub fn cut_candidates() -> HashSet<u32> {
+    HashSet::new()
+}

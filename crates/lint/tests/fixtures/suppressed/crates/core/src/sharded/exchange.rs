@@ -1,0 +1,11 @@
+// Fixture: the same sharded-hot-path constructs with valid justifications
+// — must produce zero findings. (Lint corpus, never compiled.)
+
+use std::collections::HashMap; // perf: cold — wave bookkeeping, runs O(k) per wave
+// lint: allow(hot-std-hash) cold construction-time map, uniform form
+use std::collections::HashSet;
+
+/// Docs may mention `HashMap` freely; the lexer knows it is not code.
+pub fn describe() -> &'static str {
+    "HashMap in a string is data, not code"
+}

@@ -1,0 +1,10 @@
+// Fixture: region seam with a justified map — zero findings. (Lint
+// corpus, never compiled.)
+
+// perf: cold — carve-time scratch, never touched per event
+use std::collections::HashMap;
+
+/* Block comments mentioning HashSet<u32> stay invisible. */
+pub fn raw() -> &'static str {
+    r#"a HashSet mention inside a raw string"#
+}

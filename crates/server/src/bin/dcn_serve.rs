@@ -4,7 +4,7 @@
 //! ```text
 //! dcn-serve [--addr HOST:PORT] [--family NAME] [--m N] [--w N]
 //!           [--shape star|path] [--nodes N] [--seed N]
-//!           [--step-budget N] [--port-file PATH]
+//!           [--step-budget N] [--shards K] [--port-file PATH]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port; `--port-file` writes
@@ -32,6 +32,7 @@ struct Args {
     nodes: usize,
     seed: u64,
     step_budget: u64,
+    shards: usize,
     port_file: Option<String>,
 }
 
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         nodes: 64,
         seed: 0,
         step_budget: 4096,
+        shards: 1,
         port_file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -75,6 +77,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--step-budget: {e}"))?;
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--port-file" => args.port_file = Some(value("--port-file")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -101,7 +111,8 @@ fn main() -> ExitCode {
     let config = ServeConfig::new(args.family, args.m, args.w)
         .with_shape(shape)
         .with_seed(args.seed)
-        .with_step_budget(args.step_budget);
+        .with_step_budget(args.step_budget)
+        .with_shards(args.shards);
     let handle = match serve(config, &args.addr, NetOptions::default()) {
         Ok(handle) => handle,
         Err(e) => {
@@ -119,12 +130,13 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "dcn-serve listening on {local} family={} m={} w={} nodes={} seed={}",
+        "dcn-serve listening on {local} family={} m={} w={} nodes={} seed={} shards={}",
         args.family.name(),
         args.m,
         args.w,
         args.nodes,
-        args.seed
+        args.seed,
+        args.shards
     );
     handle.join();
     println!("dcn-serve: drained and stopped");

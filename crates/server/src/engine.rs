@@ -54,6 +54,11 @@ pub struct ServeConfig {
     /// `U`-dependent schedule, so a different bound is a different
     /// controller).
     pub u_bound_override: Option<usize>,
+    /// Number of shards to carve the served tree into. `1` (the default)
+    /// serves the plain configured family; `k ≥ 2` wraps the distributed
+    /// family in a [`ShardedController`](dcn_controller::ShardedController)
+    /// federation and requires `family` to be [`Family::Distributed`].
+    pub shards: usize,
 }
 
 impl ServeConfig {
@@ -67,6 +72,7 @@ impl ServeConfig {
             seed: 0,
             step_budget: 4096,
             u_bound_override: None,
+            shards: 1,
         }
     }
 
@@ -91,6 +97,13 @@ impl ServeConfig {
     /// Pins the node bound `U` (see [`ServeConfig::u_bound_override`]).
     pub fn with_u_bound(mut self, u_bound: usize) -> Self {
         self.u_bound_override = Some(u_bound);
+        self
+    }
+
+    /// Serves a sharded federation of `shards` regions (clamped to ≥ 1; see
+    /// [`ServeConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -143,13 +156,32 @@ impl EngineCore {
     /// Propagates the family's parameter validation (e.g. `W = 0` for
     /// families that require `W ≥ 1`).
     pub fn new(config: ServeConfig) -> Result<Self, ControllerError> {
-        let spec = ControllerSpec {
-            family: config.family,
-            m: config.m,
-            w: config.w,
-            sim: SimConfig::new(config.seed),
+        let ctrl: Box<dyn Controller> = if config.shards > 1 {
+            // A sharded federation wraps the distributed protocol; other
+            // families have no region-local agents to shard.
+            if config.family != Family::Distributed {
+                return Err(ControllerError::Sim(format!(
+                    "--shards requires the distributed family, not {}",
+                    config.family.name()
+                )));
+            }
+            Box::new(dcn_controller::ShardedController::new(
+                SimConfig::new(config.seed),
+                build_tree(config.shape),
+                config.m,
+                config.w,
+                config.u_bound(),
+                config.shards,
+            )?)
+        } else {
+            let spec = ControllerSpec {
+                family: config.family,
+                m: config.m,
+                w: config.w,
+                sim: SimConfig::new(config.seed),
+            };
+            spec.build(build_tree(config.shape), config.u_bound())?
         };
-        let ctrl = spec.build(build_tree(config.shape), config.u_bound())?;
         Ok(EngineCore {
             ctrl,
             config,
@@ -259,6 +291,14 @@ impl EngineCore {
                 w,
             } => self.apply_hello(client, proto, family, m, w, out),
             ClientFrame::Submit(s) | ClientFrame::Topology(s) => self.apply_submit(client, s, out),
+            // The parser validated the whole batch, so every element is
+            // enqueued; replies come back one ticket frame per element, in
+            // array order.
+            ClientFrame::Batch(subs) => {
+                for s in subs {
+                    self.apply_submit(client, s, out);
+                }
+            }
             ClientFrame::Poll { ticket } => {
                 let reply = match (self.resolved.get(&ticket), self.route.get(&ticket)) {
                     (Some(outcome), _) => protocol::outcome_frame(ticket, outcome),

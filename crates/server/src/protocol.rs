@@ -28,6 +28,11 @@ pub const PROTO_VERSION: u64 = 1;
 /// next newline; the connection stays usable.
 pub const MAX_LINE_BYTES: usize = 8 * 1024;
 
+/// Maximum number of submissions one `batch` frame may carry. Keeps a
+/// single line from enqueueing unbounded controller work (the line-length
+/// cap already bounds the bytes; this bounds the tickets).
+pub const MAX_BATCH_REQUESTS: usize = 256;
+
 /// A request frame's submission payload: where the request arrives and what
 /// it asks for, plus the client's optional correlation tag (echoed verbatim
 /// on the ticket reply and on every event for the resulting ticket).
@@ -107,6 +112,12 @@ pub enum ClientFrame {
     /// `"insert-above"` splits an edge, `"delete"` removes a node. Same
     /// ticket lifecycle as `submit`.
     Topology(Submission),
+    /// `{"op":"batch", "requests": [{"kind", "node", "child"?, "tag"?}, …]}`
+    /// — up to [`MAX_BATCH_REQUESTS`] submit bodies in one frame, answered
+    /// with one ticket reply per element in array order. The frame is
+    /// validated as a whole: one malformed element (or an empty or oversized
+    /// array) rejects the entire batch and enqueues nothing.
+    Batch(Vec<Submission>),
     /// `{"op":"poll", "ticket"}` — ask for a ticket's current outcome.
     Poll {
         /// The ticket to look up.
@@ -199,6 +210,26 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, FrameError> {
             w: opt_u64(&v, "w")?,
         }),
         "submit" => Ok(ClientFrame::Submit(submission(&v, "kind", false)?)),
+        "batch" => {
+            let elems = v.get("requests")?.as_array()?;
+            if elems.is_empty() {
+                return Err(FrameError::new("bad-frame", "batch.requests is empty"));
+            }
+            if elems.len() > MAX_BATCH_REQUESTS {
+                return Err(FrameError::new(
+                    "bad-frame",
+                    format!(
+                        "batch.requests has {} elements (max {MAX_BATCH_REQUESTS})",
+                        elems.len()
+                    ),
+                ));
+            }
+            let mut subs = Vec::with_capacity(elems.len());
+            for elem in elems {
+                subs.push(submission(elem, "kind", false)?);
+            }
+            Ok(ClientFrame::Batch(subs))
+        }
         "topology" => Ok(ClientFrame::Topology(submission(&v, "change", true)?)),
         "poll" => Ok(ClientFrame::Poll {
             ticket: v.get("ticket")?.as_u64()?,
@@ -434,6 +465,50 @@ mod tests {
             parse_frame(r#"{"op": "stats"}"#).unwrap(),
             ClientFrame::Stats
         );
+    }
+
+    #[test]
+    fn batch_frames_parse_whole_or_not_at_all() {
+        // A well-formed batch decodes every element in array order.
+        let frame = parse_frame(
+            r#"{"op": "batch", "requests": [
+                {"kind": "event", "node": 3, "tag": 1},
+                {"kind": "add-internal-above", "node": 1, "child": 4}
+            ]}"#,
+        )
+        .unwrap();
+        match frame {
+            ClientFrame::Batch(subs) => {
+                assert_eq!(subs.len(), 2);
+                assert_eq!(subs[0].node, 3);
+                assert_eq!(subs[0].tag, Some(1));
+                assert_eq!(subs[1].kind, WireKind::AddInternalAbove { child: 4 });
+            }
+            other => panic!("expected a batch frame, got {other:?}"),
+        }
+        // Empty, missing, non-array and oversized request lists are schema
+        // violations for the whole frame.
+        for line in [
+            r#"{"op": "batch"}"#.to_string(),
+            r#"{"op": "batch", "requests": []}"#.to_string(),
+            r#"{"op": "batch", "requests": {"kind": "event", "node": 0}}"#.to_string(),
+            format!(
+                r#"{{"op": "batch", "requests": [{}]}}"#,
+                vec![r#"{"kind":"event","node":0}"#; MAX_BATCH_REQUESTS + 1].join(",")
+            ),
+        ] {
+            let err = parse_frame(&line).unwrap_err();
+            assert_eq!(err.code, "bad-frame", "for {line:.60}");
+        }
+        // One malformed element poisons the batch: nothing decodes.
+        let err = parse_frame(
+            r#"{"op": "batch", "requests": [
+                {"kind": "event", "node": 0},
+                {"kind": "insert", "node": 1}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad-frame");
     }
 
     #[test]

@@ -56,6 +56,17 @@ fn specific_malformed_lines_map_to_stable_error_codes() {
             "bad-frame",
         ),
         (r#"{"op": "poll", "ticket": "five"}"#, "bad-frame"),
+        (r#"{"op": "batch"}"#, "bad-frame"),
+        (r#"{"op": "batch", "requests": 7}"#, "bad-frame"),
+        (r#"{"op": "batch", "requests": []}"#, "bad-frame"),
+        (
+            r#"{"op": "batch", "requests": [{"kind": "add-leaf"}]}"#,
+            "bad-frame",
+        ),
+        (
+            r#"{"op": "batch", "requests": [{"kind": "event", "node": 0}, {"kind": "dance", "node": 1}]}"#,
+            "bad-frame",
+        ),
         (r#"{"op": "stats", "trailing": }"#, "bad-json"),
         ("{\"op\": \"stats\"}{\"op\": \"stats\"}", "bad-json"),
     ];

@@ -390,3 +390,120 @@ fn loopback_matches_scenario_runner_for_every_family() {
         }
     }
 }
+
+/// The `batch` frame: one line carrying several submit bodies is answered
+/// with one ticket frame per element in array order, each ticket resolves
+/// independently, and a batch with any malformed element is rejected as a
+/// whole (no tickets issued, nothing enqueued).
+#[test]
+fn batch_frames_issue_tickets_in_order_and_reject_as_a_whole() {
+    let mut lb = Loopback::new(ServeConfig::new(Family::Centralized, 16, 4)).unwrap();
+    let c = lb.connect();
+    lb.send(c, r#"{"op": "hello", "proto": 1}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "welcome");
+
+    lb.send(
+        c,
+        r#"{"op": "batch", "requests": [
+            {"kind": "event", "node": 0, "tag": 100},
+            {"kind": "add-leaf", "node": 0, "tag": 101},
+            {"kind": "event", "node": 1, "tag": 102}
+        ]}"#,
+    );
+    let frames = lb.recv(c);
+    assert_eq!(frames.len(), 3, "one ticket per element: {frames:?}");
+    let mut tickets = Vec::new();
+    for (i, frame) in frames.iter().enumerate() {
+        let v = parse(frame);
+        assert_eq!(v.get("ok").unwrap().as_str().unwrap(), "ticket");
+        assert_eq!(
+            v.get("tag").unwrap().as_u64().unwrap(),
+            100 + i as u64,
+            "tickets come back in array order"
+        );
+        tickets.push(v.get("ticket").unwrap().as_u64().unwrap());
+    }
+    assert!(tickets.windows(2).all(|w| w[0] < w[1]));
+
+    // Every batched ticket resolves through the normal lifecycle.
+    lb.run_to_quiescence();
+    for ticket in &tickets {
+        lb.send(
+            c,
+            format!(r#"{{"op": "poll", "ticket": {ticket}}}"#).as_str(),
+        );
+        let outcome = parse(&recv_one(&mut lb, c));
+        assert_eq!(outcome.get("status").unwrap().as_str().unwrap(), "granted");
+    }
+
+    // A batch with one malformed element is refused whole: a single error
+    // frame, and the submission counter does not move.
+    lb.send(c, r#"{"op": "stats"}"#);
+    let before = parse(&recv_one(&mut lb, c))
+        .get("submitted")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    lb.send(
+        c,
+        r#"{"op": "batch", "requests": [
+            {"kind": "event", "node": 0},
+            {"kind": "dance", "node": 0}
+        ]}"#,
+    );
+    let err = parse(&recv_one(&mut lb, c));
+    assert_eq!(err.get("error").unwrap().as_str().unwrap(), "bad-frame");
+    lb.send(c, r#"{"op": "stats"}"#);
+    let after = parse(&recv_one(&mut lb, c))
+        .get("submitted")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(before, after, "a rejected batch enqueues nothing");
+
+    // The batch op sits behind the hello gate like everything else.
+    let fresh = lb.connect();
+    lb.send(
+        fresh,
+        r#"{"op": "batch", "requests": [{"kind": "event", "node": 0}]}"#,
+    );
+    assert_eq!(frame_kind(&recv_one(&mut lb, fresh)).1, "hello-required");
+}
+
+/// `ServeConfig::with_shards` serves a sharded federation behind the same
+/// wire protocol: tickets grant, stats add up, and the option is rejected
+/// at construction for families without region-local agents.
+#[test]
+fn sharded_serving_grants_through_the_same_protocol() {
+    let config = ServeConfig::new(Family::Distributed, 64, 8)
+        .with_shape(TreeShape::Path { nodes: 32 })
+        .with_shards(4);
+    let mut lb = Loopback::new(config).unwrap();
+    let c = lb.connect();
+    lb.send(c, r#"{"op": "hello", "proto": 1, "family": "distributed"}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "welcome");
+    lb.send(c, r#"{"op": "subscribe"}"#);
+    assert_eq!(frame_kind(&recv_one(&mut lb, c)).1, "subscribed");
+    for node in 0..16 {
+        lb.send(
+            c,
+            format!(r#"{{"op": "submit", "kind": "event", "node": {node}}}"#).as_str(),
+        );
+    }
+    let tickets = lb.recv(c);
+    assert_eq!(tickets.len(), 16);
+    lb.run_to_quiescence();
+    let granted = lb
+        .recv(c)
+        .iter()
+        .filter(|f| frame_kind(f) == ("event".to_string(), "granted".to_string()))
+        .count();
+    assert_eq!(granted, 16, "every ticket resolves across shard boundaries");
+    lb.send(c, r#"{"op": "stats"}"#);
+    let stats = parse(&recv_one(&mut lb, c));
+    assert_eq!(stats.get("granted").unwrap().as_u64().unwrap(), 16);
+
+    // Families without region-local agents cannot shard.
+    let bad = ServeConfig::new(Family::Centralized, 64, 8).with_shards(2);
+    assert!(Loopback::new(bad).is_err());
+}

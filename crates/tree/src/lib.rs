@@ -48,11 +48,13 @@
 mod error;
 mod event;
 mod id;
+mod region;
 mod traversal;
 mod tree;
 
 pub use error::TreeError;
 pub use event::{ChangeLog, ChangeRecord, TopologyEvent};
 pub use id::NodeId;
+pub use region::{CarvedRegion, LocalMap, RegionMap};
 pub use traversal::{Ancestors, DfsIter};
 pub use tree::DynamicTree;

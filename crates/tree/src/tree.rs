@@ -443,6 +443,60 @@ impl DynamicTree {
         }
     }
 
+    /// Attaches a new leaf under `parent` without touching the ancestor size
+    /// caches or the change log — the bulk-construction primitive behind
+    /// region carving. The per-mutation ancestor walk is O(depth), which
+    /// turns copying a deep region (e.g. a carved path piece) quadratic;
+    /// bulk callers attach every node with this and then restore the size
+    /// caches in one [`DynamicTree::recompute_subtree_sizes`] pass.
+    pub(crate) fn attach_leaf_unsized(&mut self, parent: NodeId) -> Result<NodeId, TreeError> {
+        let depth = self.data(parent)?.depth + 1;
+        let child = self.alloc(NodeData {
+            parent: Some(parent),
+            children: Vec::new(),
+            non_tree: BTreeSet::new(),
+            depth,
+            subtree: 1,
+        });
+        self.data_mut(parent)
+            // lint: allow(unwrap) contains(parent) was checked at entry
+            .expect("parent checked above")
+            .children
+            .push(child);
+        Ok(child)
+    }
+
+    /// Recomputes every cached subtree size in one iterative post-order pass
+    /// — the O(n) batch counterpart of the per-mutation ancestor updates,
+    /// paired with [`DynamicTree::attach_leaf_unsized`] during bulk
+    /// construction.
+    pub(crate) fn recompute_subtree_sizes(&mut self) {
+        let root = self.root;
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if !expanded {
+                stack.push((node, true));
+                // lint: allow(unwrap) the stack only holds live nodes
+                for &c in self.children(node).expect("stack holds live nodes") {
+                    stack.push((c, false));
+                }
+            } else {
+                let size = {
+                    // lint: allow(unwrap) the stack only holds live nodes
+                    let children = self.children(node).expect("stack holds live nodes");
+                    let mut size = 1usize;
+                    for &c in children {
+                        // lint: allow(unwrap) children of live nodes are live
+                        size += self.data(c).expect("children are live").subtree;
+                    }
+                    size
+                };
+                // lint: allow(unwrap) the stack only holds live nodes
+                self.data_mut(node).expect("stack holds live nodes").subtree = size;
+            }
+        }
+    }
+
     fn add_leaf_unlogged(&mut self, parent: NodeId) -> Result<NodeId, TreeError> {
         let depth = self.data(parent)?.depth + 1;
         let child = self.alloc(NodeData {

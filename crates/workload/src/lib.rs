@@ -60,7 +60,7 @@ pub use placement::Placement;
 pub use runner::{AppReport, OpStream, RunReport, ScenarioRunner};
 pub use scenario::{ArrivalMode, Scenario};
 pub use shape::{build_tree, TreeShape};
-pub use spec::{family_factory, ControllerSpec, Family};
+pub use spec::{family_factory, parse_shard_family, shard_family_name, ControllerSpec, Family};
 pub use sweep::{
     arrival_label, churn_label, kind_label, placement_label, shape_label, CellKind, CellReport,
     CellResult, ControllerFactory, FamilySummary, MwBudget, SweepCell, SweepEngine, SweepGrid,

@@ -17,7 +17,7 @@ use crate::scenario::Scenario;
 use dcn_baseline::{AapsController, TrivialController};
 use dcn_controller::centralized::{CentralizedController, IteratedController};
 use dcn_controller::distributed::{AdaptiveDistributedController, DistributedController};
-use dcn_controller::{Controller, ControllerError};
+use dcn_controller::{Controller, ControllerError, ShardedController};
 use dcn_simnet::SimConfig;
 use dcn_tree::DynamicTree;
 
@@ -182,11 +182,40 @@ impl ControllerSpec {
 /// Returns a description for unknown family names and invalid parameter
 /// combinations (reported per cell by the engine, never propagated).
 pub fn family_factory(family: &str, scenario: &Scenario) -> Result<Box<dyn Controller>, String> {
+    if let Some(k) = parse_shard_family(family) {
+        if k == 0 {
+            return Err(format!("shard count must be at least 1 in {family:?}"));
+        }
+        let runner = ScenarioRunner::new(scenario.clone());
+        return ShardedController::new(
+            SimConfig::new(scenario.seed),
+            runner.initial_tree(),
+            scenario.m,
+            scenario.w,
+            runner.suggested_u_bound(),
+            k,
+        )
+        .map(|c| Box::new(c) as Box<dyn Controller>)
+        .map_err(|e| e.to_string());
+    }
     let family =
         Family::from_name(family).ok_or_else(|| format!("unknown controller family {family:?}"))?;
     ControllerSpec::for_scenario(family, scenario)
         .build_for(&ScenarioRunner::new(scenario.clone()))
         .map_err(|e| e.to_string())
+}
+
+/// Parses a sharded-controller driver name of the form `sharded:k<N>`
+/// (e.g. `sharded:k4`), as produced by the sweep grid's `shards` axis.
+/// Returns the shard count, or `None` when `family` is not a sharded name.
+pub fn parse_shard_family(family: &str) -> Option<usize> {
+    family.strip_prefix("sharded:k")?.parse().ok()
+}
+
+/// Formats the sharded-controller driver name for a shard count (the inverse
+/// of [`parse_shard_family`]).
+pub fn shard_family_name(k: usize) -> String {
+    format!("sharded:k{k}")
 }
 
 #[cfg(test)]
@@ -235,5 +264,43 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(err.contains("martian"));
+    }
+
+    #[test]
+    fn factory_builds_sharded_controllers_from_axis_names() {
+        let scenario = Scenario::smoke();
+        for k in [1usize, 2, 4] {
+            let name = shard_family_name(k);
+            let mut ctrl =
+                family_factory(&name, &scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(ctrl.name(), "sharded");
+            let at = ctrl.tree().root();
+            let id = ctrl.submit(at, RequestKind::NonTopological).unwrap();
+            ctrl.run_to_quiescence().unwrap();
+            assert!(ctrl.outcome(id).unwrap().is_granted(), "{name}");
+        }
+    }
+
+    #[test]
+    fn factory_rejects_malformed_shard_names() {
+        for name in ["sharded:k0", "sharded:kX", "sharded:", "sharded:k-1"] {
+            assert!(family_factory(name, &Scenario::smoke()).is_err(), "{name}");
+        }
+        assert_eq!(parse_shard_family("sharded:k16"), Some(16));
+        assert_eq!(parse_shard_family("distributed"), None);
+    }
+
+    #[test]
+    fn sharded_k1_matches_the_distributed_family_end_to_end() {
+        let scenario = Scenario::smoke();
+        let runner = ScenarioRunner::new(scenario.clone());
+        let mut plain = family_factory("distributed", &scenario).unwrap();
+        let mut sharded = family_factory("sharded:k1", &scenario).unwrap();
+        let a = runner.run(plain.as_mut()).unwrap();
+        let b = runner.run(sharded.as_mut()).unwrap();
+        assert_eq!(a.granted, b.granted);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(plain.records(), sharded.records());
+        assert_eq!(plain.metrics(), sharded.metrics());
     }
 }

@@ -63,6 +63,15 @@ pub struct SweepGrid {
     /// controller cell with the same scenario coordinates. Empty for a
     /// controllers-only grid.
     pub apps: Vec<String>,
+    /// Shard counts for the sharded distributed controller (the `shards`
+    /// axis). Each entry `k` expands to a controller driver named
+    /// `sharded:k<k>` (see [`shard_family_name`](crate::shard_family_name)),
+    /// placed after the plain families and before the apps. Shard cells use
+    /// the same family-blind seed derivation, so `sharded:k1` meets the
+    /// identical workload stream as the `distributed` family at the same
+    /// scenario point. Empty for a grid without the axis (existing grids are
+    /// byte-identical to before the axis existed).
+    pub shards: Vec<usize>,
     /// Initial tree shapes.
     pub shapes: Vec<TreeShape>,
     /// Churn models.
@@ -86,7 +95,7 @@ impl SweepGrid {
     /// Number of cells the grid expands to (controller families and §5
     /// applications alike).
     pub fn cell_count(&self) -> usize {
-        (self.families.len() + self.apps.len())
+        (self.families.len() + self.shards.len() + self.apps.len())
             * self.shapes.len()
             * self.churns.len()
             * self.placements.len()
@@ -105,10 +114,16 @@ impl SweepGrid {
         let mut cells = Vec::with_capacity(self.cell_count());
         let replicates = self.replicates.max(1);
         let mut index = 0usize;
+        let shard_names: Vec<String> = self
+            .shards
+            .iter()
+            .map(|&k| crate::spec::shard_family_name(k))
+            .collect();
         let drivers = self
             .families
             .iter()
             .map(|f| (f, CellKind::Controller))
+            .chain(shard_names.iter().map(|n| (n, CellKind::Controller)))
             .chain(self.apps.iter().map(|a| (a, CellKind::App)));
         for (family, kind) in drivers {
             // The scenario-point index restarts per family: equal for the
@@ -317,6 +332,7 @@ pub type ControllerFactory<'a> =
 ///     name: "doc".to_string(),
 ///     families: vec!["iterated".to_string()],
 ///     apps: vec![],
+///     shards: vec![],
 ///     shapes: vec![TreeShape::Star { nodes: 12 }],
 ///     churns: vec![ChurnModel::default_mixed()],
 ///     placements: vec![Placement::Uniform],
@@ -817,6 +833,7 @@ mod tests {
             name: "unit".to_string(),
             families: vec!["iterated".to_string()],
             apps: vec![],
+            shards: vec![],
             shapes: vec![TreeShape::Star { nodes: 10 }, TreeShape::Path { nodes: 10 }],
             churns: vec![ChurnModel::default_mixed(), ChurnModel::GrowOnly],
             placements: vec![Placement::Uniform],
@@ -1014,6 +1031,38 @@ mod tests {
         let report = SweepEngine::new(2).run(&grid, &iterated_factory);
         assert_eq!(report.error_count(), 8);
         assert!(report.to_csv().contains("error: unknown application"));
+    }
+
+    #[test]
+    fn the_shards_axis_expands_to_sharded_drivers_with_family_blind_seeds() {
+        let mut grid = small_grid();
+        grid.families = vec!["distributed".to_string()];
+        grid.shards = vec![1, 2, 8];
+        // (1 family + 3 shard counts) × 2 shapes × 2 churns × 2 replicates.
+        assert_eq!(grid.cell_count(), 32);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 32);
+        // Shard drivers follow the plain families, in axis order, and are
+        // controller cells with the derived driver names.
+        assert_eq!(cells[8].family, "sharded:k1");
+        assert_eq!(cells[16].family, "sharded:k2");
+        assert_eq!(cells[24].family, "sharded:k8");
+        assert!(cells.iter().all(|c| c.kind == CellKind::Controller));
+        // Seeds are family-blind: every driver block repeats the same seed
+        // sequence, so sharded:k1 meets the distributed family's workload.
+        for i in 0..8 {
+            for block in [8, 16, 24] {
+                assert_eq!(cells[i].scenario.seed, cells[block + i].scenario.seed);
+            }
+        }
+        // The canonical factory runs the whole grid clean, and the report is
+        // byte-identical across worker counts.
+        let serial = SweepEngine::new(1).run(&grid, &crate::family_factory);
+        let parallel = SweepEngine::new(4).run(&grid, &crate::family_factory);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.error_count(), 0);
+        assert_eq!(serial.violation_count(), 0);
     }
 
     #[test]
